@@ -1,0 +1,38 @@
+//! Figs. 10/11 bench: hardware predictor accuracy against the oracle.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpu_mem_sim::{DesignPoint, Simulator};
+use gpu_types::GpuConfig;
+use shm_workloads::BenchmarkProfile;
+
+fn bench_predictors(c: &mut Criterion) {
+    let cfg = GpuConfig::default();
+    let mut profile = BenchmarkProfile::by_name("backprop").expect("profile exists");
+    profile.events_per_kernel = 12_000;
+    let trace = profile.generate(42);
+
+    c.bench_function("fig10_fig11_detected_shm_run", |b| {
+        b.iter(|| {
+            let (stats, ro, st) =
+                Simulator::new(&cfg, DesignPoint::Shm).run_detailed(&trace);
+            std::hint::black_box((stats.cycles, ro.correct, st.correct))
+        })
+    });
+
+    println!("\nfig10/fig11 predictor accuracy per benchmark:");
+    for p in BenchmarkProfile::suite() {
+        let mut p = p;
+        p.events_per_kernel = 8_000;
+        let t = p.generate(42);
+        let (_, ro, st) = Simulator::new(&cfg, DesignPoint::Shm).run_detailed(&t);
+        println!(
+            "  {:<16} read-only {:.3}   streaming {:.3}",
+            p.name,
+            ro.accuracy(),
+            st.accuracy()
+        );
+    }
+}
+
+criterion_group!(benches, bench_predictors);
+criterion_main!(benches);

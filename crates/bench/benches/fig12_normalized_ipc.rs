@@ -1,0 +1,61 @@
+//! Fig. 12 bench: normalized IPC of the main secure-memory designs on a
+//! representative memory-intensive benchmark (fdtd2d) plus a full small-scale
+//! suite pass.  Criterion times one full simulation per design; the measured
+//! statistic printed at the end of each run is the figure's data point.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpu_mem_sim::{DesignPoint, Simulator};
+use gpu_types::GpuConfig;
+use shm_workloads::BenchmarkProfile;
+
+fn bench_fig12(c: &mut Criterion) {
+    let cfg = GpuConfig::default();
+    let mut profile = BenchmarkProfile::by_name("fdtd2d").expect("profile exists");
+    profile.events_per_kernel = 12_000;
+    let trace = profile.generate(42);
+
+    let mut group = c.benchmark_group("fig12_normalized_ipc");
+    group.sample_size(10);
+    for design in [
+        DesignPoint::Unprotected,
+        DesignPoint::Naive,
+        DesignPoint::CommonCtr,
+        DesignPoint::Pssm,
+        DesignPoint::Shm,
+        DesignPoint::ShmUpperBound,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(design.name()),
+            &design,
+            |b, &d| {
+                b.iter(|| {
+                    let stats = Simulator::new(&cfg, d).run(&trace);
+                    std::hint::black_box(stats.cycles)
+                })
+            },
+        );
+    }
+    group.finish();
+
+    // Emit the figure's data series once, so `cargo bench` output contains
+    // the reproduced numbers alongside the timings.
+    let base = Simulator::new(&cfg, DesignPoint::Unprotected).run(&trace);
+    println!("\nfig12 (fdtd2d) normalized IPC:");
+    for design in [
+        DesignPoint::Naive,
+        DesignPoint::CommonCtr,
+        DesignPoint::Pssm,
+        DesignPoint::Shm,
+        DesignPoint::ShmUpperBound,
+    ] {
+        let s = Simulator::new(&cfg, design).run(&trace);
+        println!(
+            "  {:<16} {:.4}",
+            design.name(),
+            base.cycles as f64 / s.cycles as f64
+        );
+    }
+}
+
+criterion_group!(benches, bench_fig12);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Fig. 13 bench: performance impact of each optimisation, layered one at a
+//! time (PSSM → +common counters → +read-only → +dual-MAC → +cctr).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpu_mem_sim::{DesignPoint, Simulator};
+use gpu_types::GpuConfig;
+use shm_workloads::BenchmarkProfile;
+
+fn bench_fig13(c: &mut Criterion) {
+    let cfg = GpuConfig::default();
+    let mut profile = BenchmarkProfile::by_name("kmeans").expect("profile exists");
+    profile.events_per_kernel = 12_000;
+    let trace = profile.generate(42);
+
+    let mut group = c.benchmark_group("fig13_breakdown");
+    group.sample_size(10);
+    for design in [
+        DesignPoint::Pssm,
+        DesignPoint::PssmCctr,
+        DesignPoint::ShmReadOnly,
+        DesignPoint::Shm,
+        DesignPoint::ShmCctr,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(design.name()),
+            &design,
+            |b, &d| {
+                b.iter(|| std::hint::black_box(Simulator::new(&cfg, d).run(&trace).cycles))
+            },
+        );
+    }
+    group.finish();
+
+    let base = Simulator::new(&cfg, DesignPoint::Unprotected).run(&trace);
+    println!("\nfig13 (kmeans) normalized IPC:");
+    for design in [
+        DesignPoint::Pssm,
+        DesignPoint::PssmCctr,
+        DesignPoint::ShmReadOnly,
+        DesignPoint::Shm,
+        DesignPoint::ShmCctr,
+    ] {
+        let s = Simulator::new(&cfg, design).run(&trace);
+        println!(
+            "  {:<16} {:.4}",
+            design.name(),
+            base.cycles as f64 / s.cycles as f64
+        );
+    }
+}
+
+criterion_group!(benches, bench_fig13);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Fig. 14 bench: security-metadata bandwidth overhead per design.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpu_mem_sim::{DesignPoint, Simulator};
+use gpu_types::GpuConfig;
+use shm_workloads::BenchmarkProfile;
+
+fn bench_fig14(c: &mut Criterion) {
+    let cfg = GpuConfig::default();
+    let mut profile = BenchmarkProfile::by_name("streamcluster").expect("profile exists");
+    profile.events_per_kernel = 12_000;
+    let trace = profile.generate(42);
+
+    let designs = [
+        DesignPoint::Naive,
+        DesignPoint::CommonCtr,
+        DesignPoint::Pssm,
+        DesignPoint::ShmReadOnly,
+        DesignPoint::Shm,
+    ];
+
+    let mut group = c.benchmark_group("fig14_bandwidth");
+    group.sample_size(10);
+    for design in designs {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(design.name()),
+            &design,
+            |b, &d| {
+                b.iter(|| {
+                    let stats = Simulator::new(&cfg, d).run(&trace);
+                    std::hint::black_box(stats.traffic.metadata_bytes())
+                })
+            },
+        );
+    }
+    group.finish();
+
+    println!("\nfig14 (streamcluster) bandwidth overhead (metadata/data):");
+    for design in designs {
+        let s = Simulator::new(&cfg, design).run(&trace);
+        println!(
+            "  {:<16} {:.4}",
+            design.name(),
+            s.traffic.overhead_ratio()
+        );
+    }
+}
+
+criterion_group!(benches, bench_fig14);
+criterion_main!(benches);

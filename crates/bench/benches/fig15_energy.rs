@@ -1,0 +1,51 @@
+//! Fig. 15 bench: normalized energy per instruction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpu_mem_sim::{DesignPoint, EnergyModel, Simulator};
+use gpu_types::GpuConfig;
+use shm_workloads::BenchmarkProfile;
+
+fn bench_fig15(c: &mut Criterion) {
+    let cfg = GpuConfig::default();
+    let mut profile = BenchmarkProfile::by_name("lbm").expect("profile exists");
+    profile.events_per_kernel = 12_000;
+    let trace = profile.generate(42);
+    let model = EnergyModel::default();
+
+    let designs = [
+        DesignPoint::Naive,
+        DesignPoint::CommonCtr,
+        DesignPoint::Pssm,
+        DesignPoint::Shm,
+    ];
+
+    let mut group = c.benchmark_group("fig15_energy");
+    group.sample_size(10);
+    for design in designs {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(design.name()),
+            &design,
+            |b, &d| {
+                b.iter(|| {
+                    let stats = Simulator::new(&cfg, d).run(&trace);
+                    std::hint::black_box(model.total_pj(&stats))
+                })
+            },
+        );
+    }
+    group.finish();
+
+    let base = Simulator::new(&cfg, DesignPoint::Unprotected).run(&trace);
+    println!("\nfig15 (lbm) normalized energy/instruction:");
+    for design in designs {
+        let s = Simulator::new(&cfg, design).run(&trace);
+        println!(
+            "  {:<16} {:.4}",
+            design.name(),
+            model.normalized_epi(&s, &base)
+        );
+    }
+}
+
+criterion_group!(benches, bench_fig15);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Fig. 16 bench: SHM vs SHM with the L2 as victim cache for metadata, on
+//! the high-L2-miss-rate benchmarks the mechanism targets (lbm, sad).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpu_mem_sim::{DesignPoint, Simulator};
+use gpu_types::GpuConfig;
+use shm_workloads::BenchmarkProfile;
+
+fn bench_fig16(c: &mut Criterion) {
+    let cfg = GpuConfig::default();
+
+    let mut group = c.benchmark_group("fig16_victim_l2");
+    group.sample_size(10);
+    for name in ["lbm", "sad"] {
+        let mut profile = BenchmarkProfile::by_name(name).expect("profile exists");
+        profile.events_per_kernel = 12_000;
+        let trace = profile.generate(42);
+        for design in [DesignPoint::Shm, DesignPoint::ShmVL2] {
+            group.bench_with_input(
+                BenchmarkId::new(name, design.name()),
+                &design,
+                |b, &d| {
+                    b.iter(|| std::hint::black_box(Simulator::new(&cfg, d).run(&trace).cycles))
+                },
+            );
+        }
+    }
+    group.finish();
+
+    println!("\nfig16 normalized IPC (SHM vs SHM_vL2):");
+    for name in ["lbm", "sad"] {
+        let mut profile = BenchmarkProfile::by_name(name).expect("profile exists");
+        profile.events_per_kernel = 12_000;
+        let trace = profile.generate(42);
+        let base = Simulator::new(&cfg, DesignPoint::Unprotected).run(&trace);
+        let shm = Simulator::new(&cfg, DesignPoint::Shm).run(&trace);
+        let vl2 = Simulator::new(&cfg, DesignPoint::ShmVL2).run(&trace);
+        println!(
+            "  {:<14} SHM {:.4}   SHM_vL2 {:.4}   (victim hits: {})",
+            name,
+            base.cycles as f64 / shm.cycles as f64,
+            base.cycles as f64 / vl2.cycles as f64,
+            vl2.victim_hits
+        );
+    }
+}
+
+criterion_group!(benches, bench_fig16);
+criterion_main!(benches);

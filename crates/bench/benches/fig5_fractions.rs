@@ -1,0 +1,43 @@
+//! Fig. 5 bench: oracle classification of streaming / read-only access
+//! fractions across the benchmark suite.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpu_types::GpuConfig;
+use shm::OracleProfile;
+use shm_workloads::BenchmarkProfile;
+
+fn bench_fig5(c: &mut Criterion) {
+    let map = GpuConfig::default().partition_map();
+    let mut profile = BenchmarkProfile::by_name("fdtd2d").expect("profile exists");
+    profile.events_per_kernel = 20_000;
+    let trace = profile.generate(42);
+    let events: Vec<_> = trace.all_events().cloned().collect();
+
+    c.bench_function("fig5_oracle_profiling", |b| {
+        b.iter(|| {
+            let oracle = OracleProfile::from_trace(&events, map);
+            std::hint::black_box((
+                oracle.streaming_fraction(&events, map),
+                oracle.read_only_fraction(&events, map),
+            ))
+        })
+    });
+
+    println!("\nfig5 fractions (streaming, read-only):");
+    for p in BenchmarkProfile::suite() {
+        let mut p = p;
+        p.events_per_kernel = 8_000;
+        let t = p.generate(42);
+        let evs: Vec<_> = t.all_events().cloned().collect();
+        let o = OracleProfile::from_trace(&evs, map);
+        println!(
+            "  {:<16} {:.3}  {:.3}",
+            p.name,
+            o.streaming_fraction(&evs, map),
+            o.read_only_fraction(&evs, map)
+        );
+    }
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Table benches: Table VII measured utilisation and Table IX overheads,
+//! plus the Table III/IV misprediction fix-up microbenchmarks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpu_mem_sim::{DesignPoint, Simulator};
+use gpu_types::{GpuConfig, ShmConfig};
+use shm_workloads::{micro, BenchmarkProfile};
+
+fn bench_tables(c: &mut Criterion) {
+    let cfg = GpuConfig::default();
+
+    // Table VII: baseline characterisation run.
+    let mut profile = BenchmarkProfile::by_name("atax").expect("profile exists");
+    profile.events_per_kernel = 12_000;
+    let trace = profile.generate(42);
+    c.bench_function("table7_baseline_characterisation", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                Simulator::new(&cfg, DesignPoint::Unprotected)
+                    .run(&trace)
+                    .cycles,
+            )
+        })
+    });
+
+    // Tables III/IV: adversarial misprediction traces.
+    let random = micro::pure_random_read(1 << 20, 20_000, 7);
+    c.bench_function("table3_4_mispredict_fixups", |b| {
+        b.iter(|| {
+            let stats = Simulator::new(&cfg, DesignPoint::Shm).run(&random);
+            std::hint::black_box(stats.stream_mispredictions)
+        })
+    });
+
+    // Table IX is arithmetic; assert it during the bench for visibility.
+    let shm = ShmConfig::default();
+    println!(
+        "\ntable9: total predictor storage = {} B over {} partitions",
+        shm.total_storage_bytes(cfg.num_partitions),
+        cfg.num_partitions
+    );
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

@@ -1,0 +1,176 @@
+//! Shared harness for regenerating the paper's tables and figures.
+//!
+//! Each figure/table of the evaluation has a function here that runs the
+//! necessary (benchmark × design) simulations and returns the series the
+//! paper plots; the `repro` binary prints them, the Criterion benches time
+//! representative slices of them, and the integration tests assert the
+//! *shape* of the results (who wins, by roughly what factor).
+
+use std::collections::BTreeMap;
+
+use gpu_mem_sim::{DesignPoint, EnergyModel, Simulator};
+use gpu_types::{GpuConfig, SimStats, TrafficClass};
+use shm_workloads::BenchmarkProfile;
+
+/// Scale factor for event counts: 1.0 = full runs (repro binary),
+/// smaller for quick tests/benches.
+pub fn scaled_suite(scale: f64) -> Vec<BenchmarkProfile> {
+    BenchmarkProfile::suite()
+        .into_iter()
+        .map(|mut p| {
+            p.events_per_kernel = ((p.events_per_kernel as f64 * scale) as u64).max(4096);
+            p
+        })
+        .collect()
+}
+
+/// Runs one benchmark under one design; seeds are fixed for determinism.
+pub fn run_one(profile: &BenchmarkProfile, design: DesignPoint) -> SimStats {
+    let cfg = GpuConfig::default();
+    let trace = profile.generate(0xBEEF ^ profile.name.len() as u64);
+    Simulator::new(&cfg, design).run(&trace)
+}
+
+/// Normalized IPC of `stats` against the unprotected `baseline` run of the
+/// same trace (same instruction count, so the ratio of cycles inverts).
+pub fn normalized_ipc(stats: &SimStats, baseline: &SimStats) -> f64 {
+    if stats.cycles == 0 {
+        return 0.0;
+    }
+    baseline.cycles as f64 / stats.cycles as f64
+}
+
+/// Results of one benchmark across a set of designs.
+#[derive(Clone, Debug)]
+pub struct BenchRow {
+    /// Benchmark name.
+    pub name: String,
+    /// Stats per design (baseline included).
+    pub stats: BTreeMap<&'static str, SimStats>,
+}
+
+impl BenchRow {
+    /// Normalized IPC for `design` in this row.
+    pub fn norm_ipc(&self, design: DesignPoint) -> f64 {
+        let base = &self.stats["Baseline"];
+        normalized_ipc(&self.stats[design.name()], base)
+    }
+
+    /// Bandwidth overhead ratio for `design` (Fig. 14 metric).
+    pub fn bandwidth_overhead(&self, design: DesignPoint) -> f64 {
+        self.stats[design.name()].traffic.overhead_ratio()
+    }
+
+    /// Normalized energy per instruction for `design` (Fig. 15 metric).
+    pub fn normalized_energy(&self, design: DesignPoint, model: &EnergyModel) -> f64 {
+        model.normalized_epi(&self.stats[design.name()], &self.stats["Baseline"])
+    }
+}
+
+/// Runs `designs` (plus the baseline) over the scaled suite.
+pub fn run_suite(designs: &[DesignPoint], scale: f64) -> Vec<BenchRow> {
+    scaled_suite(scale)
+        .iter()
+        .map(|p| run_benchmark(p, designs))
+        .collect()
+}
+
+/// Runs `designs` (plus the baseline) for one profile.
+pub fn run_benchmark(profile: &BenchmarkProfile, designs: &[DesignPoint]) -> BenchRow {
+    let mut stats = BTreeMap::new();
+    stats.insert(
+        DesignPoint::Unprotected.name(),
+        run_one(profile, DesignPoint::Unprotected),
+    );
+    for d in designs {
+        if *d == DesignPoint::Unprotected {
+            continue;
+        }
+        stats.insert(d.name(), run_one(profile, *d));
+    }
+    BenchRow {
+        name: profile.name.to_string(),
+        stats,
+    }
+}
+
+/// Geometric mean (the paper averages normalized IPC arithmetically; both
+/// are provided).
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    (xs.iter().map(|x| x.max(1e-12).ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+/// Arithmetic mean.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Pretty-prints a figure as aligned columns.
+pub fn print_table(title: &str, header: &[&str], rows: &[(String, Vec<f64>)]) {
+    println!("\n== {title} ==");
+    print!("{:<16}", "benchmark");
+    for h in header {
+        print!("{h:>16}");
+    }
+    println!();
+    for (name, vals) in rows {
+        print!("{name:<16}");
+        for v in vals {
+            print!("{v:>16.4}");
+        }
+        println!();
+    }
+    let n = header.len();
+    print!("{:<16}", "MEAN");
+    for i in 0..n {
+        let col: Vec<f64> = rows.iter().map(|(_, v)| v[i]).collect();
+        print!("{:>16.4}", mean(&col));
+    }
+    println!();
+}
+
+/// Traffic-class byte breakdown of one run, normalized to data bytes.
+pub fn traffic_breakdown(stats: &SimStats) -> Vec<(&'static str, f64)> {
+    let data = stats.traffic.data_bytes().max(1) as f64;
+    TrafficClass::ALL
+        .iter()
+        .filter(|c| !matches!(c, TrafficClass::Data))
+        .map(|&c| (c.label(), stats.traffic.class_total(c) as f64 / data))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_and_mean() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-9);
+        assert!((mean(&[1.0, 3.0]) - 2.0).abs() < 1e-9);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    fn normalized_ipc_definition() {
+        let mut base = SimStats::default();
+        base.cycles = 100;
+        let mut slow = SimStats::default();
+        slow.cycles = 200;
+        assert!((normalized_ipc(&slow, &base) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaled_suite_scales() {
+        let full = scaled_suite(1.0);
+        let small = scaled_suite(0.1);
+        assert_eq!(full.len(), small.len());
+        assert!(small[0].events_per_kernel < full[0].events_per_kernel);
+    }
+}

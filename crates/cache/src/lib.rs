@@ -1,0 +1,31 @@
+//! Cache models for the SHM secure-GPU-memory simulator.
+//!
+//! Provides the building blocks shared by the L2 data cache and the three
+//! security-metadata caches (counter / MAC / BMT):
+//!
+//! * [`SectoredCache`] — a set-associative, LRU, write-back cache whose
+//!   lines are split into independently-valid sectors (GPGPU-Sim style).
+//! * [`Mshr`] — miss-status holding registers with request merging.
+//! * [`MissSampler`] — a set-sampling miss-rate monitor used to decide when
+//!   to enable the L2-as-victim-cache mechanism (Section IV-D).
+//!
+//! Caches here are purely functional state machines: they track tags,
+//! valid/dirty sectors and replacement state, while all timing lives in the
+//! simulator crate.
+//!
+//! ```
+//! use shm_cache::{SectoredCache, Lookup};
+//!
+//! let mut c = SectoredCache::new(2 * 1024, 128, 4, 4);
+//! assert_eq!(c.lookup(0x80, 0b0001), Lookup::LineMiss);
+//! c.fill(0x80, 0b0001);
+//! assert_eq!(c.lookup(0x80, 0b0001), Lookup::Hit);
+//! ```
+
+pub mod mshr;
+pub mod sampler;
+pub mod sectored;
+
+pub use mshr::{Mshr, MshrAllocation};
+pub use sampler::MissSampler;
+pub use sectored::{Eviction, Lookup, SectoredCache};

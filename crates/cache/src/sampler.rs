@@ -1,0 +1,112 @@
+//! Set-sampling miss-rate monitor.
+//!
+//! Section IV-D enables the L2-as-victim-cache mechanism only when the
+//! *regular data* miss rate is very high (e.g. >90%).  To measure that rate
+//! accurately while metadata victims share the L2, a small portion of the
+//! sets is reserved so only regular data accesses index them (the set
+//! sampling idea of utility-based cache partitioning).  This monitor tracks
+//! hits and misses for accesses that map to the sampled sets.
+
+/// A set-sampling miss-rate monitor over a cache with `num_sets` sets.
+#[derive(Clone, Debug)]
+pub struct MissSampler {
+    sample_stride: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl MissSampler {
+    /// Samples one in every `sample_stride` sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample_stride` is zero.
+    pub fn new(sample_stride: u64) -> Self {
+        assert!(sample_stride > 0);
+        Self {
+            sample_stride,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Whether `set_index` belongs to the sampled subset.
+    pub fn is_sampled(&self, set_index: u64) -> bool {
+        set_index.is_multiple_of(self.sample_stride)
+    }
+
+    /// Records a data access that mapped to a sampled set.
+    pub fn record(&mut self, set_index: u64, hit: bool) {
+        if self.is_sampled(set_index) {
+            if hit {
+                self.hits += 1;
+            } else {
+                self.misses += 1;
+            }
+        }
+    }
+
+    /// Sampled accesses observed so far.
+    pub fn samples(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Sampled miss rate, or `None` with fewer than `min_samples`
+    /// observations.
+    pub fn miss_rate(&self, min_samples: u64) -> Option<f64> {
+        let n = self.samples();
+        if n < min_samples {
+            None
+        } else {
+            Some(self.misses as f64 / n as f64)
+        }
+    }
+
+    /// Resets the counters (the paper resets after each kernel).
+    pub fn reset(&mut self) {
+        self.hits = 0;
+        self.misses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn only_sampled_sets_count() {
+        let mut s = MissSampler::new(4);
+        s.record(0, false); // sampled
+        s.record(1, false); // not sampled
+        s.record(4, true); // sampled
+        assert_eq!(s.samples(), 2);
+        assert_eq!(s.miss_rate(1), Some(0.5));
+    }
+
+    #[test]
+    fn min_samples_gate() {
+        let mut s = MissSampler::new(1);
+        s.record(0, false);
+        assert_eq!(s.miss_rate(2), None);
+        s.record(0, false);
+        assert_eq!(s.miss_rate(2), Some(1.0));
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut s = MissSampler::new(1);
+        s.record(0, false);
+        s.reset();
+        assert_eq!(s.samples(), 0);
+    }
+
+    #[test]
+    fn high_miss_rate_detection() {
+        let mut s = MissSampler::new(1);
+        for i in 0..100 {
+            s.record(0, i % 20 == 0); // 5% hits
+        }
+        let rate = s.miss_rate(50).expect("enough samples");
+        assert!(rate > 0.9, "rate={rate}");
+    }
+}

@@ -1,0 +1,144 @@
+//! Tiny dependency-free argument parser: `--key value`, `-k value` and
+//! boolean `--flag` forms.
+
+use std::collections::HashMap;
+
+/// Parsed command-line options.
+#[derive(Debug, Default)]
+pub struct Args {
+    values: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+/// Argument-parsing failures.
+#[derive(Debug)]
+pub enum ArgError {
+    /// An option that requires a value was given none.
+    MissingValue(String),
+    /// A positional token appeared where an option was expected.
+    Unexpected(String),
+    /// A numeric option failed to parse.
+    BadNumber {
+        /// Option name.
+        key: String,
+        /// Raw value.
+        value: String,
+    },
+}
+
+impl core::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ArgError::MissingValue(k) => write!(f, "option --{k} needs a value"),
+            ArgError::Unexpected(t) => write!(f, "unexpected argument {t:?}"),
+            ArgError::BadNumber { key, value } => {
+                write!(f, "option --{key} expects a number, got {value:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// Options that never take a value.
+const FLAGS: &[&str] = &["csv", "verbose"];
+
+impl Args {
+    /// Parses `argv` (without the command name).
+    pub fn parse(argv: &[String]) -> Result<Self, ArgError> {
+        let mut args = Args::default();
+        let mut it = argv.iter().peekable();
+        while let Some(tok) = it.next() {
+            let key = tok
+                .strip_prefix("--")
+                .or_else(|| tok.strip_prefix('-'))
+                .ok_or_else(|| ArgError::Unexpected(tok.clone()))?;
+            if FLAGS.contains(&key) {
+                args.flags.push(key.to_string());
+                continue;
+            }
+            let value = it
+                .next()
+                .ok_or_else(|| ArgError::MissingValue(key.to_string()))?;
+            args.values.insert(key.to_string(), value.clone());
+        }
+        Ok(args)
+    }
+
+    /// Looks up a string option.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
+    /// Looks up a numeric option.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the value is present but not a number.
+    pub fn get_u64(&self, key: &str) -> Result<Option<u64>, String> {
+        match self.values.get(key) {
+            None => Ok(None),
+            Some(v) => v.parse().map(Some).map_err(|_| {
+                ArgError::BadNumber {
+                    key: key.to_string(),
+                    value: v.clone(),
+                }
+                .to_string()
+            }),
+        }
+    }
+
+    /// Whether a boolean flag was given.
+    pub fn flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_long_and_short_options() {
+        let a = Args::parse(&argv(&["--benchmark", "lbm", "-d", "SHM"])).expect("parse");
+        assert_eq!(a.get("benchmark"), Some("lbm"));
+        assert_eq!(a.get("d"), Some("SHM"));
+    }
+
+    #[test]
+    fn parses_flags() {
+        let a = Args::parse(&argv(&["--csv", "-b", "atax"])).expect("parse");
+        assert!(a.flag("csv"));
+        assert!(!a.flag("verbose"));
+        assert_eq!(a.get("b"), Some("atax"));
+    }
+
+    #[test]
+    fn numeric_options() {
+        let a = Args::parse(&argv(&["--events", "5000"])).expect("parse");
+        assert_eq!(a.get_u64("events").expect("number"), Some(5000));
+        assert_eq!(a.get_u64("seed").expect("absent ok"), None);
+        let a = Args::parse(&argv(&["--events", "xyz"])).expect("parse");
+        assert!(a.get_u64("events").is_err());
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        assert!(matches!(
+            Args::parse(&argv(&["--benchmark"])),
+            Err(ArgError::MissingValue(_))
+        ));
+    }
+
+    #[test]
+    fn positional_tokens_are_rejected() {
+        assert!(matches!(
+            Args::parse(&argv(&["stray"])),
+            Err(ArgError::Unexpected(_))
+        ));
+    }
+}

@@ -1,0 +1,281 @@
+//! `shm` — command-line driver for the secure-GPU-memory simulator.
+//!
+//! ```text
+//! shm list                                      benchmarks and designs
+//! shm run -b fdtd2d -d SHM [--events N]         one (benchmark, design) run
+//! shm run --trace file.trace -d PSSM            replay a stored trace
+//! shm sweep -b kmeans [--events N] [--csv]      all designs on one benchmark
+//! shm trace gen -b lbm -o lbm.trace [--events N]
+//! shm trace info lbm.trace
+//! ```
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::process::ExitCode;
+
+use gpu_mem_sim::{
+    read_trace, write_trace, ContextTrace, DesignPoint, EnergyModel, Simulator,
+};
+use gpu_types::{GpuConfig, TrafficClass};
+use shm_workloads::BenchmarkProfile;
+
+mod args;
+mod report;
+
+use args::{ArgError, Args};
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match dispatch(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("run `shm help` for usage");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn dispatch(argv: &[String]) -> Result<(), String> {
+    let Some(cmd) = argv.first().map(String::as_str) else {
+        print_help();
+        return Ok(());
+    };
+    let rest = &argv[1..];
+    match cmd {
+        "help" | "--help" | "-h" => {
+            print_help();
+            Ok(())
+        }
+        "list" => {
+            cmd_list();
+            Ok(())
+        }
+        "run" => cmd_run(Args::parse(rest).map_err(stringify)?),
+        "sweep" => cmd_sweep(Args::parse(rest).map_err(stringify)?),
+        "trace" => match rest.first().map(String::as_str) {
+            Some("gen") => cmd_trace_gen(Args::parse(&rest[1..]).map_err(stringify)?),
+            Some("info") => cmd_trace_info(&rest[1..]),
+            other => Err(format!("unknown trace subcommand {other:?}")),
+        },
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+fn stringify(e: ArgError) -> String {
+    e.to_string()
+}
+
+fn print_help() {
+    println!(
+        "shm — secure GPU memory simulator (SHM, HPCA 2022 reproduction)\n\n\
+         commands:\n\
+         \x20 list                                 benchmarks and designs\n\
+         \x20 run   -b <bench> -d <design> [--events N] [--seed S]\n\
+         \x20 run   --trace <file> -d <design>     replay a stored trace\n\
+         \x20 run   --custom ro=0.9,stream=0.95,write=0.05 -d SHM\n\
+         \x20 sweep -b <bench> [--events N] [--csv]\n\
+         \x20 trace gen  -b <bench> -o <file> [--events N] [--seed S]\n\
+         \x20 trace info <file>\n"
+    );
+}
+
+fn cmd_list() {
+    println!("benchmarks (Table VII):");
+    for p in BenchmarkProfile::suite() {
+        println!(
+            "  {:<16} util {:>3.0}%  read-only {:>3.0}%  streaming {:>3.0}%  writes {:>3.0}%{}",
+            p.name,
+            p.bandwidth_util * 100.0,
+            p.readonly_frac * 100.0,
+            p.streaming_frac * 100.0,
+            p.write_frac * 100.0,
+            if p.uses_texture { "  [texture]" } else { "" }
+        );
+    }
+    println!("\ndesigns (Table VIII):");
+    for d in DesignPoint::ALL {
+        println!("  {}", d.name());
+    }
+}
+
+/// Builds a one-off profile from `--custom ro=0.8,stream=0.9,write=0.1,...`.
+fn custom_profile(spec: &str) -> Result<BenchmarkProfile, String> {
+    let mut p = BenchmarkProfile {
+        name: "custom",
+        bandwidth_util: 0.5,
+        readonly_frac: 0.5,
+        streaming_frac: 0.5,
+        write_frac: 0.2,
+        l2_locality: 0.3,
+        uses_texture: false,
+        kernels: 1,
+        reuses_input: false,
+        unmarked_readonly_frac: 0.0,
+        ..BenchmarkProfile::suite().remove(0)
+    };
+    for kv in spec.split(',').filter(|s| !s.is_empty()) {
+        let (k, v) = kv
+            .split_once('=')
+            .ok_or_else(|| format!("bad --custom entry {kv:?}, want key=value"))?;
+        let fval = || -> Result<f64, String> {
+            v.parse().map_err(|_| format!("bad number {v:?} for {k}"))
+        };
+        match k {
+            "ro" | "readonly" => p.readonly_frac = fval()?,
+            "stream" | "streaming" => p.streaming_frac = fval()?,
+            "write" | "writes" => p.write_frac = fval()?,
+            "util" | "bandwidth" => p.bandwidth_util = fval()?,
+            "locality" => p.l2_locality = fval()?,
+            "kernels" => p.kernels = v.parse().map_err(|_| format!("bad count {v:?}"))?,
+            "texture" => p.uses_texture = v == "1" || v == "true",
+            "reuse" => p.reuses_input = v == "1" || v == "true",
+            "footprint_mb" => {
+                p.footprint_bytes = v.parse::<u64>().map_err(|_| format!("bad size {v:?}"))? << 20
+            }
+            other => return Err(format!("unknown --custom key {other:?}")),
+        }
+    }
+    if p.readonly_frac + p.write_frac > 1.0 {
+        return Err(format!(
+            "ro ({}) + write ({}) exceeds 1.0: writes never target read-only data",
+            p.readonly_frac, p.write_frac
+        ));
+    }
+    Ok(p)
+}
+
+fn load_trace(args: &Args) -> Result<ContextTrace, String> {
+    if let Some(path) = args.get("trace") {
+        let f = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+        return read_trace(BufReader::new(f)).map_err(|e| format!("parse {path}: {e}"));
+    }
+    if let Some(spec) = args.get("custom") {
+        let mut profile = custom_profile(spec)?;
+        if let Some(n) = args.get_u64("events")? {
+            profile.events_per_kernel = n;
+        }
+        let seed = args.get_u64("seed")?.unwrap_or(0xBEEF);
+        return Ok(profile.generate(seed));
+    }
+    let bench = args
+        .get("b")
+        .or_else(|| args.get("benchmark"))
+        .ok_or("need --benchmark/-b or --trace")?;
+    let mut profile =
+        BenchmarkProfile::by_name(bench).ok_or_else(|| format!("unknown benchmark {bench:?}"))?;
+    if let Some(n) = args.get_u64("events")? {
+        profile.events_per_kernel = n;
+    }
+    let seed = args.get_u64("seed")?.unwrap_or(0xBEEF);
+    Ok(profile.generate(seed))
+}
+
+fn parse_design(args: &Args) -> Result<DesignPoint, String> {
+    let name = args
+        .get("d")
+        .or_else(|| args.get("design"))
+        .ok_or("need --design/-d")?;
+    DesignPoint::from_name(name).ok_or_else(|| format!("unknown design {name:?}"))
+}
+
+fn cmd_run(args: Args) -> Result<(), String> {
+    let trace = load_trace(&args)?;
+    let design = parse_design(&args)?;
+    let cfg = GpuConfig::default();
+    let base = Simulator::new(&cfg, DesignPoint::Unprotected).run(&trace);
+    let stats = Simulator::new(&cfg, design).run(&trace);
+    report::print_run(&trace, design, &stats, &base, &EnergyModel::default());
+    Ok(())
+}
+
+fn cmd_sweep(args: Args) -> Result<(), String> {
+    let trace = load_trace(&args)?;
+    let cfg = GpuConfig::default();
+    let energy = EnergyModel::default();
+    let base = Simulator::new(&cfg, DesignPoint::Unprotected).run(&trace);
+    let csv = args.flag("csv");
+    if csv {
+        println!("design,norm_ipc,cycles,metadata_bytes,overhead,energy_per_instr");
+    } else {
+        println!(
+            "{:<16} {:>9} {:>11} {:>13} {:>9} {:>8}",
+            "design", "norm IPC", "cycles", "metadata B", "overhead", "epi"
+        );
+    }
+    for d in DesignPoint::ALL {
+        let s = Simulator::new(&cfg, d).run(&trace);
+        let norm = base.cycles as f64 / s.cycles as f64;
+        if csv {
+            println!(
+                "{},{:.4},{},{},{:.4},{:.4}",
+                d.name(),
+                norm,
+                s.cycles,
+                s.traffic.metadata_bytes(),
+                s.traffic.overhead_ratio(),
+                energy.normalized_epi(&s, &base)
+            );
+        } else {
+            println!(
+                "{:<16} {:>9.4} {:>11} {:>13} {:>8.2}% {:>8.3}",
+                d.name(),
+                norm,
+                s.cycles,
+                s.traffic.metadata_bytes(),
+                s.traffic.overhead_ratio() * 100.0,
+                energy.normalized_epi(&s, &base)
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_trace_gen(args: Args) -> Result<(), String> {
+    let trace = load_trace(&args)?;
+    let out = args
+        .get("o")
+        .or_else(|| args.get("out"))
+        .ok_or("need --out/-o <file>")?;
+    let f = File::create(out).map_err(|e| format!("create {out}: {e}"))?;
+    let mut w = BufWriter::new(f);
+    write_trace(&trace, &mut w).map_err(|e| format!("write {out}: {e}"))?;
+    println!(
+        "wrote {} ({} kernels, {} events)",
+        out,
+        trace.kernels.len(),
+        trace.all_events().count()
+    );
+    Ok(())
+}
+
+fn cmd_trace_info(rest: &[String]) -> Result<(), String> {
+    let path = rest.first().ok_or("need a trace file")?;
+    let f = File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+    let trace = read_trace(BufReader::new(f)).map_err(|e| format!("parse {path}: {e}"))?;
+    println!("trace {} ({})", trace.name, path);
+    println!("  read-only init ranges: {}", trace.readonly_init.len());
+    for (start, len) in &trace.readonly_init {
+        println!("    {:#x} + {} bytes", start.raw(), len);
+    }
+    for k in &trace.kernels {
+        let writes = k.events.iter().filter(|e| e.kind.is_write()).count();
+        println!(
+            "  kernel {:<20} {:>8} events ({} writes), {} host actions",
+            k.name,
+            k.events.len(),
+            writes,
+            k.pre_actions.len()
+        );
+    }
+    let map = GpuConfig::default().partition_map();
+    let events: Vec<_> = trace.all_events().cloned().collect();
+    let oracle = shm::OracleProfile::from_trace(&events, map);
+    println!(
+        "  oracle: {:.1}% streaming, {:.1}% read-only",
+        oracle.streaming_fraction(&events, map) * 100.0,
+        oracle.read_only_fraction(&events, map) * 100.0
+    );
+    let _ = TrafficClass::ALL;
+    Ok(())
+}

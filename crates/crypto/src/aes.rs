@@ -1,0 +1,211 @@
+//! A from-scratch AES-128 block cipher (FIPS-197).
+//!
+//! Implemented directly from the specification: S-box substitution, row
+//! shifts, GF(2^8) column mixing and a 10-round key schedule.  Checked
+//! against the FIPS-197 Appendix B test vector.  Simulation-grade only —
+//! not constant time.
+
+/// The AES S-box.
+const SBOX: [u8; 256] = build_sbox();
+
+/// Builds the S-box at compile time from the GF(2^8) multiplicative inverse
+/// followed by the affine transformation.
+const fn build_sbox() -> [u8; 256] {
+    // Compute inverses via exhaustive multiplication (const-friendly).
+    let mut sbox = [0u8; 256];
+    let mut i = 0usize;
+    while i < 256 {
+        let inv = if i == 0 { 0 } else { gf_inv(i as u8) };
+        // Affine transform: b ^ rotl(b,1) ^ rotl(b,2) ^ rotl(b,3) ^ rotl(b,4) ^ 0x63
+        let b = inv;
+        let s = b
+            ^ b.rotate_left(1)
+            ^ b.rotate_left(2)
+            ^ b.rotate_left(3)
+            ^ b.rotate_left(4)
+            ^ 0x63;
+        sbox[i] = s;
+        i += 1;
+    }
+    sbox
+}
+
+/// GF(2^8) multiplication with the AES reduction polynomial 0x11B.
+const fn gf_mul(mut a: u8, mut b: u8) -> u8 {
+    let mut p = 0u8;
+    let mut i = 0;
+    while i < 8 {
+        if b & 1 != 0 {
+            p ^= a;
+        }
+        let hi = a & 0x80;
+        a <<= 1;
+        if hi != 0 {
+            a ^= 0x1B;
+        }
+        b >>= 1;
+        i += 1;
+    }
+    p
+}
+
+/// GF(2^8) multiplicative inverse by brute force (compile-time only).
+const fn gf_inv(a: u8) -> u8 {
+    let mut x = 1u16;
+    while x < 256 {
+        if gf_mul(a, x as u8) == 1 {
+            return x as u8;
+        }
+        x += 1;
+    }
+    0
+}
+
+/// Round constants for the key schedule.
+const RCON: [u8; 10] = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36];
+
+/// An expanded AES-128 key ready for encryption.
+///
+/// The simulator only ever encrypts (counter mode needs no block decryption),
+/// so no inverse cipher is provided.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Aes128 {
+    round_keys: [[u8; 16]; 11],
+}
+
+impl Aes128 {
+    /// Expands `key` into the 11 round keys.
+    pub fn new(key: [u8; 16]) -> Self {
+        let mut rk = [[0u8; 16]; 11];
+        rk[0] = key;
+        for round in 1..11 {
+            let prev = rk[round - 1];
+            let mut w = [prev[12], prev[13], prev[14], prev[15]];
+            // RotWord + SubWord + Rcon
+            w.rotate_left(1);
+            for b in w.iter_mut() {
+                *b = SBOX[*b as usize];
+            }
+            w[0] ^= RCON[round - 1];
+            for i in 0..4 {
+                rk[round][i] = prev[i] ^ w[i];
+            }
+            for i in 4..16 {
+                rk[round][i] = prev[i] ^ rk[round][i - 4];
+            }
+        }
+        Self { round_keys: rk }
+    }
+
+    /// Encrypts one 16-byte block.
+    pub fn encrypt_block(&self, block: [u8; 16]) -> [u8; 16] {
+        let mut s = block;
+        add_round_key(&mut s, &self.round_keys[0]);
+        for round in 1..10 {
+            sub_bytes(&mut s);
+            shift_rows(&mut s);
+            mix_columns(&mut s);
+            add_round_key(&mut s, &self.round_keys[round]);
+        }
+        sub_bytes(&mut s);
+        shift_rows(&mut s);
+        add_round_key(&mut s, &self.round_keys[10]);
+        s
+    }
+}
+
+fn add_round_key(state: &mut [u8; 16], rk: &[u8; 16]) {
+    for (s, k) in state.iter_mut().zip(rk.iter()) {
+        *s ^= k;
+    }
+}
+
+fn sub_bytes(state: &mut [u8; 16]) {
+    for b in state.iter_mut() {
+        *b = SBOX[*b as usize];
+    }
+}
+
+/// State is column-major: byte `state[c*4 + r]` is row r, column c.
+fn shift_rows(state: &mut [u8; 16]) {
+    let orig = *state;
+    for r in 1..4 {
+        for c in 0..4 {
+            state[c * 4 + r] = orig[((c + r) % 4) * 4 + r];
+        }
+    }
+}
+
+fn mix_columns(state: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = [
+            state[c * 4],
+            state[c * 4 + 1],
+            state[c * 4 + 2],
+            state[c * 4 + 3],
+        ];
+        state[c * 4] = gf_mul(col[0], 2) ^ gf_mul(col[1], 3) ^ col[2] ^ col[3];
+        state[c * 4 + 1] = col[0] ^ gf_mul(col[1], 2) ^ gf_mul(col[2], 3) ^ col[3];
+        state[c * 4 + 2] = col[0] ^ col[1] ^ gf_mul(col[2], 2) ^ gf_mul(col[3], 3);
+        state[c * 4 + 3] = gf_mul(col[0], 3) ^ col[1] ^ col[2] ^ gf_mul(col[3], 2);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fips197_appendix_b_vector() {
+        // FIPS-197 Appendix B: plaintext/key/ciphertext example.
+        let key = [
+            0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+            0x4f, 0x3c,
+        ];
+        let pt = [
+            0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d, 0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37,
+            0x07, 0x34,
+        ];
+        let expected = [
+            0x39, 0x25, 0x84, 0x1d, 0x02, 0xdc, 0x09, 0xfb, 0xdc, 0x11, 0x85, 0x97, 0x19, 0x6a,
+            0x0b, 0x32,
+        ];
+        let aes = Aes128::new(key);
+        assert_eq!(aes.encrypt_block(pt), expected);
+    }
+
+    #[test]
+    fn fips197_appendix_c_vector() {
+        // FIPS-197 Appendix C.1: key 000102...0f, plaintext 00112233...ff.
+        let key: [u8; 16] = core::array::from_fn(|i| i as u8);
+        let pt: [u8; 16] = core::array::from_fn(|i| (i * 0x11) as u8);
+        let expected = [
+            0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4,
+            0xc5, 0x5a,
+        ];
+        let aes = Aes128::new(key);
+        assert_eq!(aes.encrypt_block(pt), expected);
+    }
+
+    #[test]
+    fn sbox_spot_values() {
+        assert_eq!(SBOX[0x00], 0x63);
+        assert_eq!(SBOX[0x01], 0x7c);
+        assert_eq!(SBOX[0x53], 0xed);
+        assert_eq!(SBOX[0xff], 0x16);
+    }
+
+    #[test]
+    fn different_keys_give_different_ciphertexts() {
+        let a = Aes128::new([0u8; 16]);
+        let b = Aes128::new([1u8; 16]);
+        let pt = [7u8; 16];
+        assert_ne!(a.encrypt_block(pt), b.encrypt_block(pt));
+    }
+
+    #[test]
+    fn encryption_is_deterministic() {
+        let aes = Aes128::new([9u8; 16]);
+        assert_eq!(aes.encrypt_block([3u8; 16]), aes.encrypt_block([3u8; 16]));
+    }
+}

@@ -1,0 +1,137 @@
+//! The ten design points evaluated across the paper's figures.
+
+use secure_core::{SchemeConfig, SchemeKind};
+use shm::ShmVariant;
+
+/// Every secure-memory design evaluated in the paper (Table VIII), plus the
+/// unprotected baseline that normalizes the results.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DesignPoint {
+    /// No secure memory — the normalization baseline.
+    Unprotected,
+    /// Physical-address metadata, non-sectored (Naive).
+    Naive,
+    /// Naive + common counters.
+    CommonCtr,
+    /// Partition-local sectored metadata (PSSM).
+    Pssm,
+    /// PSSM + common counters.
+    PssmCctr,
+    /// SHM with only the read-only optimisation.
+    ShmReadOnly,
+    /// Full SHM: read-only + dual-granularity MACs.
+    Shm,
+    /// SHM + common counters.
+    ShmCctr,
+    /// SHM + L2 victim cache for metadata.
+    ShmVL2,
+    /// SHM with oracle predictors.
+    ShmUpperBound,
+}
+
+impl DesignPoint {
+    /// All design points, in the paper's usual presentation order.
+    pub const ALL: [DesignPoint; 10] = [
+        DesignPoint::Unprotected,
+        DesignPoint::Naive,
+        DesignPoint::CommonCtr,
+        DesignPoint::Pssm,
+        DesignPoint::PssmCctr,
+        DesignPoint::ShmReadOnly,
+        DesignPoint::Shm,
+        DesignPoint::ShmCctr,
+        DesignPoint::ShmVL2,
+        DesignPoint::ShmUpperBound,
+    ];
+
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            DesignPoint::Unprotected => "Baseline",
+            DesignPoint::Naive => "Naive",
+            DesignPoint::CommonCtr => "Common_ctr",
+            DesignPoint::Pssm => "PSSM",
+            DesignPoint::PssmCctr => "PSSM_cctr",
+            DesignPoint::ShmReadOnly => "SHM_readOnly",
+            DesignPoint::Shm => "SHM",
+            DesignPoint::ShmCctr => "SHM_cctr",
+            DesignPoint::ShmVL2 => "SHM_vL2",
+            DesignPoint::ShmUpperBound => "SHM_upper_bound",
+        }
+    }
+
+    /// The baseline scheme config, if this is a `secure-core` design.
+    pub fn baseline_scheme(self) -> Option<SchemeConfig> {
+        let kind = match self {
+            DesignPoint::Unprotected => SchemeKind::Unprotected,
+            DesignPoint::Naive => SchemeKind::Naive,
+            DesignPoint::CommonCtr => SchemeKind::CommonCtr,
+            DesignPoint::Pssm => SchemeKind::Pssm,
+            DesignPoint::PssmCctr => SchemeKind::PssmCctr,
+            _ => return None,
+        };
+        Some(SchemeConfig::of(kind))
+    }
+
+    /// The SHM variant, if this is an SHM design.
+    pub fn shm_variant(self) -> Option<ShmVariant> {
+        match self {
+            DesignPoint::ShmReadOnly => Some(ShmVariant::ReadOnlyOnly),
+            DesignPoint::Shm => Some(ShmVariant::Full),
+            DesignPoint::ShmCctr => Some(ShmVariant::FullCctr),
+            DesignPoint::ShmVL2 => Some(ShmVariant::FullVictimL2),
+            DesignPoint::ShmUpperBound => Some(ShmVariant::UpperBound),
+            _ => None,
+        }
+    }
+
+    /// Whether this design needs an oracle trace profile.
+    pub fn needs_oracle(self) -> bool {
+        matches!(self, DesignPoint::ShmUpperBound)
+    }
+
+    /// Parses a design from its figure label (case-insensitive).
+    pub fn from_name(name: &str) -> Option<DesignPoint> {
+        let lower = name.to_ascii_lowercase();
+        DesignPoint::ALL
+            .into_iter()
+            .find(|d| d.name().to_ascii_lowercase() == lower)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_design_maps_to_exactly_one_engine() {
+        for d in DesignPoint::ALL {
+            let baseline = d.baseline_scheme().is_some();
+            let shm = d.shm_variant().is_some();
+            assert!(baseline ^ shm, "{} maps to both or neither", d.name());
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = DesignPoint::ALL.iter().map(|d| d.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), DesignPoint::ALL.len());
+    }
+
+    #[test]
+    fn from_name_roundtrips() {
+        for d in DesignPoint::ALL {
+            assert_eq!(DesignPoint::from_name(d.name()), Some(d));
+            assert_eq!(DesignPoint::from_name(&d.name().to_uppercase()), Some(d));
+        }
+        assert_eq!(DesignPoint::from_name("nonesuch"), None);
+    }
+
+    #[test]
+    fn oracle_requirement() {
+        assert!(DesignPoint::ShmUpperBound.needs_oracle());
+        assert!(!DesignPoint::Shm.needs_oracle());
+    }
+}

@@ -1,0 +1,136 @@
+//! Event-based energy model (the paper's Fig. 15 methodology, simplified).
+//!
+//! The paper extends GPUWattch and CACTI to account for metadata-cache and
+//! DRAM energy.  This model keeps the parts that differentiate the designs:
+//! per-event dynamic energy for L2 accesses, metadata-cache accesses and
+//! DRAM bytes, plus static energy proportional to runtime.  Energy per
+//! instruction is then normalized against the unprotected baseline, exactly
+//! like the paper's figure.
+
+use gpu_types::SimStats;
+
+/// Per-event energy coefficients in picojoules.
+///
+/// Absolute values are CACTI-inspired ballparks at 32 nm; only the ratios
+/// matter for the normalized results.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EnergyModel {
+    /// Static (leakage + constant clocking) energy per core cycle.
+    pub static_pj_per_cycle: f64,
+    /// Core dynamic energy per retired instruction.
+    pub core_pj_per_instr: f64,
+    /// Energy per L2 access.
+    pub l2_pj_per_access: f64,
+    /// Energy per metadata-cache access.
+    pub mdc_pj_per_access: f64,
+    /// Energy per byte moved over a GDDR channel.
+    pub dram_pj_per_byte: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        Self {
+            static_pj_per_cycle: 9_000.0,
+            core_pj_per_instr: 120.0,
+            l2_pj_per_access: 250.0,
+            mdc_pj_per_access: 25.0,
+            dram_pj_per_byte: 70.0,
+        }
+    }
+}
+
+impl EnergyModel {
+    /// Total energy of a run, in picojoules.
+    pub fn total_pj(&self, stats: &SimStats) -> f64 {
+        let l2_accesses = stats.l2_hits + stats.l2_misses + stats.l2_writebacks;
+        let mdc_accesses = stats.ctr_hits
+            + stats.ctr_misses
+            + stats.mac_hits
+            + stats.mac_misses
+            + stats.bmt_hits
+            + stats.bmt_misses;
+        let dram_bytes = stats.traffic.data_bytes() + stats.traffic.metadata_bytes();
+        self.static_pj_per_cycle * stats.cycles as f64
+            + self.core_pj_per_instr * stats.instructions as f64
+            + self.l2_pj_per_access * l2_accesses as f64
+            + self.mdc_pj_per_access * mdc_accesses as f64
+            + self.dram_pj_per_byte * dram_bytes as f64
+    }
+
+    /// Energy per instruction, in picojoules.
+    pub fn energy_per_instruction(&self, stats: &SimStats) -> f64 {
+        if stats.instructions == 0 {
+            0.0
+        } else {
+            self.total_pj(stats) / stats.instructions as f64
+        }
+    }
+
+    /// Energy per instruction normalized to a baseline run (Fig. 15).
+    pub fn normalized_epi(&self, stats: &SimStats, baseline: &SimStats) -> f64 {
+        let base = self.energy_per_instruction(baseline);
+        if base == 0.0 {
+            0.0
+        } else {
+            self.energy_per_instruction(stats) / base
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(cycles: u64, instr: u64, dram_data: u64, dram_meta: u64) -> SimStats {
+        let mut s = SimStats {
+            cycles,
+            instructions: instr,
+            l2_hits: instr / 2,
+            l2_misses: instr / 2,
+            ..Default::default()
+        };
+        s.traffic.record(gpu_types::TrafficClass::Data, dram_data, false);
+        s.traffic.record(gpu_types::TrafficClass::Mac, dram_meta, false);
+        s
+    }
+
+    #[test]
+    fn longer_runs_cost_more_energy() {
+        let m = EnergyModel::default();
+        let fast = stats(1000, 1000, 32_000, 0);
+        let slow = stats(2000, 1000, 32_000, 0);
+        assert!(m.total_pj(&slow) > m.total_pj(&fast));
+    }
+
+    #[test]
+    fn metadata_traffic_costs_energy() {
+        let m = EnergyModel::default();
+        let clean = stats(1000, 1000, 32_000, 0);
+        let meta = stats(1000, 1000, 32_000, 64_000);
+        assert!(m.total_pj(&meta) > m.total_pj(&clean));
+    }
+
+    #[test]
+    fn normalized_epi_of_baseline_is_one() {
+        let m = EnergyModel::default();
+        let b = stats(1000, 1000, 32_000, 0);
+        assert!((m.normalized_epi(&b, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slowdown_plus_metadata_raises_normalized_epi() {
+        // A design that runs 2x slower and doubles DRAM traffic should land
+        // in the paper's ~2x normalized-energy ballpark.
+        let m = EnergyModel::default();
+        let base = stats(1000, 1000, 32_000, 0);
+        let naive = stats(2100, 1000, 32_000, 60_000);
+        let epi = m.normalized_epi(&naive, &base);
+        assert!(epi > 1.5 && epi < 3.0, "epi={epi}");
+    }
+
+    #[test]
+    fn empty_stats_are_safe() {
+        let m = EnergyModel::default();
+        assert_eq!(m.energy_per_instruction(&SimStats::default()), 0.0);
+    }
+}

@@ -1,0 +1,124 @@
+//! Kernel and context traces consumed by the simulator.
+
+use gpu_types::{AccessKind, MemEvent, PhysAddr};
+
+/// A host-side action between kernels.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HostAction {
+    /// Host copies fresh input into a device range (marks it read-only and
+    /// re-encrypts it under the shared counter in the functional model).
+    MemcpyToDevice {
+        /// Start of the range.
+        start: PhysAddr,
+        /// Range length in bytes.
+        len: u64,
+    },
+    /// The `InputReadOnlyReset(range)` API (Section IV-B).
+    InputReadOnlyReset {
+        /// Start of the range.
+        start: PhysAddr,
+        /// Range length in bytes.
+        len: u64,
+    },
+}
+
+/// One kernel invocation: its warp-level memory events.
+#[derive(Clone, Debug, Default)]
+pub struct KernelTrace {
+    /// Kernel name (for reports).
+    pub name: String,
+    /// Warp-level 32 B sector events, in program order per warp.
+    pub events: Vec<MemEvent>,
+    /// Host actions performed *before* this kernel launches.
+    pub pre_actions: Vec<HostAction>,
+}
+
+impl KernelTrace {
+    /// Creates a named kernel from its events.
+    pub fn new(name: impl Into<String>, events: Vec<MemEvent>) -> Self {
+        Self {
+            name: name.into(),
+            events,
+            pre_actions: Vec::new(),
+        }
+    }
+
+    /// Total instructions this kernel retires (events plus think cycles).
+    pub fn instructions(&self) -> u64 {
+        self.events
+            .iter()
+            .map(|e| 1 + e.think_cycles as u64)
+            .sum()
+    }
+}
+
+/// A full GPU context: initial read-only ranges plus a sequence of kernels.
+#[derive(Clone, Debug, Default)]
+pub struct ContextTrace {
+    /// Workload name.
+    pub name: String,
+    /// Ranges the host copied in at context initialisation (marked
+    /// read-only by the command processor).
+    pub readonly_init: Vec<(PhysAddr, u64)>,
+    /// Kernel invocations in launch order.
+    pub kernels: Vec<KernelTrace>,
+}
+
+impl ContextTrace {
+    /// Creates an empty context with a name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            ..Default::default()
+        }
+    }
+
+    /// All events of all kernels (for profiling).
+    pub fn all_events(&self) -> impl Iterator<Item = &MemEvent> {
+        self.kernels.iter().flat_map(|k| k.events.iter())
+    }
+
+    /// Total instructions across kernels.
+    pub fn instructions(&self) -> u64 {
+        self.kernels.iter().map(|k| k.instructions()).sum()
+    }
+
+    /// A tiny single-kernel streaming-read demo used in doctests and
+    /// quick checks: `n` sequential sector reads over a read-only range.
+    pub fn streaming_read_demo(n: u64) -> Self {
+        let events: Vec<MemEvent> = (0..n)
+            .map(|i| {
+                let mut e = MemEvent::global(PhysAddr::new(i * 32), AccessKind::Read);
+                e.warp = gpu_types::Warp((i % 60) as u32);
+                e
+            })
+            .collect();
+        Self {
+            name: "streaming-read-demo".to_string(),
+            readonly_init: vec![(PhysAddr::new(0), n * 32)],
+            kernels: vec![KernelTrace::new("demo", events)],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instruction_count_includes_think_cycles() {
+        let mut e = MemEvent::global(PhysAddr::new(0), AccessKind::Read);
+        e.think_cycles = 4;
+        let k = KernelTrace::new("k", vec![e, MemEvent::global(PhysAddr::new(32), AccessKind::Read)]);
+        assert_eq!(k.instructions(), 5 + 1);
+    }
+
+    #[test]
+    fn demo_trace_shape() {
+        let t = ContextTrace::streaming_read_demo(100);
+        assert_eq!(t.kernels.len(), 1);
+        assert_eq!(t.all_events().count(), 100);
+        assert_eq!(t.instructions(), 100);
+        assert_eq!(t.readonly_init.len(), 1);
+    }
+}

@@ -1,0 +1,131 @@
+//! Memory access records flowing through the simulated memory system.
+
+use core::fmt;
+
+use crate::addr::PhysAddr;
+
+/// The GPU memory space an access targets.
+///
+/// Only off-chip spaces reach the memory partitions; on-chip spaces
+/// (registers, shared memory) never appear in a trace.  The distinction
+/// matters to the security engine: constant and texture memory are read-only
+/// during kernel execution, so they need confidentiality and integrity but
+/// not freshness (Table I of the paper).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum MemorySpace {
+    /// General-purpose global memory (read/write).
+    Global,
+    /// Per-thread local memory spills (read/write).
+    Local,
+    /// Constant memory (read-only during kernel execution).
+    Constant,
+    /// Texture memory (read-only during kernel execution).
+    Texture,
+    /// Instruction fetches from application code (read-only).
+    Instruction,
+}
+
+impl MemorySpace {
+    /// Whether the programming model guarantees this space is read-only
+    /// during kernel execution.
+    pub const fn is_architecturally_read_only(self) -> bool {
+        matches!(
+            self,
+            MemorySpace::Constant | MemorySpace::Texture | MemorySpace::Instruction
+        )
+    }
+}
+
+impl fmt::Display for MemorySpace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MemorySpace::Global => "global",
+            MemorySpace::Local => "local",
+            MemorySpace::Constant => "constant",
+            MemorySpace::Texture => "texture",
+            MemorySpace::Instruction => "instruction",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Whether an access reads or writes memory.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum AccessKind {
+    /// A load (an L2 miss becomes a DRAM read).
+    Read,
+    /// A store (an L2 write-back becomes a DRAM write).
+    Write,
+}
+
+impl AccessKind {
+    /// True for [`AccessKind::Write`].
+    pub const fn is_write(self) -> bool {
+        matches!(self, AccessKind::Write)
+    }
+}
+
+/// Identifier of the issuing warp (used by the front-end for MLP limits).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Warp(pub u32);
+
+/// One warp-level memory event in a kernel trace.
+///
+/// Each event models one coalesced 32 B sector access produced by a warp
+/// (GPGPU-Sim style sectored accesses).  `think_cycles` is the number of
+/// compute cycles the issuing SM spends before this access becomes ready,
+/// which is how workload arithmetic intensity is expressed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct MemEvent {
+    /// Physical address of the accessed 32 B sector.
+    pub addr: PhysAddr,
+    /// Read or write.
+    pub kind: AccessKind,
+    /// Memory space of the access.
+    pub space: MemorySpace,
+    /// Issuing warp.
+    pub warp: Warp,
+    /// Compute cycles preceding this access on the issuing SM.
+    pub think_cycles: u32,
+}
+
+impl MemEvent {
+    /// Convenience constructor for a global-memory event with no think time.
+    pub fn global(addr: PhysAddr, kind: AccessKind) -> Self {
+        Self {
+            addr,
+            kind,
+            space: MemorySpace::Global,
+            warp: Warp(0),
+            think_cycles: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_only_spaces() {
+        assert!(MemorySpace::Constant.is_architecturally_read_only());
+        assert!(MemorySpace::Texture.is_architecturally_read_only());
+        assert!(MemorySpace::Instruction.is_architecturally_read_only());
+        assert!(!MemorySpace::Global.is_architecturally_read_only());
+        assert!(!MemorySpace::Local.is_architecturally_read_only());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(MemorySpace::Global.to_string(), "global");
+        assert_eq!(MemorySpace::Texture.to_string(), "texture");
+    }
+
+    #[test]
+    fn event_constructor() {
+        let e = MemEvent::global(PhysAddr::new(64), AccessKind::Write);
+        assert!(e.kind.is_write());
+        assert_eq!(e.space, MemorySpace::Global);
+        assert_eq!(e.think_cycles, 0);
+    }
+}

@@ -1,0 +1,304 @@
+//! Physical and partition-local addresses and the partition interleaving map.
+
+use core::fmt;
+
+use crate::{BLOCK_BYTES, CHUNK_BYTES, REGION_BYTES, SECTOR_BYTES};
+
+/// A physical address in the simulated GPU device-memory space.
+///
+/// Physical addresses cover the whole protected range (4 GB by default) and
+/// are interleaved across memory partitions by [`PartitionMap`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PhysAddr(u64);
+
+impl PhysAddr {
+    /// Creates a physical address from a raw byte offset.
+    pub const fn new(raw: u64) -> Self {
+        Self(raw)
+    }
+
+    /// Raw byte offset of this address.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The address aligned down to its 128 B block.
+    pub const fn block_base(self) -> Self {
+        Self(self.0 & !(BLOCK_BYTES - 1))
+    }
+
+    /// The address aligned down to its 32 B sector.
+    pub const fn sector_base(self) -> Self {
+        Self(self.0 & !(SECTOR_BYTES - 1))
+    }
+
+    /// Index of the sector within its 128 B block (0..=3).
+    pub const fn sector_in_block(self) -> usize {
+        ((self.0 % BLOCK_BYTES) / SECTOR_BYTES) as usize
+    }
+
+    /// Offsets the address by `delta` bytes.
+    pub const fn offset(self, delta: u64) -> Self {
+        Self(self.0 + delta)
+    }
+}
+
+impl fmt::Debug for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PhysAddr({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl From<u64> for PhysAddr {
+    fn from(raw: u64) -> Self {
+        Self(raw)
+    }
+}
+
+/// Identifier of one GDDR memory partition (0..num_partitions).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct PartitionId(pub u16);
+
+impl PartitionId {
+    /// Numeric index of the partition.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for PartitionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// A partition-local address: `(partition, offset-within-partition)`.
+///
+/// This is the "local address" of the PSSM paper — the byte offset a physical
+/// address maps to after partition interleaving.  Metadata constructed from
+/// local addresses is private to one partition, eliminating the redundant
+/// cross-partition metadata traffic of physical-address construction.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct LocalAddr {
+    /// The partition this address lives in.
+    pub partition: PartitionId,
+    /// The byte offset within the partition.
+    pub offset: u64,
+}
+
+impl LocalAddr {
+    /// Creates a local address.
+    pub const fn new(partition: PartitionId, offset: u64) -> Self {
+        Self { partition, offset }
+    }
+
+    /// The offset aligned down to its 128 B block.
+    pub const fn block_base(self) -> Self {
+        Self {
+            partition: self.partition,
+            offset: self.offset & !(BLOCK_BYTES - 1),
+        }
+    }
+
+    /// Index of the 128 B block within the partition.
+    pub const fn block_index(self) -> u64 {
+        self.offset / BLOCK_BYTES
+    }
+
+    /// The 4 KB chunk this local address belongs to.
+    pub const fn chunk(self) -> ChunkId {
+        ChunkId {
+            partition: self.partition,
+            index: self.offset / CHUNK_BYTES,
+        }
+    }
+
+    /// The 16 KB read-only region this local address belongs to.
+    pub const fn region(self) -> RegionId {
+        RegionId {
+            partition: self.partition,
+            index: self.offset / REGION_BYTES,
+        }
+    }
+
+    /// Index of the 128 B block within its 4 KB chunk (0..=31).
+    pub const fn block_in_chunk(self) -> usize {
+        ((self.offset % CHUNK_BYTES) / BLOCK_BYTES) as usize
+    }
+}
+
+impl fmt::Display for LocalAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}+{:#x}", self.partition, self.offset)
+    }
+}
+
+/// Identifier of a 4 KB chunk within one partition (streaming granularity).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ChunkId {
+    /// Partition that holds the chunk.
+    pub partition: PartitionId,
+    /// Chunk index within the partition's local space.
+    pub index: u64,
+}
+
+impl ChunkId {
+    /// Local address of the first byte of the chunk.
+    pub const fn base(self) -> LocalAddr {
+        LocalAddr::new(self.partition, self.index * CHUNK_BYTES)
+    }
+}
+
+/// Identifier of a 16 KB region within one partition (read-only granularity).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct RegionId {
+    /// Partition that holds the region.
+    pub partition: PartitionId,
+    /// Region index within the partition's local space.
+    pub index: u64,
+}
+
+impl RegionId {
+    /// Local address of the first byte of the region.
+    pub const fn base(self) -> LocalAddr {
+        LocalAddr::new(self.partition, self.index * REGION_BYTES)
+    }
+}
+
+/// Interleaves physical addresses across partitions at a fixed granularity.
+///
+/// The mapping is the standard GPU partition hash used by GPGPU-Sim style
+/// models: the physical space is split into `granularity`-sized stripes that
+/// are distributed round-robin across partitions.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PartitionMap {
+    num_partitions: u16,
+    granularity: u64,
+}
+
+impl PartitionMap {
+    /// Creates a map over `num_partitions` partitions with `granularity`-byte
+    /// interleaving.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_partitions` is zero or `granularity` is not a power of
+    /// two at least the block size.
+    pub fn new(num_partitions: u16, granularity: u64) -> Self {
+        assert!(num_partitions > 0, "need at least one partition");
+        assert!(
+            granularity.is_power_of_two() && granularity >= BLOCK_BYTES,
+            "granularity must be a power of two >= {BLOCK_BYTES}"
+        );
+        Self {
+            num_partitions,
+            granularity,
+        }
+    }
+
+    /// Number of partitions.
+    pub const fn num_partitions(self) -> u16 {
+        self.num_partitions
+    }
+
+    /// Interleaving granularity in bytes.
+    pub const fn granularity(self) -> u64 {
+        self.granularity
+    }
+
+    /// Maps a physical address to its partition-local address.
+    pub fn to_local(self, pa: PhysAddr) -> LocalAddr {
+        let stripe = pa.raw() / self.granularity;
+        let within = pa.raw() % self.granularity;
+        let partition = PartitionId((stripe % self.num_partitions as u64) as u16);
+        let local_stripe = stripe / self.num_partitions as u64;
+        LocalAddr::new(partition, local_stripe * self.granularity + within)
+    }
+
+    /// Maps a partition-local address back to the physical address.
+    pub fn to_phys(self, la: LocalAddr) -> PhysAddr {
+        let local_stripe = la.offset / self.granularity;
+        let within = la.offset % self.granularity;
+        let stripe = local_stripe * self.num_partitions as u64 + la.partition.0 as u64;
+        PhysAddr::new(stripe * self.granularity + within)
+    }
+
+    /// Bytes of the protected physical range that land in each partition.
+    pub fn local_span(self, protected_bytes: u64) -> u64 {
+        protected_bytes.div_ceil(self.num_partitions as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn roundtrip_simple() {
+        let map = PartitionMap::new(12, 256);
+        for raw in [0u64, 1, 255, 256, 257, 4095, 1 << 20, (1 << 32) - 1] {
+            let pa = PhysAddr::new(raw);
+            assert_eq!(map.to_phys(map.to_local(pa)), pa, "raw={raw:#x}");
+        }
+    }
+
+    #[test]
+    fn adjacent_stripes_hit_adjacent_partitions() {
+        let map = PartitionMap::new(12, 256);
+        let a = map.to_local(PhysAddr::new(0));
+        let b = map.to_local(PhysAddr::new(256));
+        assert_eq!(a.partition.0, 0);
+        assert_eq!(b.partition.0, 1);
+        assert_eq!(a.offset, b.offset);
+    }
+
+    #[test]
+    fn wraparound_increments_local_offset() {
+        let map = PartitionMap::new(12, 256);
+        let a = map.to_local(PhysAddr::new(0));
+        let b = map.to_local(PhysAddr::new(12 * 256));
+        assert_eq!(b.partition, a.partition);
+        assert_eq!(b.offset, a.offset + 256);
+    }
+
+    #[test]
+    fn chunk_and_region_derivation() {
+        let la = LocalAddr::new(PartitionId(3), 5 * 4096 + 129);
+        assert_eq!(la.chunk().index, 5);
+        assert_eq!(la.block_in_chunk(), 1);
+        assert_eq!(la.region().index, (5 * 4096 + 129) / (16 * 1024));
+    }
+
+    #[test]
+    fn sector_arithmetic() {
+        let pa = PhysAddr::new(0x1234);
+        assert_eq!(pa.block_base().raw(), 0x1200);
+        assert_eq!(pa.sector_base().raw(), 0x1220);
+        assert_eq!(pa.sector_in_block(), 1);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(raw in 0u64..(1 << 40), parts in 1u16..64, gran_log in 7u32..12) {
+            let map = PartitionMap::new(parts, 1 << gran_log);
+            let pa = PhysAddr::new(raw);
+            prop_assert_eq!(map.to_phys(map.to_local(pa)), pa);
+        }
+
+        #[test]
+        fn prop_local_offsets_dense(stripe in 0u64..10_000, parts in 1u16..33) {
+            // Every partition sees a dense, gap-free sequence of stripes.
+            let map = PartitionMap::new(parts, 256);
+            let pa = PhysAddr::new(stripe * 256);
+            let la = map.to_local(pa);
+            prop_assert!(la.offset / 256 == stripe / parts as u64);
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! Simulation statistics: traffic accounting, breakdowns and derived metrics.
+
+use core::fmt;
+use std::ops::AddAssign;
+
+/// Categories of DRAM traffic tracked separately (drives Fig. 14).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum TrafficClass {
+    /// Regular application data.
+    Data,
+    /// Encryption counter blocks.
+    Counter,
+    /// Per-block or per-chunk MACs.
+    Mac,
+    /// Bonsai Merkle Tree nodes.
+    Bmt,
+    /// Extra data re-fetches caused by streaming/read-only mispredictions.
+    MispredictFixup,
+}
+
+impl TrafficClass {
+    /// All classes, in display order.
+    pub const ALL: [TrafficClass; 5] = [
+        TrafficClass::Data,
+        TrafficClass::Counter,
+        TrafficClass::Mac,
+        TrafficClass::Bmt,
+        TrafficClass::MispredictFixup,
+    ];
+
+    /// Short label used in reports.
+    pub const fn label(self) -> &'static str {
+        match self {
+            TrafficClass::Data => "data",
+            TrafficClass::Counter => "counter",
+            TrafficClass::Mac => "mac",
+            TrafficClass::Bmt => "bmt",
+            TrafficClass::MispredictFixup => "fixup",
+        }
+    }
+}
+
+/// Byte counters per traffic class.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct TrafficBytes {
+    /// DRAM read bytes per class (indexed by `TrafficClass::ALL` order).
+    pub read: [u64; 5],
+    /// DRAM write bytes per class.
+    pub write: [u64; 5],
+}
+
+impl TrafficBytes {
+    /// Records `bytes` of DRAM traffic for `class`.
+    pub fn record(&mut self, class: TrafficClass, bytes: u64, is_write: bool) {
+        let idx = class as usize;
+        if is_write {
+            self.write[idx] += bytes;
+        } else {
+            self.read[idx] += bytes;
+        }
+    }
+
+    /// Total bytes for one class, reads plus writes.
+    pub fn class_total(&self, class: TrafficClass) -> u64 {
+        let idx = class as usize;
+        self.read[idx] + self.write[idx]
+    }
+
+    /// Total bytes of regular data traffic.
+    pub fn data_bytes(&self) -> u64 {
+        self.class_total(TrafficClass::Data)
+    }
+
+    /// Total bytes of security-metadata traffic (everything but data).
+    pub fn metadata_bytes(&self) -> u64 {
+        TrafficClass::ALL
+            .iter()
+            .filter(|c| !matches!(c, TrafficClass::Data))
+            .map(|&c| self.class_total(c))
+            .sum()
+    }
+
+    /// Metadata traffic normalized to data traffic (Fig. 14's y-axis).
+    pub fn overhead_ratio(&self) -> f64 {
+        let data = self.data_bytes();
+        if data == 0 {
+            0.0
+        } else {
+            self.metadata_bytes() as f64 / data as f64
+        }
+    }
+}
+
+impl AddAssign for TrafficBytes {
+    fn add_assign(&mut self, rhs: Self) {
+        for i in 0..5 {
+            self.read[i] += rhs.read[i];
+            self.write[i] += rhs.write[i];
+        }
+    }
+}
+
+/// End-of-run statistics from one simulation.
+#[derive(Clone, Default, Debug, PartialEq)]
+pub struct SimStats {
+    /// Total simulated core cycles.
+    pub cycles: u64,
+    /// Instructions retired (trace events completed, including think time).
+    pub instructions: u64,
+    /// Warp-level memory accesses issued.
+    pub accesses: u64,
+    /// L2 hits.
+    pub l2_hits: u64,
+    /// L2 misses.
+    pub l2_misses: u64,
+    /// L2 write-backs sent to DRAM.
+    pub l2_writebacks: u64,
+    /// Counter-cache hits/misses.
+    pub ctr_hits: u64,
+    /// Counter-cache misses.
+    pub ctr_misses: u64,
+    /// MAC-cache hits.
+    pub mac_hits: u64,
+    /// MAC-cache misses.
+    pub mac_misses: u64,
+    /// BMT-cache hits.
+    pub bmt_hits: u64,
+    /// BMT-cache misses.
+    pub bmt_misses: u64,
+    /// Victim-cache (L2) hits for metadata.
+    pub victim_hits: u64,
+    /// DRAM traffic broken down by class.
+    pub traffic: TrafficBytes,
+    /// Accesses that skipped counter fetch + BMT walk via the shared counter.
+    pub readonly_fast_path: u64,
+    /// Accesses served by a chunk-level MAC.
+    pub chunk_mac_accesses: u64,
+    /// Streaming-predictor mispredictions observed.
+    pub stream_mispredictions: u64,
+    /// Read-only-predictor mispredictions observed.
+    pub readonly_mispredictions: u64,
+    /// Sum of access completion latencies (completion - issue), cycles.
+    pub lat_sum: u64,
+    /// Maximum access completion latency observed.
+    pub lat_max: u64,
+}
+
+impl SimStats {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// L2 miss rate over data accesses.
+    pub fn l2_miss_rate(&self) -> f64 {
+        let total = self.l2_hits + self.l2_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.l2_misses as f64 / total as f64
+        }
+    }
+
+    /// Achieved DRAM data bandwidth utilization against `peak_bytes_per_cycle`.
+    pub fn bandwidth_utilization(&self, peak_bytes_per_cycle: f64) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        let total = self.traffic.data_bytes() + self.traffic.metadata_bytes();
+        total as f64 / self.cycles as f64 / peak_bytes_per_cycle
+    }
+}
+
+impl fmt::Display for SimStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "cycles={} instr={} ipc={:.3} l2_miss={:.1}%",
+            self.cycles,
+            self.instructions,
+            self.ipc(),
+            self.l2_miss_rate() * 100.0
+        )?;
+        write!(
+            f,
+            "traffic: data={}B metadata={}B overhead={:.2}%",
+            self.traffic.data_bytes(),
+            self.traffic.metadata_bytes(),
+            self.traffic.overhead_ratio() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traffic_accounting() {
+        let mut t = TrafficBytes::default();
+        t.record(TrafficClass::Data, 128, false);
+        t.record(TrafficClass::Data, 32, true);
+        t.record(TrafficClass::Mac, 32, false);
+        t.record(TrafficClass::Bmt, 64, true);
+        assert_eq!(t.data_bytes(), 160);
+        assert_eq!(t.metadata_bytes(), 96);
+        assert!((t.overhead_ratio() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overhead_ratio_zero_data_is_zero() {
+        let mut t = TrafficBytes::default();
+        t.record(TrafficClass::Mac, 32, false);
+        assert_eq!(t.overhead_ratio(), 0.0);
+    }
+
+    #[test]
+    fn addassign_sums_fields() {
+        let mut a = TrafficBytes::default();
+        a.record(TrafficClass::Counter, 10, false);
+        let mut b = TrafficBytes::default();
+        b.record(TrafficClass::Counter, 5, true);
+        a += b;
+        assert_eq!(a.class_total(TrafficClass::Counter), 15);
+    }
+
+    #[test]
+    fn ipc_and_miss_rate() {
+        let stats = SimStats {
+            cycles: 100,
+            instructions: 250,
+            l2_hits: 30,
+            l2_misses: 70,
+            ..Default::default()
+        };
+        assert!((stats.ipc() - 2.5).abs() < 1e-12);
+        assert!((stats.l2_miss_rate() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_are_safe() {
+        let stats = SimStats::default();
+        assert_eq!(stats.ipc(), 0.0);
+        assert_eq!(stats.l2_miss_rate(), 0.0);
+        assert_eq!(stats.bandwidth_utilization(18.6), 0.0);
+    }
+}

@@ -1,0 +1,249 @@
+//! An SGX-style counter tree — the alternative integrity-tree design of
+//! Fig. 2, provided to substantiate the paper's claim that "our proposed
+//! schemes are independent upon the integrity tree implementation".
+//!
+//! Where a Bonsai Merkle Tree stores *hashes* of child nodes, a counter
+//! tree stores per-child *version counters* plus a MAC binding each node's
+//! counters to its parent counter.  A write bumps the version counters
+//! along the path (read-modify-write at every level); a read verifies each
+//! node's MAC against its parent's counter.  Replaying any subtree stales
+//! its version against the parent and the MAC check fails.
+
+use shm_crypto::MacKey;
+
+use crate::bmt::BmtGeometry;
+
+/// Arity of the counter tree (eight 56-bit counters + MAC per 128 B node,
+/// the SGX organisation).
+pub const CTR_TREE_ARITY: u64 = 8;
+
+/// One node: version counters for each child plus this node's MAC.
+#[derive(Clone, Debug, Default)]
+struct Node {
+    versions: Vec<u64>,
+    mac: u64,
+}
+
+/// A functional SGX-style counter tree over `leaves` counter lines.
+///
+/// Level 0 associates one version counter with every protected counter
+/// line; inner levels hold version counters for their children; the root
+/// version lives on chip.  [`CtrTree::bump_leaf`] is the write path,
+/// [`CtrTree::verify_leaf`] the read path.
+#[derive(Clone, Debug)]
+pub struct CtrTree {
+    geom: BmtGeometry,
+    key: MacKey,
+    /// `levels[l]` holds the nodes of level `l+1` (level 0 versions are the
+    /// first entry's `versions` flattened across nodes).
+    levels: Vec<Vec<Node>>,
+    /// The on-chip root version counter.
+    root_version: u64,
+}
+
+impl CtrTree {
+    /// Builds a consistent all-zero tree over `leaves` counter lines.
+    pub fn new(leaves: u64, key: MacKey) -> Self {
+        let geom = BmtGeometry::with_arity(leaves, CTR_TREE_ARITY);
+        let mut levels: Vec<Vec<Node>> = Vec::with_capacity(geom.levels());
+        let mut children = leaves;
+        for l in 1..=geom.levels() {
+            let nodes = geom.nodes_at_level(l as u8);
+            levels.push(
+                (0..nodes)
+                    .map(|n| {
+                        let first_child = n * CTR_TREE_ARITY;
+                        let fan = CTR_TREE_ARITY.min(children.saturating_sub(first_child));
+                        Node {
+                            versions: vec![0; fan.max(1) as usize],
+                            mac: 0,
+                        }
+                    })
+                    .collect(),
+            );
+            children = nodes;
+        }
+        let mut tree = Self {
+            geom,
+            key,
+            levels,
+            root_version: 0,
+        };
+        // Establish consistent MACs bottom-up.
+        for l in 0..tree.levels.len() {
+            for n in 0..tree.levels[l].len() {
+                tree.levels[l][n].mac = tree.node_mac(l, n as u64);
+            }
+        }
+        tree
+    }
+
+    /// Geometry of the tree.
+    pub fn geometry(&self) -> &BmtGeometry {
+        &self.geom
+    }
+
+    /// The on-chip root version.
+    pub fn root_version(&self) -> u64 {
+        self.root_version
+    }
+
+    /// MAC of node `n` at internal level `l` (0-based into `levels`),
+    /// binding its child versions to its own version held by the parent.
+    fn node_mac(&self, l: usize, n: u64) -> u64 {
+        let own_version = self.version_of(l, n);
+        let node = &self.levels[l][n as usize];
+        let mut buf = Vec::with_capacity(node.versions.len() * 8 + 16);
+        for v in &node.versions {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        buf.extend_from_slice(&own_version.to_le_bytes());
+        buf.extend_from_slice(&(((l as u64) << 40) | n).to_le_bytes());
+        self.key.mac(&buf)
+    }
+
+    /// The version counter *of* node `(l, n)`, stored in its parent (or the
+    /// on-chip root for the top level).
+    fn version_of(&self, l: usize, n: u64) -> u64 {
+        if l + 1 == self.levels.len() {
+            self.root_version
+        } else {
+            let parent = &self.levels[l + 1][(n / CTR_TREE_ARITY) as usize];
+            parent.versions[(n % CTR_TREE_ARITY) as usize]
+        }
+    }
+
+    /// Write path: bump the version of `leaf` and every node on its path,
+    /// re-MACing as it goes.  Returns the new leaf version.
+    pub fn bump_leaf(&mut self, leaf: u64) -> u64 {
+        assert!(leaf < self.geom.leaves(), "leaf out of range");
+        // Bump the leaf's version (stored in its level-1 node).
+        let mut idx = leaf;
+        let mut new_leaf_version = 0;
+        for l in 0..self.levels.len() {
+            let parent = idx / CTR_TREE_ARITY;
+            let slot = (idx % CTR_TREE_ARITY) as usize;
+            self.levels[l][parent as usize].versions[slot] += 1;
+            if l == 0 {
+                new_leaf_version = self.levels[l][parent as usize].versions[slot];
+            }
+            idx = parent;
+        }
+        self.root_version += 1;
+        // Re-MAC the touched path bottom-up (parents' versions changed).
+        let mut idx = leaf;
+        for l in 0..self.levels.len() {
+            let parent = idx / CTR_TREE_ARITY;
+            self.levels[l][parent as usize].mac = self.node_mac(l, parent);
+            idx = parent;
+        }
+        new_leaf_version
+    }
+
+    /// Read path: verify the MAC chain from `leaf`'s node to the root.
+    /// Returns the leaf's current version on success.
+    pub fn verify_leaf(&self, leaf: u64) -> Option<u64> {
+        assert!(leaf < self.geom.leaves(), "leaf out of range");
+        let mut idx = leaf;
+        for l in 0..self.levels.len() {
+            let parent = idx / CTR_TREE_ARITY;
+            if self.levels[l][parent as usize].mac != self.node_mac(l, parent) {
+                return None;
+            }
+            idx = parent;
+        }
+        let node = &self.levels[0][(leaf / CTR_TREE_ARITY) as usize];
+        Some(node.versions[(leaf % CTR_TREE_ARITY) as usize])
+    }
+
+    /// Attacker action: roll one node's stored state back to a stale copy
+    /// (off-chip DRAM contents only — the root version is on chip).
+    pub fn rollback_node(&mut self, leaf: u64, level: usize, stale_versions: Vec<u64>, stale_mac: u64) {
+        let mut idx = leaf;
+        for _ in 0..level {
+            idx /= CTR_TREE_ARITY;
+        }
+        let node = &mut self.levels[level][(idx / CTR_TREE_ARITY) as usize];
+        node.versions = stale_versions;
+        node.mac = stale_mac;
+    }
+
+    /// Snapshot of the node covering `leaf` at `level` (what a bus snooper
+    /// captures).
+    pub fn snapshot_node(&self, leaf: u64, level: usize) -> (Vec<u64>, u64) {
+        let mut idx = leaf;
+        for _ in 0..level {
+            idx /= CTR_TREE_ARITY;
+        }
+        let node = &self.levels[level][(idx / CTR_TREE_ARITY) as usize];
+        (node.versions.clone(), node.mac)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key() -> MacKey {
+        MacKey::new([0x33; 16])
+    }
+
+    #[test]
+    fn fresh_tree_verifies_everywhere() {
+        let t = CtrTree::new(100, key());
+        for leaf in [0u64, 1, 50, 99] {
+            assert_eq!(t.verify_leaf(leaf), Some(0));
+        }
+    }
+
+    #[test]
+    fn bump_increments_version_and_root() {
+        let mut t = CtrTree::new(64, key());
+        assert_eq!(t.bump_leaf(5), 1);
+        assert_eq!(t.bump_leaf(5), 2);
+        assert_eq!(t.verify_leaf(5), Some(2));
+        assert_eq!(t.root_version(), 2);
+        assert_eq!(t.verify_leaf(6), Some(0), "sibling untouched");
+    }
+
+    #[test]
+    fn replaying_a_leaf_node_is_detected() {
+        let mut t = CtrTree::new(64, key());
+        t.bump_leaf(7);
+        let stale = t.snapshot_node(7, 0);
+        t.bump_leaf(7); // state moves on
+        t.rollback_node(7, 0, stale.0, stale.1);
+        assert_eq!(t.verify_leaf(7), None, "stale leaf node accepted");
+    }
+
+    #[test]
+    fn replaying_an_inner_node_is_detected() {
+        let mut t = CtrTree::new(512, key());
+        t.bump_leaf(100);
+        let stale = t.snapshot_node(100, 1);
+        t.bump_leaf(100);
+        t.rollback_node(100, 1, stale.0, stale.1);
+        assert_eq!(t.verify_leaf(100), None, "stale inner node accepted");
+    }
+
+    #[test]
+    fn whole_path_rollback_fails_at_the_root() {
+        // Replay every off-chip level consistently: only the on-chip root
+        // version can catch it.
+        let mut t = CtrTree::new(64, key());
+        t.bump_leaf(3);
+        let snaps: Vec<_> = (0..t.levels.len()).map(|l| t.snapshot_node(3, l)).collect();
+        t.bump_leaf(3);
+        for (l, (v, m)) in snaps.into_iter().enumerate() {
+            t.rollback_node(3, l, v, m);
+        }
+        assert_eq!(t.verify_leaf(3), None, "full off-chip rollback accepted");
+    }
+
+    #[test]
+    fn geometry_uses_arity_8() {
+        let t = CtrTree::new(4096, key());
+        // 4096 -> 512 -> 64 -> 8 -> 1: four levels at arity 8.
+        assert_eq!(t.geometry().levels(), 4);
+    }
+}

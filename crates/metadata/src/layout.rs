@@ -1,0 +1,402 @@
+//! Metadata address layout over one protected address space.
+
+use gpu_types::{BLOCK_BYTES, CHUNK_BYTES, MAC_BYTES_PER_BLOCK, SECTOR_BYTES};
+
+use crate::bmt::BmtGeometry;
+
+/// Data blocks covered by one 32 B counter sector.
+///
+/// A sector is self-contained (PSSM's sectored counter reorganization): an
+/// 8 B major counter, sixteen 1 B minor counters and padding, covering 2 KB
+/// of data.
+pub const BLOCKS_PER_COUNTER_SECTOR: u64 = 16;
+
+/// Data blocks covered by one full 128 B counter line (8 KB of data).
+pub const BLOCKS_PER_COUNTER_LINE: u64 =
+    BLOCKS_PER_COUNTER_SECTOR * (BLOCK_BYTES / SECTOR_BYTES);
+
+/// The kinds of security metadata the layout can address.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum MetadataKind {
+    /// Encryption-counter sectors/lines.
+    Counter,
+    /// Per-block MACs (8 B per 128 B data block).
+    BlockMac,
+    /// Per-chunk MACs (8 B per 4 KB chunk).
+    ChunkMac,
+    /// Bonsai-Merkle-Tree node at a given level (1-based above counters).
+    Bmt(u8),
+}
+
+/// Address layout of all security metadata for one protected span.
+///
+/// The metadata region starts at `data_span` (i.e. directly above the
+/// protected data) and packs, in order: counter lines, per-block MACs,
+/// per-chunk MACs, then each BMT level.  All returned addresses are in the
+/// same address space as the protected data (partition-local for PSSM/SHM,
+/// physical for Naive), so metadata accesses experience the same DRAM
+/// row-buffer and interleaving behaviour as data.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MetadataLayout {
+    data_span: u64,
+    ctr_base: u64,
+    ctr_bytes: u64,
+    mac_base: u64,
+    mac_bytes: u64,
+    chunk_mac_base: u64,
+    chunk_mac_bytes: u64,
+    bmt_bases: Vec<u64>,
+    bmt: BmtGeometry,
+    mac_bytes_per_block: u64,
+    chunk_bytes: u64,
+}
+
+impl MetadataLayout {
+    /// Computes the layout for `data_span` protected bytes with the
+    /// default 16-ary Bonsai Merkle Tree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data_span` is zero.
+    pub fn new(data_span: u64) -> Self {
+        Self::with_tree_arity(data_span, crate::bmt::BMT_ARITY)
+    }
+
+    /// Computes the layout with an explicit integrity-tree arity (8 for an
+    /// SGX-style counter tree; the SHM mechanisms are tree-agnostic).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data_span` is zero or `tree_arity` < 2.
+    pub fn with_tree_arity(data_span: u64, tree_arity: u64) -> Self {
+        Self::with_options(data_span, tree_arity, MAC_BYTES_PER_BLOCK)
+    }
+
+    /// Computes the layout with explicit tree arity and MAC width.
+    ///
+    /// `mac_bytes_per_block` supports the truncated-MAC study (PSSM uses
+    /// 4 B MACs; Section III-C argues at least 50 bits are needed for
+    /// birthday-bound collision resistance — see
+    /// [`shm_crypto-style` analysis in `crate::layout::mac_collision_updates`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data_span` is zero, `tree_arity` < 2, or the MAC width is
+    /// not a power of two between 1 and 32 bytes.
+    pub fn with_options(data_span: u64, tree_arity: u64, mac_bytes_per_block: u64) -> Self {
+        Self::with_full_options(data_span, tree_arity, mac_bytes_per_block, CHUNK_BYTES)
+    }
+
+    /// Computes the layout with every knob explicit, including the
+    /// chunk-MAC coverage (`chunk_bytes`, 4 KB in the paper).
+    ///
+    /// # Panics
+    ///
+    /// As [`MetadataLayout::with_options`]; additionally if `chunk_bytes`
+    /// is not a power of two of at least one block.
+    pub fn with_full_options(
+        data_span: u64,
+        tree_arity: u64,
+        mac_bytes_per_block: u64,
+        chunk_bytes: u64,
+    ) -> Self {
+        assert!(data_span > 0, "protected span must be non-empty");
+        assert!(
+            mac_bytes_per_block.is_power_of_two() && (1..=32).contains(&mac_bytes_per_block),
+            "MAC width must be a power of two in 1..=32 bytes"
+        );
+        assert!(
+            chunk_bytes.is_power_of_two() && chunk_bytes >= BLOCK_BYTES,
+            "chunk size must be a power of two >= one block"
+        );
+        let blocks = data_span.div_ceil(BLOCK_BYTES);
+        let chunks = data_span.div_ceil(chunk_bytes);
+
+        let ctr_lines = blocks.div_ceil(BLOCKS_PER_COUNTER_LINE);
+        let ctr_bytes = ctr_lines * BLOCK_BYTES;
+        let mac_bytes = align_up(blocks * mac_bytes_per_block, BLOCK_BYTES);
+        let chunk_mac_bytes = align_up(chunks * mac_bytes_per_block, BLOCK_BYTES);
+
+        let ctr_base = align_up(data_span, BLOCK_BYTES);
+        let mac_base = ctr_base + ctr_bytes;
+        let chunk_mac_base = mac_base + mac_bytes;
+
+        let bmt = BmtGeometry::with_arity(ctr_lines, tree_arity);
+        let mut bmt_bases = Vec::with_capacity(bmt.levels());
+        let mut cursor = chunk_mac_base + chunk_mac_bytes;
+        for level in 1..=bmt.levels() {
+            bmt_bases.push(cursor);
+            cursor += bmt.nodes_at_level(level as u8) * BLOCK_BYTES;
+        }
+
+        Self {
+            data_span,
+            ctr_base,
+            ctr_bytes,
+            mac_base,
+            mac_bytes,
+            chunk_mac_base,
+            chunk_mac_bytes,
+            bmt_bases,
+            bmt,
+            mac_bytes_per_block,
+            chunk_bytes,
+        }
+    }
+
+    /// Protected data span in bytes.
+    pub fn data_span(&self) -> u64 {
+        self.data_span
+    }
+
+    /// BMT geometry over this layout's counter lines.
+    pub fn bmt(&self) -> &BmtGeometry {
+        &self.bmt
+    }
+
+    /// Total metadata footprint in bytes (counters + MACs + chunk MACs + BMT).
+    pub fn metadata_bytes(&self) -> u64 {
+        let bmt_bytes: u64 = (1..=self.bmt.levels() as u8)
+            .map(|l| self.bmt.nodes_at_level(l) * BLOCK_BYTES)
+            .sum();
+        self.ctr_bytes + self.mac_bytes + self.chunk_mac_bytes + bmt_bytes
+    }
+
+    /// Index of the 128 B data block containing `addr`.
+    fn block_index(&self, addr: u64) -> u64 {
+        debug_assert!(addr < self.data_span, "address outside protected span");
+        addr / BLOCK_BYTES
+    }
+
+    /// Address of the 32 B counter sector covering `addr`.
+    pub fn counter_sector(&self, addr: u64) -> u64 {
+        let group = self.block_index(addr) / BLOCKS_PER_COUNTER_SECTOR;
+        self.ctr_base + group * SECTOR_BYTES
+    }
+
+    /// Address of the full 128 B counter line covering `addr` (what the
+    /// Naive, non-sectored design fetches).
+    pub fn counter_line(&self, addr: u64) -> u64 {
+        let line = self.block_index(addr) / BLOCKS_PER_COUNTER_LINE;
+        self.ctr_base + line * BLOCK_BYTES
+    }
+
+    /// Index of the counter line covering `addr` (the BMT leaf index).
+    pub fn counter_line_index(&self, addr: u64) -> u64 {
+        self.block_index(addr) / BLOCKS_PER_COUNTER_LINE
+    }
+
+    /// Address of the 32 B sector of per-block MACs covering `addr`.
+    ///
+    /// With the default 8 B MACs one sector holds four, covering 512 B of
+    /// data; truncated 4 B MACs double the coverage to 1 KB.
+    pub fn block_mac_sector(&self, addr: u64) -> u64 {
+        let mac_off = self.block_index(addr) * self.mac_bytes_per_block;
+        self.mac_base + (mac_off & !(SECTOR_BYTES - 1))
+    }
+
+    /// Address of the 32 B sector of per-chunk MACs covering `addr`.
+    ///
+    /// One sector holds the MACs of four 4 KB chunks.
+    pub fn chunk_mac_sector(&self, addr: u64) -> u64 {
+        let chunk = addr / self.chunk_bytes;
+        let off = chunk * self.mac_bytes_per_block;
+        self.chunk_mac_base + (off & !(SECTOR_BYTES - 1))
+    }
+
+    /// Address of the BMT node at `level` (1-based) on the path covering the
+    /// counter line of `addr`.
+    pub fn bmt_node(&self, addr: u64, level: u8) -> u64 {
+        let node = self.bmt.ancestor(self.counter_line_index(addr), level);
+        self.bmt_bases[level as usize - 1] + node * BLOCK_BYTES
+    }
+
+    /// Full BMT path (level 1 up to the root level) for `addr`.
+    pub fn bmt_path(&self, addr: u64) -> Vec<u64> {
+        (1..=self.bmt.levels() as u8)
+            .map(|l| self.bmt_node(addr, l))
+            .collect()
+    }
+
+    /// Classifies a metadata address produced by this layout.
+    ///
+    /// Returns `None` for addresses inside the protected data span or beyond
+    /// the metadata region.
+    pub fn classify(&self, addr: u64) -> Option<MetadataKind> {
+        if addr < self.ctr_base {
+            return None;
+        }
+        if addr < self.mac_base {
+            return Some(MetadataKind::Counter);
+        }
+        if addr < self.chunk_mac_base {
+            return Some(MetadataKind::BlockMac);
+        }
+        if let Some((i, _)) = self
+            .bmt_bases
+            .iter()
+            .enumerate()
+            .rev()
+            .find(|(_, &b)| addr >= b)
+        {
+            let end = self.bmt_bases[i] + self.bmt.nodes_at_level(i as u8 + 1) * BLOCK_BYTES;
+            if addr < end {
+                return Some(MetadataKind::Bmt(i as u8 + 1));
+            }
+            return None;
+        }
+        Some(MetadataKind::ChunkMac)
+    }
+}
+
+fn align_up(v: u64, to: u64) -> u64 {
+    v.div_ceil(to) * to
+}
+
+/// Expected number of memory updates before a MAC collision becomes likely
+/// for an `mac_bits`-bit MAC — the birthday bound `2^(n/2)` of Section
+/// III-C, which drives the paper's argument that per-block MACs must keep
+/// at least 50 bits (a 4 GB memory holds `2^25` blocks, so `n <= 50` lets
+/// an attacker who writes every block expect a collision).
+pub fn mac_collision_updates(mac_bits: u32) -> f64 {
+    2f64.powi(mac_bits as i32 / 2)
+}
+
+/// Whether an `mac_bits`-bit MAC resists the Section III-C birthday attack
+/// on a memory of `protected_bytes` (collision space must exceed the number
+/// of 128 B blocks an attacker can rewrite).
+pub fn mac_resists_birthday_attack(mac_bits: u32, protected_bytes: u64) -> bool {
+    let blocks = (protected_bytes / BLOCK_BYTES) as f64;
+    mac_collision_updates(mac_bits) > blocks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const SPAN: u64 = 64 << 20; // 64 MB partition span for tests.
+
+    #[test]
+    fn regions_do_not_overlap() {
+        let l = MetadataLayout::new(SPAN);
+        assert!(l.ctr_base >= SPAN);
+        assert!(l.mac_base >= l.ctr_base + l.ctr_bytes);
+        assert!(l.chunk_mac_base >= l.mac_base + l.mac_bytes);
+        assert!(l.bmt_bases[0] >= l.chunk_mac_base + l.chunk_mac_bytes);
+    }
+
+    #[test]
+    fn counter_sector_is_shared_by_16_blocks() {
+        let l = MetadataLayout::new(SPAN);
+        let s0 = l.counter_sector(0);
+        assert_eq!(l.counter_sector(15 * 128), s0);
+        assert_ne!(l.counter_sector(16 * 128), s0);
+    }
+
+    #[test]
+    fn mac_sector_is_shared_by_4_blocks() {
+        let l = MetadataLayout::new(SPAN);
+        let s0 = l.block_mac_sector(0);
+        assert_eq!(l.block_mac_sector(3 * 128), s0);
+        assert_ne!(l.block_mac_sector(4 * 128), s0);
+    }
+
+    #[test]
+    fn chunk_mac_sector_is_shared_by_4_chunks() {
+        let l = MetadataLayout::new(SPAN);
+        let s0 = l.chunk_mac_sector(0);
+        assert_eq!(l.chunk_mac_sector(3 * 4096 + 100), s0);
+        assert_ne!(l.chunk_mac_sector(4 * 4096), s0);
+    }
+
+    #[test]
+    fn metadata_overhead_is_reasonable() {
+        let l = MetadataLayout::new(SPAN);
+        let ratio = l.metadata_bytes() as f64 / SPAN as f64;
+        // Counters 128B/8KB ~= 1.6%, block MACs 8B/128B = 6.25%,
+        // chunk MACs 8B/4KB ~= 0.2%, BMT ~ 0.1% => ~8%.
+        assert!(ratio > 0.06 && ratio < 0.10, "ratio={ratio}");
+    }
+
+    #[test]
+    fn classify_kinds() {
+        let l = MetadataLayout::new(SPAN);
+        assert_eq!(l.classify(0), None);
+        assert_eq!(l.classify(l.counter_sector(0)), Some(MetadataKind::Counter));
+        assert_eq!(l.classify(l.block_mac_sector(0)), Some(MetadataKind::BlockMac));
+        assert_eq!(l.classify(l.chunk_mac_sector(0)), Some(MetadataKind::ChunkMac));
+        assert_eq!(l.classify(l.bmt_node(0, 1)), Some(MetadataKind::Bmt(1)));
+    }
+
+    #[test]
+    fn truncated_macs_double_sector_coverage() {
+        let l8 = MetadataLayout::with_options(SPAN, 16, 8);
+        let l4 = MetadataLayout::with_options(SPAN, 16, 4);
+        // 8 B MACs: a 32 B sector covers 4 blocks; 4 B MACs: 8 blocks.
+        assert_ne!(l8.block_mac_sector(4 * 128), l8.block_mac_sector(0));
+        assert_eq!(l4.block_mac_sector(4 * 128), l4.block_mac_sector(0));
+        assert_ne!(l4.block_mac_sector(8 * 128), l4.block_mac_sector(0));
+        assert!(l4.metadata_bytes() < l8.metadata_bytes());
+    }
+
+    #[test]
+    fn tree_arity_changes_level_count() {
+        let wide = MetadataLayout::with_tree_arity(SPAN, 16);
+        let narrow = MetadataLayout::with_tree_arity(SPAN, 4);
+        assert!(narrow.bmt().levels() > wide.bmt().levels());
+        // Deeper trees cost more metadata space.
+        assert!(narrow.metadata_bytes() > wide.metadata_bytes());
+    }
+
+    #[test]
+    fn birthday_bound_matches_section_iii_c() {
+        // The paper: 4 GB memory = 2^25 blocks, so a MAC needs > 50 bits.
+        let four_gb = 4u64 << 30;
+        assert!(!mac_resists_birthday_attack(32, four_gb), "4 B MAC passed");
+        assert!(!mac_resists_birthday_attack(50, four_gb), "50-bit MAC passed");
+        assert!(mac_resists_birthday_attack(64, four_gb), "8 B MAC failed");
+        assert!((mac_collision_updates(50) - 2f64.powi(25)).abs() < 1.0);
+    }
+
+    #[test]
+    fn bmt_path_reaches_root() {
+        let l = MetadataLayout::new(SPAN);
+        let path = l.bmt_path(0);
+        assert_eq!(path.len(), l.bmt().levels());
+        // Top level has exactly one node, shared by distant addresses.
+        let far = l.bmt_path(SPAN - 128);
+        assert_eq!(path.last(), far.last(), "roots differ");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_metadata_outside_data(addr in 0u64..SPAN) {
+            let l = MetadataLayout::new(SPAN);
+            prop_assert!(l.counter_sector(addr) >= SPAN);
+            prop_assert!(l.block_mac_sector(addr) >= SPAN);
+            prop_assert!(l.chunk_mac_sector(addr) >= SPAN);
+        }
+
+        #[test]
+        fn prop_classify_roundtrip(addr in 0u64..SPAN) {
+            let l = MetadataLayout::new(SPAN);
+            prop_assert_eq!(l.classify(l.counter_sector(addr)), Some(MetadataKind::Counter));
+            prop_assert_eq!(l.classify(l.block_mac_sector(addr)), Some(MetadataKind::BlockMac));
+            prop_assert_eq!(l.classify(l.chunk_mac_sector(addr)), Some(MetadataKind::ChunkMac));
+            for (i, node) in l.bmt_path(addr).iter().enumerate() {
+                prop_assert_eq!(l.classify(*node), Some(MetadataKind::Bmt(i as u8 + 1)));
+            }
+        }
+
+        #[test]
+        fn prop_bmt_parents_shared_within_group(line_a in 0u64..1000, line_b in 0u64..1000) {
+            let l = MetadataLayout::new(SPAN);
+            let addr_a = line_a * BLOCKS_PER_COUNTER_LINE * 128;
+            let addr_b = line_b * BLOCKS_PER_COUNTER_LINE * 128;
+            prop_assume!(addr_a < SPAN && addr_b < SPAN);
+            let same_group = line_a / 16 == line_b / 16;
+            prop_assert_eq!(l.bmt_node(addr_a, 1) == l.bmt_node(addr_b, 1), same_group);
+        }
+    }
+}

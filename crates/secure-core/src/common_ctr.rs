@@ -1,0 +1,249 @@
+//! Common-value counter compression (Na et al., HPCA 2021).
+//!
+//! GPU kernels tend to write whole buffers uniformly: after a kernel, every
+//! block of an output buffer has been written the same number of times, so
+//! a single on-chip "common counter" value can stand in for all of the
+//! per-block counters.  Reads of blocks whose counter equals the common
+//! value need no counter fetch and no BMT walk; blocks that have diverged
+//! (written this epoch but not yet recompressed) fall back to per-block
+//! counters.
+//!
+//! The model tracks, per 4 KB page, which blocks have been written since the
+//! page was last uniform.  When every block of the page has been written
+//! exactly once more, the page recompresses (divergence map clears, common
+//! value advances).  This captures the HPCA'21 behaviour that matters for
+//! bandwidth: streaming writes stay compressed, random/partial writes decay
+//! to per-block counter traffic.
+
+use std::collections::HashMap;
+
+use gpu_types::{CHUNK_BYTES, SECTOR_BYTES};
+
+/// Sectors per 4 KB page (the sweep-bitmap width).
+const SECTORS_PER_PAGE: u64 = CHUNK_BYTES / SECTOR_BYTES;
+
+/// Per-page compression state.
+#[derive(Clone, Debug, Default)]
+struct PageState {
+    /// Common counter value the page's blocks share when uniform.
+    common: u64,
+    /// Bitmask of sectors written once this epoch (tracked on chip; their
+    /// counter is derivable as `common + 1`, so no memory traffic needed).
+    swept: u128,
+}
+
+/// Pages of sweep state the on-chip table can track per partition.
+///
+/// The HPCA'21 design keeps compressed counters on chip; the structure is
+/// finite, so only this many pages can be mid-sweep at once.  A page whose
+/// state is displaced loses its sweep progress and spills to per-block
+/// counters (never-written pages stay compressed at zero for free — their
+/// state is implicit).
+pub const DEFAULT_TABLE_PAGES: usize = 512;
+
+/// The on-chip common-counter table for one partition.
+#[derive(Clone, Debug)]
+pub struct CommonCounterTable {
+    pages: HashMap<u64, PageState>,
+    /// Pages spilled to per-block counters (kept separately so displacing
+    /// sweep state never forgets a spill).
+    spilled: std::collections::HashSet<u64>,
+    /// FIFO of pages holding sweep state, for capacity eviction.
+    resident: std::collections::VecDeque<u64>,
+    capacity: usize,
+    compressed_reads: u64,
+    diverged_reads: u64,
+}
+
+impl Default for CommonCounterTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CommonCounterTable {
+    /// An empty table: every page starts uniform at counter 0 (the
+    /// copy-then-execute initial state).
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_TABLE_PAGES)
+    }
+
+    /// A table tracking at most `capacity` mid-sweep pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "table needs at least one entry");
+        Self {
+            pages: HashMap::new(),
+            spilled: std::collections::HashSet::new(),
+            resident: std::collections::VecDeque::new(),
+            capacity,
+            compressed_reads: 0,
+            diverged_reads: 0,
+        }
+    }
+
+    fn page_and_sector(offset: u64) -> (u64, u32) {
+        (
+            offset / CHUNK_BYTES,
+            ((offset % CHUNK_BYTES) / SECTOR_BYTES) as u32,
+        )
+    }
+
+    /// Whether a read of the block at `offset` can use the on-chip common
+    /// value (no counter fetch, no BMT walk).
+    ///
+    /// Mid-sweep blocks are still compressed: their counter is derivable as
+    /// `common + 1` from the on-chip bitmap.  Only spilled pages need
+    /// per-block counter fetches.
+    pub fn read_is_compressed(&mut self, offset: u64) -> bool {
+        let (page, _) = Self::page_and_sector(offset);
+        let compressed = !self.spilled.contains(&page);
+        if compressed {
+            self.compressed_reads += 1;
+        } else {
+            self.diverged_reads += 1;
+        }
+        compressed
+    }
+
+    /// Records a write to the block at `offset`.  Returns `true` if the page
+    /// has *spilled* to per-block counters (counter traffic required), or
+    /// `false` while the write pattern remains a uniform sweep handled
+    /// entirely on chip.
+    pub fn record_write(&mut self, offset: u64) -> bool {
+        let (page, sector) = Self::page_and_sector(offset);
+        if self.spilled.contains(&page) {
+            return true;
+        }
+        if !self.pages.contains_key(&page) {
+            // Allocate sweep state; displace the oldest mid-sweep page if
+            // the on-chip structure is full (its progress is lost, so it
+            // must fall back to per-block counters).
+            if self.pages.len() >= self.capacity {
+                if let Some(old) = self.resident.pop_front() {
+                    if let Some(st) = self.pages.remove(&old) {
+                        if st.swept != 0 {
+                            self.spilled.insert(old);
+                        }
+                    }
+                }
+            }
+            self.pages.insert(page, PageState::default());
+            self.resident.push_back(page);
+        }
+        let st = self.pages.get_mut(&page).expect("just inserted");
+        let bit = 1u128 << sector;
+        if st.swept & bit != 0 {
+            // Written twice before the sweep completed: not uniform.
+            self.pages.remove(&page);
+            self.resident.retain(|&p| p != page);
+            self.spilled.insert(page);
+            return true;
+        }
+        st.swept |= bit;
+        let full: u128 = if SECTORS_PER_PAGE >= 128 {
+            u128::MAX
+        } else {
+            (1u128 << SECTORS_PER_PAGE) - 1
+        };
+        if st.swept == full {
+            // The whole page has been swept exactly once: recompress and
+            // free the tracking entry.
+            st.common += 1;
+            st.swept = 0;
+            self.pages.remove(&page);
+            self.resident.retain(|&p| p != page);
+        }
+        false
+    }
+
+    /// Fraction of reads served from the compressed (on-chip) state.
+    pub fn compression_rate(&self) -> f64 {
+        let total = self.compressed_reads + self.diverged_reads;
+        if total == 0 {
+            0.0
+        } else {
+            self.compressed_reads as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_pages_are_compressed() {
+        let mut t = CommonCounterTable::new();
+        assert!(t.read_is_compressed(0));
+        assert!(t.read_is_compressed(123 * 4096 + 128));
+    }
+
+    #[test]
+    fn uniform_sweep_needs_no_counter_traffic() {
+        let mut t = CommonCounterTable::new();
+        for b in 0..32u64 {
+            assert!(!t.record_write(b * 128), "sweep write {b} spilled");
+        }
+        for b in 0..32u64 {
+            assert!(t.read_is_compressed(b * 128), "block {b} not recompressed");
+        }
+    }
+
+    #[test]
+    fn double_write_spills_the_page() {
+        let mut t = CommonCounterTable::new();
+        assert!(!t.record_write(0));
+        assert!(t.record_write(0), "second write should spill");
+        assert!(!t.read_is_compressed(0), "spilled page read as compressed");
+        assert!(!t.read_is_compressed(128), "whole page spills together");
+        assert!(t.read_is_compressed(4096), "other pages unaffected");
+    }
+
+    #[test]
+    fn spilled_pages_stay_spilled() {
+        let mut t = CommonCounterTable::new();
+        t.record_write(0);
+        t.record_write(0); // spill
+        for b in 0..32u64 {
+            assert!(t.record_write(b * 128), "spilled page write compressed again");
+        }
+    }
+
+    #[test]
+    fn capacity_displacement_spills_mid_sweep_pages() {
+        let mut t = CommonCounterTable::with_capacity(2);
+        // Start sweeps on three pages; the first one's state is displaced.
+        t.record_write(0);
+        t.record_write(4096);
+        t.record_write(2 * 4096);
+        assert!(!t.read_is_compressed(0), "displaced mid-sweep page kept compressed");
+        assert!(t.read_is_compressed(4096));
+        assert!(t.read_is_compressed(2 * 4096));
+    }
+
+    #[test]
+    fn completed_sweeps_free_table_entries() {
+        let mut t = CommonCounterTable::with_capacity(1);
+        // Sweep page 0 fully: its entry frees, so page 1 can sweep without
+        // displacing anything.
+        for s in 0..128u64 {
+            assert!(!t.record_write(s * 32));
+        }
+        assert!(!t.record_write(4096), "freed capacity not reusable");
+        assert!(t.read_is_compressed(0), "completed sweep lost compression");
+    }
+
+    #[test]
+    fn compression_rate_tracks_reads() {
+        let mut t = CommonCounterTable::new();
+        t.record_write(0);
+        t.record_write(0); // spill page 0
+        t.read_is_compressed(0); // diverged
+        t.read_is_compressed(4096); // compressed
+        assert!((t.compression_rate() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,248 @@
+//! The secure-memory system: per-partition MEEs driven by a scheme config.
+
+use gpu_types::{GpuConfig, PartitionId, SimStats, TrafficClass};
+
+use crate::common_ctr::CommonCounterTable;
+use crate::fabric::DramFabric;
+use crate::mdc::{MeeCore, NoVictim, VictimStore};
+use crate::request::MemRequest;
+use crate::scheme::{Addressing, CounterMode, SchemeConfig};
+
+/// The whole-GPU secure-memory system for the baseline designs of Table
+/// VIII (Unprotected / Naive / Common_ctr / PSSM / PSSM_cctr).
+///
+/// One [`MeeCore`] per memory partition; requests are processed in the
+/// partition their data maps to, and every metadata transfer is charged to
+/// the [`DramFabric`].
+#[derive(Debug)]
+pub struct SecureMemorySystem {
+    scheme: SchemeConfig,
+    mees: Vec<MeeCore>,
+    common: Vec<CommonCounterTable>,
+}
+
+impl SecureMemorySystem {
+    /// Builds the system for `scheme` over `cfg`'s geometry.
+    pub fn new(scheme: SchemeConfig, cfg: &GpuConfig) -> Self {
+        let span = match scheme.addressing {
+            Addressing::Local => cfg.protected_bytes_per_partition(),
+            Addressing::Physical => cfg.protected_bytes,
+        };
+        Self {
+            scheme,
+            mees: (0..cfg.num_partitions)
+                .map(|p| MeeCore::new(PartitionId(p), span, scheme.addressing, &cfg.mdc))
+                .collect(),
+            common: (0..cfg.num_partitions)
+                .map(|_| CommonCounterTable::new())
+                .collect(),
+        }
+    }
+
+    /// The scheme this system implements.
+    pub fn scheme(&self) -> &SchemeConfig {
+        &self.scheme
+    }
+
+    /// Access to one partition's MEE core (for inspection in tests).
+    pub fn mee(&self, p: PartitionId) -> &MeeCore {
+        &self.mees[p.index()]
+    }
+
+    /// Processes one L2 miss / write-back without a victim store.
+    pub fn process(
+        &mut self,
+        now: u64,
+        req: &MemRequest,
+        fabric: &mut DramFabric,
+        stats: &mut SimStats,
+    ) -> u64 {
+        let mut no_victim = NoVictim;
+        self.process_with_victim(now, req, fabric, &mut no_victim, stats)
+    }
+
+    /// Processes one L2 miss / write-back, spilling MDC victims into
+    /// `victim` (used by the SHM_vL2 design).
+    ///
+    /// Returns the cycle at which the request completes: for reads, when
+    /// decrypted data can be forwarded to the L2 (data sent onward without
+    /// waiting for integrity verification, as in the paper); for writes,
+    /// when the write-back has been handed to DRAM.
+    pub fn process_with_victim(
+        &mut self,
+        now: u64,
+        req: &MemRequest,
+        fabric: &mut DramFabric,
+        victim: &mut dyn VictimStore,
+        stats: &mut SimStats,
+    ) -> u64 {
+        let p = req.local.partition;
+        let is_write = req.is_write();
+
+        // The data transfer itself always happens.
+        let data_done = fabric.access_local(
+            now,
+            p,
+            req.local.offset,
+            req.bytes,
+            is_write,
+            TrafficClass::Data,
+        );
+        if !self.scheme.protected {
+            return data_done;
+        }
+
+        let sectored = self.scheme.sectored_metadata;
+        let mee = &mut self.mees[p.index()];
+        let common = &mut self.common[p.index()];
+
+        // The counter offset used by the common-counter table must match the
+        // metadata address space: partition-local for PSSM-style schemes,
+        // physical for Naive-style schemes.
+        let ctr_key = match self.scheme.addressing {
+            Addressing::Local => req.local.offset,
+            Addressing::Physical => req.phys.raw(),
+        };
+
+        if is_write {
+            // Counter increment (plus BMT path update), unless the common-
+            // counter sweep keeps the page compressed.
+            let needs_counter = match self.scheme.counters {
+                CounterMode::Split => true,
+                CounterMode::Common => common.record_write(ctr_key),
+            };
+            if needs_counter {
+                mee.update_counter(now, req.local, req.phys, sectored, fabric, victim, stats);
+            }
+            // MAC is recomputed and stored for every write-back.
+            mee.update_block_mac(now, req.local, req.phys, sectored, fabric, victim, stats);
+            data_done
+        } else {
+            // Read: the OTP needs the counter; decryption gates data return.
+            let skip_counter = match self.scheme.counters {
+                CounterMode::Split => false,
+                CounterMode::Common => common.read_is_compressed(ctr_key),
+            };
+            let ctr_ready = if skip_counter {
+                stats.readonly_fast_path += 0; // common-ctr fast path is separate
+                now
+            } else {
+                mee.fetch_counter(now, req.local, req.phys, sectored, fabric, victim, stats)
+            };
+            // MAC fetch + verification are off the critical path.
+            mee.fetch_block_mac(now, req.local, req.phys, sectored, fabric, victim, stats);
+            data_done.max(ctr_ready) + mee.aes_latency()
+        }
+    }
+
+    /// Flushes every MEE's metadata caches (end of context).
+    pub fn flush(&mut self, now: u64, fabric: &mut DramFabric, stats: &mut SimStats) {
+        let mut no_victim = NoVictim;
+        for mee in &mut self.mees {
+            mee.flush(now, fabric, &mut no_victim, stats);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::SchemeKind;
+    use gpu_types::{AccessKind, MemorySpace, PhysAddr};
+
+    fn req(cfg: &GpuConfig, phys: u64, kind: AccessKind) -> MemRequest {
+        MemRequest::new(
+            PhysAddr::new(phys),
+            cfg.partition_map(),
+            kind,
+            MemorySpace::Global,
+            32,
+        )
+    }
+
+    fn run_stream(kind: SchemeKind, writes: bool, n: u64) -> (SimStats, DramFabric) {
+        let cfg = GpuConfig::default();
+        let mut sys = SecureMemorySystem::new(SchemeConfig::of(kind), &cfg);
+        let mut fabric = DramFabric::new(&cfg);
+        let mut stats = SimStats::default();
+        for i in 0..n {
+            let k = if writes { AccessKind::Write } else { AccessKind::Read };
+            sys.process(0, &req(&cfg, i * 32, k), &mut fabric, &mut stats);
+        }
+        sys.flush(1_000_000, &mut fabric, &mut stats);
+        stats.traffic = fabric.traffic();
+        (stats, fabric)
+    }
+
+    #[test]
+    fn unprotected_moves_only_data() {
+        let (stats, _) = run_stream(SchemeKind::Unprotected, false, 1000);
+        assert_eq!(stats.traffic.data_bytes(), 32_000);
+        assert_eq!(stats.traffic.metadata_bytes(), 0);
+    }
+
+    #[test]
+    fn naive_has_much_higher_overhead_than_pssm() {
+        let (naive, _) = run_stream(SchemeKind::Naive, false, 4000);
+        let (pssm, _) = run_stream(SchemeKind::Pssm, false, 4000);
+        let naive_oh = naive.traffic.overhead_ratio();
+        let pssm_oh = pssm.traffic.overhead_ratio();
+        assert!(
+            naive_oh > 2.0 * pssm_oh,
+            "naive {naive_oh:.3} vs pssm {pssm_oh:.3}"
+        );
+    }
+
+    #[test]
+    fn naive_generates_cross_partition_traffic() {
+        let (_, fabric) = run_stream(SchemeKind::Naive, false, 4000);
+        assert!(fabric.cross_partition_accesses() > 0);
+        let (_, fabric) = run_stream(SchemeKind::Pssm, false, 4000);
+        assert_eq!(fabric.cross_partition_accesses(), 0);
+    }
+
+    #[test]
+    fn common_counters_cut_counter_traffic_for_reads() {
+        let (cctr, _) = run_stream(SchemeKind::CommonCtr, false, 4000);
+        let (naive, _) = run_stream(SchemeKind::Naive, false, 4000);
+        let c = cctr.traffic.class_total(TrafficClass::Counter)
+            + cctr.traffic.class_total(TrafficClass::Bmt);
+        let n = naive.traffic.class_total(TrafficClass::Counter)
+            + naive.traffic.class_total(TrafficClass::Bmt);
+        assert!(c < n / 4, "common {c} vs naive {n}");
+    }
+
+    #[test]
+    fn streaming_writes_stay_compressed_under_common_counters() {
+        let (pssm_w, _) = run_stream(SchemeKind::Pssm, true, 4096);
+        let (cctr_w, _) = run_stream(SchemeKind::PssmCctr, true, 4096);
+        let c = cctr_w.traffic.class_total(TrafficClass::Counter);
+        let p = pssm_w.traffic.class_total(TrafficClass::Counter);
+        assert!(c < p, "common counter writes {c} vs split {p}");
+    }
+
+    #[test]
+    fn reads_pay_aes_latency() {
+        let cfg = GpuConfig::default();
+        let mut sys = SecureMemorySystem::new(SchemeConfig::of(SchemeKind::Pssm), &cfg);
+        let mut unprot = SecureMemorySystem::new(SchemeConfig::of(SchemeKind::Unprotected), &cfg);
+        let mut f1 = DramFabric::new(&cfg);
+        let mut f2 = DramFabric::new(&cfg);
+        let mut stats = SimStats::default();
+        let r = req(&cfg, 0, AccessKind::Read);
+        let secure = sys.process(0, &r, &mut f1, &mut stats);
+        let plain = unprot.process(0, &r, &mut f2, &mut stats);
+        assert!(secure > plain, "secure read not slower: {secure} vs {plain}");
+    }
+
+    #[test]
+    fn mac_traffic_dominates_pssm_reads() {
+        // PSSM's remaining overhead is MAC-dominated (the paper's motivation
+        // for dual-granularity MACs).
+        let (pssm, _) = run_stream(SchemeKind::Pssm, false, 8000);
+        let mac = pssm.traffic.class_total(TrafficClass::Mac);
+        let ctr = pssm.traffic.class_total(TrafficClass::Counter);
+        let bmt = pssm.traffic.class_total(TrafficClass::Bmt);
+        assert!(mac > ctr + bmt, "mac={mac} ctr={ctr} bmt={bmt}");
+    }
+}

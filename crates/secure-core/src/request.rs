@@ -1,0 +1,65 @@
+//! The memory request the MEE processes.
+
+use gpu_types::{AccessKind, LocalAddr, MemorySpace, PhysAddr};
+
+/// One request leaving the L2 toward memory: a miss fill (read) or a dirty
+/// write-back (write) of a 32 B sector.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MemRequest {
+    /// Physical address of the sector.
+    pub phys: PhysAddr,
+    /// Partition-local address of the sector (after interleaving).
+    pub local: LocalAddr,
+    /// Read (miss fill) or write (write-back).
+    pub kind: AccessKind,
+    /// Memory space the data belongs to.
+    pub space: MemorySpace,
+    /// Transfer size in bytes (usually one 32 B sector).
+    pub bytes: u64,
+}
+
+impl MemRequest {
+    /// Builds a request from its physical address using `map` to derive the
+    /// local address.
+    pub fn new(
+        phys: PhysAddr,
+        map: gpu_types::PartitionMap,
+        kind: AccessKind,
+        space: MemorySpace,
+        bytes: u64,
+    ) -> Self {
+        Self {
+            phys,
+            local: map.to_local(phys),
+            kind,
+            space,
+            bytes,
+        }
+    }
+
+    /// Whether this is a write-back.
+    pub fn is_write(&self) -> bool {
+        self.kind.is_write()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_types::PartitionMap;
+
+    #[test]
+    fn derives_local_address() {
+        let map = PartitionMap::new(12, 256);
+        let r = MemRequest::new(
+            PhysAddr::new(256),
+            map,
+            AccessKind::Read,
+            MemorySpace::Global,
+            32,
+        );
+        assert_eq!(r.local.partition.0, 1);
+        assert_eq!(r.local.offset, 0);
+        assert!(!r.is_write());
+    }
+}

@@ -1,0 +1,137 @@
+//! Scheme descriptors for the evaluated secure-memory designs (Table VIII).
+
+/// How metadata addresses are constructed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Addressing {
+    /// From physical addresses over the whole protected range (Naive /
+    /// Common_ctr).  Metadata for one partition's data may live in another
+    /// partition, creating redundant cross-partition traffic.
+    Physical,
+    /// From partition-local addresses (PSSM and everything built on it).
+    Local,
+}
+
+/// How encryption counters are managed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CounterMode {
+    /// Split per-block counters, always fetched/updated through the counter
+    /// cache.
+    Split,
+    /// Common-value compressed counters: reads of blocks whose counter
+    /// equals the on-chip common value skip both the counter fetch and the
+    /// BMT walk.
+    Common,
+}
+
+/// Identifiers for the pre-built designs of Table VIII handled by this
+/// crate.  (The SHM variants live in the `shm` crate.)
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SchemeKind {
+    /// GPU without secure memory (normalization baseline).
+    Unprotected,
+    /// Physical-address metadata, non-sectored fetches.
+    Naive,
+    /// Naive + common counters.
+    CommonCtr,
+    /// Partition-local sectored metadata.
+    Pssm,
+    /// PSSM + common counters.
+    PssmCctr,
+}
+
+/// Full configuration of a baseline secure-memory design.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SchemeConfig {
+    /// Design identifier (for reports).
+    pub kind: SchemeKind,
+    /// Whether any protection is applied at all.
+    pub protected: bool,
+    /// Metadata address construction.
+    pub addressing: Addressing,
+    /// Counter management.
+    pub counters: CounterMode,
+    /// Whether metadata is fetched at 32 B sector granularity (PSSM) or
+    /// whole 128 B lines (Naive).
+    pub sectored_metadata: bool,
+}
+
+impl SchemeConfig {
+    /// Configuration for one of the pre-built designs.
+    pub fn of(kind: SchemeKind) -> Self {
+        match kind {
+            SchemeKind::Unprotected => Self {
+                kind,
+                protected: false,
+                addressing: Addressing::Local,
+                counters: CounterMode::Split,
+                sectored_metadata: true,
+            },
+            SchemeKind::Naive => Self {
+                kind,
+                protected: true,
+                addressing: Addressing::Physical,
+                counters: CounterMode::Split,
+                sectored_metadata: false,
+            },
+            SchemeKind::CommonCtr => Self {
+                kind,
+                protected: true,
+                addressing: Addressing::Physical,
+                counters: CounterMode::Common,
+                sectored_metadata: false,
+            },
+            SchemeKind::Pssm => Self {
+                kind,
+                protected: true,
+                addressing: Addressing::Local,
+                counters: CounterMode::Split,
+                sectored_metadata: true,
+            },
+            SchemeKind::PssmCctr => Self {
+                kind,
+                protected: true,
+                addressing: Addressing::Local,
+                counters: CounterMode::Common,
+                sectored_metadata: true,
+            },
+        }
+    }
+
+    /// Display name matching the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self.kind {
+            SchemeKind::Unprotected => "Baseline",
+            SchemeKind::Naive => "Naive",
+            SchemeKind::CommonCtr => "Common_ctr",
+            SchemeKind::Pssm => "PSSM",
+            SchemeKind::PssmCctr => "PSSM_cctr",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_viii_configurations() {
+        let naive = SchemeConfig::of(SchemeKind::Naive);
+        assert_eq!(naive.addressing, Addressing::Physical);
+        assert!(!naive.sectored_metadata);
+
+        let pssm = SchemeConfig::of(SchemeKind::Pssm);
+        assert_eq!(pssm.addressing, Addressing::Local);
+        assert!(pssm.sectored_metadata);
+
+        let cctr = SchemeConfig::of(SchemeKind::PssmCctr);
+        assert_eq!(cctr.counters, CounterMode::Common);
+
+        assert!(!SchemeConfig::of(SchemeKind::Unprotected).protected);
+    }
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(SchemeConfig::of(SchemeKind::CommonCtr).name(), "Common_ctr");
+        assert_eq!(SchemeConfig::of(SchemeKind::Pssm).name(), "PSSM");
+    }
+}

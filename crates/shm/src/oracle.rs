@@ -1,0 +1,163 @@
+//! Oracle profiling of a memory trace (offline ground truth).
+//!
+//! The paper measures predictor accuracy against offline profiling (Figs.
+//! 10/11) and evaluates `SHM_upper_bound` with unlimited, pre-initialised
+//! predictors.  [`OracleProfile`] provides both: a pass over the trace that
+//! records which 16 KB regions are truly read-only (never written) and which
+//! 4 KB chunks are truly streaming (every 128 B block touched).
+
+use std::collections::{HashMap, HashSet};
+
+use gpu_types::{ChunkId, LocalAddr, MemEvent, PartitionMap, RegionId, BLOCKS_PER_CHUNK};
+
+/// Ground-truth classification of regions and chunks for one trace.
+#[derive(Clone, Debug, Default)]
+pub struct OracleProfile {
+    written_regions: HashSet<RegionId>,
+    chunk_touch: HashMap<ChunkId, u32>,
+}
+
+impl OracleProfile {
+    /// Profiles a trace of warp-level events under the partition `map`.
+    pub fn from_trace<'a>(events: impl IntoIterator<Item = &'a MemEvent>, map: PartitionMap) -> Self {
+        let mut p = Self::default();
+        for ev in events {
+            let la = map.to_local(ev.addr);
+            p.observe(la, ev.kind.is_write());
+        }
+        p
+    }
+
+    /// Records one access during profiling.
+    pub fn observe(&mut self, la: LocalAddr, is_write: bool) {
+        if is_write {
+            self.written_regions.insert(la.region());
+        }
+        *self.chunk_touch.entry(la.chunk()).or_insert(0) |= 1 << la.block_in_chunk();
+    }
+
+    /// Whether the region holding `la` is truly read-only (never written in
+    /// the trace).
+    pub fn region_read_only(&self, la: LocalAddr) -> bool {
+        !self.written_regions.contains(&la.region())
+    }
+
+    /// Whether the chunk holding `la` is truly streaming (all blocks
+    /// touched over the trace).
+    pub fn chunk_streaming(&self, la: LocalAddr) -> bool {
+        let full: u32 = if BLOCKS_PER_CHUNK >= 32 {
+            u32::MAX
+        } else {
+            (1 << BLOCKS_PER_CHUNK) - 1
+        };
+        self.chunk_touch
+            .get(&la.chunk())
+            .is_some_and(|&m| m == full)
+    }
+
+    /// Fraction of `events` that touch truly read-only regions (Fig. 5's
+    /// read-only series).
+    pub fn read_only_fraction<'a>(
+        &self,
+        events: impl IntoIterator<Item = &'a MemEvent>,
+        map: PartitionMap,
+    ) -> f64 {
+        let mut total = 0u64;
+        let mut ro = 0u64;
+        for ev in events {
+            total += 1;
+            if self.region_read_only(map.to_local(ev.addr)) {
+                ro += 1;
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            ro as f64 / total as f64
+        }
+    }
+
+    /// Fraction of `events` that touch truly streaming chunks (Fig. 5's
+    /// streaming series).
+    pub fn streaming_fraction<'a>(
+        &self,
+        events: impl IntoIterator<Item = &'a MemEvent>,
+        map: PartitionMap,
+    ) -> f64 {
+        let mut total = 0u64;
+        let mut st = 0u64;
+        for ev in events {
+            total += 1;
+            if self.chunk_streaming(map.to_local(ev.addr)) {
+                st += 1;
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            st as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_types::{AccessKind, MemEvent, PhysAddr};
+
+    fn map() -> PartitionMap {
+        PartitionMap::new(12, 256)
+    }
+
+    fn read(addr: u64) -> MemEvent {
+        MemEvent::global(PhysAddr::new(addr), AccessKind::Read)
+    }
+
+    fn write(addr: u64) -> MemEvent {
+        MemEvent::global(PhysAddr::new(addr), AccessKind::Write)
+    }
+
+    #[test]
+    fn never_written_region_is_read_only() {
+        let evs: Vec<_> = (0..512).map(|i| read(i * 32)).collect();
+        let p = OracleProfile::from_trace(&evs, map());
+        assert!(p.region_read_only(map().to_local(PhysAddr::new(0))));
+        assert!((p.read_only_fraction(&evs, map()) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_write_taints_its_region() {
+        let mut evs: Vec<_> = (0..512).map(|i| read(i * 32)).collect();
+        evs.push(write(128));
+        let p = OracleProfile::from_trace(&evs, map());
+        assert!(!p.region_read_only(map().to_local(PhysAddr::new(0))));
+    }
+
+    #[test]
+    fn full_local_chunk_sweep_is_streaming() {
+        // Sweep enough physical space that partition 0's first local chunk
+        // (4 KB) is fully covered: 12 partitions x 4 KB = 48 KB of physical
+        // sweep at 32 B granularity.
+        let evs: Vec<_> = (0..(48 * 1024 / 32)).map(|i| read(i * 32)).collect();
+        let p = OracleProfile::from_trace(&evs, map());
+        let la = map().to_local(PhysAddr::new(0));
+        assert!(p.chunk_streaming(la));
+        assert!(p.streaming_fraction(&evs, map()) > 0.99);
+    }
+
+    #[test]
+    fn sparse_chunk_is_random() {
+        let evs = vec![read(0), read(256 * 12)];
+        let p = OracleProfile::from_trace(&evs, map());
+        assert!(!p.chunk_streaming(map().to_local(PhysAddr::new(0))));
+        assert_eq!(p.streaming_fraction(&evs, map()), 0.0);
+    }
+
+    #[test]
+    fn empty_trace_fractions_are_zero() {
+        let p = OracleProfile::default();
+        let evs: Vec<MemEvent> = Vec::new();
+        assert_eq!(p.read_only_fraction(&evs, map()), 0.0);
+        assert_eq!(p.streaming_fraction(&evs, map()), 0.0);
+    }
+}

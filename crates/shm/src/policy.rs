@@ -1,0 +1,132 @@
+//! Security-mechanism policy for heterogeneous GPU memory (Tables I and II).
+//!
+//! The paper's first observation: not every GPU memory space needs every
+//! security mechanism.  On-chip spaces need none (the GPU die is the trusted
+//! computing base).  Off-chip read-only data needs confidentiality and
+//! integrity but not freshness — replaying a value that never changes is
+//! meaningless within a kernel.  Only off-chip read/write data needs the
+//! full C + I + F stack.
+
+use gpu_types::MemorySpace;
+
+/// The set of security mechanisms a piece of data requires.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Protection {
+    /// Confidentiality — counter-mode encryption.
+    pub confidentiality: bool,
+    /// Integrity — MAC verification.
+    pub integrity: bool,
+    /// Freshness — integrity-tree (replay) protection.
+    pub freshness: bool,
+}
+
+impl Protection {
+    /// No protection (on-chip data inside the TCB).
+    pub const NONE: Protection = Protection {
+        confidentiality: false,
+        integrity: false,
+        freshness: false,
+    };
+
+    /// Confidentiality + integrity (read-only off-chip data).
+    pub const CI: Protection = Protection {
+        confidentiality: true,
+        integrity: true,
+        freshness: false,
+    };
+
+    /// Full confidentiality + integrity + freshness.
+    pub const CIF: Protection = Protection {
+        confidentiality: true,
+        integrity: true,
+        freshness: true,
+    };
+
+    /// Compact notation used in the paper's tables.
+    pub fn notation(self) -> &'static str {
+        match (self.confidentiality, self.integrity, self.freshness) {
+            (false, false, false) => "—",
+            (true, true, false) => "C + I",
+            (true, true, true) => "C + I + F",
+            _ => "custom",
+        }
+    }
+}
+
+/// Application-data classification (Table II).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DataProperty {
+    /// Application code (read-only).
+    ApplicationCode,
+    /// Kernel input buffers (read-only).
+    Input,
+    /// Kernel output buffers (read/write).
+    Output,
+    /// In-flight intermediate data (read/write).
+    InFlight,
+}
+
+impl DataProperty {
+    /// Whether the data is read-only during kernel execution.
+    pub const fn is_read_only(self) -> bool {
+        matches!(self, DataProperty::ApplicationCode | DataProperty::Input)
+    }
+
+    /// Security guarantees required for this data class (Table II).
+    pub const fn required(self) -> Protection {
+        if self.is_read_only() {
+            Protection::CI
+        } else {
+            Protection::CIF
+        }
+    }
+}
+
+/// Security mechanisms required for a memory space (Table I).
+///
+/// Register files, shared memory and caches are on-chip and need nothing;
+/// this function covers the off-chip spaces that appear in traces.
+pub const fn required_mechanisms(space: MemorySpace) -> Protection {
+    match space {
+        MemorySpace::Global | MemorySpace::Local => Protection::CIF,
+        MemorySpace::Constant | MemorySpace::Texture | MemorySpace::Instruction => Protection::CI,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_i_space_mechanisms() {
+        assert_eq!(required_mechanisms(MemorySpace::Global), Protection::CIF);
+        assert_eq!(required_mechanisms(MemorySpace::Local), Protection::CIF);
+        assert_eq!(required_mechanisms(MemorySpace::Constant), Protection::CI);
+        assert_eq!(required_mechanisms(MemorySpace::Texture), Protection::CI);
+        assert_eq!(required_mechanisms(MemorySpace::Instruction), Protection::CI);
+    }
+
+    #[test]
+    fn table_ii_data_mechanisms() {
+        assert_eq!(DataProperty::ApplicationCode.required(), Protection::CI);
+        assert_eq!(DataProperty::Input.required(), Protection::CI);
+        assert_eq!(DataProperty::Output.required(), Protection::CIF);
+        assert_eq!(DataProperty::InFlight.required(), Protection::CIF);
+    }
+
+    #[test]
+    fn notation_matches_paper() {
+        assert_eq!(Protection::NONE.notation(), "—");
+        assert_eq!(Protection::CI.notation(), "C + I");
+        assert_eq!(Protection::CIF.notation(), "C + I + F");
+    }
+
+    #[test]
+    fn read_only_data_never_needs_freshness() {
+        for d in [DataProperty::ApplicationCode, DataProperty::Input] {
+            assert!(d.is_read_only());
+            assert!(!d.required().freshness);
+            assert!(d.required().confidentiality && d.required().integrity);
+        }
+    }
+}

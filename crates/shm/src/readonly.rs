@@ -1,0 +1,266 @@
+//! The hardware read-only region detector (Section IV-B).
+//!
+//! A per-partition bit vector indexed by 16 KB region id (no tags).  Bits
+//! are set at context initialisation for regions written by host memory
+//! copies, cleared permanently the first time a kernel store touches the
+//! region, and optionally re-set by the `InputReadOnlyReset(range)` API.
+//!
+//! Because the vector has no tags, regions alias; since bits only transition
+//! read-only → not-read-only at runtime, aliasing can only *lose* a
+//! bandwidth-saving opportunity, never create a security hole.
+
+use gpu_types::{LocalAddr, RegionId};
+
+/// Why a read-only prediction disagreed with the oracle (Fig. 10 breakdown).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RoMispredict {
+    /// Region is truly read-only but was never marked at initialisation.
+    Init,
+    /// Region's bit was cleared by a *different* region sharing the index.
+    Aliasing,
+}
+
+/// Per-entry provenance used to attribute mispredictions.
+#[derive(Clone, Copy, Debug, Default)]
+struct EntryState {
+    /// Some region cleared this bit at runtime.
+    cleared_by: Option<u64>,
+}
+
+/// Prediction-accuracy counters for Fig. 10.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RoAccuracy {
+    /// Predictions agreeing with the oracle.
+    pub correct: u64,
+    /// Mispredictions from missing initialisation.
+    pub mp_init: u64,
+    /// Mispredictions from bit-vector aliasing.
+    pub mp_aliasing: u64,
+}
+
+impl RoAccuracy {
+    /// Total classified predictions.
+    pub fn total(&self) -> u64 {
+        self.correct + self.mp_init + self.mp_aliasing
+    }
+
+    /// Fraction of correct predictions.
+    pub fn accuracy(&self) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            1.0
+        } else {
+            self.correct as f64 / t as f64
+        }
+    }
+}
+
+/// The per-partition read-only predictor: an `entries`-bit vector over
+/// 16 KB regions of partition-local addresses.
+#[derive(Clone, Debug)]
+pub struct ReadOnlyPredictor {
+    bits: Vec<bool>,
+    state: Vec<EntryState>,
+    region_bytes: u64,
+    accuracy: RoAccuracy,
+}
+
+impl ReadOnlyPredictor {
+    /// Creates a predictor with `entries` bits over `region_bytes` regions.
+    ///
+    /// All bits start 0 (not-read-only by default).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is zero or `region_bytes` is not a power of two.
+    pub fn new(entries: usize, region_bytes: u64) -> Self {
+        assert!(entries > 0);
+        assert!(region_bytes.is_power_of_two());
+        Self {
+            bits: vec![false; entries],
+            state: vec![EntryState::default(); entries],
+            region_bytes,
+            accuracy: RoAccuracy::default(),
+        }
+    }
+
+    fn index_of_region(&self, region: RegionId) -> usize {
+        (region.index % self.bits.len() as u64) as usize
+    }
+
+    fn region_of(&self, la: LocalAddr) -> RegionId {
+        RegionId {
+            partition: la.partition,
+            index: la.offset / self.region_bytes,
+        }
+    }
+
+    /// Marks a local-address range read-only at context initialisation
+    /// (regions covered by host memory copies, or declared read-only by the
+    /// programming model).
+    pub fn mark_readonly(&mut self, start: u64, len: u64, partition: gpu_types::PartitionId) {
+        let first = start / self.region_bytes;
+        let last = (start + len.max(1) - 1) / self.region_bytes;
+        for r in first..=last {
+            let idx = self.index_of_region(RegionId { partition, index: r });
+            self.bits[idx] = true;
+            self.state[idx].cleared_by = None;
+        }
+    }
+
+    /// Predicts whether the region holding `la` is read-only.
+    pub fn predict(&self, la: LocalAddr) -> bool {
+        self.bits[self.index_of_region(self.region_of(la))]
+    }
+
+    /// Predicts and classifies the prediction against the oracle truth
+    /// (`truly_readonly`), updating the Fig. 10 accuracy counters.
+    pub fn predict_accounted(&mut self, la: LocalAddr, truly_readonly: bool) -> bool {
+        let region = self.region_of(la);
+        let idx = self.index_of_region(region);
+        let predicted = self.bits[idx];
+        if predicted == truly_readonly {
+            self.accuracy.correct += 1;
+        } else if !predicted && truly_readonly {
+            // Predicted not-read-only though the region never gets written.
+            match self.state[idx].cleared_by {
+                Some(r) if r != region.index => self.accuracy.mp_aliasing += 1,
+                _ => self.accuracy.mp_init += 1,
+            }
+        } else {
+            // Predicted read-only but the region is actually written later:
+            // counted as an initialisation artefact (the bit will clear at
+            // the first store and stay correct afterwards).
+            self.accuracy.mp_init += 1;
+        }
+        predicted
+    }
+
+    /// Records a store to `la`.  Returns `true` if this store transitions
+    /// the region read-only → not-read-only (triggering shared-counter
+    /// propagation, Fig. 8).
+    pub fn on_write(&mut self, la: LocalAddr) -> bool {
+        let region = self.region_of(la);
+        let idx = self.index_of_region(region);
+        let was_ro = self.bits[idx];
+        if was_ro {
+            self.bits[idx] = false;
+            self.state[idx].cleared_by = Some(region.index);
+        }
+        was_ro
+    }
+
+    /// Applies `InputReadOnlyReset(range)`: re-marks the range read-only.
+    /// (The shared-counter adjustment is the engine's job.)
+    pub fn input_readonly_reset(&mut self, start: u64, len: u64, partition: gpu_types::PartitionId) {
+        self.mark_readonly(start, len, partition);
+    }
+
+    /// Accuracy counters accumulated by [`Self::predict_accounted`].
+    pub fn accuracy(&self) -> RoAccuracy {
+        self.accuracy
+    }
+
+    /// Number of predictor entries.
+    pub fn entries(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Region granularity in bytes.
+    pub fn region_bytes(&self) -> u64 {
+        self.region_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_types::PartitionId;
+
+    const P: PartitionId = PartitionId(0);
+
+    fn la(off: u64) -> LocalAddr {
+        LocalAddr::new(P, off)
+    }
+
+    fn pred() -> ReadOnlyPredictor {
+        ReadOnlyPredictor::new(1024, 16 * 1024)
+    }
+
+    #[test]
+    fn default_is_not_read_only() {
+        let p = pred();
+        assert!(!p.predict(la(0)));
+    }
+
+    #[test]
+    fn memcpy_marks_read_only() {
+        let mut p = pred();
+        p.mark_readonly(0, 64 * 1024, P);
+        assert!(p.predict(la(0)));
+        assert!(p.predict(la(48 * 1024)));
+        assert!(!p.predict(la(64 * 1024)), "range end excluded");
+    }
+
+    #[test]
+    fn first_store_transitions_once() {
+        let mut p = pred();
+        p.mark_readonly(0, 16 * 1024, P);
+        assert!(p.on_write(la(128)), "first store should transition");
+        assert!(!p.predict(la(0)), "region stays not-read-only");
+        assert!(!p.on_write(la(256)), "second store is not a transition");
+    }
+
+    #[test]
+    fn reset_api_restores_read_only() {
+        let mut p = pred();
+        p.mark_readonly(0, 16 * 1024, P);
+        p.on_write(la(0));
+        p.input_readonly_reset(0, 16 * 1024, P);
+        assert!(p.predict(la(0)));
+    }
+
+    #[test]
+    fn aliasing_clears_conflicting_region() {
+        let mut p = ReadOnlyPredictor::new(4, 16 * 1024);
+        // Regions 0 and 4 share index 0.
+        p.mark_readonly(0, 16 * 1024, P);
+        assert!(p.predict(la(0)));
+        p.on_write(la(4 * 16 * 1024)); // write to aliasing region 4
+        assert!(!p.predict(la(0)), "aliased write must clear the shared bit");
+    }
+
+    #[test]
+    fn aliasing_is_conservative_not_unsafe() {
+        // Aliasing may only flip read-only -> not-read-only (safe direction):
+        // marking region A read-only also marks its alias, but only at init
+        // time, which models the command processor's explicit marking.
+        let mut p = ReadOnlyPredictor::new(4, 16 * 1024);
+        p.on_write(la(0));
+        assert!(!p.predict(la(4 * 16 * 1024)) || p.predict(la(4 * 16 * 1024)));
+        // After any runtime write, both alias partners read as NRO.
+        p.mark_readonly(0, 16 * 1024, P);
+        p.on_write(la(4 * 16 * 1024));
+        assert!(!p.predict(la(0)));
+    }
+
+    #[test]
+    fn accuracy_breakdown_init_vs_aliasing() {
+        let mut p = ReadOnlyPredictor::new(4, 16 * 1024);
+        // Truly-RO region never marked: MP_Init.
+        p.predict_accounted(la(0), true);
+        assert_eq!(p.accuracy().mp_init, 1);
+
+        // Mark it, then alias-clear it, then query: MP_Aliasing.
+        p.mark_readonly(0, 16 * 1024, P);
+        p.on_write(la(4 * 16 * 1024));
+        p.predict_accounted(la(0), true);
+        assert_eq!(p.accuracy().mp_aliasing, 1);
+
+        // Correct prediction counted.
+        p.mark_readonly(16 * 1024, 16 * 1024, P);
+        p.predict_accounted(la(16 * 1024), true);
+        assert_eq!(p.accuracy().correct, 1);
+        assert!((p.accuracy().accuracy() - 1.0 / 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,464 @@
+//! The streaming-access detector: prediction bit vector + memory access
+//! trackers (Section IV-C).
+//!
+//! Each partition keeps a 2048-entry bit vector indexed by 4 KB chunk id
+//! (eagerly initialised to all-streaming, since GPU workloads mostly
+//! stream), plus eight *memory access trackers* (MATs).  A MAT latches onto
+//! one chunk and counts which of its 32 blocks get touched; after K = 32
+//! accesses or a 6000-cycle timeout it renders a verdict — streaming if
+//! every block was touched, random otherwise — and updates the bit vector.
+
+use gpu_types::{ChunkId, LocalAddr, BLOCK_BYTES};
+
+/// Verdict produced when a tracker finishes a monitoring phase.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Detection {
+    /// The monitored chunk.
+    pub chunk: ChunkId,
+    /// Whether the chunk was detected as streaming.
+    pub streaming: bool,
+    /// Whether any write-back hit the chunk during monitoring.
+    pub had_write: bool,
+    /// The prediction that was in force while monitoring.
+    pub predicted_streaming: bool,
+}
+
+/// One chunk-level memory access tracker (Table IX: 20-bit tag, 32 1-bit
+/// counters, write flag, 5-bit access counter, 13-bit timeout).
+#[derive(Clone, Debug)]
+struct Tracker {
+    chunk: ChunkId,
+    touched: u64,
+    write_flag: bool,
+    accesses: u32,
+    started_at: u64,
+    predicted_streaming: bool,
+}
+
+impl Tracker {
+    fn verdict(&self, blocks_per_chunk: u64) -> bool {
+        let full: u64 = if blocks_per_chunk >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << blocks_per_chunk) - 1
+        };
+        self.touched == full
+    }
+}
+
+/// The set of MATs for one partition.
+#[derive(Clone, Debug)]
+pub struct AccessTrackers {
+    trackers: Vec<Option<Tracker>>,
+    phase_accesses: u32,
+    timeout_cycles: u64,
+    chunk_bytes: u64,
+}
+
+impl AccessTrackers {
+    /// Creates `n` trackers over 4 KB chunks (the paper's configuration)
+    /// with a `phase_accesses`-access monitoring phase and `timeout_cycles`
+    /// timeout.
+    pub fn new(n: usize, phase_accesses: u32, timeout_cycles: u64) -> Self {
+        Self::with_chunk_bytes(n, phase_accesses, timeout_cycles, gpu_types::CHUNK_BYTES)
+    }
+
+    /// Creates trackers monitoring `chunk_bytes`-sized chunks (for the
+    /// chunk-size sensitivity study; at most 64 blocks = 8 KB chunks).
+    pub fn with_chunk_bytes(
+        n: usize,
+        phase_accesses: u32,
+        timeout_cycles: u64,
+        chunk_bytes: u64,
+    ) -> Self {
+        assert!(n > 0 && phase_accesses > 0);
+        assert!(
+            chunk_bytes.is_power_of_two()
+                && chunk_bytes >= BLOCK_BYTES
+                && chunk_bytes / BLOCK_BYTES <= 64,
+            "chunk must be a power of two, one to 64 blocks"
+        );
+        Self {
+            trackers: vec![None; n],
+            phase_accesses,
+            timeout_cycles,
+            chunk_bytes,
+        }
+    }
+
+    /// Expires trackers whose monitoring phase timed out, returning their
+    /// verdicts.
+    pub fn poll(&mut self, now: u64) -> Vec<Detection> {
+        let timeout = self.timeout_cycles;
+        let blocks = self.chunk_bytes / BLOCK_BYTES;
+        let mut out = Vec::new();
+        for slot in &mut self.trackers {
+            if let Some(t) = slot {
+                if now.saturating_sub(t.started_at) >= timeout {
+                    out.push(Detection {
+                        chunk: t.chunk,
+                        streaming: t.verdict(blocks),
+                        had_write: t.write_flag,
+                        predicted_streaming: t.predicted_streaming,
+                    });
+                    *slot = None;
+                }
+            }
+        }
+        out
+    }
+
+    /// Feeds one memory access (an L2 miss or write-back).  If the access
+    /// completes a monitoring phase, returns the verdict.
+    ///
+    /// `predicted_streaming` is the bit-vector prediction in force for the
+    /// chunk, recorded so the engine can classify the verdict against it.
+    pub fn observe(
+        &mut self,
+        now: u64,
+        la: LocalAddr,
+        is_write: bool,
+        predicted_streaming: bool,
+    ) -> Option<Detection> {
+        let chunk = ChunkId {
+            partition: la.partition,
+            index: la.offset / self.chunk_bytes,
+        };
+        let block = ((la.offset % self.chunk_bytes) / BLOCK_BYTES) as usize;
+        let blocks = self.chunk_bytes / BLOCK_BYTES;
+
+        // Existing tracker for this chunk?
+        if let Some(slot) = self
+            .trackers
+            .iter_mut()
+            .find(|s| s.as_ref().is_some_and(|t| t.chunk == chunk))
+        {
+            let t = slot.as_mut().expect("checked above");
+            let bit = 1u64 << block;
+            // Counters are maintained at cache-block granularity (Section
+            // IV-C): repeated sector accesses to an already-counted block
+            // saturate its 1-bit counter and do not advance the phase.
+            if t.touched & bit == 0 {
+                t.touched |= bit;
+                t.accesses += 1;
+            }
+            t.write_flag |= is_write;
+            if t.accesses >= self.phase_accesses {
+                let det = Detection {
+                    chunk: t.chunk,
+                    streaming: t.verdict(blocks),
+                    had_write: t.write_flag,
+                    predicted_streaming: t.predicted_streaming,
+                };
+                *slot = None;
+                return Some(det);
+            }
+            return None;
+        }
+
+        // Allocate a free tracker; if none, the access goes unmonitored
+        // (bounded hardware, Section IV-C).
+        if let Some(slot) = self.trackers.iter_mut().find(|s| s.is_none()) {
+            *slot = Some(Tracker {
+                chunk,
+                touched: 1u64 << block,
+                write_flag: is_write,
+                accesses: 1,
+                started_at: now,
+                predicted_streaming,
+            });
+        }
+        None
+    }
+
+    /// Number of chunks currently being monitored.
+    pub fn active(&self) -> usize {
+        self.trackers.iter().filter(|s| s.is_some()).count()
+    }
+}
+
+/// Why a streaming prediction disagreed with the oracle (Fig. 11 breakdown).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StreamMispredict {
+    /// The eager all-streaming initialisation was wrong for this chunk.
+    Init,
+    /// The access pattern changed at runtime, in a read-only region.
+    RuntimeReadOnly,
+    /// The access pattern changed at runtime, in a non-read-only region.
+    RuntimeNonReadOnly,
+    /// A different chunk sharing the bit-vector index overwrote the entry.
+    Aliasing,
+}
+
+/// Prediction-accuracy counters for Fig. 11.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StreamAccuracy {
+    /// Predictions agreeing with the oracle.
+    pub correct: u64,
+    /// Mispredictions from the all-streaming initialisation.
+    pub mp_init: u64,
+    /// Runtime pattern changes in read-only regions.
+    pub mp_runtime_read_only: u64,
+    /// Runtime pattern changes in non-read-only regions.
+    pub mp_runtime_non_read_only: u64,
+    /// Bit-vector aliasing.
+    pub mp_aliasing: u64,
+}
+
+impl StreamAccuracy {
+    /// Total classified predictions.
+    pub fn total(&self) -> u64 {
+        self.correct
+            + self.mp_init
+            + self.mp_runtime_read_only
+            + self.mp_runtime_non_read_only
+            + self.mp_aliasing
+    }
+
+    /// Fraction of correct predictions.
+    pub fn accuracy(&self) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            1.0
+        } else {
+            self.correct as f64 / t as f64
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct StreamEntry {
+    streaming: bool,
+    /// Chunk index that last wrote this entry (None = initial value).
+    writer: Option<u64>,
+}
+
+/// The per-partition streaming prediction bit vector.
+#[derive(Clone, Debug)]
+pub struct StreamingPredictor {
+    entries: Vec<StreamEntry>,
+    chunk_bytes: u64,
+    accuracy: StreamAccuracy,
+}
+
+impl StreamingPredictor {
+    /// Creates a predictor with `entries` bits over `chunk_bytes` chunks,
+    /// eagerly initialised to all-streaming.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is zero or `chunk_bytes` is not a power of two.
+    pub fn new(entries: usize, chunk_bytes: u64) -> Self {
+        assert!(entries > 0);
+        assert!(chunk_bytes.is_power_of_two());
+        Self {
+            entries: vec![
+                StreamEntry {
+                    streaming: true,
+                    writer: None
+                };
+                entries
+            ],
+            chunk_bytes,
+            accuracy: StreamAccuracy::default(),
+        }
+    }
+
+    fn index_of(&self, chunk: ChunkId) -> usize {
+        (chunk.index % self.entries.len() as u64) as usize
+    }
+
+    /// Predicts whether the chunk holding `la` is streaming-accessed.
+    pub fn predict(&self, la: LocalAddr) -> bool {
+        let chunk = ChunkId {
+            partition: la.partition,
+            index: la.offset / self.chunk_bytes,
+        };
+        self.entries[self.index_of(chunk)].streaming
+    }
+
+    /// Predicts and classifies against the oracle truth for Fig. 11.
+    ///
+    /// `truly_streaming` is the oracle's verdict for this chunk and
+    /// `region_read_only` the oracle's read-only truth for its region.
+    pub fn predict_accounted(
+        &mut self,
+        la: LocalAddr,
+        truly_streaming: bool,
+        region_read_only: bool,
+    ) -> bool {
+        let chunk = ChunkId {
+            partition: la.partition,
+            index: la.offset / self.chunk_bytes,
+        };
+        let idx = self.index_of(chunk);
+        let entry = self.entries[idx];
+        let predicted = entry.streaming;
+        if predicted == truly_streaming {
+            self.accuracy.correct += 1;
+        } else {
+            match entry.writer {
+                None => self.accuracy.mp_init += 1,
+                Some(w) if w != chunk.index => self.accuracy.mp_aliasing += 1,
+                Some(_) => {
+                    // The entry was written by a detection of this very
+                    // chunk, yet disagrees with the oracle: the pattern
+                    // changed at runtime.
+                    if region_read_only {
+                        self.accuracy.mp_runtime_read_only += 1;
+                    } else {
+                        self.accuracy.mp_runtime_non_read_only += 1;
+                    }
+                }
+            }
+        }
+        predicted
+    }
+
+    /// Applies a tracker verdict to the bit vector.
+    pub fn update(&mut self, det: &Detection) {
+        let idx = self.index_of(det.chunk);
+        self.entries[idx] = StreamEntry {
+            streaming: det.streaming,
+            writer: Some(det.chunk.index),
+        };
+    }
+
+    /// Accuracy counters accumulated by [`Self::predict_accounted`].
+    pub fn accuracy(&self) -> StreamAccuracy {
+        self.accuracy
+    }
+
+    /// Number of predictor entries.
+    pub fn entries(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_types::PartitionId;
+
+    const P: PartitionId = PartitionId(0);
+
+    fn la(off: u64) -> LocalAddr {
+        LocalAddr::new(P, off)
+    }
+
+    #[test]
+    fn predictor_starts_all_streaming() {
+        let p = StreamingPredictor::new(2048, 4096);
+        assert!(p.predict(la(0)));
+        assert!(p.predict(la(123 * 4096)));
+    }
+
+    #[test]
+    fn tracker_detects_streaming_sweep() {
+        let mut mats = AccessTrackers::new(8, 32, 6000);
+        let mut det = None;
+        for b in 0..32u64 {
+            det = mats.observe(b, la(b * 128), false, true).or(det);
+        }
+        let d = det.expect("phase should complete after 32 accesses");
+        assert!(d.streaming, "full sweep must be streaming");
+        assert!(!d.had_write);
+    }
+
+    #[test]
+    fn tracker_detects_random_pattern() {
+        let mut mats = AccessTrackers::new(8, 32, 6000);
+        // Repeated accesses to only 4 distinct blocks never reach the K
+        // distinct-block threshold; the timeout renders the verdict.
+        for i in 0..32u64 {
+            assert_eq!(mats.observe(i, la((i % 4) * 128), true, true), None);
+        }
+        let dets = mats.poll(6001);
+        assert_eq!(dets.len(), 1);
+        assert!(!dets[0].streaming, "partial coverage must be random");
+        assert!(dets[0].had_write);
+    }
+
+    #[test]
+    fn tracker_timeout_renders_verdict() {
+        let mut mats = AccessTrackers::new(8, 32, 6000);
+        mats.observe(0, la(0), false, true);
+        mats.observe(10, la(128), false, true);
+        assert_eq!(mats.active(), 1);
+        let dets = mats.poll(7000);
+        assert_eq!(dets.len(), 1);
+        assert!(!dets[0].streaming, "2 of 32 blocks touched at timeout");
+        assert_eq!(mats.active(), 0);
+    }
+
+    #[test]
+    fn trackers_are_bounded() {
+        let mut mats = AccessTrackers::new(2, 32, 6000);
+        mats.observe(0, la(0), false, true);
+        mats.observe(0, la(4096), false, true);
+        mats.observe(0, la(8192), false, true); // no free tracker: dropped
+        assert_eq!(mats.active(), 2);
+    }
+
+    #[test]
+    fn verdict_updates_bit_vector() {
+        let mut p = StreamingPredictor::new(2048, 4096);
+        let det = Detection {
+            chunk: ChunkId { partition: P, index: 5 },
+            streaming: false,
+            had_write: false,
+            predicted_streaming: true,
+        };
+        p.update(&det);
+        assert!(!p.predict(la(5 * 4096)));
+        assert!(p.predict(la(6 * 4096)), "other chunks unaffected");
+    }
+
+    #[test]
+    fn accuracy_breakdown() {
+        let mut p = StreamingPredictor::new(4, 4096);
+        // Initial all-streaming vs random truth: MP_Init.
+        p.predict_accounted(la(0), false, false);
+        assert_eq!(p.accuracy().mp_init, 1);
+
+        // Self-written entry that later disagrees: runtime change.
+        p.update(&Detection {
+            chunk: ChunkId { partition: P, index: 0 },
+            streaming: false,
+            had_write: true,
+            predicted_streaming: true,
+        });
+        p.predict_accounted(la(0), true, false);
+        assert_eq!(p.accuracy().mp_runtime_non_read_only, 1);
+        p.predict_accounted(la(0), true, true);
+        assert_eq!(p.accuracy().mp_runtime_read_only, 1);
+
+        // Entry written by an aliasing chunk (index 4 aliases 0 in a 4-entry
+        // vector): MP_Aliasing.
+        p.update(&Detection {
+            chunk: ChunkId { partition: P, index: 4 },
+            streaming: true,
+            had_write: false,
+            predicted_streaming: true,
+        });
+        p.predict_accounted(la(0), false, false);
+        assert_eq!(p.accuracy().mp_aliasing, 1);
+
+        // Agreement counts as correct.
+        p.predict_accounted(la(0), true, false);
+        assert_eq!(p.accuracy().correct, 1);
+        assert_eq!(p.accuracy().total(), 5);
+    }
+
+    #[test]
+    fn phase_resets_after_verdict() {
+        let mut mats = AccessTrackers::new(1, 4, 6000);
+        for b in 0..4u64 {
+            mats.observe(b, la(b * 128), false, true);
+        }
+        assert_eq!(mats.active(), 0, "tracker freed after verdict");
+        // Tracker can immediately monitor another chunk.
+        mats.observe(10, la(4096), false, true);
+        assert_eq!(mats.active(), 1);
+    }
+}

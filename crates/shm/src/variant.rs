@@ -1,0 +1,83 @@
+//! The SHM design variants evaluated in the paper (Table VIII).
+
+/// Which SHM configuration to run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ShmVariant {
+    /// `SHM_readOnly`: per-block MACs, but the shared counter removes
+    /// counter + BMT traffic for read-only regions.
+    ReadOnlyOnly,
+    /// `SHM`: read-only optimisation + dual-granularity MACs.
+    Full,
+    /// `SHM_cctr`: SHM combined with common counters.
+    FullCctr,
+    /// `SHM_vL2`: SHM using the L2 as a victim cache for metadata.
+    FullVictimL2,
+    /// `SHM_upper_bound`: SHM with oracle (unlimited, profiled) predictors.
+    UpperBound,
+}
+
+impl ShmVariant {
+    /// All variants, in the paper's figure order.
+    pub const ALL: [ShmVariant; 5] = [
+        ShmVariant::ReadOnlyOnly,
+        ShmVariant::Full,
+        ShmVariant::FullCctr,
+        ShmVariant::FullVictimL2,
+        ShmVariant::UpperBound,
+    ];
+
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            ShmVariant::ReadOnlyOnly => "SHM_readOnly",
+            ShmVariant::Full => "SHM",
+            ShmVariant::FullCctr => "SHM_cctr",
+            ShmVariant::FullVictimL2 => "SHM_vL2",
+            ShmVariant::UpperBound => "SHM_upper_bound",
+        }
+    }
+
+    /// Whether dual-granularity MACs are enabled.
+    pub fn dual_mac(self) -> bool {
+        !matches!(self, ShmVariant::ReadOnlyOnly)
+    }
+
+    /// Whether common counters are layered on top.
+    pub fn common_counters(self) -> bool {
+        matches!(self, ShmVariant::FullCctr)
+    }
+
+    /// Whether the L2 victim cache is used for metadata.
+    pub fn victim_l2(self) -> bool {
+        matches!(self, ShmVariant::FullVictimL2)
+    }
+
+    /// Whether oracle predictors replace the hardware detectors.
+    pub fn oracle(self) -> bool {
+        matches!(self, ShmVariant::UpperBound)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(ShmVariant::Full.name(), "SHM");
+        assert_eq!(ShmVariant::ReadOnlyOnly.name(), "SHM_readOnly");
+        assert_eq!(ShmVariant::FullCctr.name(), "SHM_cctr");
+        assert_eq!(ShmVariant::FullVictimL2.name(), "SHM_vL2");
+        assert_eq!(ShmVariant::UpperBound.name(), "SHM_upper_bound");
+    }
+
+    #[test]
+    fn feature_matrix() {
+        assert!(!ShmVariant::ReadOnlyOnly.dual_mac());
+        assert!(ShmVariant::Full.dual_mac());
+        assert!(ShmVariant::FullCctr.common_counters());
+        assert!(!ShmVariant::Full.common_counters());
+        assert!(ShmVariant::FullVictimL2.victim_l2());
+        assert!(ShmVariant::UpperBound.oracle());
+    }
+}

@@ -1,0 +1,292 @@
+//! Benchmark profiles calibrated to Table VII and Fig. 5.
+
+use gpu_mem_sim::ContextTrace;
+
+use crate::synth::Synthesizer;
+
+/// Characterisation of one benchmark's memory behaviour.
+///
+/// Fractions are over warp-level memory accesses.  `readonly_frac +
+/// write_frac` must not exceed 1 (writes never target read-only data).
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchmarkProfile {
+    /// Benchmark name (Table VII).
+    pub name: &'static str,
+    /// Target DRAM bandwidth utilisation (midpoint of Table VII's range).
+    pub bandwidth_util: f64,
+    /// Fraction of accesses touching read-only data (Fig. 5).
+    pub readonly_frac: f64,
+    /// Fraction of accesses with a streaming pattern (Fig. 5).
+    pub streaming_frac: f64,
+    /// Fraction of accesses that are writes.
+    pub write_frac: f64,
+    /// Fraction of random accesses served by a small hot working set
+    /// (controls the L2 hit rate).
+    pub l2_locality: f64,
+    /// Whether the benchmark uses texture memory (Table VII).
+    pub uses_texture: bool,
+    /// Number of kernel invocations.
+    pub kernels: u32,
+    /// Whether the host re-copies input between kernels (exercising
+    /// `InputReadOnlyReset`).
+    pub reuses_input: bool,
+    /// Fraction of the read-only data the command processor does *not* mark
+    /// at initialisation (data that becomes read-only without going through
+    /// a tracked memory-copy API — the paper's `MP_Init` source, Fig. 10).
+    pub unmarked_readonly_frac: f64,
+    /// Total device footprint in bytes.
+    pub footprint_bytes: u64,
+    /// Warp-level events generated per kernel.
+    pub events_per_kernel: u64,
+}
+
+impl BenchmarkProfile {
+    /// The Table VII benchmark suite.
+    ///
+    /// Bandwidth utilisations are Table VII midpoints; read-only and
+    /// streaming fractions are calibrated to Fig. 5 (exact for fdtd2d,
+    /// which the paper quotes numerically; estimated from the figure for
+    /// the rest).
+    pub fn suite() -> Vec<BenchmarkProfile> {
+        let base = BenchmarkProfile {
+            name: "",
+            bandwidth_util: 0.5,
+            readonly_frac: 0.5,
+            streaming_frac: 0.5,
+            write_frac: 0.2,
+            l2_locality: 0.3,
+            uses_texture: false,
+            kernels: 1,
+            reuses_input: false,
+            unmarked_readonly_frac: 0.10,
+            footprint_bytes: 6 << 20,
+            events_per_kernel: 60_000,
+        };
+        vec![
+            BenchmarkProfile {
+                name: "atax",
+                bandwidth_util: 0.23,
+                readonly_frac: 0.90,
+                streaming_frac: 0.93,
+                write_frac: 0.05,
+                l2_locality: 0.40,
+                ..base.clone()
+            },
+            BenchmarkProfile {
+                name: "backprop",
+                unmarked_readonly_frac: 0.25,
+                bandwidth_util: 0.38,
+                readonly_frac: 0.60,
+                streaming_frac: 0.72,
+                write_frac: 0.22,
+                kernels: 2,
+                ..base.clone()
+            },
+            BenchmarkProfile {
+                name: "bfs",
+                unmarked_readonly_frac: 0.35,
+                bandwidth_util: 0.32,
+                readonly_frac: 0.30,
+                streaming_frac: 0.32,
+                write_frac: 0.30,
+                l2_locality: 0.20,
+                kernels: 3,
+                ..base.clone()
+            },
+            BenchmarkProfile {
+                name: "b+tree",
+                bandwidth_util: 0.14,
+                readonly_frac: 0.72,
+                streaming_frac: 0.30,
+                write_frac: 0.08,
+                l2_locality: 0.50,
+                ..base.clone()
+            },
+            BenchmarkProfile {
+                name: "cfd",
+                bandwidth_util: 0.51,
+                readonly_frac: 0.50,
+                streaming_frac: 0.80,
+                write_frac: 0.25,
+                kernels: 2,
+                ..base.clone()
+            },
+            BenchmarkProfile {
+                name: "fdtd2d",
+                unmarked_readonly_frac: 0.001,
+                bandwidth_util: 0.915,
+                readonly_frac: 0.9987,
+                streaming_frac: 0.9935,
+                write_frac: 0.001,
+                l2_locality: 0.05,
+                kernels: 2,
+                reuses_input: true,
+                events_per_kernel: 80_000,
+                ..base.clone()
+            },
+            BenchmarkProfile {
+                name: "kmeans",
+                bandwidth_util: 0.74,
+                readonly_frac: 0.85,
+                streaming_frac: 0.80,
+                write_frac: 0.06,
+                uses_texture: true,
+                ..base.clone()
+            },
+            BenchmarkProfile {
+                name: "mvt",
+                bandwidth_util: 0.22,
+                readonly_frac: 0.90,
+                streaming_frac: 0.92,
+                write_frac: 0.05,
+                l2_locality: 0.40,
+                ..base.clone()
+            },
+            BenchmarkProfile {
+                name: "histo",
+                bandwidth_util: 0.55,
+                readonly_frac: 0.50,
+                streaming_frac: 0.60,
+                write_frac: 0.35,
+                l2_locality: 0.45,
+                ..base.clone()
+            },
+            BenchmarkProfile {
+                name: "lbm",
+                bandwidth_util: 0.95,
+                readonly_frac: 0.45,
+                streaming_frac: 0.70,
+                write_frac: 0.45,
+                l2_locality: 0.05,
+                events_per_kernel: 80_000,
+                ..base.clone()
+            },
+            BenchmarkProfile {
+                name: "mri-gridding",
+                unmarked_readonly_frac: 0.30,
+                bandwidth_util: 0.385,
+                readonly_frac: 0.35,
+                streaming_frac: 0.40,
+                write_frac: 0.35,
+                l2_locality: 0.25,
+                ..base.clone()
+            },
+            BenchmarkProfile {
+                name: "sad",
+                bandwidth_util: 0.17,
+                readonly_frac: 0.80,
+                streaming_frac: 0.70,
+                write_frac: 0.15,
+                uses_texture: true,
+                l2_locality: 0.10,
+                ..base.clone()
+            },
+            BenchmarkProfile {
+                name: "stencil",
+                bandwidth_util: 0.265,
+                readonly_frac: 0.60,
+                streaming_frac: 0.85,
+                write_frac: 0.25,
+                ..base.clone()
+            },
+            BenchmarkProfile {
+                name: "srad",
+                unmarked_readonly_frac: 0.30,
+                bandwidth_util: 0.21,
+                readonly_frac: 0.55,
+                streaming_frac: 0.70,
+                write_frac: 0.25,
+                kernels: 2,
+                ..base.clone()
+            },
+            BenchmarkProfile {
+                name: "srad_v2",
+                bandwidth_util: 0.75,
+                readonly_frac: 0.60,
+                streaming_frac: 0.85,
+                write_frac: 0.25,
+                ..base.clone()
+            },
+            BenchmarkProfile {
+                name: "streamcluster",
+                bandwidth_util: 0.78,
+                readonly_frac: 0.88,
+                streaming_frac: 0.90,
+                write_frac: 0.08,
+                ..base.clone()
+            },
+        ]
+    }
+
+    /// Looks up a profile by name.
+    pub fn by_name(name: &str) -> Option<BenchmarkProfile> {
+        Self::suite().into_iter().find(|p| p.name == name)
+    }
+
+    /// Per-access think cycles that achieve roughly `bandwidth_util` on the
+    /// Table-V GPU: utilisation is the ratio of the DRAM sectors the SMs can
+    /// demand per cycle to what the channels can deliver (~7 sectors/cycle).
+    pub fn think_cycles(&self) -> u32 {
+        let sm_issue_rate = 30.0; // accesses/cycle at think = 0
+        let dram_sectors_per_cycle = 7.0;
+        // Only DRAM-missing accesses consume bandwidth.
+        let miss_rate = (1.0 - self.l2_locality).max(0.05);
+        let target_issue = dram_sectors_per_cycle * self.bandwidth_util / miss_rate;
+        let think = sm_issue_rate / target_issue - 1.0;
+        think.clamp(0.0, 255.0) as u32
+    }
+
+    /// Generates the context trace for this profile.
+    pub fn generate(&self, seed: u64) -> ContextTrace {
+        Synthesizer::new(self, seed).build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_covers_table_vii() {
+        let suite = BenchmarkProfile::suite();
+        assert_eq!(suite.len(), 16);
+        for p in &suite {
+            assert!(
+                p.readonly_frac + p.write_frac <= 1.0 + 1e-9,
+                "{}: writes into read-only data",
+                p.name
+            );
+            assert!(p.bandwidth_util > 0.0 && p.bandwidth_util <= 1.0);
+            assert!(p.kernels >= 1);
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(BenchmarkProfile::by_name("fdtd2d").is_some());
+        assert!(BenchmarkProfile::by_name("nonesuch").is_none());
+    }
+
+    #[test]
+    fn fdtd2d_matches_paper_quotes() {
+        let p = BenchmarkProfile::by_name("fdtd2d").expect("in suite");
+        assert!((p.readonly_frac - 0.9987).abs() < 1e-6);
+        assert!((p.streaming_frac - 0.9935).abs() < 1e-6);
+        assert!(p.bandwidth_util > 0.9);
+    }
+
+    #[test]
+    fn high_bandwidth_means_low_think() {
+        let lbm = BenchmarkProfile::by_name("lbm").expect("in suite");
+        let sad = BenchmarkProfile::by_name("sad").expect("in suite");
+        assert!(lbm.think_cycles() < sad.think_cycles());
+    }
+
+    #[test]
+    fn texture_benchmarks_flagged() {
+        for name in ["kmeans", "sad"] {
+            assert!(BenchmarkProfile::by_name(name).expect("in suite").uses_texture);
+        }
+        assert!(!BenchmarkProfile::by_name("lbm").expect("in suite").uses_texture);
+    }
+}

@@ -1,0 +1,416 @@
+//! The trace synthesizer turning a profile into a context trace.
+
+use gpu_mem_sim::{ContextTrace, HostAction, KernelTrace};
+use gpu_types::{AccessKind, MemEvent, MemorySpace, PhysAddr, SplitMix64, Warp};
+
+use crate::profile::BenchmarkProfile;
+
+/// Buffers are aligned to one local 16 KB region per partition: with 12
+/// partitions interleaved at 256 B, 16 KB of local space corresponds to
+/// 192 KB of contiguous physical space.
+const BUFFER_ALIGN: u64 = 16 * 1024 * 12;
+
+/// Number of distinct warps generated.
+const NUM_WARPS: u32 = 60;
+
+/// Size of the hot working set used for local (L2-friendly) random accesses.
+const HOT_SET_BYTES: u64 = 256 * 1024;
+
+/// One synthetic device buffer.
+#[derive(Clone, Copy, Debug)]
+struct Buffer {
+    base: u64,
+    len: u64,
+}
+
+impl Buffer {
+    fn sectors(&self) -> u64 {
+        self.len / 32
+    }
+}
+
+/// Builds a [`ContextTrace`] matching a [`BenchmarkProfile`].
+pub struct Synthesizer<'a> {
+    profile: &'a BenchmarkProfile,
+    rng: SplitMix64,
+    ro_stream: Buffer,
+    ro_random: Buffer,
+    rw_stream: Buffer,
+    rw_random: Buffer,
+}
+
+impl<'a> Synthesizer<'a> {
+    /// Creates a synthesizer for `profile` with deterministic `seed`.
+    pub fn new(profile: &'a BenchmarkProfile, seed: u64) -> Self {
+        // Split the footprint into four buffers proportional to the access
+        // mix, aligned so read-only and read/write data never share a 16 KB
+        // local region (matching how real allocations separate buffers).
+        let n = profile.events_per_kernel as f64;
+        let ro = profile.readonly_frac;
+        let st = profile.streaming_frac;
+        let weights = [ro * st, ro * (1.0 - st), (1.0 - ro) * st, (1.0 - ro) * (1.0 - st)];
+        let total_w: f64 = weights.iter().sum();
+        let budget = profile.footprint_bytes as f64;
+        let mut bufs = [Buffer { base: 0, len: 0 }; 4];
+        let mut cursor = BUFFER_ALIGN; // leave page zero unused
+        for (i, w) in weights.iter().enumerate() {
+            let len = ((budget * w / total_w) as u64)
+                .max(BUFFER_ALIGN)
+                .next_multiple_of(BUFFER_ALIGN);
+            bufs[i] = Buffer { base: cursor, len };
+            cursor += len;
+        }
+        let _ = n;
+        Self {
+            profile,
+            rng: SplitMix64::new(seed ^ 0xC0FF_EE00_DEAD_BEEF),
+            ro_stream: bufs[0],
+            ro_random: bufs[1],
+            rw_stream: bufs[2],
+            rw_random: bufs[3],
+        }
+    }
+
+    /// The physical ranges the host copies in at context initialisation
+    /// (the read-only inputs).
+    ///
+    /// A fraction of each read-only buffer (`unmarked_readonly_frac`) is
+    /// deliberately left unmarked — data that is read-only in practice but
+    /// never went through a tracked memory-copy API — which becomes the
+    /// `MP_Init` component of the Fig. 10 prediction breakdown.
+    fn readonly_ranges(&self) -> Vec<(PhysAddr, u64)> {
+        let marked = (1.0 - self.profile.unmarked_readonly_frac).clamp(0.0, 1.0);
+        let span = |b: Buffer| ((b.len as f64 * marked) as u64 / BUFFER_ALIGN) * BUFFER_ALIGN;
+        vec![
+            (PhysAddr::new(self.ro_stream.base), span(self.ro_stream).max(BUFFER_ALIGN.min(self.ro_stream.len))),
+            (PhysAddr::new(self.ro_random.base), span(self.ro_random).max(BUFFER_ALIGN.min(self.ro_random.len))),
+        ]
+    }
+
+    /// Builds the full context trace.
+    pub fn build(mut self) -> ContextTrace {
+        let mut trace = ContextTrace::new(self.profile.name);
+        trace.readonly_init = self.readonly_ranges();
+        for k in 0..self.profile.kernels {
+            let mut kernel = KernelTrace::new(
+                format!("{}-k{}", self.profile.name, k),
+                self.kernel_events(k),
+            );
+            if k > 0 && self.profile.reuses_input {
+                // Host refreshes the input and re-arms the read-only fast
+                // path via the paper's new API.
+                kernel.pre_actions.push(HostAction::MemcpyToDevice {
+                    start: PhysAddr::new(self.ro_stream.base),
+                    len: self.ro_stream.len,
+                });
+                kernel.pre_actions.push(HostAction::InputReadOnlyReset {
+                    start: PhysAddr::new(self.ro_stream.base),
+                    len: self.ro_stream.len,
+                });
+            }
+            trace.kernels.push(kernel);
+        }
+        trace
+    }
+
+    /// Generates one kernel's events.
+    fn kernel_events(&mut self, kernel_idx: u32) -> Vec<MemEvent> {
+        let p = self.profile;
+        let n = p.events_per_kernel;
+        let think = p.think_cycles();
+
+        // Event-class budget (see profile invariants: ro + write <= 1).
+        let n_write = (n as f64 * p.write_frac) as u64;
+        let n_ro = (n as f64 * p.readonly_frac) as u64;
+        let n_rw_read = n.saturating_sub(n_write + n_ro);
+
+        let st = p.streaming_frac;
+        let plan = [
+            // (count, streaming-fraction source buffer pair, write?, read-only?)
+            ((n_ro as f64 * st) as u64, self.ro_stream, false, true, true),
+            ((n_ro as f64 * (1.0 - st)) as u64, self.ro_random, false, true, false),
+            ((n_rw_read as f64 * st) as u64, self.rw_stream, false, false, true),
+            ((n_rw_read as f64 * (1.0 - st)) as u64, self.rw_random, false, false, false),
+            ((n_write as f64 * st) as u64, self.rw_stream, true, false, true),
+            ((n_write as f64 * (1.0 - st)) as u64, self.rw_random, true, false, false),
+        ];
+
+        // Generate each class's event stream.
+        let mut streams: Vec<Vec<MemEvent>> = Vec::new();
+        for (count, buf, is_write, read_only, streaming) in plan {
+            if count == 0 {
+                streams.push(Vec::new());
+                continue;
+            }
+            let events = if streaming {
+                self.streaming_events(count, buf, is_write, read_only, think, kernel_idx)
+            } else {
+                self.random_events(count, buf, is_write, read_only, think)
+            };
+            streams.push(events);
+        }
+
+        // Interleave the class streams round-robin, weighted by length, to
+        // mimic concurrent warps touching different buffers.
+        interleave(streams, &mut self.rng)
+    }
+
+    /// Sequential sweep over `buf` (wrapping), 4-sector (one block) bursts
+    /// per warp for coalescing.
+    fn streaming_events(
+        &mut self,
+        count: u64,
+        buf: Buffer,
+        is_write: bool,
+        read_only: bool,
+        think: u32,
+        kernel_idx: u32,
+    ) -> Vec<MemEvent> {
+        let kind = if is_write { AccessKind::Write } else { AccessKind::Read };
+        let space = self.space_for(read_only);
+        let sectors = buf.sectors();
+        // Different kernels start their sweep at different offsets to vary
+        // which chunks complete (keeps multi-kernel traces from being
+        // byte-identical).
+        let start = (kernel_idx as u64 * 8192) % sectors;
+        (0..count)
+            .map(|i| {
+                let s = (start + i) % sectors;
+                MemEvent {
+                    addr: PhysAddr::new(buf.base + s * 32),
+                    kind,
+                    space,
+                    warp: Warp(((s / 4) % NUM_WARPS as u64) as u32),
+                    think_cycles: think,
+                }
+            })
+            .collect()
+    }
+
+    /// Random accesses over `buf`: clustered at the 64 KB scale (GPU
+    /// "random" access — pointer chasing, tree walks, histogram bins —
+    /// clusters heavily at the page scale even when chunk coverage stays
+    /// partial), with `l2_locality` of them drawn from a strided hot subset
+    /// that the L2 absorbs.
+    ///
+    /// The strided hot set (every 5th block) is reuse-friendly for the L2
+    /// but incapable of fully covering any 4 KB chunk, so locality never
+    /// turns a random buffer into a streaming-classified one.
+    fn random_events(
+        &mut self,
+        count: u64,
+        buf: Buffer,
+        is_write: bool,
+        read_only: bool,
+        think: u32,
+    ) -> Vec<MemEvent> {
+        const CLUSTER_BYTES: u64 = 64 * 1024;
+        const BURST: u64 = 32;
+        let kind = if is_write { AccessKind::Write } else { AccessKind::Read };
+        let space = self.space_for(read_only);
+        let locality = self.profile.l2_locality;
+        let buf_blocks = buf.len / 128;
+        let hot_blocks = (HOT_SET_BYTES / 128).min(buf_blocks / 5).max(1);
+        let clusters = (buf.len / CLUSTER_BYTES).max(1);
+        let cluster_sectors = CLUSTER_BYTES.min(buf.len) / 32;
+
+        let mut cluster_base = 0u64;
+        let mut burst_left = 0u64;
+        (0..count)
+            .map(|_| {
+                let addr = if self.rng.chance(locality) {
+                    let block = (self.rng.next_below(hot_blocks) * 5) % buf_blocks;
+                    buf.base + block * 128 + self.rng.next_below(4) * 32
+                } else {
+                    if burst_left == 0 {
+                        cluster_base = self.rng.next_below(clusters) * CLUSTER_BYTES;
+                        burst_left = BURST;
+                    }
+                    burst_left -= 1;
+                    buf.base + cluster_base + self.rng.next_below(cluster_sectors) * 32
+                };
+                MemEvent {
+                    addr: PhysAddr::new(addr),
+                    kind,
+                    space,
+                    warp: Warp(self.rng.next_below(NUM_WARPS as u64) as u32),
+                    think_cycles: think,
+                }
+            })
+            .collect()
+    }
+
+    fn space_for(&mut self, read_only: bool) -> MemorySpace {
+        if !read_only {
+            return MemorySpace::Global;
+        }
+        if self.profile.uses_texture && self.rng.chance(0.4) {
+            MemorySpace::Texture
+        } else if self.rng.chance(0.15) {
+            MemorySpace::Constant
+        } else {
+            MemorySpace::Global
+        }
+    }
+}
+
+/// Weighted round-robin interleave of several event streams.
+fn interleave(mut streams: Vec<Vec<MemEvent>>, rng: &mut SplitMix64) -> Vec<MemEvent> {
+    let total: usize = streams.iter().map(Vec::len).sum();
+    let mut cursors = vec![0usize; streams.len()];
+    let mut out = Vec::with_capacity(total);
+    while out.len() < total {
+        // Pick a stream with probability proportional to remaining events.
+        let remaining: Vec<u64> = streams
+            .iter()
+            .zip(&cursors)
+            .map(|(s, &c)| (s.len() - c) as u64)
+            .collect();
+        let total_rem: u64 = remaining.iter().sum();
+        let mut pick = rng.next_below(total_rem);
+        let mut chosen = 0;
+        for (i, &r) in remaining.iter().enumerate() {
+            if pick < r {
+                chosen = i;
+                break;
+            }
+            pick -= r;
+        }
+        // Take a small burst to preserve intra-warp locality.
+        let burst = 8.min(streams[chosen].len() - cursors[chosen]);
+        for _ in 0..burst {
+            out.push(streams[chosen][cursors[chosen]]);
+            cursors[chosen] += 1;
+        }
+    }
+    for (s, c) in streams.iter_mut().zip(&cursors) {
+        debug_assert_eq!(s.len(), *c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::BenchmarkProfile;
+    use gpu_types::PartitionMap;
+    use shm::OracleProfile;
+
+    fn check_fractions(name: &str, ro_tol: f64, st_tol: f64) {
+        let p = BenchmarkProfile::by_name(name).expect("profile exists");
+        let trace = p.generate(42);
+        let map = PartitionMap::new(12, 256);
+        let events: Vec<_> = trace.all_events().cloned().collect();
+        let oracle = OracleProfile::from_trace(&events, map);
+        let ro = oracle.read_only_fraction(&events, map);
+        let st = oracle.streaming_fraction(&events, map);
+        assert!(
+            (ro - p.readonly_frac).abs() < ro_tol,
+            "{name}: read-only fraction {ro:.3} target {:.3}",
+            p.readonly_frac
+        );
+        assert!(
+            (st - p.streaming_frac).abs() < st_tol,
+            "{name}: streaming fraction {st:.3} target {:.3}",
+            p.streaming_frac
+        );
+    }
+
+    #[test]
+    fn fdtd2d_fractions_match() {
+        check_fractions("fdtd2d", 0.05, 0.10);
+    }
+
+    #[test]
+    fn atax_fractions_match() {
+        check_fractions("atax", 0.10, 0.15);
+    }
+
+    #[test]
+    fn bfs_fractions_match() {
+        check_fractions("bfs", 0.12, 0.20);
+    }
+
+    #[test]
+    fn traces_are_deterministic() {
+        let p = BenchmarkProfile::by_name("mvt").expect("profile exists");
+        let a = p.generate(7);
+        let b = p.generate(7);
+        let ea: Vec<_> = a.all_events().collect();
+        let eb: Vec<_> = b.all_events().collect();
+        assert_eq!(ea, eb);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let p = BenchmarkProfile::by_name("histo").expect("profile exists");
+        let a: Vec<_> = p.generate(1).all_events().cloned().collect();
+        let b: Vec<_> = p.generate(2).all_events().cloned().collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn event_counts_match_profile() {
+        for p in BenchmarkProfile::suite() {
+            let t = p.generate(3);
+            assert_eq!(t.kernels.len() as u32, p.kernels, "{}", p.name);
+            for k in &t.kernels {
+                let n = k.events.len() as u64;
+                assert!(
+                    n >= p.events_per_kernel - 8 && n <= p.events_per_kernel + 8,
+                    "{}: {} events, wanted ~{}",
+                    p.name,
+                    n,
+                    p.events_per_kernel
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn writes_never_touch_readonly_buffers() {
+        for p in BenchmarkProfile::suite() {
+            let t = p.generate(4);
+            let ranges = t.readonly_init.clone();
+            for ev in t.all_events() {
+                if ev.kind.is_write() {
+                    for (base, len) in &ranges {
+                        assert!(
+                            ev.addr.raw() < base.raw() || ev.addr.raw() >= base.raw() + len,
+                            "{}: write at {:#x} inside read-only range",
+                            p.name,
+                            ev.addr.raw()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn texture_events_only_when_flagged() {
+        for p in BenchmarkProfile::suite() {
+            let t = p.generate(5);
+            let has_texture = t
+                .all_events()
+                .any(|e| e.space == gpu_types::MemorySpace::Texture);
+            if p.uses_texture {
+                assert!(has_texture, "{} should emit texture accesses", p.name);
+            } else {
+                assert!(!has_texture, "{} should not emit texture accesses", p.name);
+            }
+        }
+    }
+
+    #[test]
+    fn reusing_benchmarks_emit_reset_actions() {
+        let p = BenchmarkProfile::by_name("fdtd2d").expect("profile exists");
+        let t = p.generate(6);
+        assert!(t.kernels.len() >= 2);
+        assert!(t.kernels[0].pre_actions.is_empty());
+        assert!(t.kernels[1]
+            .pre_actions
+            .iter()
+            .any(|a| matches!(a, HostAction::InputReadOnlyReset { .. })));
+    }
+}

@@ -1,0 +1,75 @@
+//! Attack lab: demonstrate the security guarantees functionally.
+//!
+//! Uses the functional [`SecureMemory`] engine (real AES-128 counter-mode
+//! encryption, real 64-bit stateful MACs, a real Bonsai Merkle Tree) to show
+//! each physical attack from the paper's threat model being detected:
+//!
+//! 1. bus snooping sees only ciphertext,
+//! 2. memory tampering trips the per-block MAC,
+//! 3. replaying stale (data, MAC) pairs trips the stateful MAC,
+//! 4. replaying data + MAC + counters together trips the BMT,
+//! 5. cross-kernel replay of read-only inputs is defeated by the
+//!    `InputReadOnlyReset` shared-counter advance.
+//!
+//! ```sh
+//! cargo run --release --example attack_lab
+//! ```
+
+use shm_crypto::KeyTuple;
+use shm_metadata::{SecureMemory, VerifyError};
+
+fn main() {
+    let keys = KeyTuple::derive(0xD15C0);
+    let mut mem = SecureMemory::new(16 << 20, &keys);
+
+    // --- 1. Confidentiality -------------------------------------------------
+    let secret = *b"model weights are secret params!model weights are secret params!\
+model weights are secret params!model weights are secret params!";
+    mem.write_block(0x1000, &secret);
+    let (ciphertext, _) = mem.snapshot_block(0x1000);
+    assert_ne!(ciphertext, secret);
+    println!("1. bus snooper sees ciphertext: {:02x?}...", &ciphertext[..8]);
+    assert_eq!(mem.read_block(0x1000).expect("authorized read"), secret);
+    println!("   ...while the MEE decrypts and verifies the same bytes fine.");
+
+    // --- 2. Tampering -------------------------------------------------------
+    let mut flipped = ciphertext;
+    flipped[0] ^= 0x01;
+    mem.tamper_ciphertext(0x1000, flipped);
+    assert_eq!(mem.read_block(0x1000), Err(VerifyError::BlockMacMismatch));
+    println!("2. single-bit tamper in DRAM  -> {}", VerifyError::BlockMacMismatch);
+    mem.write_block(0x1000, &secret); // repair
+
+    // --- 3. Data+MAC replay -------------------------------------------------
+    let stale = mem.snapshot_block(0x1000);
+    mem.write_block(0x1000, &[0u8; 128]); // value moves on
+    mem.replay_block(0x1000, stale.0, stale.1);
+    assert_eq!(mem.read_block(0x1000), Err(VerifyError::BlockMacMismatch));
+    println!("3. replayed (data, MAC) pair  -> {}", VerifyError::BlockMacMismatch);
+
+    // --- 4. Full replay incl. counters --------------------------------------
+    mem.write_block(0x2000, &[1u8; 128]);
+    let old_data = mem.snapshot_block(0x2000);
+    let old_ctr = mem.snapshot_counter(0x2000);
+    mem.write_block(0x2000, &[2u8; 128]);
+    mem.replay_block(0x2000, old_data.0, old_data.1);
+    mem.replay_counter(0x2000, old_ctr);
+    assert_eq!(mem.read_block(0x2000), Err(VerifyError::FreshnessViolation));
+    println!("4. replayed data+MAC+counter  -> {}", VerifyError::FreshnessViolation);
+
+    // --- 5. Cross-kernel replay of read-only input ---------------------------
+    mem.write_readonly_block(0x8000, &[7u8; 128]); // kernel 1 input
+    let k1_input = mem.snapshot_block(0x8000);
+    mem.write_block(0x8000, &[8u8; 128]); // kernel scratches over it
+    let new_shared = mem.input_readonly_reset(0x8000, 128); // host reuses region
+    mem.write_readonly_block(0x8000, &[9u8; 128]); // kernel 2 input
+    mem.replay_block(0x8000, k1_input.0, k1_input.1);
+    assert_eq!(mem.read_block(0x8000), Err(VerifyError::BlockMacMismatch));
+    println!(
+        "5. cross-kernel replay of old read-only input -> {} (shared counter now {})",
+        VerifyError::BlockMacMismatch,
+        new_shared
+    );
+
+    println!("\nAll five attacks detected; legitimate reads verified throughout.");
+}

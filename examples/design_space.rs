@@ -1,0 +1,68 @@
+//! Design-space explorer: every Table-VIII design on one benchmark.
+//!
+//! Pick a benchmark (default `kmeans`) and sweep all ten design points,
+//! printing normalized IPC, per-class metadata bandwidth, predictor
+//! accuracy, and the energy model's verdict — a one-command tour of the
+//! whole evaluation.
+//!
+//! ```sh
+//! cargo run --release --example design_space -- lbm
+//! ```
+
+use gpu_mem_sim::{DesignPoint, EnergyModel, Simulator};
+use gpu_types::{GpuConfig, TrafficClass};
+use shm_workloads::BenchmarkProfile;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "kmeans".to_string());
+    let Some(mut profile) = BenchmarkProfile::by_name(&name) else {
+        eprintln!("unknown benchmark {name}; pick one of:");
+        for p in BenchmarkProfile::suite() {
+            eprintln!("  {}", p.name);
+        }
+        std::process::exit(2);
+    };
+    profile.events_per_kernel = 30_000;
+
+    let cfg = GpuConfig::default();
+    let trace = profile.generate(7);
+    let energy = EnergyModel::default();
+    let baseline = Simulator::new(&cfg, DesignPoint::Unprotected).run(&trace);
+
+    println!(
+        "benchmark {name}: {} accesses, {} kernels, target util {:.0}%\n",
+        trace.all_events().count(),
+        trace.kernels.len(),
+        profile.bandwidth_util * 100.0
+    );
+    println!(
+        "{:<16} {:>9} {:>8} {:>8} {:>8} {:>8} {:>9} {:>8}",
+        "design", "norm IPC", "ctr", "mac", "bmt", "fixup", "epi", "vic.hits"
+    );
+    for design in DesignPoint::ALL {
+        let stats = Simulator::new(&cfg, design).run(&trace);
+        let data = stats.traffic.data_bytes().max(1) as f64;
+        println!(
+            "{:<16} {:>9.4} {:>7.1}% {:>7.1}% {:>7.1}% {:>7.1}% {:>9.3} {:>8}",
+            design.name(),
+            baseline.cycles as f64 / stats.cycles as f64,
+            stats.traffic.class_total(TrafficClass::Counter) as f64 / data * 100.0,
+            stats.traffic.class_total(TrafficClass::Mac) as f64 / data * 100.0,
+            stats.traffic.class_total(TrafficClass::Bmt) as f64 / data * 100.0,
+            stats.traffic.class_total(TrafficClass::MispredictFixup) as f64 / data * 100.0,
+            energy.normalized_epi(&stats, &baseline),
+            stats.victim_hits,
+        );
+    }
+
+    // Predictor quality for the detected-SHM design (Figs. 10/11).
+    let (_, ro, st) = Simulator::new(&cfg, DesignPoint::Shm).run_detailed(&trace);
+    println!(
+        "\nSHM predictor accuracy: read-only {:.1}% (init {:.1}%, aliasing {:.1}%), \
+         streaming {:.1}%",
+        ro.accuracy() * 100.0,
+        ro.mp_init as f64 / ro.total().max(1) as f64 * 100.0,
+        ro.mp_aliasing as f64 / ro.total().max(1) as f64 * 100.0,
+        st.accuracy() * 100.0,
+    );
+}

@@ -1,0 +1,56 @@
+//! Quickstart: secure a GPU workload, measure what it costs.
+//!
+//! Runs the fdtd2d-like streaming workload (the paper's best case) on the
+//! unprotected baseline, the PSSM state of the art, and the paper's SHM
+//! design, then prints normalized IPC and the bandwidth the security
+//! metadata consumed.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use gpu_mem_sim::{DesignPoint, Simulator};
+use gpu_types::GpuConfig;
+use shm_workloads::BenchmarkProfile;
+
+fn main() {
+    // The Table-V Turing-like GPU: 30 SMs, 12 partitions, 336 GB/s.
+    let cfg = GpuConfig::default();
+
+    // A calibrated synthetic stand-in for fdtd2d: 99.87% read-only,
+    // 99.35% streaming accesses.
+    let mut profile = BenchmarkProfile::by_name("fdtd2d").expect("fdtd2d is in the suite");
+    profile.events_per_kernel = 30_000;
+    let trace = profile.generate(2024);
+
+    println!("workload: {} ({} kernels, {} accesses)", trace.name, trace.kernels.len(), trace.all_events().count());
+
+    let baseline = Simulator::new(&cfg, DesignPoint::Unprotected).run(&trace);
+    println!(
+        "\n{:<16} {:>10} {:>12} {:>14} {:>12}",
+        "design", "cycles", "norm. IPC", "metadata B", "overhead"
+    );
+    for design in [
+        DesignPoint::Unprotected,
+        DesignPoint::Naive,
+        DesignPoint::Pssm,
+        DesignPoint::Shm,
+    ] {
+        let stats = Simulator::new(&cfg, design).run(&trace);
+        println!(
+            "{:<16} {:>10} {:>12.4} {:>14} {:>11.2}%",
+            design.name(),
+            stats.cycles,
+            baseline.cycles as f64 / stats.cycles as f64,
+            stats.traffic.metadata_bytes(),
+            stats.traffic.overhead_ratio() * 100.0
+        );
+    }
+
+    println!(
+        "\nSHM protects the same data with confidentiality + integrity + freshness\n\
+         while spending a fraction of the metadata bandwidth: read-only regions\n\
+         share one on-chip counter (no counter/BMT traffic) and streaming chunks\n\
+         are authenticated by one 8 B MAC per 4 KB instead of 8 B per 128 B."
+    );
+}

@@ -1,0 +1,79 @@
+//! Secure runtime: write a GPU program once, get both a *functional* secure
+//! execution (every load verified, every store re-encrypted) and a
+//! *performance* evaluation of the same program under the paper's designs.
+//!
+//! The program is a small SAXPY-like kernel followed by a reduction — input
+//! buffers are read-only (shared-counter protected), the output is
+//! freshness-protected.
+//!
+//! ```sh
+//! cargo run --release --example secure_runtime
+//! ```
+
+use gpu_mem_sim::{DesignPoint, Simulator};
+use gpu_types::GpuConfig;
+use shm_runtime::{BufferKind, Context, RuntimeError};
+
+fn main() -> Result<(), RuntimeError> {
+    const N: u64 = 2048; // elements
+
+    let mut ctx = Context::new(0xFEED).with_name("saxpy-reduce");
+
+    // Host side: allocate and fill the inputs.
+    let xs = ctx.alloc(N * 4, BufferKind::Input)?;
+    let ys = ctx.alloc(N * 4, BufferKind::Input)?;
+    let out = ctx.alloc(N * 4, BufferKind::Output)?;
+    let sum = ctx.alloc(128, BufferKind::Output)?;
+
+    let host_x: Vec<u8> = (0..N).flat_map(|i| (i as u32).to_le_bytes()).collect();
+    let host_y: Vec<u8> = (0..N).flat_map(|i| (2 * i as u32).to_le_bytes()).collect();
+    ctx.memcpy_to_device(xs, &host_x)?;
+    ctx.memcpy_to_device(ys, &host_y)?;
+
+    // Kernel 1: out[i] = 3 * x[i] + y[i].
+    ctx.launch("saxpy", |k| {
+        for i in 0..N {
+            let x = k.load_u32(xs, i * 4)?;
+            let y = k.load_u32(ys, i * 4)?;
+            k.store_u32(out, i * 4, 3 * x + y)?;
+        }
+        Ok(())
+    })?;
+
+    // Kernel 2: sum-reduce the output.
+    ctx.launch("reduce", |k| {
+        let mut acc = 0u32;
+        for i in 0..N {
+            acc = acc.wrapping_add(k.load_u32(out, i * 4)?);
+        }
+        k.store_u32(sum, 0, acc)?;
+        Ok(())
+    })?;
+
+    // Host side: read back through the verified path and check.
+    let result = u32::from_le_bytes(ctx.memcpy_to_host(sum, 4)?.try_into().expect("4 bytes"));
+    let expected: u32 = (0..N as u32).map(|i| 3 * i + 2 * i).fold(0u32, u32::wrapping_add);
+    assert_eq!(result, expected);
+    println!("functional run verified: sum over {N} elements = {result}");
+
+    // Performance side: the exact trace the kernels produced, replayed
+    // under the secure-memory designs.
+    let trace = ctx.into_trace();
+    let cfg = GpuConfig::default();
+    let base = Simulator::new(&cfg, DesignPoint::Unprotected).run(&trace);
+    println!("\nreplaying the recorded trace ({} accesses):", trace.all_events().count());
+    for design in [DesignPoint::Naive, DesignPoint::Pssm, DesignPoint::Shm] {
+        let s = Simulator::new(&cfg, design).run(&trace);
+        println!(
+            "  {:<12} normalized IPC {:.4}   metadata bandwidth {:+.2}%",
+            design.name(),
+            base.cycles as f64 / s.cycles as f64,
+            s.traffic.overhead_ratio() * 100.0
+        );
+    }
+    println!(
+        "\nSame program, two guarantees: the functional engine proved the\n\
+         security semantics; the simulator priced them."
+    );
+    Ok(())
+}

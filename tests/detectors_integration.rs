@@ -1,0 +1,139 @@
+//! Integration tests for the hardware detectors inside the full simulator:
+//! prediction accuracy, fast-path usage and bounded misprediction costs.
+
+use gpu_mem_sim::{DesignPoint, Simulator};
+use gpu_types::{GpuConfig, ShmConfig, TrafficClass};
+use shm_workloads::{micro, BenchmarkProfile};
+
+fn cfg() -> GpuConfig {
+    GpuConfig::default()
+}
+
+#[test]
+fn readonly_predictor_accuracy_is_high_on_the_suite() {
+    // Paper Fig. 10: 89.31% average accuracy.  The synthetic suite should
+    // land in the same neighbourhood.
+    let mut accs = Vec::new();
+    for mut p in BenchmarkProfile::suite() {
+        p.events_per_kernel = 4_000;
+        let trace = p.generate(5);
+        let (_, ro, _) = Simulator::new(&cfg(), DesignPoint::Shm).run_detailed(&trace);
+        accs.push(ro.accuracy());
+    }
+    let avg = accs.iter().sum::<f64>() / accs.len() as f64;
+    assert!(avg > 0.75, "read-only accuracy too low: {avg:.3}");
+}
+
+#[test]
+fn streaming_predictor_accuracy_is_reasonable_on_the_suite() {
+    // Paper Fig. 11: 83.36% average accuracy.
+    let mut accs = Vec::new();
+    for mut p in BenchmarkProfile::suite() {
+        p.events_per_kernel = 4_000;
+        let trace = p.generate(5);
+        let (_, _, st) = Simulator::new(&cfg(), DesignPoint::Shm).run_detailed(&trace);
+        accs.push(st.accuracy());
+    }
+    let avg = accs.iter().sum::<f64>() / accs.len() as f64;
+    assert!(avg > 0.65, "streaming accuracy too low: {avg:.3}");
+}
+
+#[test]
+fn readonly_fast_path_fires_for_marked_input() {
+    let trace = micro::pure_stream_read(12 * 16 * 4096);
+    let stats = Simulator::new(&cfg(), DesignPoint::Shm).run(&trace);
+    // Every read of the read-only sweep should skip counters and the tree.
+    assert!(stats.readonly_fast_path > 0);
+    assert_eq!(stats.traffic.class_total(TrafficClass::Counter), 0);
+    assert_eq!(stats.traffic.class_total(TrafficClass::Bmt), 0);
+}
+
+#[test]
+fn streaming_sweep_uses_chunk_macs_with_tiny_overhead() {
+    let trace = micro::pure_stream_read(12 * 16 * 4096);
+    let stats = Simulator::new(&cfg(), DesignPoint::Shm).run(&trace);
+    assert!(stats.chunk_mac_accesses > 0);
+    assert!(
+        stats.traffic.overhead_ratio() < 0.05,
+        "streaming read-only overhead should be near zero: {:.4}",
+        stats.traffic.overhead_ratio()
+    );
+}
+
+#[test]
+fn random_traffic_converges_to_block_macs() {
+    // After the predictor corrects itself, random traffic must not keep
+    // paying chunk-MAC fetches: SHM should approach SHM_readOnly behaviour
+    // rather than doubling MAC traffic forever.
+    let trace = micro::pure_random_read(8 << 20, 60_000, 3);
+    let shm = Simulator::new(&cfg(), DesignPoint::Shm).run(&trace);
+    let ro = Simulator::new(&cfg(), DesignPoint::ShmReadOnly).run(&trace);
+    let shm_mac = shm.traffic.class_total(TrafficClass::Mac)
+        + shm.traffic.class_total(TrafficClass::MispredictFixup);
+    let ro_mac = ro.traffic.class_total(TrafficClass::Mac);
+    assert!(
+        (shm_mac as f64) < 1.5 * ro_mac as f64,
+        "SHM pays {shm_mac} MAC bytes vs block-MAC-only {ro_mac}"
+    );
+}
+
+#[test]
+fn mispredictions_cost_bandwidth_not_correctness() {
+    let trace = micro::mixed_read(4 << 20, 9);
+    let stats = Simulator::new(&cfg(), DesignPoint::Shm).run(&trace);
+    assert!(stats.stream_mispredictions > 0, "mixed trace should mispredict");
+    // Fix-ups happen but stay a bounded slice of traffic.
+    let fixup = stats.traffic.class_total(TrafficClass::MispredictFixup);
+    let data = stats.traffic.data_bytes();
+    assert!(
+        (fixup as f64) < 0.5 * data as f64,
+        "fix-up traffic exploded: {fixup} vs data {data}"
+    );
+}
+
+#[test]
+fn tracker_count_trades_detections_for_fixups() {
+    // More trackers detect more chunks — correcting random chunks sooner,
+    // but also mis-flipping streaming chunks they attach to mid-sweep (the
+    // paper's MP_Runtime category).  The paper operates at 8 trackers; the
+    // model must show more detections with more trackers and keep the
+    // traffic consequences bounded, not explode.
+    let trace = micro::mixed_read(4 << 20, 13);
+    let run = |n: usize| {
+        Simulator::new(&cfg(), DesignPoint::Shm)
+            .with_shm_config(ShmConfig {
+                num_trackers: n,
+                ..ShmConfig::default()
+            })
+            .run(&trace)
+    };
+    let few = run(1);
+    let many = run(16);
+    assert!(
+        many.stream_mispredictions >= few.stream_mispredictions,
+        "more trackers should render more verdicts ({} vs {})",
+        many.stream_mispredictions,
+        few.stream_mispredictions
+    );
+    let ratio = many.traffic.metadata_bytes() as f64 / few.traffic.metadata_bytes().max(1) as f64;
+    assert!(
+        (0.5..2.0).contains(&ratio),
+        "tracker count changed metadata traffic by {ratio:.2}x"
+    );
+}
+
+#[test]
+fn oracle_design_has_zero_misprediction_cost() {
+    let trace = micro::mixed_read(4 << 20, 21);
+    let stats = Simulator::new(&cfg(), DesignPoint::ShmUpperBound).run(&trace);
+    assert_eq!(stats.stream_mispredictions, 0);
+    assert_eq!(stats.traffic.class_total(TrafficClass::MispredictFixup), 0);
+}
+
+#[test]
+fn table_ix_budget_matches_hardware_model() {
+    let shm = ShmConfig::default();
+    // 1024 + 2048 bits of predictors + 8x71-bit trackers per partition.
+    assert_eq!(shm.partition_storage_bits(), 3640);
+    assert_eq!(shm.total_storage_bytes(12), 5460);
+}

@@ -1,0 +1,181 @@
+//! Shape tests for the reproduced experiments: small-scale versions of the
+//! paper's figures must show the same orderings and rough factors.
+
+use gpu_mem_sim::{DesignPoint, EnergyModel, Simulator};
+use gpu_types::{GpuConfig, TrafficClass};
+use shm_bench::{mean, run_benchmark, scaled_suite};
+
+/// A small but representative subset of the suite keeps the test quick.
+fn subset() -> Vec<shm_workloads::BenchmarkProfile> {
+    scaled_suite(0.08)
+        .into_iter()
+        .filter(|p| {
+            ["fdtd2d", "kmeans", "bfs", "streamcluster", "lbm", "atax"].contains(&p.name)
+        })
+        .collect()
+}
+
+#[test]
+fn fig12_design_ordering_holds_on_average() {
+    let designs = [
+        DesignPoint::Naive,
+        DesignPoint::CommonCtr,
+        DesignPoint::Pssm,
+        DesignPoint::Shm,
+    ];
+    let mut ipc = std::collections::BTreeMap::new();
+    for p in subset() {
+        let row = run_benchmark(&p, &designs);
+        for d in designs {
+            ipc.entry(d.name()).or_insert_with(Vec::new).push(row.norm_ipc(d));
+        }
+    }
+    let m = |d: DesignPoint| mean(&ipc[d.name()]);
+    let naive = m(DesignPoint::Naive);
+    let cctr = m(DesignPoint::CommonCtr);
+    let pssm = m(DesignPoint::Pssm);
+    let shm = m(DesignPoint::Shm);
+    assert!(naive < cctr, "Naive {naive:.3} should trail Common_ctr {cctr:.3}");
+    assert!(cctr < pssm, "Common_ctr {cctr:.3} should trail PSSM {pssm:.3}");
+    assert!(pssm < shm, "PSSM {pssm:.3} should trail SHM {shm:.3}");
+    // Rough factors: naive suffers a large slowdown, SHM ends near baseline.
+    assert!(naive < 0.75, "naive too fast: {naive:.3}");
+    assert!(shm > 0.85, "SHM too slow: {shm:.3}");
+}
+
+#[test]
+fn fig14_bandwidth_overheads_shrink_along_the_design_line() {
+    let designs = [
+        DesignPoint::Naive,
+        DesignPoint::Pssm,
+        DesignPoint::ShmReadOnly,
+        DesignPoint::Shm,
+    ];
+    let mut oh = std::collections::BTreeMap::new();
+    for p in subset() {
+        let row = run_benchmark(&p, &designs);
+        for d in designs {
+            oh.entry(d.name()).or_insert_with(Vec::new).push(row.bandwidth_overhead(d));
+        }
+    }
+    let m = |d: DesignPoint| mean(&oh[d.name()]);
+    let naive = m(DesignPoint::Naive);
+    let pssm = m(DesignPoint::Pssm);
+    let ro = m(DesignPoint::ShmReadOnly);
+    let shm = m(DesignPoint::Shm);
+    assert!(naive > 3.0 * pssm, "naive {naive:.3} vs pssm {pssm:.3}");
+    assert!(ro < pssm, "read-only opt should reduce PSSM overhead");
+    assert!(shm < pssm, "SHM {shm:.3} should cut PSSM {pssm:.3}");
+}
+
+#[test]
+fn fig13_each_optimisation_helps_on_readonly_streaming_work() {
+    // On the paper's best-case profile the layering is strictly monotone.
+    let mut p = shm_workloads::BenchmarkProfile::by_name("fdtd2d").expect("in suite");
+    p.events_per_kernel = 8_000;
+    let row = run_benchmark(
+        &p,
+        &[DesignPoint::Pssm, DesignPoint::ShmReadOnly, DesignPoint::Shm],
+    );
+    let pssm = row.norm_ipc(DesignPoint::Pssm);
+    let ro = row.norm_ipc(DesignPoint::ShmReadOnly);
+    let shm = row.norm_ipc(DesignPoint::Shm);
+    assert!(ro >= pssm, "read-only opt regressed: {ro:.4} < {pssm:.4}");
+    assert!(shm >= ro, "dual-MAC opt regressed: {shm:.4} < {ro:.4}");
+}
+
+#[test]
+fn fig15_energy_tracks_performance_and_traffic() {
+    let model = EnergyModel::default();
+    let mut p = shm_workloads::BenchmarkProfile::by_name("streamcluster").expect("in suite");
+    p.events_per_kernel = 8_000;
+    let row = run_benchmark(&p, &[DesignPoint::Naive, DesignPoint::Shm]);
+    let naive = row.normalized_energy(DesignPoint::Naive, &model);
+    let shm = row.normalized_energy(DesignPoint::Shm, &model);
+    assert!(naive > shm, "naive energy {naive:.3} should exceed SHM {shm:.3}");
+    assert!(shm < 1.30, "SHM energy overhead too high: {shm:.3}");
+    assert!(naive > 1.15, "naive energy overhead too low: {naive:.3}");
+}
+
+#[test]
+fn fig16_victim_cache_never_hurts_and_helps_thrashy_workloads() {
+    let mut helped = 0;
+    for name in ["lbm", "sad"] {
+        let mut p = shm_workloads::BenchmarkProfile::by_name(name).expect("in suite");
+        p.events_per_kernel = 8_000;
+        let row = run_benchmark(&p, &[DesignPoint::Shm, DesignPoint::ShmVL2]);
+        let shm = row.norm_ipc(DesignPoint::Shm);
+        let vl2 = row.norm_ipc(DesignPoint::ShmVL2);
+        assert!(
+            vl2 >= shm - 0.02,
+            "{name}: victim cache regressed {vl2:.4} vs {shm:.4}"
+        );
+        if vl2 > shm {
+            helped += 1;
+        }
+        // The mechanism must actually engage on these high-miss-rate runs.
+        assert!(
+            row.stats[DesignPoint::ShmVL2.name()].victim_hits > 0,
+            "{name}: victim cache never hit"
+        );
+    }
+    let _ = helped; // direction asserted above; magnitude is workload-dependent
+}
+
+#[test]
+fn shm_cuts_both_counter_and_mac_traffic() {
+    let mut p = shm_workloads::BenchmarkProfile::by_name("kmeans").expect("in suite");
+    p.events_per_kernel = 8_000;
+    let row = run_benchmark(&p, &[DesignPoint::Pssm, DesignPoint::Shm]);
+    let pssm = &row.stats[DesignPoint::Pssm.name()];
+    let shm = &row.stats[DesignPoint::Shm.name()];
+    assert!(
+        shm.traffic.class_total(TrafficClass::Counter)
+            < pssm.traffic.class_total(TrafficClass::Counter),
+        "read-only opt failed to cut counter traffic"
+    );
+    assert!(
+        shm.traffic.class_total(TrafficClass::Bmt) < pssm.traffic.class_total(TrafficClass::Bmt),
+        "read-only opt failed to cut BMT traffic"
+    );
+    assert!(
+        shm.traffic.class_total(TrafficClass::Mac) < pssm.traffic.class_total(TrafficClass::Mac),
+        "dual-granularity MACs failed to cut MAC traffic"
+    );
+}
+
+#[test]
+fn upper_bound_tracks_detected_shm_closely() {
+    // Paper: 6.76% vs 8.09% overhead — the detectors leave little on the
+    // table.  Allow a modest band.
+    let mut diffs = Vec::new();
+    for p in subset() {
+        let row = run_benchmark(&p, &[DesignPoint::Shm, DesignPoint::ShmUpperBound]);
+        diffs.push(row.norm_ipc(DesignPoint::ShmUpperBound) - row.norm_ipc(DesignPoint::Shm));
+    }
+    let gap = mean(&diffs);
+    assert!(gap > -0.02, "oracle predictors lost to detectors: {gap:.4}");
+    assert!(gap < 0.10, "detectors leave too much behind: {gap:.4}");
+}
+
+#[test]
+fn all_designs_conserve_instructions() {
+    // Security must never change the work done, only its cost.
+    let cfg = GpuConfig::default();
+    let mut p = shm_workloads::BenchmarkProfile::by_name("cfd").expect("in suite");
+    p.events_per_kernel = 4_000;
+    let trace = p.generate(11);
+    let base = Simulator::new(&cfg, DesignPoint::Unprotected).run(&trace);
+    for d in DesignPoint::ALL {
+        let s = Simulator::new(&cfg, d).run(&trace);
+        assert_eq!(s.instructions, base.instructions, "{}", d.name());
+        // Data traffic may differ by a few sectors across designs (MSHR
+        // merge decisions depend on timing), but never materially.
+        let (a, b) = (s.traffic.data_bytes() as f64, base.traffic.data_bytes() as f64);
+        assert!(
+            (a - b).abs() / b < 0.01,
+            "{} moved materially different data: {a} vs {b}",
+            d.name()
+        );
+    }
+}

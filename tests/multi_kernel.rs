@@ -1,0 +1,156 @@
+//! Multi-kernel integration tests: host actions between kernels, the
+//! `InputReadOnlyReset` API, L2 flushes and predictor state across launches.
+
+use gpu_mem_sim::{ContextTrace, DesignPoint, HostAction, KernelTrace, Simulator};
+use gpu_types::{AccessKind, GpuConfig, MemEvent, PhysAddr, TrafficClass, Warp};
+
+fn cfg() -> GpuConfig {
+    GpuConfig::default()
+}
+
+/// A kernel that sweeps `len` bytes from `base` with `kind` accesses.
+fn sweep_kernel(name: &str, base: u64, len: u64, kind: AccessKind) -> KernelTrace {
+    let events = (0..len / 32)
+        .map(|s| MemEvent {
+            addr: PhysAddr::new(base + s * 32),
+            kind,
+            space: gpu_types::MemorySpace::Global,
+            warp: Warp(((s / 4) % 60) as u32),
+            think_cycles: 0,
+        })
+        .collect();
+    KernelTrace::new(name, events)
+}
+
+#[test]
+fn reset_api_restores_the_readonly_fast_path() {
+    // Large enough that kernel 2's counter fetches cannot all hit in the
+    // 2 KB counter cache (whose reach is 128 KB of local space).
+    let len = 12 * 96 * 4096u64;
+
+    // Without the API: kernel 1 writes the region, kernel 2 reads it —
+    // counters stay engaged.
+    let mut without = ContextTrace::new("without-reset");
+    without.readonly_init = vec![(PhysAddr::new(0), len)];
+    without.kernels.push(sweep_kernel("k1-write", 0, len, AccessKind::Write));
+    without.kernels.push(sweep_kernel("k2-read", 0, len, AccessKind::Read));
+
+    // With the API: identical kernels, but the host re-copies the input and
+    // resets it read-only before kernel 2.
+    let mut with = without.clone();
+    with.name = "with-reset".to_string();
+    with.kernels[1].pre_actions = vec![
+        HostAction::MemcpyToDevice {
+            start: PhysAddr::new(0),
+            len,
+        },
+        HostAction::InputReadOnlyReset {
+            start: PhysAddr::new(0),
+            len,
+        },
+    ];
+
+    let s_without = Simulator::new(&cfg(), DesignPoint::Shm).run(&without);
+    let s_with = Simulator::new(&cfg(), DesignPoint::Shm).run(&with);
+
+    assert!(
+        s_with.readonly_fast_path > s_without.readonly_fast_path,
+        "reset API should re-arm the shared-counter fast path ({} vs {})",
+        s_with.readonly_fast_path,
+        s_without.readonly_fast_path
+    );
+    // Kernel 1's counter *writes* are identical in both runs; the saving is
+    // in kernel 2's counter fetches, which the shared counter eliminates.
+    assert!(
+        s_with.traffic.read[TrafficClass::Counter as usize]
+            < s_without.traffic.read[TrafficClass::Counter as usize],
+        "reset API should cut kernel-2 counter fetches ({} vs {})",
+        s_with.traffic.read[TrafficClass::Counter as usize],
+        s_without.traffic.read[TrafficClass::Counter as usize],
+    );
+}
+
+#[test]
+fn memcpy_without_reset_clears_readonly_status() {
+    // A mid-context memcpy re-encrypts under the same shared counter value,
+    // so the hardware must stop treating the region as read-only.
+    let len = 12 * 8 * 4096u64;
+    let mut trace = ContextTrace::new("memcpy-no-reset");
+    trace.readonly_init = vec![(PhysAddr::new(0), len)];
+    trace.kernels.push(sweep_kernel("k1-read", 0, len, AccessKind::Read));
+    let mut k2 = sweep_kernel("k2-read", 0, len, AccessKind::Read);
+    k2.pre_actions = vec![HostAction::MemcpyToDevice {
+        start: PhysAddr::new(0),
+        len,
+    }];
+    trace.kernels.push(k2);
+
+    let stats = Simulator::new(&cfg(), DesignPoint::Shm).run(&trace);
+    // Kernel 1 uses the fast path; kernel 2 must fall back to counters.
+    assert!(stats.readonly_fast_path > 0);
+    assert!(
+        stats.traffic.class_total(TrafficClass::Counter) > 0,
+        "kernel 2 should have used per-block counters after the memcpy"
+    );
+}
+
+#[test]
+fn l2_flushes_between_kernels_writeback_through_the_mee() {
+    // A write kernel followed by an unrelated kernel: the dirty L2 lines
+    // must drain through the MEE (counter + MAC updates) at the boundary.
+    let len = 12 * 8 * 4096u64;
+    let mut trace = ContextTrace::new("flush");
+    trace.kernels.push(sweep_kernel("k1-write", 0, len, AccessKind::Write));
+    trace.kernels.push(sweep_kernel("k2-elsewhere", 64 << 20, 4096 * 12, AccessKind::Read));
+
+    let stats = Simulator::new(&cfg(), DesignPoint::Pssm).run(&trace);
+    assert!(stats.l2_writebacks > 0, "kernel boundary produced no write-backs");
+    assert!(
+        stats.traffic.write[TrafficClass::Data as usize] >= len,
+        "written data never reached DRAM"
+    );
+    assert!(
+        stats.traffic.write[TrafficClass::Mac as usize] > 0,
+        "write-backs skipped MAC updates"
+    );
+}
+
+#[test]
+fn kernel_boundaries_accumulate_cycles_monotonically() {
+    let len = 12 * 4 * 4096u64;
+    let mut one = ContextTrace::new("one");
+    one.kernels.push(sweep_kernel("k", 0, len, AccessKind::Read));
+    let mut three = ContextTrace::new("three");
+    for i in 0..3 {
+        three
+            .kernels
+            .push(sweep_kernel("k", i * len, len, AccessKind::Read));
+    }
+    let s1 = Simulator::new(&cfg(), DesignPoint::Shm).run(&one);
+    let s3 = Simulator::new(&cfg(), DesignPoint::Shm).run(&three);
+    assert!(s3.cycles > 2 * s1.cycles, "kernels should serialize");
+    assert_eq!(s3.instructions, 3 * s1.instructions);
+}
+
+#[test]
+fn all_designs_survive_a_many_kernel_context() {
+    let len = 12 * 2 * 4096u64;
+    let mut trace = ContextTrace::new("many");
+    trace.readonly_init = vec![(PhysAddr::new(0), len)];
+    for i in 0..6u64 {
+        let kind = if i % 2 == 0 { AccessKind::Read } else { AccessKind::Write };
+        let mut k = sweep_kernel("k", (i % 3) * len, len, kind);
+        if i == 4 {
+            k.pre_actions.push(HostAction::InputReadOnlyReset {
+                start: PhysAddr::new(0),
+                len,
+            });
+        }
+        trace.kernels.push(k);
+    }
+    for d in DesignPoint::ALL {
+        let s = Simulator::new(&cfg(), d).run(&trace);
+        assert!(s.cycles > 0, "{} produced an empty run", d.name());
+        assert_eq!(s.instructions, trace.instructions(), "{}", d.name());
+    }
+}
