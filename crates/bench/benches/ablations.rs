@@ -20,17 +20,12 @@ fn bench_ablations(c: &mut Criterion) {
             num_trackers: trackers,
             ..ShmConfig::default()
         };
-        group.bench_with_input(
-            BenchmarkId::from_parameter(trackers),
-            &shm_cfg,
-            |b, sc| {
-                b.iter(|| {
-                    let sim =
-                        Simulator::new(&cfg, DesignPoint::Shm).with_shm_config(sc.clone());
-                    std::hint::black_box(sim.run(&random).stream_mispredictions)
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(trackers), &shm_cfg, |b, sc| {
+            b.iter(|| {
+                let sim = Simulator::new(&cfg, DesignPoint::Shm).with_shm_config(sc.clone());
+                std::hint::black_box(sim.run(&random).stream_mispredictions)
+            })
+        });
     }
     group.finish();
 
@@ -43,17 +38,12 @@ fn bench_ablations(c: &mut Criterion) {
             readonly_predictor_entries: entries / 2,
             ..ShmConfig::default()
         };
-        group.bench_with_input(
-            BenchmarkId::from_parameter(entries),
-            &shm_cfg,
-            |b, sc| {
-                b.iter(|| {
-                    let sim =
-                        Simulator::new(&cfg, DesignPoint::Shm).with_shm_config(sc.clone());
-                    std::hint::black_box(sim.run(&stream).traffic.metadata_bytes())
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(entries), &shm_cfg, |b, sc| {
+            b.iter(|| {
+                let sim = Simulator::new(&cfg, DesignPoint::Shm).with_shm_config(sc.clone());
+                std::hint::black_box(sim.run(&stream).traffic.metadata_bytes())
+            })
+        });
     }
     group.finish();
 
@@ -62,17 +52,13 @@ fn bench_ablations(c: &mut Criterion) {
     group.sample_size(10);
     for (label, trace) in [("stream", &stream), ("random", &random)] {
         for design in [DesignPoint::ShmReadOnly, DesignPoint::Shm] {
-            group.bench_with_input(
-                BenchmarkId::new(label, design.name()),
-                &design,
-                |b, &d| {
-                    b.iter(|| {
-                        std::hint::black_box(
-                            Simulator::new(&cfg, d).run(trace).traffic.metadata_bytes(),
-                        )
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(label, design.name()), &design, |b, &d| {
+                b.iter(|| {
+                    std::hint::black_box(
+                        Simulator::new(&cfg, d).run(trace).traffic.metadata_bytes(),
+                    )
+                })
+            });
         }
     }
     group.finish();

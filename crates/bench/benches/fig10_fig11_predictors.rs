@@ -13,8 +13,7 @@ fn bench_predictors(c: &mut Criterion) {
 
     c.bench_function("fig10_fig11_detected_shm_run", |b| {
         b.iter(|| {
-            let (stats, ro, st) =
-                Simulator::new(&cfg, DesignPoint::Shm).run_detailed(&trace);
+            let (stats, ro, st) = Simulator::new(&cfg, DesignPoint::Shm).run_detailed(&trace);
             std::hint::black_box((stats.cycles, ro.correct, st.correct))
         })
     });

@@ -24,9 +24,7 @@ fn bench_fig13(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::from_parameter(design.name()),
             &design,
-            |b, &d| {
-                b.iter(|| std::hint::black_box(Simulator::new(&cfg, d).run(&trace).cycles))
-            },
+            |b, &d| b.iter(|| std::hint::black_box(Simulator::new(&cfg, d).run(&trace).cycles)),
         );
     }
     group.finish();

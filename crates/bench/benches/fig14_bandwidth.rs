@@ -38,11 +38,7 @@ fn bench_fig14(c: &mut Criterion) {
     println!("\nfig14 (streamcluster) bandwidth overhead (metadata/data):");
     for design in designs {
         let s = Simulator::new(&cfg, design).run(&trace);
-        println!(
-            "  {:<16} {:.4}",
-            design.name(),
-            s.traffic.overhead_ratio()
-        );
+        println!("  {:<16} {:.4}", design.name(), s.traffic.overhead_ratio());
     }
 }
 

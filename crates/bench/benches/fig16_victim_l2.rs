@@ -16,13 +16,9 @@ fn bench_fig16(c: &mut Criterion) {
         profile.events_per_kernel = 12_000;
         let trace = profile.generate(42);
         for design in [DesignPoint::Shm, DesignPoint::ShmVL2] {
-            group.bench_with_input(
-                BenchmarkId::new(name, design.name()),
-                &design,
-                |b, &d| {
-                    b.iter(|| std::hint::black_box(Simulator::new(&cfg, d).run(&trace).cycles))
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(name, design.name()), &design, |b, &d| {
+                b.iter(|| std::hint::black_box(Simulator::new(&cfg, d).run(&trace).cycles))
+            });
         }
     }
     group.finish();

@@ -1,6 +1,10 @@
 //! `repro` — regenerates every table and figure of the SHM evaluation.
 //!
-//! Usage: `repro [fig5|fig10|fig11|fig12|fig13|fig14|fig15|fig16|table1|table3_4|table7|table9|all] [--scale X]`
+//! Usage: `repro [fig5|fig10|fig11|fig12|fig13|fig14|fig15|fig16|table1|table3_4|table7|table9|all] [--scale X] [--telemetry-dir DIR]`
+//!
+//! With `--telemetry-dir DIR`, every figure target additionally captures a
+//! representative telemetry trace (first suite benchmark under SHM) as
+//! `DIR/<figure>.jsonl` — epoch bandwidth series for Fig. 14-style plots.
 //!
 //! Absolute numbers differ from the paper (the substrate is a trace-driven
 //! simulator, not GPGPU-Sim on the authors' machines); the *shapes* —
@@ -9,16 +13,66 @@
 
 use std::collections::BTreeMap;
 use std::env;
+use std::process::ExitCode;
 
 use gpu_mem_sim::{DesignPoint, EnergyModel, Simulator};
 use gpu_types::{GpuConfig, ShmConfig};
 use shm::{required_mechanisms, DataProperty, OracleProfile};
 use shm_bench::{mean, print_table, run_benchmark, scaled_suite, traffic_breakdown};
+use shm_telemetry::{Probe, TelemetryConfig};
 
-fn main() {
+/// Every figure target, in `all` order (tables have no telemetry series).
+const FIGURES: &[&str] = &[
+    "fig5", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
+];
+
+/// A repro failure carrying the process exit code and, when a telemetry
+/// capture was in flight, the probe whose flight recorder gets dumped.
+struct ReproError {
+    message: String,
+    code: u8,
+    probe: Probe,
+}
+
+impl ReproError {
+    fn usage(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+            code: 2,
+            probe: Probe::disabled(),
+        }
+    }
+
+    fn runtime(message: impl Into<String>, probe: &Probe) -> Self {
+        Self {
+            message: message.into(),
+            code: 1,
+            probe: probe.clone(),
+        }
+    }
+
+    fn report(self) -> ExitCode {
+        eprintln!("error: {}", self.message);
+        if let Some(dump) = self.probe.flight_dump().filter(|d| !d.is_empty()) {
+            eprintln!("--- flight recorder (last events before failure) ---");
+            eprint!("{dump}");
+        }
+        ExitCode::from(self.code)
+    }
+}
+
+fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => e.report(),
+    }
+}
+
+fn run(args: &[String]) -> Result<(), ReproError> {
     let mut what = "all".to_string();
     let mut scale = 0.5f64;
+    let mut telemetry_dir: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -26,7 +80,15 @@ fn main() {
                 scale = args
                     .get(i + 1)
                     .and_then(|s| s.parse().ok())
-                    .expect("--scale needs a number");
+                    .ok_or_else(|| ReproError::usage("--scale needs a number"))?;
+                i += 2;
+            }
+            "--telemetry-dir" => {
+                telemetry_dir = Some(
+                    args.get(i + 1)
+                        .cloned()
+                        .ok_or_else(|| ReproError::usage("--telemetry-dir needs a path"))?,
+                );
                 i += 2;
             }
             other => {
@@ -65,11 +127,44 @@ fn main() {
             fig15(scale);
             fig16(scale);
         }
-        other => {
-            eprintln!("unknown target: {other}");
-            std::process::exit(2);
+        other => return Err(ReproError::usage(format!("unknown target: {other}"))),
+    }
+
+    if let Some(dir) = &telemetry_dir {
+        let figures: Vec<&str> = if what == "all" {
+            FIGURES.to_vec()
+        } else if FIGURES.contains(&what.as_str()) {
+            vec![what.as_str()]
+        } else {
+            println!("(no telemetry series for target {what})");
+            Vec::new()
+        };
+        for fig in figures {
+            dump_figure_telemetry(dir, fig, scale)?;
         }
     }
+    Ok(())
+}
+
+/// Captures one representative telemetry trace for `figure` — the first
+/// suite benchmark under the SHM design — into `dir/<figure>.jsonl`.
+fn dump_figure_telemetry(dir: &str, figure: &str, scale: f64) -> Result<(), ReproError> {
+    std::fs::create_dir_all(dir).map_err(|e| ReproError::usage(format!("create {dir}: {e}")))?;
+    let profile = scaled_suite(scale)
+        .into_iter()
+        .next()
+        .ok_or_else(|| ReproError::usage("benchmark suite is empty"))?;
+    let trace = profile.generate(0xBEEF ^ profile.name.len() as u64);
+    let probe = Probe::enabled(TelemetryConfig::default());
+    Simulator::new(&GpuConfig::default(), DesignPoint::Shm)
+        .with_probe(probe.clone())
+        .run(&trace);
+    let path = std::path::Path::new(dir).join(format!("{figure}.jsonl"));
+    probe
+        .write_jsonl(&path)
+        .map_err(|e| ReproError::runtime(format!("write {}: {e}", path.display()), &probe))?;
+    println!("telemetry for {figure} written to {}", path.display());
+    Ok(())
 }
 
 /// Sensitivity analysis for the design choices DESIGN.md calls out:
@@ -167,7 +262,11 @@ fn micro_diag() {
             println!("  P{i:<3} read={r:<9} write={w:<9} bus_free={free}");
         }
     }
-    for (label, trace) in [("stream-read", &stream), ("stream-write", &swrite), ("random-read", &random)] {
+    for (label, trace) in [
+        ("stream-read", &stream),
+        ("stream-write", &swrite),
+        ("random-read", &random),
+    ] {
         println!("\n-- {label} --");
         for d in [
             DesignPoint::Unprotected,
@@ -188,7 +287,11 @@ fn micro_diag() {
                 s.traffic.data_bytes()
             );
             let n = (s.l2_hits + s.l2_misses).max(1);
-            print!(" lat_avg={:.0} lat_max={}", s.lat_sum as f64 / n as f64, s.lat_max);
+            print!(
+                " lat_avg={:.0} lat_max={}",
+                s.lat_sum as f64 / n as f64,
+                s.lat_max
+            );
             for (l, v) in traffic_breakdown(&s) {
                 print!(" {l}={v:.3}");
             }
@@ -224,7 +327,11 @@ fn table1() {
         (DataProperty::Output, "output"),
         (DataProperty::InFlight, "in-flight data"),
     ] {
-        let prop = if d.is_read_only() { "read-only" } else { "read/write" };
+        let prop = if d.is_read_only() {
+            "read-only"
+        } else {
+            "read/write"
+        };
         println!("{label:<18} {prop:<11} {}", d.required().notation());
     }
 }
@@ -312,10 +419,13 @@ fn table7(scale: f64) {
     for p in scaled_suite(scale) {
         let trace = p.generate(0xBEEF ^ p.name.len() as u64);
         let stats = Simulator::new(&cfg, DesignPoint::Unprotected).run(&trace);
-        let util = stats.bandwidth_utilization(
-            cfg.partition_bytes_per_cycle() * cfg.num_partitions as f64,
-        );
-        let spaces = if p.uses_texture { "constant/texture" } else { "constant" };
+        let util = stats
+            .bandwidth_utilization(cfg.partition_bytes_per_cycle() * cfg.num_partitions as f64);
+        let spaces = if p.uses_texture {
+            "constant/texture"
+        } else {
+            "constant"
+        };
         println!(
             "{:<16}{:>11.1}%{:>11.1}%{:>18}",
             p.name,
@@ -518,11 +628,7 @@ fn fig15(scale: f64) {
             )
         })
         .collect();
-    print_table(
-        "Fig. 15: normalized energy per instruction",
-        &header,
-        &rows,
-    );
+    print_table("Fig. 15: normalized energy per instruction", &header, &rows);
 }
 
 /// Fig. 16: SHM vs SHM with the L2 victim cache.
@@ -537,7 +643,10 @@ fn fig16(scale: f64) {
         .iter()
         .map(|p| {
             let row = run_benchmark(p, &[DesignPoint::Shm, DesignPoint::ShmVL2]);
-            (row.norm_ipc(DesignPoint::Shm), row.norm_ipc(DesignPoint::ShmVL2))
+            (
+                row.norm_ipc(DesignPoint::Shm),
+                row.norm_ipc(DesignPoint::ShmVL2),
+            )
         })
         .collect();
     let gain: Vec<f64> = rows.iter().map(|(a, b)| b - a).collect();

@@ -159,10 +159,14 @@ mod tests {
 
     #[test]
     fn normalized_ipc_definition() {
-        let mut base = SimStats::default();
-        base.cycles = 100;
-        let mut slow = SimStats::default();
-        slow.cycles = 200;
+        let base = SimStats {
+            cycles: 100,
+            ..SimStats::default()
+        };
+        let slow = SimStats {
+            cycles: 200,
+            ..SimStats::default()
+        };
         assert!((normalized_ipc(&slow, &base) - 0.5).abs() < 1e-12);
     }
 

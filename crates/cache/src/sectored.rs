@@ -75,13 +75,25 @@ impl SectoredCache {
     /// Panics if the geometry is inconsistent (capacity not divisible into
     /// whole sets, or non-power-of-two line size).
     pub fn new(capacity_bytes: u64, line_bytes: u64, assoc: u32, sectors_per_line: u32) -> Self {
-        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
-        assert!((1..=8).contains(&sectors_per_line), "1..=8 sectors supported");
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        assert!(
+            (1..=8).contains(&sectors_per_line),
+            "1..=8 sectors supported"
+        );
         assert!(line_bytes.is_multiple_of(sectors_per_line as u64));
         let lines = capacity_bytes / line_bytes;
-        assert!(lines >= assoc as u64, "capacity too small for associativity");
+        assert!(
+            lines >= assoc as u64,
+            "capacity too small for associativity"
+        );
         let num_sets = lines / assoc as u64;
-        assert!(num_sets.is_power_of_two(), "number of sets must be a power of two");
+        assert!(
+            num_sets.is_power_of_two(),
+            "number of sets must be a power of two"
+        );
         Self {
             sets: vec![vec![Way::default(); assoc as usize]; num_sets as usize],
             num_sets,

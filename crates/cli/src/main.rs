@@ -11,12 +11,12 @@
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
+use std::path::Path;
 use std::process::ExitCode;
 
-use gpu_mem_sim::{
-    read_trace, write_trace, ContextTrace, DesignPoint, EnergyModel, Simulator,
-};
+use gpu_mem_sim::{read_trace, write_trace, ContextTrace, DesignPoint, EnergyModel, Simulator};
 use gpu_types::{GpuConfig, TrafficClass};
+use shm_telemetry::{Probe, TelemetryConfig};
 use shm_workloads::BenchmarkProfile;
 
 mod args;
@@ -24,19 +24,64 @@ mod report;
 
 use args::{ArgError, Args};
 
+/// A CLI failure: message, process exit code, and (when telemetry was on)
+/// the probe whose flight recorder is dumped before exiting.
+struct CliError {
+    message: String,
+    code: u8,
+    probe: Probe,
+}
+
+impl CliError {
+    /// Usage / argument error (exit code 2, no flight recorder).
+    fn usage(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+            code: 2,
+            probe: Probe::disabled(),
+        }
+    }
+
+    /// Runtime failure after simulation started (exit code 1); dumps the
+    /// probe's flight recorder so the last events before the failure are
+    /// visible.
+    fn runtime(message: impl Into<String>, probe: &Probe) -> Self {
+        Self {
+            message: message.into(),
+            code: 1,
+            probe: probe.clone(),
+        }
+    }
+
+    /// Prints the report and returns the process exit code.
+    fn report(self) -> ExitCode {
+        eprintln!("error: {}", self.message);
+        if let Some(dump) = self.probe.flight_dump().filter(|d| !d.is_empty()) {
+            eprintln!("--- flight recorder (last events before failure) ---");
+            eprint!("{dump}");
+        }
+        if self.code == 2 {
+            eprintln!("run `shm help` for usage");
+        }
+        ExitCode::from(self.code)
+    }
+}
+
+impl From<String> for CliError {
+    fn from(message: String) -> Self {
+        CliError::usage(message)
+    }
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match dispatch(&argv) {
         Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
-            eprintln!("error: {e}");
-            eprintln!("run `shm help` for usage");
-            ExitCode::from(2)
-        }
+        Err(e) => e.report(),
     }
 }
 
-fn dispatch(argv: &[String]) -> Result<(), String> {
+fn dispatch(argv: &[String]) -> Result<(), CliError> {
     let Some(cmd) = argv.first().map(String::as_str) else {
         print_help();
         return Ok(());
@@ -52,14 +97,34 @@ fn dispatch(argv: &[String]) -> Result<(), String> {
             Ok(())
         }
         "run" => cmd_run(Args::parse(rest).map_err(stringify)?),
-        "sweep" => cmd_sweep(Args::parse(rest).map_err(stringify)?),
+        "sweep" => Ok(cmd_sweep(Args::parse(rest).map_err(stringify)?)?),
         "trace" => match rest.first().map(String::as_str) {
-            Some("gen") => cmd_trace_gen(Args::parse(&rest[1..]).map_err(stringify)?),
-            Some("info") => cmd_trace_info(&rest[1..]),
-            other => Err(format!("unknown trace subcommand {other:?}")),
+            Some("gen") => Ok(cmd_trace_gen(Args::parse(&rest[1..]).map_err(stringify)?)?),
+            Some("info") => Ok(cmd_trace_info(&rest[1..])?),
+            other => Err(CliError::usage(format!(
+                "unknown trace subcommand {other:?}"
+            ))),
         },
-        other => Err(format!("unknown command {other:?}")),
+        other => Err(CliError::usage(format!("unknown command {other:?}"))),
     }
+}
+
+/// Builds the probe requested by `--telemetry` / `--epoch-cycles N`;
+/// disabled (zero-cost) when the flag is absent.
+fn telemetry_probe(args: &Args) -> Result<Probe, String> {
+    if !args.flag("telemetry") {
+        if args.get("trace-out").is_some() || args.get("epoch-cycles").is_some() {
+            return Err("--trace-out/--epoch-cycles require --telemetry".into());
+        }
+        return Ok(Probe::disabled());
+    }
+    let mut cfg = TelemetryConfig::default();
+    if let Some(n) = args.get_u64("epoch-cycles")? {
+        cfg.epoch_cycles = n.max(1);
+    }
+    let probe = Probe::enabled(cfg);
+    probe.install_panic_hook();
+    Ok(probe)
 }
 
 fn stringify(e: ArgError) -> String {
@@ -74,6 +139,7 @@ fn print_help() {
          \x20 run   -b <bench> -d <design> [--events N] [--seed S]\n\
          \x20 run   --trace <file> -d <design>     replay a stored trace\n\
          \x20 run   --custom ro=0.9,stream=0.95,write=0.05 -d SHM\n\
+         \x20 run   ... --telemetry [--epoch-cycles N] [--trace-out t.jsonl]\n\
          \x20 sweep -b <bench> [--events N] [--csv]\n\
          \x20 trace gen  -b <bench> -o <file> [--events N] [--seed S]\n\
          \x20 trace info <file>\n"
@@ -179,13 +245,27 @@ fn parse_design(args: &Args) -> Result<DesignPoint, String> {
     DesignPoint::from_name(name).ok_or_else(|| format!("unknown design {name:?}"))
 }
 
-fn cmd_run(args: Args) -> Result<(), String> {
+fn cmd_run(args: Args) -> Result<(), CliError> {
     let trace = load_trace(&args)?;
     let design = parse_design(&args)?;
+    let probe = telemetry_probe(&args)?;
     let cfg = GpuConfig::default();
     let base = Simulator::new(&cfg, DesignPoint::Unprotected).run(&trace);
-    let stats = Simulator::new(&cfg, design).run(&trace);
+    let stats = Simulator::new(&cfg, design)
+        .with_probe(probe.clone())
+        .run(&trace);
     report::print_run(&trace, design, &stats, &base, &EnergyModel::default());
+    if probe.is_enabled() {
+        if let Some(s) = probe.summary() {
+            println!("{s}");
+        }
+        if let Some(path) = args.get("trace-out") {
+            probe
+                .write_jsonl(Path::new(path))
+                .map_err(|e| CliError::runtime(format!("write {path}: {e}"), &probe))?;
+            println!("telemetry trace written to {path}");
+        }
+    }
     Ok(())
 }
 

@@ -18,12 +18,8 @@ const fn build_sbox() -> [u8; 256] {
         let inv = if i == 0 { 0 } else { gf_inv(i as u8) };
         // Affine transform: b ^ rotl(b,1) ^ rotl(b,2) ^ rotl(b,3) ^ rotl(b,4) ^ 0x63
         let b = inv;
-        let s = b
-            ^ b.rotate_left(1)
-            ^ b.rotate_left(2)
-            ^ b.rotate_left(3)
-            ^ b.rotate_left(4)
-            ^ 0x63;
+        let s =
+            b ^ b.rotate_left(1) ^ b.rotate_left(2) ^ b.rotate_left(3) ^ b.rotate_left(4) ^ 0x63;
         sbox[i] = s;
         i += 1;
     }

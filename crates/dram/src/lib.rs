@@ -238,6 +238,12 @@ impl DramPartition {
         self.bus_free_fp.div_ceil(FP)
     }
 
+    /// Cycles of bus backlog a request issued at `now` would wait behind —
+    /// the channel's instantaneous queue depth, used as a telemetry gauge.
+    pub fn queue_delay(&self, now: u64) -> u64 {
+        self.bus_free_at().saturating_sub(now)
+    }
+
     /// Total bytes read.
     pub fn bytes_read(&self) -> u64 {
         self.bytes_read
@@ -304,7 +310,11 @@ mod tests {
         let first = d.access(0, 0, 32, false);
         let second = d.access(first, 32, 32, false);
         // Same row: second access latency (relative to issue) is smaller.
-        assert!(second - first < first, "row hit not cheaper: {first} vs {}", second - first);
+        assert!(
+            second - first < first,
+            "row hit not cheaper: {first} vs {}",
+            second - first
+        );
         assert!(d.row_hit_rate() > 0.4);
     }
 
@@ -323,7 +333,10 @@ mod tests {
     fn writes_are_posted_but_cost_bandwidth() {
         let mut d = DramPartition::new(DramConfig::default());
         let w = d.access(0, 0, 32, true);
-        assert!(w < DramConfig::default().t_row_miss, "write should be posted");
+        assert!(
+            w < DramConfig::default().t_row_miss,
+            "write should be posted"
+        );
         assert_eq!(d.bytes_written(), 32);
         // A following read still queues behind the write's bus slot.
         let r = d.access(0, 4096, 32, false);

@@ -303,7 +303,11 @@ mod tests {
         {
             k.events.push(MemEvent {
                 addr: PhysAddr::new(i as u64 * 32),
-                kind: if i % 2 == 0 { AccessKind::Read } else { AccessKind::Write },
+                kind: if i % 2 == 0 {
+                    AccessKind::Read
+                } else {
+                    AccessKind::Write
+                },
                 space,
                 warp: Warp(i as u32),
                 think_cycles: i as u32,

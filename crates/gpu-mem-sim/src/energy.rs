@@ -89,8 +89,10 @@ mod tests {
             l2_misses: instr / 2,
             ..Default::default()
         };
-        s.traffic.record(gpu_types::TrafficClass::Data, dram_data, false);
-        s.traffic.record(gpu_types::TrafficClass::Mac, dram_meta, false);
+        s.traffic
+            .record(gpu_types::TrafficClass::Data, dram_data, false);
+        s.traffic
+            .record(gpu_types::TrafficClass::Mac, dram_meta, false);
         s
     }
 

@@ -44,6 +44,8 @@ pub struct L2Bank {
     deferred_writebacks: Vec<Eviction>,
     /// Evictions caused by regular data fills (written back via the MEE).
     data_evictions: Vec<Eviction>,
+    /// Reads that found the MSHR table full (backpressure events).
+    mshr_stalls: u64,
 }
 
 impl L2Bank {
@@ -62,7 +64,13 @@ impl L2Bank {
             sampler: MissSampler::new(8),
             deferred_writebacks: Vec::new(),
             data_evictions: Vec::new(),
+            mshr_stalls: 0,
         }
+    }
+
+    /// Reads that stalled because every MSHR entry was busy.
+    pub fn mshr_stalls(&self) -> u64 {
+        self.mshr_stalls
     }
 
     /// Performs a data read of the sector at `addr` (bank-local address).
@@ -91,14 +99,17 @@ impl L2Bank {
                         MshrAllocation::NewMiss | MshrAllocation::Merged => L2Outcome::Miss,
                         // Table-full: modelled as a merged completion with the
                         // earliest outstanding fill (simple backpressure).
-                        _ => L2Outcome::MergedMiss {
-                            ready_at: self
-                                .pending
-                                .values()
-                                .copied()
-                                .min()
-                                .unwrap_or(now + L2_HIT_LATENCY),
-                        },
+                        _ => {
+                            self.mshr_stalls += 1;
+                            L2Outcome::MergedMiss {
+                                ready_at: self
+                                    .pending
+                                    .values()
+                                    .copied()
+                                    .min()
+                                    .unwrap_or(now + L2_HIT_LATENCY),
+                            }
+                        }
                     }
                 }
             }
@@ -186,7 +197,11 @@ impl L2Bank {
     pub fn flush(&mut self) -> Vec<Eviction> {
         self.pending.clear();
         self.completions.clear();
-        self.cache.flush().into_iter().filter(Eviction::is_dirty).collect()
+        self.cache
+            .flush()
+            .into_iter()
+            .filter(Eviction::is_dirty)
+            .collect()
     }
 
     /// The sampled data miss rate, if enough samples accumulated.
@@ -285,7 +300,10 @@ mod tests {
         let meta_addr = 0x10_0000;
         assert!(b.insert_victim(meta_addr, 0b0001, 0));
         assert!(b.probe_victim(meta_addr, 0b0001));
-        assert!(!b.probe_victim(meta_addr, 0b0001), "probe consumes the line");
+        assert!(
+            !b.probe_victim(meta_addr, 0b0001),
+            "probe consumes the line"
+        );
     }
 
     #[test]

@@ -4,13 +4,13 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use gpu_types::{
-    AccessKind, GpuConfig, MemEvent, PartitionId, ShmConfig, SimStats, TrafficClass,
-    SECTOR_BYTES,
+    AccessKind, GpuConfig, MemEvent, PartitionId, ShmConfig, SimStats, TrafficClass, SECTOR_BYTES,
 };
 use secure_core::{DramFabric, MemRequest, SecureMemorySystem};
 use shm::{OracleProfile, ShmSystem};
 use shm_cache::Eviction;
 use shm_metadata::MetadataKind;
+use shm_telemetry::{Event, Probe};
 
 use crate::design::DesignPoint;
 use crate::l2::{L2Bank, L2Outcome, L2_HIT_LATENCY};
@@ -27,6 +27,7 @@ pub struct Simulator {
     cfg: GpuConfig,
     shm_cfg: ShmConfig,
     design: DesignPoint,
+    probe: Probe,
 }
 
 impl Simulator {
@@ -36,12 +37,20 @@ impl Simulator {
             cfg: cfg.clone(),
             shm_cfg: ShmConfig::default(),
             design,
+            probe: Probe::disabled(),
         }
     }
 
     /// Overrides the SHM mechanism configuration.
     pub fn with_shm_config(mut self, shm_cfg: ShmConfig) -> Self {
         self.shm_cfg = shm_cfg;
+        self
+    }
+
+    /// Attaches a telemetry probe; it is cloned into the DRAM fabric and the
+    /// secure-memory engine so every layer reports through the same sink.
+    pub fn with_probe(mut self, probe: Probe) -> Self {
+        self.probe = probe;
         self
     }
 
@@ -77,7 +86,11 @@ impl Simulator {
     pub fn run_detailed(
         &self,
         trace: &ContextTrace,
-    ) -> (SimStats, shm::readonly::RoAccuracy, shm::streaming::StreamAccuracy) {
+    ) -> (
+        SimStats,
+        shm::readonly::RoAccuracy,
+        shm::streaming::StreamAccuracy,
+    ) {
         let (stats, engine, _) = self.run_with_engine(trace);
         match engine {
             Engine::Shm(s) => (stats, s.readonly_accuracy(), s.streaming_accuracy()),
@@ -106,6 +119,11 @@ impl Simulator {
         let map = self.cfg.partition_map();
         let mut engine = self.build_engine(trace);
         let mut fabric = DramFabric::new(&self.cfg);
+        fabric.set_probe(self.probe.clone());
+        match &mut engine {
+            Engine::Baseline(sys) => sys.set_probe(&self.probe),
+            Engine::Shm(sys) => sys.set_probe(&self.probe),
+        }
         let mut stats = SimStats::default();
         let mut banks: Vec<Vec<L2Bank>> = (0..self.cfg.num_partitions)
             .map(|_| {
@@ -130,6 +148,14 @@ impl Simulator {
                 }
             }
 
+            if self.probe.is_enabled() {
+                self.probe.emit(
+                    clock,
+                    Event::KernelStart {
+                        kernel: kernel.name.clone(),
+                    },
+                );
+            }
             let kernel_end = self.run_kernel(
                 clock,
                 &kernel.events,
@@ -138,6 +164,15 @@ impl Simulator {
                 &mut banks,
                 &mut stats,
             );
+            if self.probe.is_enabled() {
+                self.probe.emit(
+                    kernel_end,
+                    Event::KernelEnd {
+                        kernel: kernel.name.clone(),
+                        cycles: kernel_end - clock,
+                    },
+                );
+            }
             clock = kernel_end;
 
             // Kernel boundary: flush the L2 (dirty data drains through the
@@ -160,6 +195,7 @@ impl Simulator {
                 }
             }
             stats.instructions += kernel.instructions();
+            self.probe.on_instructions(clock, kernel.instructions());
         }
 
         // End of context: metadata caches drain.
@@ -175,6 +211,8 @@ impl Simulator {
             .unwrap_or(0);
         stats.cycles = clock.max(drain).max(1);
         stats.traffic = fabric.traffic();
+        stats.dram_requests = fabric.requests();
+        self.probe.finalize(stats.cycles);
         (stats, engine, fabric)
     }
 
@@ -199,8 +237,7 @@ impl Simulator {
         }
         let mut cursors = vec![0usize; num_sms];
         let mut ready = vec![start_cycle; num_sms];
-        let mut outstanding: Vec<BinaryHeap<Reverse<u64>>> =
-            vec![BinaryHeap::new(); num_sms];
+        let mut outstanding: Vec<BinaryHeap<Reverse<u64>>> = vec![BinaryHeap::new(); num_sms];
 
         // Lazy priority queue over SMs keyed by estimated next issue time.
         let mut pq: BinaryHeap<Reverse<(u64, usize)>> = (0..num_sms)
@@ -281,27 +318,45 @@ impl Simulator {
             Self::writeback_eviction(&evicted, p, map, span, t, engine, fabric, stats);
         }
 
+        self.probe.on_access(t);
+        let stalls_before = banks[p.index()][bank_idx].mshr_stalls();
         let outcome = if ev.kind.is_write() {
             banks[p.index()][bank_idx].write(local.offset)
         } else {
             banks[p.index()][bank_idx].read(t, local.offset)
         };
+        if banks[p.index()][bank_idx].mshr_stalls() > stalls_before {
+            self.probe.emit(t, Event::MshrStall { bank: bank_idx });
+        }
 
         let completion = match outcome {
             L2Outcome::Hit => {
                 stats.l2_hits += 1;
+                self.probe.on_l2_hit(t);
                 t + L2_HIT_LATENCY
             }
             L2Outcome::WriteAllocated => {
                 stats.l2_misses += 1;
+                self.probe.on_l2_miss(t);
                 t + L2_HIT_LATENCY
             }
             L2Outcome::MergedMiss { ready_at } => {
                 stats.l2_hits += 1; // merged: no extra DRAM traffic
+                self.probe.on_l2_hit(t);
                 ready_at.max(t) + L2_HIT_LATENCY
             }
             L2Outcome::Miss => {
                 stats.l2_misses += 1;
+                self.probe.on_l2_miss(t);
+                if self.probe.is_enabled() {
+                    self.probe.emit(
+                        t,
+                        Event::L2Miss {
+                            bank: bank_idx,
+                            addr: local.offset,
+                        },
+                    );
+                }
                 let req = MemRequest {
                     phys: ev.addr.sector_base(),
                     local: local.block_base().offset_sector(local),
@@ -320,6 +375,9 @@ impl Simulator {
                     stats,
                 );
                 banks[p.index()][bank_idx].note_pending(local.offset, done);
+                // MSHR residency: the entry lives from allocation until the
+                // fill lands and is retired by a later drain.
+                self.probe.on_mshr_residency(done.saturating_sub(t));
                 done
             }
         };
@@ -385,8 +443,7 @@ impl Simulator {
             if evicted.dirty_sectors & (1 << sector) == 0 {
                 continue;
             }
-            let local =
-                gpu_types::LocalAddr::new(p, evicted.addr + sector as u64 * SECTOR_BYTES);
+            let local = gpu_types::LocalAddr::new(p, evicted.addr + sector as u64 * SECTOR_BYTES);
             let req = MemRequest {
                 phys: map.to_phys(local),
                 local,
@@ -475,7 +532,12 @@ mod tests {
         let base = run(DesignPoint::Unprotected, &t);
         let naive = run(DesignPoint::Naive, &t);
         let pssm = run(DesignPoint::Pssm, &t);
-        assert!(naive.cycles > base.cycles, "naive {} base {}", naive.cycles, base.cycles);
+        assert!(
+            naive.cycles > base.cycles,
+            "naive {} base {}",
+            naive.cycles,
+            base.cycles
+        );
         assert!(pssm.cycles >= base.cycles);
         assert!(naive.cycles > pssm.cycles, "naive should be slowest");
     }
@@ -503,7 +565,11 @@ mod tests {
         let shm = run(DesignPoint::Shm, &t);
         let ub = run(DesignPoint::ShmUpperBound, &t);
         assert_eq!(ub.stream_mispredictions, 0);
-        assert_eq!(ub.traffic.class_total(gpu_types::TrafficClass::MispredictFixup), 0);
+        assert_eq!(
+            ub.traffic
+                .class_total(gpu_types::TrafficClass::MispredictFixup),
+            0
+        );
         assert!(
             ub.traffic.metadata_bytes() <= shm.traffic.metadata_bytes(),
             "oracle {} vs detected {}",

@@ -45,10 +45,7 @@ impl KernelTrace {
 
     /// Total instructions this kernel retires (events plus think cycles).
     pub fn instructions(&self) -> u64 {
-        self.events
-            .iter()
-            .map(|e| 1 + e.think_cycles as u64)
-            .sum()
+        self.events.iter().map(|e| 1 + e.think_cycles as u64).sum()
     }
 }
 
@@ -109,7 +106,10 @@ mod tests {
     fn instruction_count_includes_think_cycles() {
         let mut e = MemEvent::global(PhysAddr::new(0), AccessKind::Read);
         e.think_cycles = 4;
-        let k = KernelTrace::new("k", vec![e, MemEvent::global(PhysAddr::new(32), AccessKind::Read)]);
+        let k = KernelTrace::new(
+            "k",
+            vec![e, MemEvent::global(PhysAddr::new(32), AccessKind::Read)],
+        );
         assert_eq!(k.instructions(), 5 + 1);
     }
 

@@ -143,6 +143,8 @@ pub struct SimStats {
     pub lat_sum: u64,
     /// Maximum access completion latency observed.
     pub lat_max: u64,
+    /// DRAM requests completed by the fabric (all traffic classes).
+    pub dram_requests: u64,
 }
 
 impl SimStats {

@@ -81,7 +81,10 @@ impl BmtGeometry {
     ///
     /// Panics if `level` is zero or above the root level.
     pub fn nodes_at_level(&self, level: u8) -> u64 {
-        assert!(level >= 1 && (level as usize) <= self.levels(), "level out of range");
+        assert!(
+            level >= 1 && (level as usize) <= self.levels(),
+            "level out of range"
+        );
         self.level_counts[level as usize - 1]
     }
 
@@ -267,9 +270,9 @@ mod tests {
         t.update_leaf(5, 111); // legitimate old value
         let stale = 111;
         t.update_leaf(5, 222); // counter advanced
-        // Attacker rolls the leaf back to the stale hash without touching
-        // the inner nodes (they are recomputed from DRAM on verification,
-        // but the upper path no longer matches).
+                               // Attacker rolls the leaf back to the stale hash without touching
+                               // the inner nodes (they are recomputed from DRAM on verification,
+                               // but the upper path no longer matches).
         t.tamper_leaf(5, stale);
         assert!(!t.verify_leaf(5, stale), "replayed counter passed");
     }

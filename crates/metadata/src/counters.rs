@@ -124,10 +124,7 @@ mod tests {
         for _ in 0..255 {
             assert_eq!(s.increment(0), Increment::Minor);
         }
-        assert_eq!(
-            s.increment(0),
-            Increment::Overflow { group_blocks: 16 }
-        );
+        assert_eq!(s.increment(0), Increment::Overflow { group_blocks: 16 });
         assert_eq!(s.major(), 1);
         assert_eq!(s.seed_pair(0), (1, 1));
         assert_eq!(s.seed_pair(1), (1, 0));
@@ -142,7 +139,11 @@ mod tests {
         seen.insert(s.seed_pair(0));
         for _ in 0..1000 {
             s.increment(0);
-            assert!(seen.insert(s.seed_pair(0)), "seed reuse at {:?}", s.seed_pair(0));
+            assert!(
+                seen.insert(s.seed_pair(0)),
+                "seed reuse at {:?}",
+                s.seed_pair(0)
+            );
         }
     }
 

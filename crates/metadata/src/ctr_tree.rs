@@ -158,7 +158,13 @@ impl CtrTree {
 
     /// Attacker action: roll one node's stored state back to a stale copy
     /// (off-chip DRAM contents only — the root version is on chip).
-    pub fn rollback_node(&mut self, leaf: u64, level: usize, stale_versions: Vec<u64>, stale_mac: u64) {
+    pub fn rollback_node(
+        &mut self,
+        leaf: u64,
+        level: usize,
+        stale_versions: Vec<u64>,
+        stale_mac: u64,
+    ) {
         let mut idx = leaf;
         for _ in 0..level {
             idx /= CTR_TREE_ARITY;

@@ -12,8 +12,7 @@ use crate::bmt::BmtGeometry;
 pub const BLOCKS_PER_COUNTER_SECTOR: u64 = 16;
 
 /// Data blocks covered by one full 128 B counter line (8 KB of data).
-pub const BLOCKS_PER_COUNTER_LINE: u64 =
-    BLOCKS_PER_COUNTER_SECTOR * (BLOCK_BYTES / SECTOR_BYTES);
+pub const BLOCKS_PER_COUNTER_LINE: u64 = BLOCKS_PER_COUNTER_SECTOR * (BLOCK_BYTES / SECTOR_BYTES);
 
 /// The kinds of security metadata the layout can address.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -324,8 +323,14 @@ mod tests {
         let l = MetadataLayout::new(SPAN);
         assert_eq!(l.classify(0), None);
         assert_eq!(l.classify(l.counter_sector(0)), Some(MetadataKind::Counter));
-        assert_eq!(l.classify(l.block_mac_sector(0)), Some(MetadataKind::BlockMac));
-        assert_eq!(l.classify(l.chunk_mac_sector(0)), Some(MetadataKind::ChunkMac));
+        assert_eq!(
+            l.classify(l.block_mac_sector(0)),
+            Some(MetadataKind::BlockMac)
+        );
+        assert_eq!(
+            l.classify(l.chunk_mac_sector(0)),
+            Some(MetadataKind::ChunkMac)
+        );
         assert_eq!(l.classify(l.bmt_node(0, 1)), Some(MetadataKind::Bmt(1)));
     }
 
@@ -354,7 +359,10 @@ mod tests {
         // The paper: 4 GB memory = 2^25 blocks, so a MAC needs > 50 bits.
         let four_gb = 4u64 << 30;
         assert!(!mac_resists_birthday_attack(32, four_gb), "4 B MAC passed");
-        assert!(!mac_resists_birthday_attack(50, four_gb), "50-bit MAC passed");
+        assert!(
+            !mac_resists_birthday_attack(50, four_gb),
+            "50-bit MAC passed"
+        );
         assert!(mac_resists_birthday_attack(64, four_gb), "8 B MAC failed");
         assert!((mac_collision_updates(50) - 2f64.powi(25)).abs() < 1.0);
     }

@@ -22,15 +22,15 @@
 //! counter register live in [`counters`] and [`shared`].
 
 pub mod bmt;
-pub mod ctr_tree;
 pub mod counters;
+pub mod ctr_tree;
 pub mod layout;
 pub mod shared;
 pub mod store;
 
 pub use bmt::BmtGeometry;
-pub use ctr_tree::CtrTree;
 pub use counters::{CounterSector, Increment};
+pub use ctr_tree::CtrTree;
 pub use layout::{MetadataKind, MetadataLayout};
 pub use shared::SharedCounter;
 pub use store::{SecureMemory, VerifyError};

@@ -67,7 +67,11 @@ mod tests {
     fn reset_takes_max_plus_one() {
         let mut c = SharedCounter::new();
         c.advance(); // 1
-        assert_eq!(c.reset_for_reuse(90), 91, "Fig. 9 example, +1 for pad freshness");
+        assert_eq!(
+            c.reset_for_reuse(90),
+            91,
+            "Fig. 9 example, +1 for pad freshness"
+        );
         assert_eq!(c.reset_for_reuse(5), 92, "never lowered; always advances");
     }
 

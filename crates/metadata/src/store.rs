@@ -494,7 +494,10 @@ mod tests {
 
         // Host reuses the region as read-only input for the next kernel.
         let new_shared = m.input_readonly_reset(0x8000, 128);
-        assert!(new_shared >= 1, "shared counter must advance past scanned max");
+        assert!(
+            new_shared >= 1,
+            "shared counter must advance past scanned max"
+        );
         m.write_readonly_block(0x8000, &[4u8; 128]);
 
         // Attacker replays kernel-1's read-only ciphertext.

@@ -43,6 +43,7 @@ use gpu_mem_sim::{ContextTrace, HostAction, KernelTrace};
 use gpu_types::{AccessKind, MemEvent, MemorySpace, PhysAddr, Warp, BLOCK_BYTES};
 use shm_crypto::KeyTuple;
 use shm_metadata::{SecureMemory, VerifyError};
+use shm_telemetry::{Event, Probe};
 
 /// Device-buffer classification (Table II's data classes).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -109,8 +110,15 @@ impl core::fmt::Display for RuntimeError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
             RuntimeError::Verification(e) => write!(f, "secure memory rejected the access: {e}"),
-            RuntimeError::OutOfBounds { buffer, offset, len } => {
-                write!(f, "offset {offset} out of bounds for {buffer:?} of {len} bytes")
+            RuntimeError::OutOfBounds {
+                buffer,
+                offset,
+                len,
+            } => {
+                write!(
+                    f,
+                    "offset {offset} out of bounds for {buffer:?} of {len} bytes"
+                )
             }
             RuntimeError::ReadOnlyViolation(b) => {
                 write!(f, "store into read-only buffer {b:?}")
@@ -154,6 +162,7 @@ pub struct Context {
     readonly_init: Vec<(PhysAddr, u64)>,
     pending_actions: Vec<HostAction>,
     name: String,
+    probe: Probe,
 }
 
 impl Context {
@@ -169,12 +178,20 @@ impl Context {
             readonly_init: Vec::new(),
             pending_actions: Vec::new(),
             name: format!("runtime-{context_seed:x}"),
+            probe: Probe::disabled(),
         }
     }
 
     /// Names the context (becomes the trace name).
     pub fn with_name(mut self, name: impl Into<String>) -> Self {
         self.name = name.into();
+        self
+    }
+
+    /// Attaches a telemetry probe; kernel launches emit start/end events
+    /// keyed by launch ordinal (the host runtime has no cycle clock).
+    pub fn with_probe(mut self, probe: Probe) -> Self {
+        self.probe = probe;
         self
     }
 
@@ -203,7 +220,9 @@ impl Context {
     }
 
     fn alloc_of(&self, buf: DeviceBuffer) -> Result<&Allocation, RuntimeError> {
-        self.allocs.get(&buf).ok_or(RuntimeError::InvalidBuffer(buf))
+        self.allocs
+            .get(&buf)
+            .ok_or(RuntimeError::InvalidBuffer(buf))
     }
 
     /// Copies host data into a device buffer (cudaMemcpyHostToDevice).
@@ -216,11 +235,7 @@ impl Context {
     ///
     /// Out-of-bounds or unknown-handle errors; secure-memory failures
     /// cannot occur on the host-write path.
-    pub fn memcpy_to_device(
-        &mut self,
-        buf: DeviceBuffer,
-        data: &[u8],
-    ) -> Result<(), RuntimeError> {
+    pub fn memcpy_to_device(&mut self, buf: DeviceBuffer, data: &[u8]) -> Result<(), RuntimeError> {
         let alloc = self.alloc_of(buf)?.clone();
         if data.len() as u64 > alloc.len {
             return Err(RuntimeError::OutOfBounds {
@@ -320,8 +335,25 @@ impl Context {
             events: Vec::new(),
             op_counter: 0,
         };
+        if self.probe.is_enabled() {
+            self.probe.emit(
+                self.kernels.len() as u64,
+                Event::KernelStart {
+                    kernel: name.to_string(),
+                },
+            );
+        }
         body(&mut kctx)?;
         let events = kctx.events;
+        if self.probe.is_enabled() {
+            self.probe.emit(
+                self.kernels.len() as u64,
+                Event::KernelEnd {
+                    kernel: name.to_string(),
+                    cycles: events.len() as u64,
+                },
+            );
+        }
         let mut kernel = KernelTrace::new(name, events);
         kernel.pre_actions = std::mem::take(&mut self.pending_actions);
         self.kernels.push(kernel);
@@ -443,7 +475,12 @@ impl KernelCtx<'_> {
     ///
     /// Verification failures, bounds errors, and stores into read-only
     /// buffers.
-    pub fn store_u8(&mut self, buf: DeviceBuffer, offset: u64, value: u8) -> Result<(), RuntimeError> {
+    pub fn store_u8(
+        &mut self,
+        buf: DeviceBuffer,
+        offset: u64,
+        value: u8,
+    ) -> Result<(), RuntimeError> {
         let (addr, kind) = self.resolve(buf, offset, 1)?;
         if kind.is_read_only() {
             return Err(RuntimeError::ReadOnlyViolation(buf));
@@ -461,7 +498,12 @@ impl KernelCtx<'_> {
     /// # Errors
     ///
     /// As [`KernelCtx::store_u8`].
-    pub fn store_u32(&mut self, buf: DeviceBuffer, offset: u64, value: u32) -> Result<(), RuntimeError> {
+    pub fn store_u32(
+        &mut self,
+        buf: DeviceBuffer,
+        offset: u64,
+        value: u32,
+    ) -> Result<(), RuntimeError> {
         for (i, b) in value.to_le_bytes().into_iter().enumerate() {
             self.store_u8(buf, offset + i as u64, b)?;
         }
@@ -513,7 +555,9 @@ mod tests {
     fn out_of_bounds_is_rejected() {
         let mut ctx = Context::new(4);
         let x = ctx.alloc(64, BufferKind::Scratch).expect("alloc");
-        let err = ctx.launch("oob", |k| k.load_u8(x, 64).map(|_| ())).expect_err("oob");
+        let err = ctx
+            .launch("oob", |k| k.load_u8(x, 64).map(|_| ()))
+            .expect_err("oob");
         assert!(matches!(err, RuntimeError::OutOfBounds { .. }));
     }
 
@@ -567,7 +611,8 @@ mod tests {
         let mut ctx = Context::new(7);
         let c = ctx.alloc(128, BufferKind::Constant).expect("alloc");
         ctx.memcpy_to_device(c, &[9u8; 128]).expect("h2d");
-        ctx.launch("k", |k| k.load_u8(c, 0).map(|_| ())).expect("launch");
+        ctx.launch("k", |k| k.load_u8(c, 0).map(|_| ()))
+            .expect("launch");
         let trace = ctx.into_trace();
         assert_eq!(trace.kernels[0].events[0].space, MemorySpace::Constant);
     }
@@ -577,7 +622,8 @@ mod tests {
         let mut ctx = Context::new(8);
         let x = ctx.alloc(256, BufferKind::Input).expect("alloc");
         ctx.memcpy_to_device(x, &[1u8; 256]).expect("h2d k1");
-        ctx.launch("k1", |k| k.load_u8(x, 0).map(|_| ())).expect("k1");
+        ctx.launch("k1", |k| k.load_u8(x, 0).map(|_| ()))
+            .expect("k1");
         // Host refreshes the input for kernel 2.
         ctx.input_readonly_reset(x).expect("reset");
         ctx.memcpy_to_device(x, &[2u8; 256]).expect("h2d k2");

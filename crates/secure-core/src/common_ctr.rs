@@ -209,7 +209,10 @@ mod tests {
         t.record_write(0);
         t.record_write(0); // spill
         for b in 0..32u64 {
-            assert!(t.record_write(b * 128), "spilled page write compressed again");
+            assert!(
+                t.record_write(b * 128),
+                "spilled page write compressed again"
+            );
         }
     }
 
@@ -220,7 +223,10 @@ mod tests {
         t.record_write(0);
         t.record_write(4096);
         t.record_write(2 * 4096);
-        assert!(!t.read_is_compressed(0), "displaced mid-sweep page kept compressed");
+        assert!(
+            !t.read_is_compressed(0),
+            "displaced mid-sweep page kept compressed"
+        );
         assert!(t.read_is_compressed(4096));
         assert!(t.read_is_compressed(2 * 4096));
     }

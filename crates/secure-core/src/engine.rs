@@ -44,6 +44,13 @@ impl SecureMemorySystem {
         &self.scheme
     }
 
+    /// Attaches a telemetry probe to every partition MEE.
+    pub fn set_probe(&mut self, probe: &shm_telemetry::Probe) {
+        for mee in &mut self.mees {
+            mee.set_probe(probe.clone());
+        }
+    }
+
     /// Access to one partition's MEE core (for inspection in tests).
     pub fn mee(&self, p: PartitionId) -> &MeeCore {
         &self.mees[p.index()]
@@ -166,7 +173,11 @@ mod tests {
         let mut fabric = DramFabric::new(&cfg);
         let mut stats = SimStats::default();
         for i in 0..n {
-            let k = if writes { AccessKind::Write } else { AccessKind::Read };
+            let k = if writes {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            };
             sys.process(0, &req(&cfg, i * 32, k), &mut fabric, &mut stats);
         }
         sys.flush(1_000_000, &mut fabric, &mut stats);
@@ -232,7 +243,10 @@ mod tests {
         let r = req(&cfg, 0, AccessKind::Read);
         let secure = sys.process(0, &r, &mut f1, &mut stats);
         let plain = unprot.process(0, &r, &mut f2, &mut stats);
-        assert!(secure > plain, "secure read not slower: {secure} vs {plain}");
+        assert!(
+            secure > plain,
+            "secure read not slower: {secure} vs {plain}"
+        );
     }
 
     #[test]

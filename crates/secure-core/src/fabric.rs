@@ -2,6 +2,7 @@
 
 use gpu_types::{GpuConfig, PartitionId, PartitionMap, PhysAddr, TrafficClass};
 use shm_dram::{DramConfig, DramPartition};
+use shm_telemetry::{Event, Probe};
 
 /// Extra latency for a request that crosses the partition crossbar (a
 /// metadata fetch whose metadata lives in another partition — only happens
@@ -16,6 +17,9 @@ pub struct DramFabric {
     /// Per-class read/write byte counters, aggregated over all partitions.
     traffic: gpu_types::TrafficBytes,
     cross_partition_accesses: u64,
+    /// Completed requests, all classes (priority reads included).
+    requests: u64,
+    probe: Probe,
 }
 
 impl DramFabric {
@@ -32,7 +36,15 @@ impl DramFabric {
             map: cfg.partition_map(),
             traffic: gpu_types::TrafficBytes::default(),
             cross_partition_accesses: 0,
+            requests: 0,
+            probe: Probe::disabled(),
         }
+    }
+
+    /// Attaches a telemetry probe; the DRAM layer reports per-request
+    /// latency, per-class traffic and queue-depth gauges through it.
+    pub fn set_probe(&mut self, probe: Probe) {
+        self.probe = probe;
     }
 
     /// The partition interleaving map.
@@ -52,7 +64,22 @@ impl DramFabric {
         class: TrafficClass,
     ) -> u64 {
         self.traffic.record(class, bytes, is_write);
-        self.partitions[partition.index()].access(now, offset, bytes, is_write)
+        self.requests += 1;
+        let chan = &mut self.partitions[partition.index()];
+        if self.probe.is_enabled() {
+            let depth = chan.queue_delay(now);
+            self.probe.emit(
+                now,
+                Event::DramQueueDepth {
+                    partition: partition.index(),
+                    depth,
+                },
+            );
+        }
+        let done = chan.access(now, offset, bytes, is_write);
+        self.probe.on_traffic(now, class, bytes, is_write);
+        self.probe.on_dram_request(done, done.saturating_sub(now));
+        done
     }
 
     /// Accesses `bytes` at a *physical* address: the interleaving map picks
@@ -91,7 +118,10 @@ impl DramFabric {
         class: TrafficClass,
     ) -> u64 {
         self.traffic.record(class, bytes, false);
+        self.requests += 1;
         let done = self.partitions[partition.index()].access_priority(now, offset, bytes);
+        self.probe.on_traffic(now, class, bytes, false);
+        self.probe.on_dram_request(done, done.saturating_sub(now));
         if partition != from {
             self.cross_partition_accesses += 1;
             done + CROSSBAR_LATENCY
@@ -108,6 +138,11 @@ impl DramFabric {
     /// Number of accesses that crossed partitions.
     pub fn cross_partition_accesses(&self) -> u64 {
         self.cross_partition_accesses
+    }
+
+    /// Completed DRAM requests across all partitions and classes.
+    pub fn requests(&self) -> u64 {
+        self.requests
     }
 
     /// One partition's channel (for utilization queries).
@@ -145,10 +180,22 @@ mod tests {
         // access issued locally vs across the crossbar on fresh fabrics.
         let mut f_same = DramFabric::new(&GpuConfig::default());
         let mut f_cross = DramFabric::new(&GpuConfig::default());
-        let t_same =
-            f_same.access_phys(0, PartitionId(1), PhysAddr::new(256), 32, false, TrafficClass::Counter);
-        let t_cross =
-            f_cross.access_phys(0, PartitionId(0), PhysAddr::new(256), 32, false, TrafficClass::Counter);
+        let t_same = f_same.access_phys(
+            0,
+            PartitionId(1),
+            PhysAddr::new(256),
+            32,
+            false,
+            TrafficClass::Counter,
+        );
+        let t_cross = f_cross.access_phys(
+            0,
+            PartitionId(0),
+            PhysAddr::new(256),
+            32,
+            false,
+            TrafficClass::Counter,
+        );
         assert!(t_cross > t_same, "crossbar latency missing");
         assert_eq!(f_same.cross_partition_accesses(), 0);
         assert_eq!(f_cross.cross_partition_accesses(), 1);

@@ -17,6 +17,7 @@ use gpu_types::{
 };
 use shm_cache::{Eviction, Lookup, SectoredCache};
 use shm_metadata::MetadataLayout;
+use shm_telemetry::{Event, Probe};
 
 use crate::fabric::DramFabric;
 use crate::scheme::Addressing;
@@ -75,6 +76,7 @@ pub struct MeeCore {
     mac_cache: SectoredCache,
     bmt_cache: SectoredCache,
     cfg: MdcConfig,
+    probe: Probe,
 }
 
 impl MeeCore {
@@ -96,7 +98,14 @@ impl MeeCore {
             mac_cache: mk(cfg),
             bmt_cache: mk(cfg),
             cfg: cfg.clone(),
+            probe: Probe::disabled(),
         }
+    }
+
+    /// Attaches a telemetry probe; the MEE reports counter-cache misses,
+    /// BMT walk depths and per-request pipeline depth through it.
+    pub fn set_probe(&mut self, probe: Probe) {
+        self.probe = probe;
     }
 
     /// AES-engine latency in cycles.
@@ -167,9 +176,23 @@ impl MeeCore {
             Addressing::Physical => {
                 if priority {
                     let local = f.map().to_local(PhysAddr::new(addr));
-                    f.read_priority(now, self.partition, local.partition, local.offset, bytes, class)
+                    f.read_priority(
+                        now,
+                        self.partition,
+                        local.partition,
+                        local.offset,
+                        bytes,
+                        class,
+                    )
                 } else {
-                    f.access_phys(now, self.partition, PhysAddr::new(addr), bytes, is_write, class)
+                    f.access_phys(
+                        now,
+                        self.partition,
+                        PhysAddr::new(addr),
+                        bytes,
+                        is_write,
+                        class,
+                    )
                 }
             }
         }
@@ -242,7 +265,10 @@ impl MeeCore {
                 MdcKind::Bmt => stats.bmt_misses += 1,
             }
             let miss_bytes = (missing.count_ones() as u64 * SECTOR_BYTES).min(bytes);
-            (self.dram_access(f, now, base, miss_bytes, false, class), false)
+            (
+                self.dram_access(f, now, base, miss_bytes, false, class),
+                false,
+            )
         };
         if let Some(ev) = self.cache_mut(kind).fill(base, mask) {
             self.handle_eviction(ev, class, now, f, victim, stats);
@@ -281,6 +307,7 @@ impl MeeCore {
     /// Fetches the encryption counter for a data sector, walking the BMT on
     /// a counter-cache miss.  Returns the cycle the counter is available
     /// (which gates OTP generation).
+    #[allow(clippy::too_many_arguments)]
     pub fn fetch_counter(
         &mut self,
         now: u64,
@@ -309,13 +336,23 @@ impl MeeCore {
             stats,
         );
         if stats.ctr_misses == misses_before {
-            return ctr_ready; // hit: already verified when first brought on chip
+            // Hit: already verified when first brought on chip; the engine
+            // pipeline touched a single metadata level.
+            self.probe.on_engine_depth(1);
+            return ctr_ready;
         }
+        self.probe.emit(
+            now,
+            Event::CtrCacheMiss {
+                partition: self.partition.index(),
+            },
+        );
         // Counter miss: verify freshness by walking the BMT upward until a
         // cached (already-verified) node or the on-chip root.  The walk
         // charges DRAM bandwidth, but — like MAC verification — it is off
         // the critical path: the fetched counter feeds OTP generation
         // immediately and an exception fires later on a mismatch.
+        let mut walked = 0u32;
         for node in self.layout.bmt_path(data) {
             let before = stats.bmt_misses;
             self.mdc_read(
@@ -328,15 +365,28 @@ impl MeeCore {
                 victim,
                 stats,
             );
+            walked += 1;
             if stats.bmt_misses == before {
                 break; // cached ⇒ verified ⇒ stop the walk
             }
+        }
+        if self.probe.is_enabled() {
+            self.probe.emit(
+                now,
+                Event::BmtWalk {
+                    partition: self.partition.index(),
+                    depth: walked,
+                },
+            );
+            // Counter level plus every BMT level visited.
+            self.probe.on_engine_depth(1 + u64::from(walked));
         }
         ctr_ready
     }
 
     /// Updates the encryption counter for a written sector: write-allocates
     /// the counter line and dirties the BMT path to the root.
+    #[allow(clippy::too_many_arguments)]
     pub fn update_counter(
         &mut self,
         now: u64,
@@ -381,6 +431,7 @@ impl MeeCore {
     }
 
     /// Fetches the per-block MAC sector covering a data sector.
+    #[allow(clippy::too_many_arguments)]
     pub fn fetch_block_mac(
         &mut self,
         now: u64,
@@ -393,10 +444,20 @@ impl MeeCore {
     ) -> u64 {
         let data = self.data_offset(local, phys);
         let addr = self.layout.block_mac_sector(data);
-        self.mdc_read(MdcKind::Mac, addr, sectored, TrafficClass::Mac, now, f, victim, stats)
+        self.mdc_read(
+            MdcKind::Mac,
+            addr,
+            sectored,
+            TrafficClass::Mac,
+            now,
+            f,
+            victim,
+            stats,
+        )
     }
 
     /// Updates the per-block MAC for a written data sector.
+    #[allow(clippy::too_many_arguments)]
     pub fn update_block_mac(
         &mut self,
         now: u64,
@@ -409,7 +470,16 @@ impl MeeCore {
     ) -> u64 {
         let data = self.data_offset(local, phys);
         let addr = self.layout.block_mac_sector(data);
-        self.mdc_write(MdcKind::Mac, addr, sectored, TrafficClass::Mac, now, f, victim, stats)
+        self.mdc_write(
+            MdcKind::Mac,
+            addr,
+            sectored,
+            TrafficClass::Mac,
+            now,
+            f,
+            victim,
+            stats,
+        )
     }
 
     /// Marks a freshly produced block-MAC sector "not dirty" (streaming
@@ -435,7 +505,16 @@ impl MeeCore {
         let data = self.data_offset(local, phys);
         let addr = self.layout.chunk_mac_sector(data);
         stats.chunk_mac_accesses += 1;
-        self.mdc_read(MdcKind::Mac, addr, true, TrafficClass::Mac, now, f, victim, stats)
+        self.mdc_read(
+            MdcKind::Mac,
+            addr,
+            true,
+            TrafficClass::Mac,
+            now,
+            f,
+            victim,
+            stats,
+        )
     }
 
     /// Updates the per-chunk MAC covering a data address.
@@ -451,7 +530,16 @@ impl MeeCore {
         let data = self.data_offset(local, phys);
         let addr = self.layout.chunk_mac_sector(data);
         stats.chunk_mac_accesses += 1;
-        self.mdc_write(MdcKind::Mac, addr, true, TrafficClass::Mac, now, f, victim, stats)
+        self.mdc_write(
+            MdcKind::Mac,
+            addr,
+            true,
+            TrafficClass::Mac,
+            now,
+            f,
+            victim,
+            stats,
+        )
     }
 
     /// Installs a block-MAC sector that was *produced on chip* (computed by
@@ -486,6 +574,7 @@ impl MeeCore {
     /// The new counter values are generated on chip and installed directly
     /// in the counter cache (dirty, written back on eviction); the BMT path
     /// over the region is updated to cover the newly added counters.
+    #[allow(clippy::too_many_arguments)]
     pub fn propagate_region_counters(
         &mut self,
         now: u64,
@@ -515,7 +604,16 @@ impl MeeCore {
         let pa = PhysAddr::new(region_local_base);
         let data = self.data_offset(la, pa);
         for node in self.layout.bmt_path(data) {
-            self.mdc_write(MdcKind::Bmt, node, true, TrafficClass::Bmt, now, f, victim, stats);
+            self.mdc_write(
+                MdcKind::Bmt,
+                node,
+                true,
+                TrafficClass::Bmt,
+                now,
+                f,
+                victim,
+                stats,
+            );
         }
     }
 
@@ -567,7 +665,15 @@ mod tests {
         let t1 = mee.fetch_counter(0, la(0), PhysAddr::new(0), true, &mut f, &mut v, &mut stats);
         assert!(t1 > 0, "miss should cost DRAM latency");
         assert_eq!(stats.ctr_misses, 1);
-        let t2 = mee.fetch_counter(t1, la(32), PhysAddr::new(32), true, &mut f, &mut v, &mut stats);
+        let t2 = mee.fetch_counter(
+            t1,
+            la(32),
+            PhysAddr::new(32),
+            true,
+            &mut f,
+            &mut v,
+            &mut stats,
+        );
         assert_eq!(t2, t1, "same counter sector should hit");
         assert_eq!(stats.ctr_hits, 1);
     }
@@ -589,9 +695,20 @@ mod tests {
         mee.fetch_counter(0, la(0), PhysAddr::new(0), true, &mut f, &mut v, &mut stats);
         let first_walk = stats.bmt_misses;
         // A distant counter in the same level-1 group: shares upper path.
-        mee.fetch_counter(0, la(8192), PhysAddr::new(8192), true, &mut f, &mut v, &mut stats);
+        mee.fetch_counter(
+            0,
+            la(8192),
+            PhysAddr::new(8192),
+            true,
+            &mut f,
+            &mut v,
+            &mut stats,
+        );
         let second_walk = stats.bmt_misses - first_walk;
-        assert!(second_walk <= 1, "walk did not early-terminate: {second_walk}");
+        assert!(
+            second_walk <= 1,
+            "walk did not early-terminate: {second_walk}"
+        );
     }
 
     #[test]
@@ -600,7 +717,15 @@ mod tests {
         let mut v = NoVictim;
         mee.fetch_counter(0, la(0), PhysAddr::new(0), true, &mut f, &mut v, &mut stats);
         for off in (32..2048).step_by(32) {
-            mee.fetch_counter(0, la(off), PhysAddr::new(off), true, &mut f, &mut v, &mut stats);
+            mee.fetch_counter(
+                0,
+                la(off),
+                PhysAddr::new(off),
+                true,
+                &mut f,
+                &mut v,
+                &mut stats,
+            );
         }
         assert_eq!(stats.ctr_misses, 1, "all 2 KB share one counter sector");
     }
@@ -610,7 +735,15 @@ mod tests {
         let (mut mee, mut f, mut stats) = setup();
         let mut v = NoVictim;
         for off in (0..1024).step_by(32) {
-            mee.fetch_block_mac(0, la(off), PhysAddr::new(off), true, &mut f, &mut v, &mut stats);
+            mee.fetch_block_mac(
+                0,
+                la(off),
+                PhysAddr::new(off),
+                true,
+                &mut f,
+                &mut v,
+                &mut stats,
+            );
         }
         assert_eq!(stats.mac_misses, 2, "1 KB of data = two MAC sectors");
         assert_eq!(stats.mac_hits, 30);
@@ -656,7 +789,15 @@ mod tests {
         let mut f = DramFabric::new(&cfg);
         let mut stats = SimStats::default();
         let mut v = NoVictim;
-        mee.fetch_block_mac(0, la(0), PhysAddr::new(0), false, &mut f, &mut v, &mut stats);
+        mee.fetch_block_mac(
+            0,
+            la(0),
+            PhysAddr::new(0),
+            false,
+            &mut f,
+            &mut v,
+            &mut stats,
+        );
         assert_eq!(
             f.traffic().read[gpu_types::TrafficClass::Mac as usize],
             128,

@@ -23,6 +23,7 @@ use gpu_types::{
 use secure_core::mdc::NoVictim;
 use secure_core::{Addressing, CommonCounterTable, DramFabric, MeeCore, MemRequest, VictimStore};
 use shm_metadata::SharedCounter;
+use shm_telemetry::{Event, Probe};
 
 use crate::oracle::OracleProfile;
 use crate::readonly::ReadOnlyPredictor;
@@ -49,6 +50,7 @@ pub struct ShmSystem {
     shm_cfg: ShmConfig,
     partitions: Vec<PartitionShm>,
     oracle: Option<OracleProfile>,
+    probe: Probe,
 }
 
 impl ShmSystem {
@@ -105,12 +107,23 @@ impl ShmSystem {
             shm_cfg,
             partitions,
             oracle,
+            probe: Probe::disabled(),
         }
     }
 
     /// The variant this system implements.
     pub fn variant(&self) -> ShmVariant {
         self.variant
+    }
+
+    /// Attaches a telemetry probe to the engine and every partition MEE;
+    /// detector transitions and misprediction fix-ups are reported here,
+    /// metadata-cache activity in the MEE cores.
+    pub fn set_probe(&mut self, probe: &Probe) {
+        self.probe = probe.clone();
+        for p in &mut self.partitions {
+            p.mee.set_probe(probe.clone());
+        }
     }
 
     /// Marks a physical range read-only at context initialisation (host
@@ -136,7 +149,12 @@ impl ShmSystem {
     /// Applies the `InputReadOnlyReset(range)` API (Section IV-B): re-marks
     /// the range read-only and advances each partition's shared counter past
     /// the maximum scanned major counter.
-    pub fn input_readonly_reset(&mut self, map: gpu_types::PartitionMap, start: PhysAddr, len: u64) {
+    pub fn input_readonly_reset(
+        &mut self,
+        map: gpu_types::PartitionMap,
+        start: PhysAddr,
+        len: u64,
+    ) {
         let mut addr = start.raw();
         let end = start.raw() + len;
         while addr < end {
@@ -234,12 +252,8 @@ impl ShmSystem {
         let p = &mut self.partitions[pid.index()];
 
         // --- prediction ------------------------------------------------
-        let (mut ro_pred, stream_pred) = Self::predictions(
-            self.variant,
-            p,
-            self.oracle.as_ref(),
-            req.local,
-        );
+        let (mut ro_pred, stream_pred) =
+            Self::predictions(self.variant, p, self.oracle.as_ref(), req.local);
         // Constant, texture and instruction memory are architecturally
         // read-only during kernel execution (Table I): the command
         // processor guarantees it, so no predictor is consulted and no
@@ -249,7 +263,11 @@ impl ShmSystem {
         }
 
         let mut no_victim = NoVictim;
-        let victim: &mut dyn VictimStore = if p.victim_engaged { victim } else { &mut no_victim };
+        let victim: &mut dyn VictimStore = if p.victim_engaged {
+            victim
+        } else {
+            &mut no_victim
+        };
 
         // --- the data transfer itself -----------------------------------
         let data_done = fabric.access_local(
@@ -271,8 +289,15 @@ impl ShmSystem {
                 let transitioned = p.readonly.on_write(req.local);
                 if transitioned {
                     stats.readonly_mispredictions += 1;
-                    let region_base =
-                        req.local.offset & !(self.shm_cfg.readonly_region_bytes - 1);
+                    let region_base = req.local.offset & !(self.shm_cfg.readonly_region_bytes - 1);
+                    self.probe.emit(
+                        now,
+                        Event::DetectorTransition {
+                            partition: pid.index(),
+                            region: region_base / self.shm_cfg.readonly_region_bytes,
+                            detector: "readonly",
+                        },
+                    );
                     mee.propagate_region_counters(
                         now,
                         region_base,
@@ -377,12 +402,24 @@ impl ShmSystem {
         // --- detection & misprediction fix-ups --------------------------
         if self.variant.dual_mac() && !self.variant.oracle() {
             let mut dets = p.trackers.poll(now);
-            if let Some(d) = p.trackers.observe(now, req.local, req.is_write(), stream_pred) {
+            if let Some(d) = p
+                .trackers
+                .observe(now, req.local, req.is_write(), stream_pred)
+            {
                 dets.push(d);
             }
             let chunk_bytes = self.shm_cfg.chunk_bytes;
             for det in dets {
-                Self::apply_detection(&det, p, self.variant, chunk_bytes, now, fabric, stats);
+                Self::apply_detection(
+                    &det,
+                    p,
+                    self.variant,
+                    chunk_bytes,
+                    now,
+                    fabric,
+                    stats,
+                    &self.probe,
+                );
             }
         }
 
@@ -434,6 +471,7 @@ impl ShmSystem {
         now: u64,
         fabric: &mut DramFabric,
         stats: &mut SimStats,
+        probe: &Probe,
     ) {
         let chunk_base = LocalAddr::new(det.chunk.partition, det.chunk.index * chunk_bytes);
         // Compare against the *current* bit-vector prediction: the entry may
@@ -446,6 +484,14 @@ impl ShmSystem {
             return; // prediction already agrees: zero overhead
         }
         stats.stream_mispredictions += 1;
+        probe.emit(
+            now,
+            Event::DetectorTransition {
+                partition: det.chunk.partition.index(),
+                region: det.chunk.index,
+                detector: "streaming",
+            },
+        );
         let det = &Detection {
             predicted_streaming: current_pred,
             ..*det
@@ -454,20 +500,33 @@ impl ShmSystem {
         let pid = det.chunk.partition;
         let mut nv = NoVictim;
 
-        match (det.predicted_streaming, det.streaming, region_ro, det.had_write) {
+        match (
+            det.predicted_streaming,
+            det.streaming,
+            region_ro,
+            det.had_write,
+        ) {
             // Predicted stream, detected random:
             (true, false, _, false) => {
                 // No write ever happened under chunk-MAC mode, so the
                 // per-block MACs in memory are still current (Table III's
                 // read-only row, generalised by the tracker's write flag):
                 // re-fetch them to verify the forwarded data.
+                let bytes = chunk_bytes / BLOCK_BYTES * gpu_types::MAC_BYTES_PER_BLOCK;
                 fabric.access_local(
                     now,
                     pid,
                     p.mee.layout.block_mac_sector(chunk_base.offset),
-                    chunk_bytes / BLOCK_BYTES * gpu_types::MAC_BYTES_PER_BLOCK,
+                    bytes,
                     false,
                     TrafficClass::MispredictFixup,
+                );
+                probe.emit(
+                    now,
+                    Event::MispredictFixup {
+                        partition: pid.index(),
+                        bytes,
+                    },
                 );
             }
             (true, false, _, _) => {
@@ -482,11 +541,25 @@ impl ShmSystem {
                     false,
                     TrafficClass::MispredictFixup,
                 );
+                probe.emit(
+                    now,
+                    Event::MispredictFixup {
+                        partition: pid.index(),
+                        bytes: chunk_bytes,
+                    },
+                );
                 // The produced block MACs are installed (clean -> dirty).
                 for b in 0..(chunk_bytes / BLOCK_BYTES) {
                     let la = LocalAddr::new(pid, chunk_base.offset + b * BLOCK_BYTES);
-                    p.mee
-                        .update_block_mac(now, la, PhysAddr::new(la.offset), true, fabric, &mut nv, stats);
+                    p.mee.update_block_mac(
+                        now,
+                        la,
+                        PhysAddr::new(la.offset),
+                        true,
+                        fabric,
+                        &mut nv,
+                        stats,
+                    );
                 }
             }
             // Predicted random, detected stream:
@@ -506,9 +579,22 @@ impl ShmSystem {
                     false,
                     TrafficClass::MispredictFixup,
                 );
+                probe.emit(
+                    now,
+                    Event::MispredictFixup {
+                        partition: pid.index(),
+                        bytes: gpu_types::SECTOR_BYTES,
+                    },
+                );
                 if variant.dual_mac() {
-                    p.mee
-                        .update_chunk_mac(now, chunk_base, PhysAddr::new(chunk_base.offset), fabric, &mut nv, stats);
+                    p.mee.update_chunk_mac(
+                        now,
+                        chunk_base,
+                        PhysAddr::new(chunk_base.offset),
+                        fabric,
+                        &mut nv,
+                        stats,
+                    );
                 }
             }
         }
@@ -526,7 +612,7 @@ impl ShmSystem {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gpu_types::{AccessKind, MemEvent, MemorySpace, PartitionMap};
+    use gpu_types::{AccessKind, MemEvent, MemorySpace};
 
     fn cfg() -> GpuConfig {
         GpuConfig::default()
@@ -649,10 +735,20 @@ mod tests {
         let mut fabric = DramFabric::new(&c);
         let mut stats = SimStats::default();
         // A write into the read-only range triggers the Fig. 8 transition.
-        s.process(0, &req(&c, 4096, AccessKind::Write), &mut fabric, &mut stats);
+        s.process(
+            0,
+            &req(&c, 4096, AccessKind::Write),
+            &mut fabric,
+            &mut stats,
+        );
         assert_eq!(stats.readonly_mispredictions, 1);
         // A second write to the same region is not a transition.
-        s.process(1, &req(&c, 4128, AccessKind::Write), &mut fabric, &mut stats);
+        s.process(
+            1,
+            &req(&c, 4128, AccessKind::Write),
+            &mut fabric,
+            &mut stats,
+        );
         assert_eq!(stats.readonly_mispredictions, 1);
     }
 
@@ -668,7 +764,12 @@ mod tests {
         let mut flips_before = stats.stream_mispredictions;
         for i in 0..64u64 {
             let phys = (i % 2) * 32;
-            s.process(i * 200, &req(&c, phys, AccessKind::Read), &mut fabric, &mut stats);
+            s.process(
+                i * 200,
+                &req(&c, phys, AccessKind::Read),
+                &mut fabric,
+                &mut stats,
+            );
         }
         flips_before = stats.stream_mispredictions - flips_before;
         assert!(flips_before >= 1, "tracker should flip the chunk to random");

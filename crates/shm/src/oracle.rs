@@ -19,7 +19,10 @@ pub struct OracleProfile {
 
 impl OracleProfile {
     /// Profiles a trace of warp-level events under the partition `map`.
-    pub fn from_trace<'a>(events: impl IntoIterator<Item = &'a MemEvent>, map: PartitionMap) -> Self {
+    pub fn from_trace<'a>(
+        events: impl IntoIterator<Item = &'a MemEvent>,
+        map: PartitionMap,
+    ) -> Self {
         let mut p = Self::default();
         for ev in events {
             let la = map.to_local(ev.addr);

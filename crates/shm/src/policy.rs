@@ -103,7 +103,10 @@ mod tests {
         assert_eq!(required_mechanisms(MemorySpace::Local), Protection::CIF);
         assert_eq!(required_mechanisms(MemorySpace::Constant), Protection::CI);
         assert_eq!(required_mechanisms(MemorySpace::Texture), Protection::CI);
-        assert_eq!(required_mechanisms(MemorySpace::Instruction), Protection::CI);
+        assert_eq!(
+            required_mechanisms(MemorySpace::Instruction),
+            Protection::CI
+        );
     }
 
     #[test]

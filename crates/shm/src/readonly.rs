@@ -63,6 +63,7 @@ pub struct ReadOnlyPredictor {
     state: Vec<EntryState>,
     region_bytes: u64,
     accuracy: RoAccuracy,
+    transitions: u64,
 }
 
 impl ReadOnlyPredictor {
@@ -81,6 +82,7 @@ impl ReadOnlyPredictor {
             state: vec![EntryState::default(); entries],
             region_bytes,
             accuracy: RoAccuracy::default(),
+            transitions: 0,
         }
     }
 
@@ -102,7 +104,10 @@ impl ReadOnlyPredictor {
         let first = start / self.region_bytes;
         let last = (start + len.max(1) - 1) / self.region_bytes;
         for r in first..=last {
-            let idx = self.index_of_region(RegionId { partition, index: r });
+            let idx = self.index_of_region(RegionId {
+                partition,
+                index: r,
+            });
             self.bits[idx] = true;
             self.state[idx].cleared_by = None;
         }
@@ -146,13 +151,25 @@ impl ReadOnlyPredictor {
         if was_ro {
             self.bits[idx] = false;
             self.state[idx].cleared_by = Some(region.index);
+            self.transitions += 1;
         }
         was_ro
     }
 
+    /// Read-only → not-read-only transitions observed at runtime (each one
+    /// triggers a shared-counter propagation; exported via telemetry).
+    pub fn transitions(&self) -> u64 {
+        self.transitions
+    }
+
     /// Applies `InputReadOnlyReset(range)`: re-marks the range read-only.
     /// (The shared-counter adjustment is the engine's job.)
-    pub fn input_readonly_reset(&mut self, start: u64, len: u64, partition: gpu_types::PartitionId) {
+    pub fn input_readonly_reset(
+        &mut self,
+        start: u64,
+        len: u64,
+        partition: gpu_types::PartitionId,
+    ) {
         self.mark_readonly(start, len, partition);
     }
 

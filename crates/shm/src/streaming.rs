@@ -239,6 +239,7 @@ pub struct StreamingPredictor {
     entries: Vec<StreamEntry>,
     chunk_bytes: u64,
     accuracy: StreamAccuracy,
+    flips: u64,
 }
 
 impl StreamingPredictor {
@@ -261,6 +262,7 @@ impl StreamingPredictor {
             ],
             chunk_bytes,
             accuracy: StreamAccuracy::default(),
+            flips: 0,
         }
     }
 
@@ -318,10 +320,19 @@ impl StreamingPredictor {
     /// Applies a tracker verdict to the bit vector.
     pub fn update(&mut self, det: &Detection) {
         let idx = self.index_of(det.chunk);
+        if self.entries[idx].streaming != det.streaming {
+            self.flips += 1;
+        }
         self.entries[idx] = StreamEntry {
             streaming: det.streaming,
             writer: Some(det.chunk.index),
         };
+    }
+
+    /// Bit-vector state changes applied by tracker verdicts (exported via
+    /// telemetry as detector-transition activity).
+    pub fn flips(&self) -> u64 {
+        self.flips
     }
 
     /// Accuracy counters accumulated by [`Self::predict_accounted`].
@@ -404,7 +415,10 @@ mod tests {
     fn verdict_updates_bit_vector() {
         let mut p = StreamingPredictor::new(2048, 4096);
         let det = Detection {
-            chunk: ChunkId { partition: P, index: 5 },
+            chunk: ChunkId {
+                partition: P,
+                index: 5,
+            },
             streaming: false,
             had_write: false,
             predicted_streaming: true,
@@ -423,7 +437,10 @@ mod tests {
 
         // Self-written entry that later disagrees: runtime change.
         p.update(&Detection {
-            chunk: ChunkId { partition: P, index: 0 },
+            chunk: ChunkId {
+                partition: P,
+                index: 0,
+            },
             streaming: false,
             had_write: true,
             predicted_streaming: true,
@@ -436,7 +453,10 @@ mod tests {
         // Entry written by an aliasing chunk (index 4 aliases 0 in a 4-entry
         // vector): MP_Aliasing.
         p.update(&Detection {
-            chunk: ChunkId { partition: P, index: 4 },
+            chunk: ChunkId {
+                partition: P,
+                index: 4,
+            },
             streaming: true,
             had_write: false,
             predicted_streaming: true,

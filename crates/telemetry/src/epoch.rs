@@ -1,0 +1,234 @@
+//! Periodic per-epoch metric snapshots.
+//!
+//! Every recorded byte and counter tick is attributed to exactly one epoch
+//! accumulator, and `finalize` flushes the last partial epoch, so the sum of
+//! all snapshots equals the run's end-of-run [`TrafficBytes`] totals exactly —
+//! the invariant the telemetry property test checks.
+
+use gpu_types::{TrafficBytes, TrafficClass};
+use std::fmt::Write as _;
+
+use crate::event::json_escape;
+
+/// Metrics accumulated over one epoch window of the simulation.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct EpochSnapshot {
+    /// Zero-based epoch number.
+    pub index: u64,
+    /// First cycle covered by this epoch (inclusive).
+    pub start_cycle: u64,
+    /// Last cycle observed inside this epoch.
+    pub end_cycle: u64,
+    /// DRAM bytes recorded during the epoch, per traffic class.
+    pub traffic: TrafficBytes,
+    /// Instructions retired during the epoch (IPC proxy numerator).
+    pub instructions: u64,
+    /// Warp-level memory accesses issued.
+    pub accesses: u64,
+    /// L2 hits during the epoch.
+    pub l2_hits: u64,
+    /// L2 misses during the epoch.
+    pub l2_misses: u64,
+    /// DRAM requests completed during the epoch.
+    pub dram_requests: u64,
+}
+
+impl EpochSnapshot {
+    /// Total bytes moved during the epoch, all classes.
+    pub fn total_bytes(&self) -> u64 {
+        TrafficClass::ALL
+            .iter()
+            .map(|&c| self.traffic.class_total(c))
+            .sum()
+    }
+
+    /// L2 hit rate inside the epoch, or 0.0 with no lookups.
+    pub fn l2_hit_rate(&self) -> f64 {
+        let total = self.l2_hits + self.l2_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.l2_hits as f64 / total as f64
+        }
+    }
+
+    /// Appends this snapshot as one JSON object line (no trailing newline).
+    pub fn write_json(&self, out: &mut String) {
+        let _ = write!(
+            out,
+            "{{\"type\":\"epoch\",\"index\":{},\"start_cycle\":{},\"end_cycle\":{}",
+            self.index, self.start_cycle, self.end_cycle
+        );
+        for (dir, bytes) in [
+            ("read_bytes", &self.traffic.read),
+            ("write_bytes", &self.traffic.write),
+        ] {
+            let _ = write!(out, ",\"{dir}\":{{");
+            for (i, class) in TrafficClass::ALL.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "\"{}\":{}", json_escape(class.label()), bytes[i]);
+            }
+            out.push('}');
+        }
+        let _ = write!(
+            out,
+            ",\"instructions\":{},\"accesses\":{},\"l2_hits\":{},\"l2_misses\":{},\"dram_requests\":{}}}",
+            self.instructions, self.accesses, self.l2_hits, self.l2_misses, self.dram_requests
+        );
+    }
+}
+
+/// Rolls epoch accumulators as simulated time advances.
+#[derive(Clone, Debug)]
+pub struct EpochTracker {
+    epoch_cycles: u64,
+    current: EpochSnapshot,
+    snapshots: Vec<EpochSnapshot>,
+    finalized: bool,
+}
+
+impl EpochTracker {
+    /// Tracker with the given epoch length in cycles (clamped to >= 1).
+    pub fn new(epoch_cycles: u64) -> Self {
+        Self {
+            epoch_cycles: epoch_cycles.max(1),
+            current: EpochSnapshot::default(),
+            snapshots: Vec::new(),
+            finalized: false,
+        }
+    }
+
+    /// Rolls to a new epoch whenever `cycle` passes the current boundary.
+    ///
+    /// Completion timestamps are not globally monotone (per-SM heaps), so a
+    /// late-arriving earlier cycle never rolls back: activity is attributed
+    /// to the epoch open at record time, which keeps totals exact.
+    pub fn advance(&mut self, cycle: u64) {
+        while cycle >= self.current.start_cycle + self.epoch_cycles {
+            let next_start = self.current.start_cycle + self.epoch_cycles;
+            let next_index = self.current.index + 1;
+            self.current.end_cycle = self.current.end_cycle.max(next_start - 1);
+            let done = std::mem::take(&mut self.current);
+            self.snapshots.push(done);
+            self.current.index = next_index;
+            self.current.start_cycle = next_start;
+            self.current.end_cycle = next_start;
+        }
+        self.current.end_cycle = self.current.end_cycle.max(cycle);
+    }
+
+    /// Accessor for the epoch currently accumulating.
+    pub fn current_mut(&mut self) -> &mut EpochSnapshot {
+        &mut self.current
+    }
+
+    /// Flushes the trailing partial epoch; further activity would be lost,
+    /// so record nothing after calling this.
+    pub fn finalize(&mut self, end_cycle: u64) {
+        if self.finalized {
+            return;
+        }
+        self.finalized = true;
+        self.current.end_cycle = self.current.end_cycle.max(end_cycle);
+        let done = std::mem::take(&mut self.current);
+        self.snapshots.push(done);
+    }
+
+    /// Completed snapshots (includes the final partial epoch after `finalize`).
+    pub fn snapshots(&self) -> &[EpochSnapshot] {
+        &self.snapshots
+    }
+
+    /// Sum of per-class traffic across all snapshots plus the open epoch.
+    pub fn total_traffic(&self) -> TrafficBytes {
+        let mut total = TrafficBytes::default();
+        for s in &self.snapshots {
+            total += s.traffic;
+        }
+        total += self.current.traffic;
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rolls_epochs_on_boundary() {
+        let mut t = EpochTracker::new(100);
+        t.advance(5);
+        t.current_mut()
+            .traffic
+            .record(TrafficClass::Data, 64, false);
+        t.advance(150);
+        t.current_mut().traffic.record(TrafficClass::Mac, 32, true);
+        t.advance(420);
+        t.finalize(420);
+        let snaps = t.snapshots();
+        // Epochs 0..=4 cover cycles 0..500; intermediate empty epochs exist.
+        assert_eq!(snaps.len(), 5);
+        assert_eq!(snaps[0].traffic.read[TrafficClass::Data as usize], 64);
+        assert_eq!(snaps[1].traffic.write[TrafficClass::Mac as usize], 32);
+        assert_eq!(snaps[1].start_cycle, 100);
+        assert_eq!(snaps[4].end_cycle, 420);
+    }
+
+    #[test]
+    fn late_arrivals_do_not_roll_back() {
+        let mut t = EpochTracker::new(10);
+        t.advance(25);
+        t.advance(3); // out-of-order completion
+        t.current_mut().instructions += 7;
+        t.finalize(25);
+        let snaps = t.snapshots();
+        assert_eq!(snaps.last().unwrap().instructions, 7);
+        assert_eq!(snaps.last().unwrap().index, 2);
+    }
+
+    #[test]
+    fn totals_survive_epoch_rolling() {
+        let mut t = EpochTracker::new(7);
+        let mut expect = TrafficBytes::default();
+        for i in 0..500u64 {
+            t.advance(i);
+            let class = TrafficClass::ALL[(i % 5) as usize];
+            let bytes = (i % 97) + 1;
+            let is_write = i % 3 == 0;
+            t.current_mut().traffic.record(class, bytes, is_write);
+            expect.record(class, bytes, is_write);
+        }
+        t.finalize(500);
+        assert_eq!(t.total_traffic(), expect);
+        assert!(t.snapshots().len() > 2);
+    }
+
+    #[test]
+    fn finalize_is_idempotent() {
+        let mut t = EpochTracker::new(10);
+        t.advance(4);
+        t.finalize(4);
+        t.finalize(4);
+        assert_eq!(t.snapshots().len(), 1);
+    }
+
+    #[test]
+    fn json_shape() {
+        let mut s = EpochSnapshot {
+            index: 1,
+            start_cycle: 100,
+            end_cycle: 199,
+            instructions: 3,
+            ..Default::default()
+        };
+        s.traffic.record(TrafficClass::Bmt, 64, false);
+        let mut out = String::new();
+        s.write_json(&mut out);
+        assert!(out.starts_with("{\"type\":\"epoch\",\"index\":1,"));
+        assert!(out.contains("\"bmt\":64"));
+        assert!(out.contains("\"instructions\":3"));
+        assert!(out.ends_with('}'));
+    }
+}

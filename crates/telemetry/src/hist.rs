@@ -1,0 +1,272 @@
+//! Log-scaled fixed-bucket histogram (HDR-style).
+//!
+//! Values are bucketed by octave (power of two) with [`SUB`] linear
+//! sub-buckets per octave, giving a bounded relative error of `1/SUB`
+//! across the full `u64` range while the storage stays a fixed 256-slot
+//! array — no allocation on the record path, O(1) insert, O(buckets)
+//! quantile and merge.
+
+/// log2 of the number of sub-buckets per octave.
+const SUB_BITS: u32 = 2;
+/// Linear sub-buckets per octave; relative quantile error is `1/SUB`.
+const SUB: u64 = 1 << SUB_BITS;
+/// Total bucket count covering the whole `u64` domain.
+pub const NUM_BUCKETS: usize = ((64 - SUB_BITS as usize) * SUB as usize) + SUB as usize;
+
+/// Fixed-bucket log-scaled histogram over `u64` samples.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    buckets: [u64; NUM_BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: [0; NUM_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Index of the bucket holding `value`.
+    pub fn bucket_index(value: u64) -> usize {
+        if value < SUB {
+            return value as usize;
+        }
+        let msb = 63 - u64::from(value.leading_zeros());
+        let sub = (value >> (msb - u64::from(SUB_BITS))) & (SUB - 1);
+        ((msb - u64::from(SUB_BITS)) * SUB + SUB + sub) as usize
+    }
+
+    /// Smallest value mapping to bucket `index` (inclusive lower bound).
+    pub fn bucket_lower_bound(index: usize) -> u64 {
+        let index = index as u64;
+        if index < SUB {
+            return index;
+        }
+        let octave = (index - SUB) / SUB;
+        let sub = (index - SUB) % SUB;
+        (1 << (octave + u64::from(SUB_BITS))) + (sub << octave)
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.record_n(value, 1);
+    }
+
+    /// Records `n` identical samples.
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.buckets[Self::bucket_index(value)] += n;
+        self.count += n;
+        self.sum += value * n;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Folds another histogram's samples into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (dst, src) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *dst += src;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample, or 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample, or 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of recorded samples, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Value at quantile `q` in `[0, 1]`: the lower bound of the bucket
+    /// containing the `ceil(q * count)`-th sample, clamped to the observed
+    /// min/max so exact extremes survive bucketing.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        if rank == self.count {
+            return self.max;
+        }
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_lower_bound(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Iterator over `(lower_bound, count)` for every non-empty bucket.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (Self::bucket_lower_bound(i), c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_monotone_and_consistent() {
+        // Every bucket's lower bound must map back to that bucket, and
+        // bounds must strictly increase.
+        let mut prev = None;
+        for i in 0..NUM_BUCKETS {
+            let lo = Histogram::bucket_lower_bound(i);
+            assert_eq!(
+                Histogram::bucket_index(lo),
+                i,
+                "bucket {i} lower bound {lo}"
+            );
+            if let Some(p) = prev {
+                assert!(lo > p, "bounds not increasing at bucket {i}");
+            }
+            prev = Some(lo);
+        }
+    }
+
+    #[test]
+    fn small_values_get_exact_buckets() {
+        for v in 0..SUB {
+            assert_eq!(Histogram::bucket_index(v), v as usize);
+            assert_eq!(Histogram::bucket_lower_bound(v as usize), v);
+        }
+    }
+
+    #[test]
+    fn bucket_relative_error_is_bounded() {
+        // A value and its bucket lower bound differ by at most 1/SUB
+        // relative error.
+        for v in [5u64, 13, 100, 1023, 4097, 1 << 20, (1 << 40) + 12345] {
+            let lo = Histogram::bucket_lower_bound(Histogram::bucket_index(v));
+            assert!(lo <= v);
+            assert!(
+                (v - lo) as f64 <= v as f64 / SUB as f64 + 1.0,
+                "v={v} lo={lo}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantiles_on_uniform_ramp() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.sum(), 500_500);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 1000);
+        // Bucketed quantiles undershoot by at most one octave sub-bucket.
+        let p50 = h.quantile(0.50);
+        let p95 = h.quantile(0.95);
+        let p99 = h.quantile(0.99);
+        assert!((384..=500).contains(&p50), "p50={p50}");
+        assert!((768..=950).contains(&p95), "p95={p95}");
+        assert!((768..=990).contains(&p99), "p99={p99}");
+        assert!(p50 <= p95 && p95 <= p99);
+        // Extremes are exact.
+        assert_eq!(h.quantile(0.0), 1);
+        assert_eq!(h.quantile(1.0), 1000);
+    }
+
+    #[test]
+    fn quantile_of_single_value_is_exact() {
+        let mut h = Histogram::new();
+        h.record_n(777, 42);
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 777);
+        }
+        assert_eq!(h.count(), 42);
+        assert_eq!(h.mean(), 777.0);
+    }
+
+    #[test]
+    fn merge_equals_recording_into_one() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut whole = Histogram::new();
+        for v in 0..500u64 {
+            a.record(v * 3);
+            whole.record(v * 3);
+        }
+        for v in 0..300u64 {
+            b.record(v * 7 + 1);
+            whole.record(v * 7 + 1);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(a.sum(), whole.sum());
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+        for q in [0.5, 0.95, 0.99] {
+            assert_eq!(a.quantile(q), whole.quantile(q));
+        }
+        let av: Vec<_> = a.nonzero_buckets().collect();
+        let wv: Vec<_> = whole.nonzero_buckets().collect();
+        assert_eq!(av, wv);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.nonzero_buckets().count(), 0);
+    }
+}

@@ -1,0 +1,473 @@
+//! Telemetry subsystem for the SHM simulator: structured tracing, per-epoch
+//! metrics, and log-scaled latency histograms.
+//!
+//! The entry point is [`Probe`], a cheap cloneable handle threaded through the
+//! simulation layers. A disabled probe (the default) is a `None` — every hook
+//! is a single branch on the record path, so simulation results and, to within
+//! noise, runtime are unchanged when telemetry is off.
+//!
+//! When enabled, a probe collects:
+//! - structured [`Event`]s with cycle timestamps (sampled into the log,
+//!   always kept in a bounded flight-recorder ring);
+//! - [`Histogram`]s for DRAM request latency, MSHR residency and
+//!   secure-engine pipeline depth;
+//! - [`EpochSnapshot`]s every `epoch_cycles` of per-`TrafficClass` bandwidth,
+//!   an IPC proxy, and cache hit rates.
+//!
+//! Sinks: [`sink::to_jsonl`] (machine-readable), [`sink::summary`]
+//! (human-readable), and [`sink::flight_dump`] (last-K events for panic and
+//! error paths, installed process-wide by [`Probe::install_panic_hook`]).
+
+pub mod epoch;
+pub mod event;
+pub mod hist;
+pub mod sink;
+
+pub use epoch::{EpochSnapshot, EpochTracker};
+pub use event::{Event, NUM_KINDS};
+pub use hist::Histogram;
+
+use gpu_types::TrafficClass;
+use std::collections::VecDeque;
+use std::path::Path;
+use std::sync::{Arc, Mutex, TryLockError};
+
+/// Knobs controlling collection granularity and memory bounds.
+#[derive(Clone, Debug)]
+pub struct TelemetryConfig {
+    /// Epoch length in cycles for periodic metric snapshots.
+    pub epoch_cycles: u64,
+    /// Log every Nth high-frequency event (1 = log all). Low-frequency
+    /// kinds (kernel boundaries, detector transitions) are never sampled
+    /// out, and per-kind totals stay exact regardless of the stride.
+    pub sample_stride: u64,
+    /// Number of most-recent events retained in the flight recorder.
+    pub ring_capacity: usize,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        Self {
+            epoch_cycles: 10_000,
+            sample_stride: 64,
+            ring_capacity: 256,
+        }
+    }
+}
+
+/// Collected telemetry state for one simulation run.
+#[derive(Debug)]
+pub struct Telemetry {
+    cfg: TelemetryConfig,
+    events: Vec<(u64, Event)>,
+    ring: VecDeque<(u64, Event)>,
+    kind_totals: [u64; NUM_KINDS],
+    sampled_out: u64,
+    /// DRAM request latency (issue to completion), cycles.
+    pub dram_latency: Histogram,
+    /// MSHR entry residency (allocation to fill), cycles.
+    pub mshr_residency: Histogram,
+    /// Secure-engine pipeline depth per request (DRAM round-trips).
+    pub engine_depth: Histogram,
+    epochs: EpochTracker,
+    dram_requests: u64,
+}
+
+impl Telemetry {
+    /// Fresh collection state.
+    pub fn new(cfg: TelemetryConfig) -> Self {
+        let epochs = EpochTracker::new(cfg.epoch_cycles);
+        Self {
+            cfg,
+            events: Vec::new(),
+            ring: VecDeque::new(),
+            kind_totals: [0; NUM_KINDS],
+            sampled_out: 0,
+            dram_latency: Histogram::new(),
+            mshr_residency: Histogram::new(),
+            engine_depth: Histogram::new(),
+            epochs,
+            dram_requests: 0,
+        }
+    }
+
+    /// Records a structured event at `cycle`.
+    pub fn emit(&mut self, cycle: u64, event: Event) {
+        self.epochs.advance(cycle);
+        let idx = event.kind_index();
+        self.kind_totals[idx] += 1;
+        if self.ring.len() == self.cfg.ring_capacity.max(1) {
+            self.ring.pop_front();
+        }
+        self.ring.push_back((cycle, event.clone()));
+        // The first occurrence of each kind is always logged so sparse kinds
+        // survive sampling; after that every stride-th occurrence is kept.
+        let logged = event.is_low_frequency()
+            || self.kind_totals[idx] % self.cfg.sample_stride.max(1) == 1
+            || self.cfg.sample_stride <= 1;
+        if logged {
+            self.events.push((cycle, event));
+        } else {
+            self.sampled_out += 1;
+        }
+    }
+
+    /// Attributes DRAM traffic to the current epoch.
+    pub fn on_traffic(&mut self, cycle: u64, class: TrafficClass, bytes: u64, is_write: bool) {
+        self.epochs.advance(cycle);
+        self.epochs
+            .current_mut()
+            .traffic
+            .record(class, bytes, is_write);
+    }
+
+    /// Records one completed DRAM request and its latency.
+    pub fn on_dram_request(&mut self, cycle: u64, latency: u64) {
+        self.epochs.advance(cycle);
+        self.dram_requests += 1;
+        self.epochs.current_mut().dram_requests += 1;
+        self.dram_latency.record(latency);
+    }
+
+    /// Records how long an MSHR entry stayed allocated.
+    pub fn on_mshr_residency(&mut self, cycles: u64) {
+        self.mshr_residency.record(cycles);
+    }
+
+    /// Records the secure-engine pipeline depth for one request.
+    pub fn on_engine_depth(&mut self, depth: u64) {
+        self.engine_depth.record(depth);
+    }
+
+    /// Counts retired instructions toward the current epoch's IPC proxy.
+    pub fn on_instructions(&mut self, cycle: u64, n: u64) {
+        self.epochs.advance(cycle);
+        self.epochs.current_mut().instructions += n;
+    }
+
+    /// Counts a warp-level memory access in the current epoch.
+    pub fn on_access(&mut self, cycle: u64) {
+        self.epochs.advance(cycle);
+        self.epochs.current_mut().accesses += 1;
+    }
+
+    /// Counts an L2 hit in the current epoch.
+    pub fn on_l2_hit(&mut self, cycle: u64) {
+        self.epochs.advance(cycle);
+        self.epochs.current_mut().l2_hits += 1;
+    }
+
+    /// Counts an L2 miss in the current epoch.
+    pub fn on_l2_miss(&mut self, cycle: u64) {
+        self.epochs.advance(cycle);
+        self.epochs.current_mut().l2_misses += 1;
+    }
+
+    /// Closes the run: flushes the trailing partial epoch.
+    pub fn finalize(&mut self, end_cycle: u64) {
+        self.epochs.finalize(end_cycle);
+    }
+
+    /// Sampled event log, in emission order.
+    pub fn events(&self) -> &[(u64, Event)] {
+        &self.events
+    }
+
+    /// Most recent events (bounded ring), oldest first.
+    pub fn flight_recorder(&self) -> impl Iterator<Item = &(u64, Event)> {
+        self.ring.iter()
+    }
+
+    /// Exact per-kind emission totals (unaffected by sampling).
+    pub fn kind_totals(&self) -> &[u64; NUM_KINDS] {
+        &self.kind_totals
+    }
+
+    /// Number of high-frequency events sampled out of the log.
+    pub fn sampled_out(&self) -> u64 {
+        self.sampled_out
+    }
+
+    /// Completed epoch snapshots.
+    pub fn snapshots(&self) -> &[EpochSnapshot] {
+        self.epochs.snapshots()
+    }
+
+    /// Per-class traffic summed over every epoch (equals the run totals).
+    pub fn total_traffic(&self) -> gpu_types::TrafficBytes {
+        self.epochs.total_traffic()
+    }
+
+    /// DRAM requests completed over the whole run.
+    pub fn dram_requests(&self) -> u64 {
+        self.dram_requests
+    }
+
+    /// Collection configuration in effect.
+    pub fn config(&self) -> &TelemetryConfig {
+        &self.cfg
+    }
+}
+
+/// Cheap cloneable telemetry handle threaded through the simulator.
+///
+/// `Probe::default()` is disabled: every hook reduces to one `Option` check.
+#[derive(Clone, Default)]
+pub struct Probe {
+    inner: Option<Arc<Mutex<Telemetry>>>,
+}
+
+impl std::fmt::Debug for Probe {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Probe")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+impl Probe {
+    /// A probe that records nothing (zero-cost hooks).
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// A probe collecting into fresh state with `cfg`.
+    pub fn enabled(cfg: TelemetryConfig) -> Self {
+        Self {
+            inner: Some(Arc::new(Mutex::new(Telemetry::new(cfg)))),
+        }
+    }
+
+    /// Whether this probe records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Runs `f` on the telemetry state when enabled.
+    #[inline]
+    pub fn with<R>(&self, f: impl FnOnce(&mut Telemetry) -> R) -> Option<R> {
+        let inner = self.inner.as_ref()?;
+        let mut guard = match inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        Some(f(&mut guard))
+    }
+
+    /// See [`Telemetry::emit`].
+    #[inline]
+    pub fn emit(&self, cycle: u64, event: Event) {
+        if self.inner.is_some() {
+            self.with(|t| t.emit(cycle, event));
+        }
+    }
+
+    /// See [`Telemetry::on_traffic`].
+    #[inline]
+    pub fn on_traffic(&self, cycle: u64, class: TrafficClass, bytes: u64, is_write: bool) {
+        if self.inner.is_some() {
+            self.with(|t| t.on_traffic(cycle, class, bytes, is_write));
+        }
+    }
+
+    /// See [`Telemetry::on_dram_request`].
+    #[inline]
+    pub fn on_dram_request(&self, cycle: u64, latency: u64) {
+        if self.inner.is_some() {
+            self.with(|t| t.on_dram_request(cycle, latency));
+        }
+    }
+
+    /// See [`Telemetry::on_mshr_residency`].
+    #[inline]
+    pub fn on_mshr_residency(&self, cycles: u64) {
+        if self.inner.is_some() {
+            self.with(|t| t.on_mshr_residency(cycles));
+        }
+    }
+
+    /// See [`Telemetry::on_engine_depth`].
+    #[inline]
+    pub fn on_engine_depth(&self, depth: u64) {
+        if self.inner.is_some() {
+            self.with(|t| t.on_engine_depth(depth));
+        }
+    }
+
+    /// See [`Telemetry::on_instructions`].
+    #[inline]
+    pub fn on_instructions(&self, cycle: u64, n: u64) {
+        if self.inner.is_some() {
+            self.with(|t| t.on_instructions(cycle, n));
+        }
+    }
+
+    /// See [`Telemetry::on_access`].
+    #[inline]
+    pub fn on_access(&self, cycle: u64) {
+        if self.inner.is_some() {
+            self.with(|t| t.on_access(cycle));
+        }
+    }
+
+    /// See [`Telemetry::on_l2_hit`].
+    #[inline]
+    pub fn on_l2_hit(&self, cycle: u64) {
+        if self.inner.is_some() {
+            self.with(|t| t.on_l2_hit(cycle));
+        }
+    }
+
+    /// See [`Telemetry::on_l2_miss`].
+    #[inline]
+    pub fn on_l2_miss(&self, cycle: u64) {
+        if self.inner.is_some() {
+            self.with(|t| t.on_l2_miss(cycle));
+        }
+    }
+
+    /// See [`Telemetry::finalize`].
+    pub fn finalize(&self, end_cycle: u64) {
+        self.with(|t| t.finalize(end_cycle));
+    }
+
+    /// Writes the full JSONL document to `path`. Returns `Ok(false)` when
+    /// the probe is disabled (nothing written).
+    pub fn write_jsonl(&self, path: &Path) -> std::io::Result<bool> {
+        match self.with(|t| sink::to_jsonl(t)) {
+            Some(doc) => {
+                std::fs::write(path, doc)?;
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    /// Human-readable run summary, or `None` when disabled.
+    pub fn summary(&self) -> Option<String> {
+        self.with(|t| sink::summary(t))
+    }
+
+    /// Flight-recorder dump (last K events), or `None` when disabled.
+    pub fn flight_dump(&self) -> Option<String> {
+        self.with(|t| sink::flight_dump(t))
+    }
+
+    /// Installs a process-wide panic hook that dumps the flight recorder to
+    /// stderr before the previous hook runs. No-op when disabled.
+    pub fn install_panic_hook(&self) {
+        let Some(inner) = &self.inner else { return };
+        let inner = Arc::clone(inner);
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            // try_lock: the panic may have unwound out of a probe hook that
+            // still holds the lock on this thread; never deadlock here.
+            let dump = match inner.try_lock() {
+                Ok(t) => Some(sink::flight_dump(&t)),
+                Err(TryLockError::Poisoned(p)) => Some(sink::flight_dump(&p.into_inner())),
+                Err(TryLockError::WouldBlock) => None,
+            };
+            if let Some(dump) = dump {
+                eprintln!("--- telemetry flight recorder ---");
+                eprint!("{dump}");
+                eprintln!("--- end flight recorder ---");
+            }
+            prev(info);
+        }));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_probe_is_inert() {
+        let p = Probe::disabled();
+        p.emit(0, Event::MshrStall { bank: 0 });
+        p.on_traffic(0, TrafficClass::Data, 128, false);
+        p.finalize(10);
+        assert!(!p.is_enabled());
+        assert!(p.summary().is_none());
+        assert!(p.flight_dump().is_none());
+        assert_eq!(p.with(|_| ()), None);
+    }
+
+    #[test]
+    fn sampling_keeps_totals_exact_and_first_of_each_kind() {
+        let p = Probe::enabled(TelemetryConfig {
+            sample_stride: 10,
+            ..Default::default()
+        });
+        for i in 0..95u64 {
+            p.emit(i, Event::L2Miss { bank: 0, addr: i });
+        }
+        p.emit(
+            95,
+            Event::KernelEnd {
+                kernel: "k".into(),
+                cycles: 95,
+            },
+        );
+        p.with(|t| {
+            assert_eq!(
+                t.kind_totals()[Event::L2Miss { bank: 0, addr: 0 }.kind_index()],
+                95
+            );
+            // 95 misses at stride 10 -> occurrences 1,11,21,...,91 logged.
+            let logged = t
+                .events()
+                .iter()
+                .filter(|(_, e)| matches!(e, Event::L2Miss { .. }))
+                .count();
+            assert_eq!(logged, 10);
+            assert_eq!(t.sampled_out(), 85);
+            // Low-frequency kinds always logged.
+            assert!(t
+                .events()
+                .iter()
+                .any(|(_, e)| matches!(e, Event::KernelEnd { .. })));
+        });
+    }
+
+    #[test]
+    fn ring_is_bounded() {
+        let p = Probe::enabled(TelemetryConfig {
+            ring_capacity: 8,
+            ..Default::default()
+        });
+        for i in 0..100u64 {
+            p.emit(i, Event::CtrCacheMiss { partition: 0 });
+        }
+        p.with(|t| {
+            let ring: Vec<_> = t.flight_recorder().collect();
+            assert_eq!(ring.len(), 8);
+            assert_eq!(ring[0].0, 92);
+            assert_eq!(ring[7].0, 99);
+        });
+    }
+
+    #[test]
+    fn dram_requests_match_histogram_count() {
+        let p = Probe::enabled(TelemetryConfig::default());
+        for i in 0..50u64 {
+            p.on_dram_request(i * 7, 100 + i);
+        }
+        p.finalize(50 * 7);
+        p.with(|t| {
+            assert_eq!(t.dram_requests(), 50);
+            assert_eq!(t.dram_latency.count(), 50);
+            let epoch_sum: u64 = t.snapshots().iter().map(|s| s.dram_requests).sum();
+            assert_eq!(epoch_sum, 50);
+        });
+    }
+
+    #[test]
+    fn probe_clones_share_state() {
+        let p = Probe::enabled(TelemetryConfig::default());
+        let q = p.clone();
+        p.on_traffic(5, TrafficClass::Mac, 32, true);
+        q.on_traffic(9, TrafficClass::Mac, 32, false);
+        p.with(|t| assert_eq!(t.total_traffic().class_total(TrafficClass::Mac), 64));
+    }
+}

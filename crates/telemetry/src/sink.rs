@@ -1,0 +1,204 @@
+//! Output sinks: JSONL document, human-readable summary, flight-recorder dump.
+
+use crate::event::Event;
+use crate::hist::Histogram;
+use crate::Telemetry;
+use gpu_types::TrafficClass;
+use std::fmt::Write as _;
+
+/// Serializes the whole collection as a JSONL document:
+/// one `meta` line, sampled `event` lines, `epoch` snapshot lines,
+/// `hist` lines for each histogram, and a trailing `drops` line making any
+/// sampling loss explicit.
+pub fn to_jsonl(t: &Telemetry) -> String {
+    let mut out = String::new();
+    let cfg = t.config();
+    let _ = writeln!(
+        out,
+        "{{\"type\":\"meta\",\"epoch_cycles\":{},\"sample_stride\":{},\"ring_capacity\":{}}}",
+        cfg.epoch_cycles, cfg.sample_stride, cfg.ring_capacity
+    );
+    for (cycle, event) in t.events() {
+        event.write_json(*cycle, &mut out);
+        out.push('\n');
+    }
+    for snap in t.snapshots() {
+        snap.write_json(&mut out);
+        out.push('\n');
+    }
+    for (name, hist) in named_histograms(t) {
+        hist_json(name, hist, &mut out);
+        out.push('\n');
+    }
+    let _ = write!(
+        out,
+        "{{\"type\":\"drops\",\"sampled_out\":{},\"kind_totals\":{{",
+        t.sampled_out()
+    );
+    for (i, &total) in t.kind_totals().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":{}", Event::kind_label(i), total);
+    }
+    out.push_str("}}\n");
+    out
+}
+
+/// The histograms a collection exports, with their JSONL names.
+pub fn named_histograms(t: &Telemetry) -> [(&'static str, &Histogram); 3] {
+    [
+        ("dram_latency", &t.dram_latency),
+        ("mshr_residency", &t.mshr_residency),
+        ("engine_depth", &t.engine_depth),
+    ]
+}
+
+/// Appends one histogram as a JSON object line (no trailing newline).
+pub fn hist_json(name: &str, h: &Histogram, out: &mut String) {
+    let _ = write!(
+        out,
+        "{{\"type\":\"hist\",\"name\":\"{name}\",\"count\":{},\"min\":{},\"max\":{},\"mean\":{:.3},\"p50\":{},\"p95\":{},\"p99\":{},\"buckets\":[",
+        h.count(),
+        h.min(),
+        h.max(),
+        h.mean(),
+        h.quantile(0.50),
+        h.quantile(0.95),
+        h.quantile(0.99)
+    );
+    for (i, (lo, count)) in h.nonzero_buckets().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "[{lo},{count}]");
+    }
+    out.push_str("]}");
+}
+
+/// Human-readable end-of-run report.
+pub fn summary(t: &Telemetry) -> String {
+    let mut out = String::new();
+    out.push_str("telemetry summary\n");
+    out.push_str("  events (exact totals; log is sampled):\n");
+    for (i, &total) in t.kind_totals().iter().enumerate() {
+        if total > 0 {
+            let _ = writeln!(out, "    {:<20} {}", Event::kind_label(i), total);
+        }
+    }
+    if t.sampled_out() > 0 {
+        let _ = writeln!(
+            out,
+            "    ({} high-frequency events sampled out of the log; totals above are exact)",
+            t.sampled_out()
+        );
+    }
+    let _ = writeln!(out, "  epochs: {}", t.snapshots().len());
+    let total = t.total_traffic();
+    for class in TrafficClass::ALL {
+        let bytes = total.class_total(class);
+        if bytes > 0 {
+            let _ = writeln!(out, "    {:<10} {} B", class.label(), bytes);
+        }
+    }
+    let _ = writeln!(out, "  dram requests: {}", t.dram_requests());
+    for (name, h) in named_histograms(t) {
+        if h.count() == 0 {
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "  {:<15} n={} mean={:.1} p50={} p95={} p99={} max={}",
+            name,
+            h.count(),
+            h.mean(),
+            h.quantile(0.50),
+            h.quantile(0.95),
+            h.quantile(0.99),
+            h.max()
+        );
+    }
+    out
+}
+
+/// Formats the flight recorder (most recent events, oldest first) as JSONL —
+/// the payload dumped on panic or fatal error.
+pub fn flight_dump(t: &Telemetry) -> String {
+    let mut out = String::new();
+    for (cycle, event) in t.flight_recorder() {
+        event.write_json(*cycle, &mut out);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Probe, TelemetryConfig};
+
+    fn populated() -> Probe {
+        let p = Probe::enabled(TelemetryConfig {
+            epoch_cycles: 100,
+            sample_stride: 1,
+            ring_capacity: 16,
+        });
+        p.emit(
+            0,
+            Event::KernelStart {
+                kernel: "k0".into(),
+            },
+        );
+        p.emit(
+            5,
+            Event::L2Miss {
+                bank: 1,
+                addr: 4096,
+            },
+        );
+        p.on_traffic(5, TrafficClass::Data, 128, false);
+        p.on_dram_request(40, 35);
+        p.emit(
+            250,
+            Event::KernelEnd {
+                kernel: "k0".into(),
+                cycles: 250,
+            },
+        );
+        p.finalize(250);
+        p
+    }
+
+    #[test]
+    fn jsonl_contains_all_record_types() {
+        let doc = populated().with(|t| to_jsonl(t)).unwrap();
+        for ty in [
+            "\"type\":\"meta\"",
+            "\"type\":\"event\"",
+            "\"type\":\"epoch\"",
+            "\"type\":\"hist\"",
+            "\"type\":\"drops\"",
+        ] {
+            assert!(doc.contains(ty), "missing {ty} in {doc}");
+        }
+        // Three epochs: cycles 0..100, 100..200, 200..250 (final partial).
+        assert_eq!(doc.matches("\"type\":\"epoch\"").count(), 3);
+        assert!(doc.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
+    }
+
+    #[test]
+    fn summary_mentions_populated_sections() {
+        let s = populated().summary().unwrap();
+        assert!(s.contains("kernel_start"));
+        assert!(s.contains("dram requests: 1"));
+        assert!(s.contains("dram_latency"));
+        assert!(s.contains("data"));
+    }
+
+    #[test]
+    fn flight_dump_is_jsonl_of_ring() {
+        let dump = populated().flight_dump().unwrap();
+        assert_eq!(dump.lines().count(), 3);
+        assert!(dump.lines().all(|l| l.contains("\"type\":\"event\"")));
+    }
+}

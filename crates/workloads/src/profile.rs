@@ -285,8 +285,16 @@ mod tests {
     #[test]
     fn texture_benchmarks_flagged() {
         for name in ["kmeans", "sad"] {
-            assert!(BenchmarkProfile::by_name(name).expect("in suite").uses_texture);
+            assert!(
+                BenchmarkProfile::by_name(name)
+                    .expect("in suite")
+                    .uses_texture
+            );
         }
-        assert!(!BenchmarkProfile::by_name("lbm").expect("in suite").uses_texture);
+        assert!(
+            !BenchmarkProfile::by_name("lbm")
+                .expect("in suite")
+                .uses_texture
+        );
     }
 }

@@ -48,7 +48,12 @@ impl<'a> Synthesizer<'a> {
         let n = profile.events_per_kernel as f64;
         let ro = profile.readonly_frac;
         let st = profile.streaming_frac;
-        let weights = [ro * st, ro * (1.0 - st), (1.0 - ro) * st, (1.0 - ro) * (1.0 - st)];
+        let weights = [
+            ro * st,
+            ro * (1.0 - st),
+            (1.0 - ro) * st,
+            (1.0 - ro) * (1.0 - st),
+        ];
         let total_w: f64 = weights.iter().sum();
         let budget = profile.footprint_bytes as f64;
         let mut bufs = [Buffer { base: 0, len: 0 }; 4];
@@ -82,8 +87,14 @@ impl<'a> Synthesizer<'a> {
         let marked = (1.0 - self.profile.unmarked_readonly_frac).clamp(0.0, 1.0);
         let span = |b: Buffer| ((b.len as f64 * marked) as u64 / BUFFER_ALIGN) * BUFFER_ALIGN;
         vec![
-            (PhysAddr::new(self.ro_stream.base), span(self.ro_stream).max(BUFFER_ALIGN.min(self.ro_stream.len))),
-            (PhysAddr::new(self.ro_random.base), span(self.ro_random).max(BUFFER_ALIGN.min(self.ro_random.len))),
+            (
+                PhysAddr::new(self.ro_stream.base),
+                span(self.ro_stream).max(BUFFER_ALIGN.min(self.ro_stream.len)),
+            ),
+            (
+                PhysAddr::new(self.ro_random.base),
+                span(self.ro_random).max(BUFFER_ALIGN.min(self.ro_random.len)),
+            ),
         ]
     }
 
@@ -128,11 +139,41 @@ impl<'a> Synthesizer<'a> {
         let plan = [
             // (count, streaming-fraction source buffer pair, write?, read-only?)
             ((n_ro as f64 * st) as u64, self.ro_stream, false, true, true),
-            ((n_ro as f64 * (1.0 - st)) as u64, self.ro_random, false, true, false),
-            ((n_rw_read as f64 * st) as u64, self.rw_stream, false, false, true),
-            ((n_rw_read as f64 * (1.0 - st)) as u64, self.rw_random, false, false, false),
-            ((n_write as f64 * st) as u64, self.rw_stream, true, false, true),
-            ((n_write as f64 * (1.0 - st)) as u64, self.rw_random, true, false, false),
+            (
+                (n_ro as f64 * (1.0 - st)) as u64,
+                self.ro_random,
+                false,
+                true,
+                false,
+            ),
+            (
+                (n_rw_read as f64 * st) as u64,
+                self.rw_stream,
+                false,
+                false,
+                true,
+            ),
+            (
+                (n_rw_read as f64 * (1.0 - st)) as u64,
+                self.rw_random,
+                false,
+                false,
+                false,
+            ),
+            (
+                (n_write as f64 * st) as u64,
+                self.rw_stream,
+                true,
+                false,
+                true,
+            ),
+            (
+                (n_write as f64 * (1.0 - st)) as u64,
+                self.rw_random,
+                true,
+                false,
+                false,
+            ),
         ];
 
         // Generate each class's event stream.
@@ -166,7 +207,11 @@ impl<'a> Synthesizer<'a> {
         think: u32,
         kernel_idx: u32,
     ) -> Vec<MemEvent> {
-        let kind = if is_write { AccessKind::Write } else { AccessKind::Read };
+        let kind = if is_write {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        };
         let space = self.space_for(read_only);
         let sectors = buf.sectors();
         // Different kernels start their sweep at different offsets to vary
@@ -206,7 +251,11 @@ impl<'a> Synthesizer<'a> {
     ) -> Vec<MemEvent> {
         const CLUSTER_BYTES: u64 = 64 * 1024;
         const BURST: u64 = 32;
-        let kind = if is_write { AccessKind::Write } else { AccessKind::Read };
+        let kind = if is_write {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        };
         let space = self.space_for(read_only);
         let locality = self.profile.l2_locality;
         let buf_blocks = buf.len / 128;

@@ -28,7 +28,10 @@ model weights are secret params!model weights are secret params!";
     mem.write_block(0x1000, &secret);
     let (ciphertext, _) = mem.snapshot_block(0x1000);
     assert_ne!(ciphertext, secret);
-    println!("1. bus snooper sees ciphertext: {:02x?}...", &ciphertext[..8]);
+    println!(
+        "1. bus snooper sees ciphertext: {:02x?}...",
+        &ciphertext[..8]
+    );
     assert_eq!(mem.read_block(0x1000).expect("authorized read"), secret);
     println!("   ...while the MEE decrypts and verifies the same bytes fine.");
 
@@ -37,7 +40,10 @@ model weights are secret params!model weights are secret params!";
     flipped[0] ^= 0x01;
     mem.tamper_ciphertext(0x1000, flipped);
     assert_eq!(mem.read_block(0x1000), Err(VerifyError::BlockMacMismatch));
-    println!("2. single-bit tamper in DRAM  -> {}", VerifyError::BlockMacMismatch);
+    println!(
+        "2. single-bit tamper in DRAM  -> {}",
+        VerifyError::BlockMacMismatch
+    );
     mem.write_block(0x1000, &secret); // repair
 
     // --- 3. Data+MAC replay -------------------------------------------------
@@ -45,7 +51,10 @@ model weights are secret params!model weights are secret params!";
     mem.write_block(0x1000, &[0u8; 128]); // value moves on
     mem.replay_block(0x1000, stale.0, stale.1);
     assert_eq!(mem.read_block(0x1000), Err(VerifyError::BlockMacMismatch));
-    println!("3. replayed (data, MAC) pair  -> {}", VerifyError::BlockMacMismatch);
+    println!(
+        "3. replayed (data, MAC) pair  -> {}",
+        VerifyError::BlockMacMismatch
+    );
 
     // --- 4. Full replay incl. counters --------------------------------------
     mem.write_block(0x2000, &[1u8; 128]);
@@ -55,7 +64,10 @@ model weights are secret params!model weights are secret params!";
     mem.replay_block(0x2000, old_data.0, old_data.1);
     mem.replay_counter(0x2000, old_ctr);
     assert_eq!(mem.read_block(0x2000), Err(VerifyError::FreshnessViolation));
-    println!("4. replayed data+MAC+counter  -> {}", VerifyError::FreshnessViolation);
+    println!(
+        "4. replayed data+MAC+counter  -> {}",
+        VerifyError::FreshnessViolation
+    );
 
     // --- 5. Cross-kernel replay of read-only input ---------------------------
     mem.write_readonly_block(0x8000, &[7u8; 128]); // kernel 1 input

@@ -14,7 +14,9 @@ use gpu_types::{GpuConfig, TrafficClass};
 use shm_workloads::BenchmarkProfile;
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "kmeans".to_string());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "kmeans".to_string());
     let Some(mut profile) = BenchmarkProfile::by_name(&name) else {
         eprintln!("unknown benchmark {name}; pick one of:");
         for p in BenchmarkProfile::suite() {

@@ -25,13 +25,19 @@ fn main() {
 
     // Context init: the command processor marks the memcpy'd input region.
     ro.mark_readonly(0, 64 * 1024, P);
-    println!("after memcpy marking : region0 read-only? {}", ro.predict(la(0)));
+    println!(
+        "after memcpy marking : region0 read-only? {}",
+        ro.predict(la(0))
+    );
 
     // Kernel reads keep the region read-only (shared counter, no BMT)...
     for i in 0..100 {
         assert!(ro.predict(la(i * 128)));
     }
-    println!("100 loads later      : region0 read-only? {}", ro.predict(la(0)));
+    println!(
+        "100 loads later      : region0 read-only? {}",
+        ro.predict(la(0))
+    );
 
     // ...until the first store transitions it (Fig. 8 propagation).
     let transitioned = ro.on_write(la(256));
@@ -42,7 +48,10 @@ fn main() {
 
     // Host reuses the input for the next kernel via the new API.
     ro.input_readonly_reset(0, 64 * 1024, P);
-    println!("InputReadOnlyReset   : region0 read-only? {}\n", ro.predict(la(0)));
+    println!(
+        "InputReadOnlyReset   : region0 read-only? {}\n",
+        ro.predict(la(0))
+    );
 
     // ---------------- streaming detector ------------------------------------
     println!("== streaming detector (2048-entry bit vector + 8 trackers) ==");

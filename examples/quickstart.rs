@@ -23,7 +23,12 @@ fn main() {
     profile.events_per_kernel = 30_000;
     let trace = profile.generate(2024);
 
-    println!("workload: {} ({} kernels, {} accesses)", trace.name, trace.kernels.len(), trace.all_events().count());
+    println!(
+        "workload: {} ({} kernels, {} accesses)",
+        trace.name,
+        trace.kernels.len(),
+        trace.all_events().count()
+    );
 
     let baseline = Simulator::new(&cfg, DesignPoint::Unprotected).run(&trace);
     println!(

@@ -52,7 +52,9 @@ fn main() -> Result<(), RuntimeError> {
 
     // Host side: read back through the verified path and check.
     let result = u32::from_le_bytes(ctx.memcpy_to_host(sum, 4)?.try_into().expect("4 bytes"));
-    let expected: u32 = (0..N as u32).map(|i| 3 * i + 2 * i).fold(0u32, u32::wrapping_add);
+    let expected: u32 = (0..N as u32)
+        .map(|i| 3 * i + 2 * i)
+        .fold(0u32, u32::wrapping_add);
     assert_eq!(result, expected);
     println!("functional run verified: sum over {N} elements = {result}");
 
@@ -61,7 +63,10 @@ fn main() -> Result<(), RuntimeError> {
     let trace = ctx.into_trace();
     let cfg = GpuConfig::default();
     let base = Simulator::new(&cfg, DesignPoint::Unprotected).run(&trace);
-    println!("\nreplaying the recorded trace ({} accesses):", trace.all_events().count());
+    println!(
+        "\nreplaying the recorded trace ({} accesses):",
+        trace.all_events().count()
+    );
     for design in [DesignPoint::Naive, DesignPoint::Pssm, DesignPoint::Shm] {
         let s = Simulator::new(&cfg, design).run(&trace);
         println!(

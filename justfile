@@ -1,0 +1,29 @@
+# Developer entry points. Install `just`, or copy the commands verbatim.
+
+# Build everything in release mode.
+build:
+    cargo build --workspace --release
+
+# Run the full test suite.
+test:
+    cargo test -q
+
+# Lint: clippy (warnings are errors) + formatting check.
+lint:
+    cargo clippy --workspace --all-targets -- -D warnings
+    cargo fmt --check
+
+# Auto-format the workspace.
+fmt:
+    cargo fmt
+
+# Everything CI runs, locally.
+ci: build test lint
+
+# Regenerate every paper table/figure (scaled down for speed).
+repro scale="0.5":
+    cargo run --release -p shm-bench --bin repro -- all --scale {{scale}}
+
+# Quickstart run with telemetry: JSONL trace + summary.
+telemetry out="run.jsonl":
+    cargo run --release -p shm-cli -- run -b fdtd2d -d SHM --telemetry --trace-out {{out}}

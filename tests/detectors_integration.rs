@@ -81,7 +81,10 @@ fn random_traffic_converges_to_block_macs() {
 fn mispredictions_cost_bandwidth_not_correctness() {
     let trace = micro::mixed_read(4 << 20, 9);
     let stats = Simulator::new(&cfg(), DesignPoint::Shm).run(&trace);
-    assert!(stats.stream_mispredictions > 0, "mixed trace should mispredict");
+    assert!(
+        stats.stream_mispredictions > 0,
+        "mixed trace should mispredict"
+    );
     // Fix-ups happen but stay a bounded slice of traffic.
     let fixup = stats.traffic.class_total(TrafficClass::MispredictFixup);
     let data = stats.traffic.data_bytes();

@@ -19,7 +19,10 @@ fn confidentiality_ciphertext_never_leaks_plaintext() {
     mem.write_block(0, &pt);
     let (ct, _) = mem.snapshot_block(0);
     let distinct = ct.iter().collect::<std::collections::HashSet<_>>().len();
-    assert!(distinct > 32, "ciphertext of zeros looks structured: {distinct} distinct bytes");
+    assert!(
+        distinct > 32,
+        "ciphertext of zeros looks structured: {distinct} distinct bytes"
+    );
 }
 
 #[test]
@@ -111,7 +114,10 @@ fn readonly_data_is_ci_protected_without_tree_state() {
     let (mut ct, _) = mem.snapshot_block(0x10_0000);
     ct[5] ^= 1;
     mem.tamper_ciphertext(0x10_0000, ct);
-    assert_eq!(mem.read_block(0x10_0000), Err(VerifyError::BlockMacMismatch));
+    assert_eq!(
+        mem.read_block(0x10_0000),
+        Err(VerifyError::BlockMacMismatch)
+    );
 }
 
 #[test]
@@ -158,7 +164,10 @@ fn input_readonly_reset_always_advances_the_shared_counter() {
         mem.write_readonly_block(0x2000, &[1u8; 128]);
         mem.write_block(0x2000, &[2u8; 128]);
         let now = mem.input_readonly_reset(0x2000, 128);
-        assert!(now > last, "shared counter failed to advance: {now} <= {last}");
+        assert!(
+            now > last,
+            "shared counter failed to advance: {now} <= {last}"
+        );
         last = now;
     }
 }

@@ -9,9 +9,7 @@ use shm_bench::{mean, run_benchmark, scaled_suite};
 fn subset() -> Vec<shm_workloads::BenchmarkProfile> {
     scaled_suite(0.08)
         .into_iter()
-        .filter(|p| {
-            ["fdtd2d", "kmeans", "bfs", "streamcluster", "lbm", "atax"].contains(&p.name)
-        })
+        .filter(|p| ["fdtd2d", "kmeans", "bfs", "streamcluster", "lbm", "atax"].contains(&p.name))
         .collect()
 }
 
@@ -27,7 +25,9 @@ fn fig12_design_ordering_holds_on_average() {
     for p in subset() {
         let row = run_benchmark(&p, &designs);
         for d in designs {
-            ipc.entry(d.name()).or_insert_with(Vec::new).push(row.norm_ipc(d));
+            ipc.entry(d.name())
+                .or_insert_with(Vec::new)
+                .push(row.norm_ipc(d));
         }
     }
     let m = |d: DesignPoint| mean(&ipc[d.name()]);
@@ -35,8 +35,14 @@ fn fig12_design_ordering_holds_on_average() {
     let cctr = m(DesignPoint::CommonCtr);
     let pssm = m(DesignPoint::Pssm);
     let shm = m(DesignPoint::Shm);
-    assert!(naive < cctr, "Naive {naive:.3} should trail Common_ctr {cctr:.3}");
-    assert!(cctr < pssm, "Common_ctr {cctr:.3} should trail PSSM {pssm:.3}");
+    assert!(
+        naive < cctr,
+        "Naive {naive:.3} should trail Common_ctr {cctr:.3}"
+    );
+    assert!(
+        cctr < pssm,
+        "Common_ctr {cctr:.3} should trail PSSM {pssm:.3}"
+    );
     assert!(pssm < shm, "PSSM {pssm:.3} should trail SHM {shm:.3}");
     // Rough factors: naive suffers a large slowdown, SHM ends near baseline.
     assert!(naive < 0.75, "naive too fast: {naive:.3}");
@@ -55,7 +61,9 @@ fn fig14_bandwidth_overheads_shrink_along_the_design_line() {
     for p in subset() {
         let row = run_benchmark(&p, &designs);
         for d in designs {
-            oh.entry(d.name()).or_insert_with(Vec::new).push(row.bandwidth_overhead(d));
+            oh.entry(d.name())
+                .or_insert_with(Vec::new)
+                .push(row.bandwidth_overhead(d));
         }
     }
     let m = |d: DesignPoint| mean(&oh[d.name()]);
@@ -75,7 +83,11 @@ fn fig13_each_optimisation_helps_on_readonly_streaming_work() {
     p.events_per_kernel = 8_000;
     let row = run_benchmark(
         &p,
-        &[DesignPoint::Pssm, DesignPoint::ShmReadOnly, DesignPoint::Shm],
+        &[
+            DesignPoint::Pssm,
+            DesignPoint::ShmReadOnly,
+            DesignPoint::Shm,
+        ],
     );
     let pssm = row.norm_ipc(DesignPoint::Pssm);
     let ro = row.norm_ipc(DesignPoint::ShmReadOnly);
@@ -92,7 +104,10 @@ fn fig15_energy_tracks_performance_and_traffic() {
     let row = run_benchmark(&p, &[DesignPoint::Naive, DesignPoint::Shm]);
     let naive = row.normalized_energy(DesignPoint::Naive, &model);
     let shm = row.normalized_energy(DesignPoint::Shm, &model);
-    assert!(naive > shm, "naive energy {naive:.3} should exceed SHM {shm:.3}");
+    assert!(
+        naive > shm,
+        "naive energy {naive:.3} should exceed SHM {shm:.3}"
+    );
     assert!(shm < 1.30, "SHM energy overhead too high: {shm:.3}");
     assert!(naive > 1.15, "naive energy overhead too low: {naive:.3}");
 }
@@ -171,7 +186,10 @@ fn all_designs_conserve_instructions() {
         assert_eq!(s.instructions, base.instructions, "{}", d.name());
         // Data traffic may differ by a few sectors across designs (MSHR
         // merge decisions depend on timing), but never materially.
-        let (a, b) = (s.traffic.data_bytes() as f64, base.traffic.data_bytes() as f64);
+        let (a, b) = (
+            s.traffic.data_bytes() as f64,
+            base.traffic.data_bytes() as f64,
+        );
         assert!(
             (a - b).abs() / b < 0.01,
             "{} moved materially different data: {a} vs {b}",

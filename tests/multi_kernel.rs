@@ -32,8 +32,12 @@ fn reset_api_restores_the_readonly_fast_path() {
     // counters stay engaged.
     let mut without = ContextTrace::new("without-reset");
     without.readonly_init = vec![(PhysAddr::new(0), len)];
-    without.kernels.push(sweep_kernel("k1-write", 0, len, AccessKind::Write));
-    without.kernels.push(sweep_kernel("k2-read", 0, len, AccessKind::Read));
+    without
+        .kernels
+        .push(sweep_kernel("k1-write", 0, len, AccessKind::Write));
+    without
+        .kernels
+        .push(sweep_kernel("k2-read", 0, len, AccessKind::Read));
 
     // With the API: identical kernels, but the host re-copies the input and
     // resets it read-only before kernel 2.
@@ -77,7 +81,9 @@ fn memcpy_without_reset_clears_readonly_status() {
     let len = 12 * 8 * 4096u64;
     let mut trace = ContextTrace::new("memcpy-no-reset");
     trace.readonly_init = vec![(PhysAddr::new(0), len)];
-    trace.kernels.push(sweep_kernel("k1-read", 0, len, AccessKind::Read));
+    trace
+        .kernels
+        .push(sweep_kernel("k1-read", 0, len, AccessKind::Read));
     let mut k2 = sweep_kernel("k2-read", 0, len, AccessKind::Read);
     k2.pre_actions = vec![HostAction::MemcpyToDevice {
         start: PhysAddr::new(0),
@@ -100,11 +106,21 @@ fn l2_flushes_between_kernels_writeback_through_the_mee() {
     // must drain through the MEE (counter + MAC updates) at the boundary.
     let len = 12 * 8 * 4096u64;
     let mut trace = ContextTrace::new("flush");
-    trace.kernels.push(sweep_kernel("k1-write", 0, len, AccessKind::Write));
-    trace.kernels.push(sweep_kernel("k2-elsewhere", 64 << 20, 4096 * 12, AccessKind::Read));
+    trace
+        .kernels
+        .push(sweep_kernel("k1-write", 0, len, AccessKind::Write));
+    trace.kernels.push(sweep_kernel(
+        "k2-elsewhere",
+        64 << 20,
+        4096 * 12,
+        AccessKind::Read,
+    ));
 
     let stats = Simulator::new(&cfg(), DesignPoint::Pssm).run(&trace);
-    assert!(stats.l2_writebacks > 0, "kernel boundary produced no write-backs");
+    assert!(
+        stats.l2_writebacks > 0,
+        "kernel boundary produced no write-backs"
+    );
     assert!(
         stats.traffic.write[TrafficClass::Data as usize] >= len,
         "written data never reached DRAM"
@@ -119,7 +135,8 @@ fn l2_flushes_between_kernels_writeback_through_the_mee() {
 fn kernel_boundaries_accumulate_cycles_monotonically() {
     let len = 12 * 4 * 4096u64;
     let mut one = ContextTrace::new("one");
-    one.kernels.push(sweep_kernel("k", 0, len, AccessKind::Read));
+    one.kernels
+        .push(sweep_kernel("k", 0, len, AccessKind::Read));
     let mut three = ContextTrace::new("three");
     for i in 0..3 {
         three
@@ -138,7 +155,11 @@ fn all_designs_survive_a_many_kernel_context() {
     let mut trace = ContextTrace::new("many");
     trace.readonly_init = vec![(PhysAddr::new(0), len)];
     for i in 0..6u64 {
-        let kind = if i % 2 == 0 { AccessKind::Read } else { AccessKind::Write };
+        let kind = if i % 2 == 0 {
+            AccessKind::Read
+        } else {
+            AccessKind::Write
+        };
         let mut k = sweep_kernel("k", (i % 3) * len, len, kind);
         if i == 4 {
             k.pre_actions.push(HostAction::InputReadOnlyReset {

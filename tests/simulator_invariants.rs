@@ -3,9 +3,7 @@
 //! metadata traffic under any design.
 
 use gpu_mem_sim::{ContextTrace, DesignPoint, KernelTrace, Simulator};
-use gpu_types::{
-    AccessKind, GpuConfig, MemEvent, MemorySpace, PhysAddr, SplitMix64, Warp,
-};
+use gpu_types::{AccessKind, GpuConfig, MemEvent, MemorySpace, PhysAddr, SplitMix64, Warp};
 
 /// Deterministic pseudo-random trace with a controllable mix.
 fn random_trace(seed: u64, n: u64, footprint: u64, write_frac: f64) -> ContextTrace {
@@ -21,7 +19,11 @@ fn random_trace(seed: u64, n: u64, footprint: u64, write_frac: f64) -> ContextTr
             let is_write = rng.chance(write_frac);
             MemEvent {
                 addr: PhysAddr::new(rng.next_below(footprint / 32) * 32),
-                kind: if is_write { AccessKind::Write } else { AccessKind::Read },
+                kind: if is_write {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                },
                 // Writes stay in global/local; RO spaces are never written.
                 space: if is_write {
                     spaces[rng.next_below(2) as usize]
@@ -69,7 +71,11 @@ fn metadata_traffic_is_bounded_by_structure() {
         let data = stats.traffic.data_bytes().max(1);
         let meta = stats.traffic.metadata_bytes();
         let factor = meta as f64 / data as f64;
-        let cap = if design.baseline_scheme().map(|s| !s.sectored_metadata).unwrap_or(false) {
+        let cap = if design
+            .baseline_scheme()
+            .map(|s| !s.sectored_metadata)
+            .unwrap_or(false)
+        {
             // Naive moves whole 128 B counter+MAC lines per 32 B sector and
             // fetches + dirties a multi-level BMT path per write.
             40.0

@@ -4,9 +4,7 @@
 //! controlled single-chunk scenario, asserting the bandwidth consequence
 //! the paper prescribes.
 
-use gpu_types::{
-    AccessKind, GpuConfig, MemorySpace, PhysAddr, ShmConfig, SimStats, TrafficClass,
-};
+use gpu_types::{AccessKind, GpuConfig, MemorySpace, PhysAddr, ShmConfig, SimStats, TrafficClass};
 use secure_core::{DramFabric, MemRequest};
 use shm::{ShmSystem, ShmVariant};
 
@@ -111,7 +109,12 @@ fn read_random_predicted_random_detected_costs_nothing_extra() {
     // First, force the chunk's predictor entry to random.
     for i in 0..80u64 {
         let phys = (i % 2) * 32;
-        sys.process(i * 200, &req(&c, phys, AccessKind::Read), &mut fabric, &mut stats);
+        sys.process(
+            i * 200,
+            &req(&c, phys, AccessKind::Read),
+            &mut fabric,
+            &mut stats,
+        );
     }
     let fixups_before = fabric.traffic().class_total(TrafficClass::MispredictFixup);
     // Now random reads under a random prediction: no further penalty.
@@ -209,9 +212,19 @@ fn write_random_predicted_random_detected_costs_nothing_extra() {
     let mut stats = SimStats::default();
     // Settle the chunk to random via reads, and let all trackers expire.
     for i in 0..80u64 {
-        sys.process(i * 200, &req(&c, (i % 2) * 32, AccessKind::Read), &mut fabric, &mut stats);
+        sys.process(
+            i * 200,
+            &req(&c, (i % 2) * 32, AccessKind::Read),
+            &mut fabric,
+            &mut stats,
+        );
     }
-    sys.process(100_000, &req(&c, 0, AccessKind::Read), &mut fabric, &mut stats);
+    sys.process(
+        100_000,
+        &req(&c, 0, AccessKind::Read),
+        &mut fabric,
+        &mut stats,
+    );
     let before = fabric.traffic().class_total(TrafficClass::MispredictFixup);
     // Random writes under the (now random) prediction: block-MAC updates,
     // zero additional fix-up traffic.
@@ -244,7 +257,12 @@ fn mispredictions_never_reject_accesses() {
         // A hostile mix: stream + hammer + writes over the same chunks.
         sweep(sys, c, f, s, n, 3, AccessKind::Read);
         for i in 0..200u64 {
-            sys.process(100_000 + i * 97, &req(c, (i % 7) * 32, AccessKind::Write), f, s);
+            sys.process(
+                100_000 + i * 97,
+                &req(c, (i % 7) * 32, AccessKind::Write),
+                f,
+                s,
+            );
         }
         sweep(sys, c, f, s, n, 5, AccessKind::Read);
     });

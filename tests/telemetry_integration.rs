@@ -1,0 +1,137 @@
+//! End-to-end telemetry invariants over real simulator runs.
+//!
+//! The telemetry subsystem promises *exact* accounting: every DRAM byte
+//! lands in exactly one epoch snapshot, the latency histogram counts every
+//! completed request, and the event-kind totals are exact even though the
+//! event log itself is sampled.
+
+use gpu_mem_sim::{DesignPoint, Simulator};
+use gpu_types::{GpuConfig, TrafficClass};
+use proptest::prelude::*;
+use shm_telemetry::{Probe, Telemetry, TelemetryConfig};
+use shm_workloads::BenchmarkProfile;
+
+fn probed_run(design: DesignPoint, events: u64) -> (gpu_types::SimStats, Probe) {
+    let mut profile = BenchmarkProfile::by_name("fdtd2d").expect("fdtd2d exists");
+    profile.events_per_kernel = events;
+    let trace = profile.generate(0xBEEF);
+    let probe = Probe::enabled(TelemetryConfig {
+        epoch_cycles: 5_000,
+        ..TelemetryConfig::default()
+    });
+    let stats = Simulator::new(&GpuConfig::default(), design)
+        .with_probe(probe.clone())
+        .run(&trace);
+    (stats, probe)
+}
+
+#[test]
+fn epoch_snapshots_sum_to_simstats_traffic() {
+    let (stats, probe) = probed_run(DesignPoint::Shm, 20_000);
+    let telemetry_total = probe.with(|t| t.total_traffic()).expect("enabled");
+    for class in TrafficClass::ALL {
+        assert_eq!(
+            telemetry_total.class_total(class),
+            stats.traffic.class_total(class),
+            "epoch sums diverge from SimStats for {}",
+            class.label()
+        );
+    }
+    let epochs = probe.with(|t| t.snapshots().len()).expect("enabled");
+    assert!(epochs >= 2, "expected >=2 epochs, got {epochs}");
+}
+
+#[test]
+fn latency_histogram_counts_every_dram_request() {
+    for design in [
+        DesignPoint::Unprotected,
+        DesignPoint::Pssm,
+        DesignPoint::Shm,
+    ] {
+        let (stats, probe) = probed_run(design, 12_000);
+        let (hist_count, telem_requests) = probe
+            .with(|t| (t.dram_latency.count(), t.dram_requests()))
+            .expect("enabled");
+        assert_eq!(
+            hist_count,
+            stats.dram_requests,
+            "{}: histogram missed requests",
+            design.name()
+        );
+        assert_eq!(telem_requests, stats.dram_requests);
+        assert!(stats.dram_requests > 0);
+    }
+}
+
+#[test]
+fn event_totals_are_exact_despite_sampling() {
+    let (_, probe) = probed_run(DesignPoint::Shm, 20_000);
+    let (logged, totals, sampled_out) = probe
+        .with(|t| {
+            (
+                t.events().len() as u64,
+                t.kind_totals().iter().sum::<u64>(),
+                t.sampled_out(),
+            )
+        })
+        .expect("enabled");
+    assert_eq!(logged + sampled_out, totals, "sampling lost events");
+    let kinds = probe
+        .with(|t| t.kind_totals().iter().filter(|&&n| n > 0).count())
+        .expect("enabled");
+    assert!(kinds >= 3, "expected >=3 event kinds, got {kinds}");
+}
+
+#[test]
+fn telemetry_does_not_perturb_results() {
+    let mut profile = BenchmarkProfile::by_name("fdtd2d").expect("fdtd2d exists");
+    profile.events_per_kernel = 8_000;
+    let trace = profile.generate(0xBEEF);
+    let cfg = GpuConfig::default();
+    let plain = Simulator::new(&cfg, DesignPoint::Shm).run(&trace);
+    let probed = Simulator::new(&cfg, DesignPoint::Shm)
+        .with_probe(Probe::enabled(TelemetryConfig::default()))
+        .run(&trace);
+    assert_eq!(plain.cycles, probed.cycles);
+    assert_eq!(plain.traffic, probed.traffic);
+    assert_eq!(plain.dram_requests, probed.dram_requests);
+}
+
+proptest! {
+    /// Property: however traffic is scattered across cycles and epoch
+    /// lengths, the per-class epoch sums equal the recorded totals exactly.
+    #[test]
+    fn epoch_sums_equal_totals(
+        epoch_cycles in 1u64..5_000,
+        n in 1usize..200,
+        seed in 0u64..u64::MAX,
+    ) {
+        let mut t = Telemetry::new(TelemetryConfig {
+            epoch_cycles,
+            ..TelemetryConfig::default()
+        });
+        let mut expected = gpu_types::TrafficBytes::default();
+        let mut x = seed | 1;
+        let mut cycle = 0u64;
+        for i in 0..n {
+            // SplitMix-ish scramble for cycles/bytes/class.
+            x = x.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(0xD1B5);
+            cycle += x % 997;
+            let class = TrafficClass::ALL[(x >> 16) as usize % TrafficClass::ALL.len()];
+            let bytes = 32 + (x >> 32) % 4096;
+            let is_write = i % 3 == 0;
+            t.on_traffic(cycle, class, bytes, is_write);
+            expected.record(class, bytes, is_write);
+        }
+        t.finalize(cycle + 1);
+        let summed = t.total_traffic();
+        for class in TrafficClass::ALL {
+            prop_assert_eq!(summed.class_total(class), expected.class_total(class));
+        }
+        // Every epoch is non-overlapping and ordered.
+        let snaps = t.snapshots();
+        for w in snaps.windows(2) {
+            prop_assert!(w[0].end_cycle < w[1].start_cycle);
+        }
+    }
+}
