@@ -114,8 +114,13 @@ fn bench_ablations(c: &mut Criterion) {
     }
     group.finish();
 
+    // The summary sweeps below are independent simulations — run them on
+    // the shared work-stealing pool (SHM_JOBS opts out).
+    let pool = sim_exec::Executor::from_env();
+
     println!("\ntree-arity ablation (PSSM, random reads): BMT bytes");
-    for arity in [4u64, 8, 16] {
+    let arities = [4u64, 8, 16];
+    let arity_stats = pool.map(&arities, |_, &arity| {
         let gpu_cfg = GpuConfig {
             mdc: gpu_types::MdcConfig {
                 tree_arity: arity,
@@ -123,7 +128,10 @@ fn bench_ablations(c: &mut Criterion) {
             },
             ..GpuConfig::default()
         };
-        let s = Simulator::new(&gpu_cfg, DesignPoint::Pssm).run(&random);
+        Simulator::new(&gpu_cfg, DesignPoint::Pssm).run(&random)
+    });
+    for (arity, s) in arities.iter().zip(arity_stats) {
+        let s = s.expect("arity ablation run");
         println!(
             "  arity {arity:<3} bmt={}  total_meta={}",
             s.traffic.class_total(gpu_types::TrafficClass::Bmt),
@@ -132,7 +140,8 @@ fn bench_ablations(c: &mut Criterion) {
     }
 
     println!("\nMAC-width ablation (PSSM, streaming reads): MAC bytes + security");
-    for mac_bytes in [4u64, 8] {
+    let widths = [4u64, 8];
+    let width_stats = pool.map(&widths, |_, &mac_bytes| {
         let gpu_cfg = GpuConfig {
             mdc: gpu_types::MdcConfig {
                 mac_bytes_per_block: mac_bytes,
@@ -140,7 +149,10 @@ fn bench_ablations(c: &mut Criterion) {
             },
             ..GpuConfig::default()
         };
-        let s = Simulator::new(&gpu_cfg, DesignPoint::Pssm).run(&stream);
+        Simulator::new(&gpu_cfg, DesignPoint::Pssm).run(&stream)
+    });
+    for (mac_bytes, s) in widths.iter().zip(width_stats) {
+        let s = s.expect("MAC-width ablation run");
         let bits = (mac_bytes * 8) as u32;
         println!(
             "  {mac_bytes} B MAC: mac_traffic={}  birthday-resistant on 4 GB: {}",
@@ -150,18 +162,28 @@ fn bench_ablations(c: &mut Criterion) {
     }
 
     println!("\nablation summary (metadata bytes):");
-    for (label, trace) in [("stream", &stream), ("random", &random)] {
-        for design in [DesignPoint::ShmReadOnly, DesignPoint::Shm] {
-            let s = Simulator::new(&cfg, design).run(trace);
-            println!(
-                "  {:<8} {:<14} metadata={}  fixup={}",
-                label,
-                design.name(),
-                s.traffic.metadata_bytes(),
-                s.traffic
-                    .class_total(gpu_types::TrafficClass::MispredictFixup)
-            );
-        }
+    let pairs: Vec<(&str, &gpu_mem_sim::ContextTrace, DesignPoint)> =
+        [("stream", &stream), ("random", &random)]
+            .into_iter()
+            .flat_map(|(label, trace)| {
+                [DesignPoint::ShmReadOnly, DesignPoint::Shm]
+                    .into_iter()
+                    .map(move |design| (label, trace, design))
+            })
+            .collect();
+    let pair_stats = pool.map(&pairs, |_, &(_, trace, design)| {
+        Simulator::new(&cfg, design).run(trace)
+    });
+    for (&(label, _, design), s) in pairs.iter().zip(pair_stats) {
+        let s = s.expect("ablation summary run");
+        println!(
+            "  {:<8} {:<14} metadata={}  fixup={}",
+            label,
+            design.name(),
+            s.traffic.metadata_bytes(),
+            s.traffic
+                .class_total(gpu_types::TrafficClass::MispredictFixup)
+        );
     }
 }
 

@@ -24,18 +24,24 @@ fn bench_fig5(c: &mut Criterion) {
     });
 
     println!("\nfig5 fractions (streaming, read-only):");
-    for p in BenchmarkProfile::suite() {
-        let mut p = p;
+    // Oracle profiling of each suite benchmark is independent — fan the
+    // suite out on the work-stealing pool.
+    let suite = BenchmarkProfile::suite();
+    let rows = sim_exec::Executor::from_env().map(&suite, |_, p| {
+        let mut p = p.clone();
         p.events_per_kernel = 8_000;
         let t = p.generate(42);
         let evs: Vec<_> = t.all_events().cloned().collect();
         let o = OracleProfile::from_trace(&evs, map);
-        println!(
-            "  {:<16} {:.3}  {:.3}",
+        (
             p.name,
             o.streaming_fraction(&evs, map),
-            o.read_only_fraction(&evs, map)
-        );
+            o.read_only_fraction(&evs, map),
+        )
+    });
+    for row in rows {
+        let (name, st, ro) = row.expect("fig5 oracle run");
+        println!("  {name:<16} {st:.3}  {ro:.3}");
     }
 }
 

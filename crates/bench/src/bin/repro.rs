@@ -1,6 +1,16 @@
 //! `repro` — regenerates every table and figure of the SHM evaluation.
 //!
-//! Usage: `repro [fig5|fig10|fig11|fig12|fig13|fig14|fig15|fig16|table1|table3_4|table7|table9|all] [--scale X] [--telemetry-dir DIR]`
+//! Usage: `repro [fig5|fig10|fig11|fig12|fig13|fig14|fig15|fig16|table1|table3_4|table7|table9|micro|sensitivity|bench|all] [--scale X] [--jobs N] [--telemetry-dir DIR] [--bench-out PATH]`
+//!
+//! Figures run their (benchmark × design) simulations on the `sim-exec`
+//! work-stealing pool; `--jobs N` bounds the pool (1 = serial) and the
+//! `SHM_JOBS` environment variable is the session-wide override.  Results
+//! are reassembled in submission order, so the printed tables are
+//! byte-identical at any worker count.
+//!
+//! The `bench` target renders every figure twice — serial then parallel —
+//! times both passes, verifies the outputs match byte-for-byte, and writes
+//! the measurements to `BENCH_throughput.json` (see `--bench-out`).
 //!
 //! With `--telemetry-dir DIR`, every figure target additionally captures a
 //! representative telemetry trace (first suite benchmark under SHM) as
@@ -13,12 +23,14 @@
 
 use std::collections::BTreeMap;
 use std::env;
+use std::fmt::Write as _;
 use std::process::ExitCode;
+use std::time::Instant;
 
 use gpu_mem_sim::{DesignPoint, EnergyModel, Simulator};
 use gpu_types::{GpuConfig, ShmConfig};
 use shm::{required_mechanisms, DataProperty, OracleProfile};
-use shm_bench::{mean, print_table, run_benchmark, scaled_suite, traffic_breakdown};
+use shm_bench::{format_table, mean, run_suite_jobs, scaled_suite, traffic_breakdown, Executor};
 use shm_telemetry::{Probe, TelemetryConfig};
 
 /// Every figure target, in `all` order (tables have no telemetry series).
@@ -72,7 +84,9 @@ fn main() -> ExitCode {
 fn run(args: &[String]) -> Result<(), ReproError> {
     let mut what = "all".to_string();
     let mut scale = 0.5f64;
+    let mut jobs: Option<usize> = None;
     let mut telemetry_dir: Option<String> = None;
+    let mut bench_out = "BENCH_throughput.json".to_string();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -83,12 +97,28 @@ fn run(args: &[String]) -> Result<(), ReproError> {
                     .ok_or_else(|| ReproError::usage("--scale needs a number"))?;
                 i += 2;
             }
+            "--jobs" => {
+                jobs = Some(
+                    args.get(i + 1)
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&n: &usize| n > 0)
+                        .ok_or_else(|| ReproError::usage("--jobs needs a positive integer"))?,
+                );
+                i += 2;
+            }
             "--telemetry-dir" => {
                 telemetry_dir = Some(
                     args.get(i + 1)
                         .cloned()
                         .ok_or_else(|| ReproError::usage("--telemetry-dir needs a path"))?,
                 );
+                i += 2;
+            }
+            "--bench-out" => {
+                bench_out = args
+                    .get(i + 1)
+                    .cloned()
+                    .ok_or_else(|| ReproError::usage("--bench-out needs a path"))?;
                 i += 2;
             }
             other => {
@@ -98,36 +128,13 @@ fn run(args: &[String]) -> Result<(), ReproError> {
         }
     }
 
-    match what.as_str() {
-        "table1" => table1(),
-        "table3_4" => table3_4(),
-        "table7" => table7(scale),
-        "table9" => table9(),
-        "fig5" => fig5(scale),
-        "fig10" => fig10(scale),
-        "fig11" => fig11(scale),
-        "fig12" => fig12(scale),
-        "fig13" => fig13(scale),
-        "fig14" => fig14(scale),
-        "fig15" => fig15(scale),
-        "fig16" => fig16(scale),
-        "micro" => micro_diag(),
-        "sensitivity" => sensitivity(scale),
-        "all" => {
-            table1();
-            table9();
-            table3_4();
-            fig5(scale);
-            table7(scale);
-            fig10(scale);
-            fig11(scale);
-            fig12(scale);
-            fig13(scale);
-            fig14(scale);
-            fig15(scale);
-            fig16(scale);
+    if what == "bench" {
+        bench_mode(scale, jobs, &bench_out)?;
+    } else {
+        match render_target(&what, scale, jobs) {
+            Some(text) => print!("{text}"),
+            None => return Err(ReproError::usage(format!("unknown target: {what}"))),
         }
-        other => return Err(ReproError::usage(format!("unknown target: {other}"))),
     }
 
     if let Some(dir) = &telemetry_dir {
@@ -146,6 +153,94 @@ fn run(args: &[String]) -> Result<(), ReproError> {
     Ok(())
 }
 
+/// Renders one named target (or `all`) to a string; `None` for unknown
+/// targets.  Keeping figures as strings lets `bench` compare serial and
+/// parallel renderings byte-for-byte.
+fn render_target(what: &str, scale: f64, jobs: Option<usize>) -> Option<String> {
+    Some(match what {
+        "table1" => table1(),
+        "table3_4" => table3_4(),
+        "table7" => table7(scale, jobs),
+        "table9" => table9(),
+        "fig5" => fig5(scale, jobs),
+        "fig10" => fig10(scale, jobs),
+        "fig11" => fig11(scale, jobs),
+        "fig12" => fig12(scale, jobs),
+        "fig13" => fig13(scale, jobs),
+        "fig14" => fig14(scale, jobs),
+        "fig15" => fig15(scale, jobs),
+        "fig16" => fig16(scale, jobs),
+        "micro" => micro_diag(),
+        "sensitivity" => sensitivity(scale),
+        "all" => {
+            let mut out = String::new();
+            out.push_str(&table1());
+            out.push_str(&table9());
+            out.push_str(&table3_4());
+            out.push_str(&fig5(scale, jobs));
+            out.push_str(&table7(scale, jobs));
+            out.push_str(&fig10(scale, jobs));
+            out.push_str(&fig11(scale, jobs));
+            out.push_str(&fig12(scale, jobs));
+            out.push_str(&fig13(scale, jobs));
+            out.push_str(&fig14(scale, jobs));
+            out.push_str(&fig15(scale, jobs));
+            out.push_str(&fig16(scale, jobs));
+            out
+        }
+        _ => return None,
+    })
+}
+
+/// `bench` target: renders every figure serially and in parallel, times
+/// both, verifies byte-identity, and records the result as JSON.
+fn bench_mode(scale: f64, jobs: Option<usize>, out_path: &str) -> Result<(), ReproError> {
+    let workers = Executor::from_request(jobs).jobs();
+
+    let t0 = Instant::now();
+    let serial = render_target("all", scale, Some(1)).expect("all is a known target");
+    let serial_wall = t0.elapsed().as_secs_f64();
+
+    let t1 = Instant::now();
+    let parallel = render_target("all", scale, Some(workers)).expect("all is a known target");
+    let parallel_wall = t1.elapsed().as_secs_f64();
+
+    let identical = serial == parallel;
+    let speedup = if parallel_wall > 0.0 {
+        serial_wall / parallel_wall
+    } else {
+        0.0
+    };
+
+    let json = format!(
+        "{{\n  \"scale\": {scale},\n  \"jobs\": {workers},\n  \"serial_wall_s\": {serial_wall:.3},\n  \"parallel_wall_s\": {parallel_wall:.3},\n  \"speedup\": {speedup:.3},\n  \"identical\": {identical}\n}}\n"
+    );
+    std::fs::write(out_path, &json)
+        .map_err(|e| ReproError::usage(format!("write {out_path}: {e}")))?;
+
+    println!(
+        "repro bench: scale={scale} jobs={workers} serial={serial_wall:.3}s parallel={parallel_wall:.3}s speedup={speedup:.2}x identical={identical}"
+    );
+    println!("throughput record written to {out_path}");
+
+    if identical {
+        Ok(())
+    } else {
+        // Find the first divergent line to make the failure actionable.
+        let diff = serial
+            .lines()
+            .zip(parallel.lines())
+            .enumerate()
+            .find(|(_, (a, b))| a != b)
+            .map(|(n, (a, b))| format!("first divergence at line {}: {a:?} vs {b:?}", n + 1))
+            .unwrap_or_else(|| "outputs differ in length".to_string());
+        Err(ReproError::runtime(
+            format!("parallel output diverges from serial ({diff})"),
+            &Probe::disabled(),
+        ))
+    }
+}
+
 /// Captures one representative telemetry trace for `figure` — the first
 /// suite benchmark under the SHM design — into `dir/<figure>.jsonl`.
 fn dump_figure_telemetry(dir: &str, figure: &str, scale: f64) -> Result<(), ReproError> {
@@ -154,37 +249,47 @@ fn dump_figure_telemetry(dir: &str, figure: &str, scale: f64) -> Result<(), Repr
         .into_iter()
         .next()
         .ok_or_else(|| ReproError::usage("benchmark suite is empty"))?;
-    let trace = profile.generate(0xBEEF ^ profile.name.len() as u64);
-    let probe = Probe::enabled(TelemetryConfig::default());
+    let trace = profile.generate(shm_bench::trace_seed(profile.name));
+    let path = std::path::Path::new(dir).join(format!("{figure}.jsonl"));
+    // Stream the JSONL document to disk as the run produces it rather than
+    // buffering the whole trace in memory.
+    let probe = Probe::enabled_streaming(TelemetryConfig::default(), &path)
+        .map_err(|e| ReproError::usage(format!("create {}: {e}", path.display())))?;
     Simulator::new(&GpuConfig::default(), DesignPoint::Shm)
         .with_probe(probe.clone())
         .run(&trace);
-    let path = std::path::Path::new(dir).join(format!("{figure}.jsonl"));
-    probe
-        .write_jsonl(&path)
-        .map_err(|e| ReproError::runtime(format!("write {}: {e}", path.display()), &probe))?;
-    println!("telemetry for {figure} written to {}", path.display());
+    if let Some(e) = probe.stream_error() {
+        return Err(ReproError::runtime(
+            format!("write {}: {e}", path.display()),
+            &probe,
+        ));
+    }
+    println!("telemetry for {figure} streamed to {}", path.display());
     Ok(())
 }
 
 /// Sensitivity analysis for the design choices DESIGN.md calls out:
 /// metadata-cache capacity, chunk size and read-only region size.
-fn sensitivity(scale: f64) {
+fn sensitivity(scale: f64) -> String {
     use gpu_types::MdcConfig;
+    let mut out = String::new();
     let profiles: Vec<_> = scaled_suite(scale)
         .into_iter()
         .filter(|p| ["fdtd2d", "kmeans", "bfs", "lbm"].contains(&p.name))
         .collect();
 
-    println!("\n== Sensitivity: metadata-cache capacity (SHM normalized IPC) ==");
-    print!("{:<12}", "benchmark");
+    let _ = writeln!(
+        out,
+        "\n== Sensitivity: metadata-cache capacity (SHM normalized IPC) =="
+    );
+    let _ = write!(out, "{:<12}", "benchmark");
     for kb in [1u64, 2, 4, 8] {
-        print!("{:>10}", format!("{kb} KB"));
+        let _ = write!(out, "{:>10}", format!("{kb} KB"));
     }
-    println!();
+    let _ = writeln!(out);
     for p in &profiles {
-        let trace = p.generate(0xBEEF ^ p.name.len() as u64);
-        print!("{:<12}", p.name);
+        let trace = p.generate(shm_bench::trace_seed(p.name));
+        let _ = write!(out, "{:<12}", p.name);
         for kb in [1u64, 2, 4, 8] {
             let cfg = GpuConfig {
                 mdc: MdcConfig {
@@ -195,22 +300,25 @@ fn sensitivity(scale: f64) {
             };
             let base = Simulator::new(&cfg, DesignPoint::Unprotected).run(&trace);
             let s = Simulator::new(&cfg, DesignPoint::Shm).run(&trace);
-            print!("{:>10.4}", base.cycles as f64 / s.cycles as f64);
+            let _ = write!(out, "{:>10.4}", base.cycles as f64 / s.cycles as f64);
         }
-        println!();
+        let _ = writeln!(out);
     }
 
-    println!("\n== Sensitivity: streaming chunk size (SHM normalized IPC) ==");
-    print!("{:<12}", "benchmark");
+    let _ = writeln!(
+        out,
+        "\n== Sensitivity: streaming chunk size (SHM normalized IPC) =="
+    );
+    let _ = write!(out, "{:<12}", "benchmark");
     for kb in [2u64, 4, 8] {
-        print!("{:>10}", format!("{kb} KB"));
+        let _ = write!(out, "{:>10}", format!("{kb} KB"));
     }
-    println!();
+    let _ = writeln!(out);
     let base_cfg = GpuConfig::default();
     for p in &profiles {
-        let trace = p.generate(0xBEEF ^ p.name.len() as u64);
+        let trace = p.generate(shm_bench::trace_seed(p.name));
         let base = Simulator::new(&base_cfg, DesignPoint::Unprotected).run(&trace);
-        print!("{:<12}", p.name);
+        let _ = write!(out, "{:<12}", p.name);
         for kb in [2u64, 4, 8] {
             let shm_cfg = ShmConfig {
                 chunk_bytes: kb * 1024,
@@ -220,21 +328,24 @@ fn sensitivity(scale: f64) {
             let s = Simulator::new(&base_cfg, DesignPoint::Shm)
                 .with_shm_config(shm_cfg)
                 .run(&trace);
-            print!("{:>10.4}", base.cycles as f64 / s.cycles as f64);
+            let _ = write!(out, "{:>10.4}", base.cycles as f64 / s.cycles as f64);
         }
-        println!();
+        let _ = writeln!(out);
     }
 
-    println!("\n== Sensitivity: read-only region size (SHM normalized IPC) ==");
-    print!("{:<12}", "benchmark");
+    let _ = writeln!(
+        out,
+        "\n== Sensitivity: read-only region size (SHM normalized IPC) =="
+    );
+    let _ = write!(out, "{:<12}", "benchmark");
     for kb in [4u64, 16, 64] {
-        print!("{:>10}", format!("{kb} KB"));
+        let _ = write!(out, "{:>10}", format!("{kb} KB"));
     }
-    println!();
+    let _ = writeln!(out);
     for p in &profiles {
-        let trace = p.generate(0xBEEF ^ p.name.len() as u64);
+        let trace = p.generate(shm_bench::trace_seed(p.name));
         let base = Simulator::new(&base_cfg, DesignPoint::Unprotected).run(&trace);
-        print!("{:<12}", p.name);
+        let _ = write!(out, "{:<12}", p.name);
         for kb in [4u64, 16, 64] {
             let shm_cfg = ShmConfig {
                 readonly_region_bytes: kb * 1024,
@@ -243,23 +354,25 @@ fn sensitivity(scale: f64) {
             let s = Simulator::new(&base_cfg, DesignPoint::Shm)
                 .with_shm_config(shm_cfg)
                 .run(&trace);
-            print!("{:>10.4}", base.cycles as f64 / s.cycles as f64);
+            let _ = write!(out, "{:>10.4}", base.cycles as f64 / s.cycles as f64);
         }
-        println!();
+        let _ = writeln!(out);
     }
+    out
 }
 
 /// Calibration diagnostics: per-class overheads on pure access patterns.
-fn micro_diag() {
+fn micro_diag() -> String {
+    let mut out = String::new();
     let cfg = GpuConfig::default();
     let stream = shm_workloads::micro::pure_stream_read(12 * 64 * 4096);
     let swrite = shm_workloads::micro::pure_stream_write(12 * 64 * 4096);
     let random = shm_workloads::micro::pure_random_read(8 << 20, 60_000, 9);
     {
         let (s, parts) = Simulator::new(&cfg, DesignPoint::Naive).run_inspect(&stream);
-        println!("naive stream-read: cycles={}", s.cycles);
+        let _ = writeln!(out, "naive stream-read: cycles={}", s.cycles);
         for (i, (r, w, free)) in parts.iter().enumerate() {
-            println!("  P{i:<3} read={r:<9} write={w:<9} bus_free={free}");
+            let _ = writeln!(out, "  P{i:<3} read={r:<9} write={w:<9} bus_free={free}");
         }
     }
     for (label, trace) in [
@@ -267,7 +380,7 @@ fn micro_diag() {
         ("stream-write", &swrite),
         ("random-read", &random),
     ] {
-        println!("\n-- {label} --");
+        let _ = writeln!(out, "\n-- {label} --");
         for d in [
             DesignPoint::Unprotected,
             DesignPoint::Naive,
@@ -277,7 +390,8 @@ fn micro_diag() {
             DesignPoint::Shm,
         ] {
             let s = Simulator::new(&cfg, d).run(trace);
-            print!(
+            let _ = write!(
+                out,
                 "  {:<14} cycles={:<9} ovh={:<7.3} hits={:<6} miss={:<6} data={:<9}",
                 d.name(),
                 s.cycles,
@@ -287,22 +401,28 @@ fn micro_diag() {
                 s.traffic.data_bytes()
             );
             let n = (s.l2_hits + s.l2_misses).max(1);
-            print!(
+            let _ = write!(
+                out,
                 " lat_avg={:.0} lat_max={}",
                 s.lat_sum as f64 / n as f64,
                 s.lat_max
             );
             for (l, v) in traffic_breakdown(&s) {
-                print!(" {l}={v:.3}");
+                let _ = write!(out, " {l}={v:.3}");
             }
-            println!();
+            let _ = writeln!(out);
         }
     }
+    out
 }
 
 /// Table I/II: security mechanisms per memory space and data class.
-fn table1() {
-    println!("\n== Table I: security mechanisms for GPU heterogeneous memory ==");
+fn table1() -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "\n== Table I: security mechanisms for GPU heterogeneous memory =="
+    );
     use gpu_types::MemorySpace::*;
     for (space, loc) in [
         (Global, "off-chip"),
@@ -311,16 +431,23 @@ fn table1() {
         (Texture, "off-chip"),
         (Instruction, "off-chip"),
     ] {
-        println!(
+        let _ = writeln!(
+            out,
             "{:<14} {:<10} {}",
             space.to_string(),
             loc,
             required_mechanisms(space).notation()
         );
     }
-    println!("(register / shared memory / caches: on-chip, no mechanisms)");
+    let _ = writeln!(
+        out,
+        "(register / shared memory / caches: on-chip, no mechanisms)"
+    );
 
-    println!("\n== Table II: security mechanisms for application data ==");
+    let _ = writeln!(
+        out,
+        "\n== Table II: security mechanisms for application data =="
+    );
     for (d, label) in [
         (DataProperty::ApplicationCode, "application code"),
         (DataProperty::Input, "input"),
@@ -332,42 +459,53 @@ fn table1() {
         } else {
             "read/write"
         };
-        println!("{label:<18} {prop:<11} {}", d.required().notation());
+        let _ = writeln!(out, "{label:<18} {prop:<11} {}", d.required().notation());
     }
+    out
 }
 
 /// Table IX: hardware storage overhead of the predictors and trackers.
-fn table9() {
+fn table9() -> String {
+    let mut out = String::new();
     let cfg = GpuConfig::default();
     let shm = ShmConfig::default();
-    println!("\n== Table IX: hardware overhead ==");
-    println!(
+    let _ = writeln!(out, "\n== Table IX: hardware overhead ==");
+    let _ = writeln!(
+        out,
         "read-only predictor : {} entries x 1 bit = {} B/partition",
         shm.readonly_predictor_entries,
         shm.readonly_predictor_entries / 8
     );
-    println!(
+    let _ = writeln!(
+        out,
         "streaming predictor : {} entries x 1 bit = {} B/partition",
         shm.streaming_predictor_entries,
         shm.streaming_predictor_entries / 8
     );
-    println!(
+    let _ = writeln!(
+        out,
         "access trackers     : {} x 71 bit = {} B/partition",
         shm.num_trackers,
         shm.num_trackers * 71 / 8
     );
-    println!(
+    let _ = writeln!(
+        out,
         "TOTAL ({} partitions): {} B ({:.2} KB)",
         cfg.num_partitions,
         shm.total_storage_bytes(cfg.num_partitions),
         shm.total_storage_bytes(cfg.num_partitions) as f64 / 1024.0
     );
+    out
 }
 
 /// Tables III/IV: misprediction handling — demonstrated by measuring the
 /// fix-up traffic of deliberately adversarial access patterns.
-fn table3_4() {
-    println!("\n== Tables III/IV: misprediction handling (fix-up traffic measured) ==");
+fn table3_4() -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "\n== Tables III/IV: misprediction handling (fix-up traffic measured) =="
+    );
     let cfg = GpuConfig::default();
 
     // Stream-predicted chunk that is actually random (reads): the failed
@@ -375,7 +513,8 @@ fn table3_4() {
     // predictor (Table III, read rows).
     let trace = shm_workloads::micro::pure_random_read(8 << 20, 40_000, 7);
     let stats = Simulator::new(&cfg, DesignPoint::Shm).run(&trace);
-    println!(
+    let _ = writeln!(
+        out,
         "random-read trace (predicted streaming at init): fixup bytes = {}  stream mispredictions = {}",
         stats
             .traffic
@@ -388,7 +527,8 @@ fn table3_4() {
     // chunk's data blocks to reproduce them (Table IV, stream→random row).
     let trace = shm_workloads::micro::pure_random_write(16 << 20, 200_000, 7);
     let stats = Simulator::new(&cfg, DesignPoint::Shm).run(&trace);
-    println!(
+    let _ = writeln!(
+        out,
         "random-write trace (predicted streaming at init): fixup bytes = {}  stream mispredictions = {}",
         stats
             .traffic
@@ -399,25 +539,33 @@ fn table3_4() {
     // Fully streaming read over read-only data: zero fix-up expected.
     let trace = shm_workloads::micro::pure_stream_read(12 * 8 * 4096);
     let stats = Simulator::new(&cfg, DesignPoint::Shm).run(&trace);
-    println!(
+    let _ = writeln!(
+        out,
         "read-only streaming trace (correct prediction): fixup bytes = {}  stream mispredictions = {}",
         stats
             .traffic
             .class_total(gpu_types::TrafficClass::MispredictFixup),
         stats.stream_mispredictions
     );
+    out
 }
 
 /// Table VII: measured bandwidth utilisation and memory-space usage.
-fn table7(scale: f64) {
-    println!("\n== Table VII: benchmarks (measured on the unprotected baseline) ==");
-    println!(
+fn table7(scale: f64, jobs: Option<usize>) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "\n== Table VII: benchmarks (measured on the unprotected baseline) =="
+    );
+    let _ = writeln!(
+        out,
         "{:<16}{:>12}{:>12}{:>18}",
         "benchmark", "bw util", "l2 miss", "memory space"
     );
     let cfg = GpuConfig::default();
-    for p in scaled_suite(scale) {
-        let trace = p.generate(0xBEEF ^ p.name.len() as u64);
+    let profiles = scaled_suite(scale);
+    let lines = Executor::from_request(jobs).map(&profiles, |_, p| {
+        let trace = p.generate(shm_bench::trace_seed(p.name));
         let stats = Simulator::new(&cfg, DesignPoint::Unprotected).run(&trace);
         let util = stats
             .bandwidth_utilization(cfg.partition_bytes_per_cycle() * cfg.num_partitions as f64);
@@ -426,23 +574,27 @@ fn table7(scale: f64) {
         } else {
             "constant"
         };
-        println!(
-            "{:<16}{:>11.1}%{:>11.1}%{:>18}",
+        format!(
+            "{:<16}{:>11.1}%{:>11.1}%{:>18}\n",
             p.name,
             util * 100.0,
             stats.l2_miss_rate() * 100.0,
             spaces
-        );
+        )
+    });
+    for line in lines {
+        out.push_str(&line.expect("table7 job"));
     }
+    out
 }
 
 /// Fig. 5: fraction of accesses touching streaming and read-only data.
-fn fig5(scale: f64) {
+fn fig5(scale: f64, jobs: Option<usize>) -> String {
     let map = GpuConfig::default().partition_map();
-    let rows: Vec<(String, Vec<f64>)> = scaled_suite(scale)
-        .iter()
-        .map(|p| {
-            let trace = p.generate(0xBEEF ^ p.name.len() as u64);
+    let profiles = scaled_suite(scale);
+    let rows: Vec<(String, Vec<f64>)> = Executor::from_request(jobs)
+        .map(&profiles, |_, p| {
+            let trace = p.generate(shm_bench::trace_seed(p.name));
             let events: Vec<_> = trace.all_events().cloned().collect();
             let oracle = OracleProfile::from_trace(&events, map);
             (
@@ -453,21 +605,23 @@ fn fig5(scale: f64) {
                 ],
             )
         })
+        .into_iter()
+        .map(|r| r.expect("fig5 job"))
         .collect();
-    print_table(
+    format_table(
         "Fig. 5: streaming / read-only access fractions",
         &["streaming", "read-only"],
         &rows,
-    );
+    )
 }
 
 /// Fig. 10: read-only prediction breakdown.
-fn fig10(scale: f64) {
+fn fig10(scale: f64, jobs: Option<usize>) -> String {
     let cfg = GpuConfig::default();
-    let rows: Vec<(String, Vec<f64>)> = scaled_suite(scale)
-        .iter()
-        .map(|p| {
-            let trace = p.generate(0xBEEF ^ p.name.len() as u64);
+    let profiles = scaled_suite(scale);
+    let rows: Vec<(String, Vec<f64>)> = Executor::from_request(jobs)
+        .map(&profiles, |_, p| {
+            let trace = p.generate(shm_bench::trace_seed(p.name));
             let (_, ro, _) = Simulator::new(&cfg, DesignPoint::Shm).run_detailed(&trace);
             let t = ro.total().max(1) as f64;
             (
@@ -479,21 +633,23 @@ fn fig10(scale: f64) {
                 ],
             )
         })
+        .into_iter()
+        .map(|r| r.expect("fig10 job"))
         .collect();
-    print_table(
+    format_table(
         "Fig. 10: read-only prediction breakdown",
         &["correct", "mp_init", "mp_aliasing"],
         &rows,
-    );
+    )
 }
 
 /// Fig. 11: streaming prediction breakdown.
-fn fig11(scale: f64) {
+fn fig11(scale: f64, jobs: Option<usize>) -> String {
     let cfg = GpuConfig::default();
-    let rows: Vec<(String, Vec<f64>)> = scaled_suite(scale)
-        .iter()
-        .map(|p| {
-            let trace = p.generate(0xBEEF ^ p.name.len() as u64);
+    let profiles = scaled_suite(scale);
+    let rows: Vec<(String, Vec<f64>)> = Executor::from_request(jobs)
+        .map(&profiles, |_, p| {
+            let trace = p.generate(shm_bench::trace_seed(p.name));
             let (_, _, st) = Simulator::new(&cfg, DesignPoint::Shm).run_detailed(&trace);
             let t = st.total().max(1) as f64;
             (
@@ -507,31 +663,32 @@ fn fig11(scale: f64) {
                 ],
             )
         })
+        .into_iter()
+        .map(|r| r.expect("fig11 job"))
         .collect();
-    print_table(
+    format_table(
         "Fig. 11: streaming prediction breakdown",
         &["correct", "mp_init", "mp_rt_ro", "mp_rt_nro", "mp_alias"],
         &rows,
-    );
+    )
 }
 
-fn norm_ipc_table(title: &str, designs: &[DesignPoint], scale: f64) {
+fn norm_ipc_table(title: &str, designs: &[DesignPoint], scale: f64, jobs: Option<usize>) -> String {
     let header: Vec<&str> = designs.iter().map(|d| d.name()).collect();
-    let rows: Vec<(String, Vec<f64>)> = scaled_suite(scale)
+    let rows: Vec<(String, Vec<f64>)> = run_suite_jobs(designs, scale, jobs)
         .iter()
-        .map(|p| {
-            let row = run_benchmark(p, designs);
+        .map(|row| {
             (
-                p.name.to_string(),
+                row.name.clone(),
                 designs.iter().map(|d| row.norm_ipc(*d)).collect(),
             )
         })
         .collect();
-    print_table(title, &header, &rows);
+    format_table(title, &header, &rows)
 }
 
 /// Fig. 12: normalized IPC of the main designs.
-fn fig12(scale: f64) {
+fn fig12(scale: f64, jobs: Option<usize>) -> String {
     norm_ipc_table(
         "Fig. 12: normalized IPC",
         &[
@@ -542,11 +699,12 @@ fn fig12(scale: f64) {
             DesignPoint::ShmUpperBound,
         ],
         scale,
-    );
+        jobs,
+    )
 }
 
 /// Fig. 13: optimisation breakdown.
-fn fig13(scale: f64) {
+fn fig13(scale: f64, jobs: Option<usize>) -> String {
     norm_ipc_table(
         "Fig. 13: performance impact of each optimisation",
         &[
@@ -557,11 +715,12 @@ fn fig13(scale: f64) {
             DesignPoint::ShmCctr,
         ],
         scale,
-    );
+        jobs,
+    )
 }
 
 /// Fig. 14: bandwidth overheads of security metadata.
-fn fig14(scale: f64) {
+fn fig14(scale: f64, jobs: Option<usize>) -> String {
     let designs = [
         DesignPoint::Naive,
         DesignPoint::CommonCtr,
@@ -571,10 +730,10 @@ fn fig14(scale: f64) {
     ];
     let header: Vec<&str> = designs.iter().map(|d| d.name()).collect();
     let mut breakdown_acc: BTreeMap<&str, Vec<f64>> = BTreeMap::new();
-    let rows: Vec<(String, Vec<f64>)> = scaled_suite(scale)
+    let suite_rows = run_suite_jobs(&designs, scale, jobs);
+    let rows: Vec<(String, Vec<f64>)> = suite_rows
         .iter()
-        .map(|p| {
-            let row = run_benchmark(p, &designs);
+        .map(|row| {
             for d in &designs {
                 for (label, v) in traffic_breakdown(&row.stats[d.name()]) {
                     breakdown_acc
@@ -584,29 +743,33 @@ fn fig14(scale: f64) {
                 }
             }
             (
-                p.name.to_string(),
+                row.name.clone(),
                 designs.iter().map(|d| row.bandwidth_overhead(*d)).collect(),
             )
         })
         .collect();
-    print_table(
+    let mut out = format_table(
         "Fig. 14: bandwidth overhead (metadata bytes / data bytes)",
         &header,
         &rows,
     );
-    println!("\nmean per-class breakdown (normalized to data bytes):");
+    let _ = writeln!(
+        out,
+        "\nmean per-class breakdown (normalized to data bytes):"
+    );
     let n = rows.len() as f64;
     for (label, sums) in &breakdown_acc {
-        print!("  {label:<8}");
+        let _ = write!(out, "  {label:<8}");
         for s in sums {
-            print!("{:>12.4}", s / n);
+            let _ = write!(out, "{:>12.4}", s / n);
         }
-        println!();
+        let _ = writeln!(out);
     }
+    out
 }
 
 /// Fig. 15: normalized energy per instruction.
-fn fig15(scale: f64) {
+fn fig15(scale: f64, jobs: Option<usize>) -> String {
     let designs = [
         DesignPoint::Naive,
         DesignPoint::CommonCtr,
@@ -615,12 +778,11 @@ fn fig15(scale: f64) {
     ];
     let model = EnergyModel::default();
     let header: Vec<&str> = designs.iter().map(|d| d.name()).collect();
-    let rows: Vec<(String, Vec<f64>)> = scaled_suite(scale)
+    let rows: Vec<(String, Vec<f64>)> = run_suite_jobs(&designs, scale, jobs)
         .iter()
-        .map(|p| {
-            let row = run_benchmark(p, &designs);
+        .map(|row| {
             (
-                p.name.to_string(),
+                row.name.clone(),
                 designs
                     .iter()
                     .map(|d| row.normalized_energy(*d, &model))
@@ -628,27 +790,34 @@ fn fig15(scale: f64) {
             )
         })
         .collect();
-    print_table("Fig. 15: normalized energy per instruction", &header, &rows);
+    format_table("Fig. 15: normalized energy per instruction", &header, &rows)
 }
 
 /// Fig. 16: SHM vs SHM with the L2 victim cache.
-fn fig16(scale: f64) {
-    norm_ipc_table(
-        "Fig. 16: L2 as victim cache for security metadata",
-        &[DesignPoint::Shm, DesignPoint::ShmVL2],
-        scale,
-    );
-    // Also report the average gain, the paper's headline for this figure.
-    let rows: Vec<(f64, f64)> = scaled_suite(scale)
+fn fig16(scale: f64, jobs: Option<usize>) -> String {
+    let designs = [DesignPoint::Shm, DesignPoint::ShmVL2];
+    let header: Vec<&str> = designs.iter().map(|d| d.name()).collect();
+    // One sweep feeds both the table and the mean-gain headline (the old
+    // implementation re-ran the whole suite for the second number).
+    let suite_rows = run_suite_jobs(&designs, scale, jobs);
+    let rows: Vec<(String, Vec<f64>)> = suite_rows
         .iter()
-        .map(|p| {
-            let row = run_benchmark(p, &[DesignPoint::Shm, DesignPoint::ShmVL2]);
+        .map(|row| {
             (
-                row.norm_ipc(DesignPoint::Shm),
-                row.norm_ipc(DesignPoint::ShmVL2),
+                row.name.clone(),
+                designs.iter().map(|d| row.norm_ipc(*d)).collect(),
             )
         })
         .collect();
-    let gain: Vec<f64> = rows.iter().map(|(a, b)| b - a).collect();
-    println!("mean vL2 gain: {:+.4} normalized IPC", mean(&gain));
+    let mut out = format_table(
+        "Fig. 16: L2 as victim cache for security metadata",
+        &header,
+        &rows,
+    );
+    let gain: Vec<f64> = suite_rows
+        .iter()
+        .map(|row| row.norm_ipc(DesignPoint::ShmVL2) - row.norm_ipc(DesignPoint::Shm))
+        .collect();
+    let _ = writeln!(out, "mean vL2 gain: {:+.4} normalized IPC", mean(&gain));
+    out
 }

@@ -7,10 +7,12 @@
 //! *shape* of the results (who wins, by roughly what factor).
 
 use std::collections::BTreeMap;
+use std::fmt::Write as _;
 
 use gpu_mem_sim::{DesignPoint, EnergyModel, Simulator};
 use gpu_types::{GpuConfig, SimStats, TrafficClass};
 use shm_workloads::BenchmarkProfile;
+pub use sim_exec::{Executor, SweepError};
 
 /// Scale factor for event counts: 1.0 = full runs (repro binary),
 /// smaller for quick tests/benches.
@@ -24,10 +26,24 @@ pub fn scaled_suite(scale: f64) -> Vec<BenchmarkProfile> {
         .collect()
 }
 
+/// Deterministic per-benchmark trace seed: FNV-1a over the full name.
+///
+/// The seed must depend on the *content* of the name, not just its length —
+/// an earlier `0xBEEF ^ name.len()` scheme gave every same-length pair of
+/// benchmarks (e.g. `bfs`/`nw`) identical traces.
+pub fn trace_seed(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
 /// Runs one benchmark under one design; seeds are fixed for determinism.
 pub fn run_one(profile: &BenchmarkProfile, design: DesignPoint) -> SimStats {
     let cfg = GpuConfig::default();
-    let trace = profile.generate(0xBEEF ^ profile.name.len() as u64);
+    let trace = profile.generate(trace_seed(profile.name));
     Simulator::new(&cfg, design).run(&trace)
 }
 
@@ -67,12 +83,72 @@ impl BenchRow {
     }
 }
 
-/// Runs `designs` (plus the baseline) over the scaled suite.
+/// Runs `designs` (plus the baseline) over the scaled suite, parallelising
+/// across the worker pool resolved from `SHM_JOBS` / available parallelism.
 pub fn run_suite(designs: &[DesignPoint], scale: f64) -> Vec<BenchRow> {
-    scaled_suite(scale)
+    run_suite_jobs(designs, scale, None)
+}
+
+/// [`run_suite`] with an explicit worker count (`--jobs N`); `None` defers
+/// to `SHM_JOBS` / available parallelism.
+///
+/// # Panics
+///
+/// Panics with every failing `(benchmark, design)` pair if any simulation
+/// job panics; see [`try_run_suite_jobs`] for the non-panicking variant.
+pub fn run_suite_jobs(designs: &[DesignPoint], scale: f64, jobs: Option<usize>) -> Vec<BenchRow> {
+    match try_run_suite_jobs(designs, scale, jobs) {
+        Ok(rows) => rows,
+        Err(e) => panic!("suite sweep failed: {e}"),
+    }
+}
+
+/// Fallible sweep over the full `(benchmark × design)` cross product.
+///
+/// Every pair is one job on the work-stealing pool; results reassemble in
+/// submission order so the rows (and all downstream tables) are identical
+/// to a serial run regardless of worker count.
+///
+/// # Errors
+///
+/// Returns a [`SweepError`] labelling every `(benchmark, design)` job that
+/// panicked; successful rows are discarded in that case.
+pub fn try_run_suite_jobs(
+    designs: &[DesignPoint],
+    scale: f64,
+    jobs: Option<usize>,
+) -> Result<Vec<BenchRow>, SweepError> {
+    let profiles = scaled_suite(scale);
+    // Baseline first, then each requested design once.
+    let mut points: Vec<DesignPoint> = vec![DesignPoint::Unprotected];
+    points.extend(
+        designs
+            .iter()
+            .copied()
+            .filter(|d| *d != DesignPoint::Unprotected),
+    );
+
+    let pairs: Vec<(usize, DesignPoint)> = (0..profiles.len())
+        .flat_map(|p| points.iter().map(move |&d| (p, d)))
+        .collect();
+
+    let stats = Executor::from_request(jobs).try_map(
+        &pairs,
+        |_, &(p, d)| format!("{} under {}", profiles[p].name, d.name()),
+        |_, &(p, d)| run_one(&profiles[p], d),
+    )?;
+
+    let mut rows: Vec<BenchRow> = profiles
         .iter()
-        .map(|p| run_benchmark(p, designs))
-        .collect()
+        .map(|p| BenchRow {
+            name: p.name.to_string(),
+            stats: BTreeMap::new(),
+        })
+        .collect();
+    for (&(p, d), s) in pairs.iter().zip(stats) {
+        rows[p].stats.insert(d.name(), s);
+    }
+    Ok(rows)
 }
 
 /// Runs `designs` (plus the baseline) for one profile.
@@ -112,28 +188,38 @@ pub fn mean(xs: &[f64]) -> f64 {
     }
 }
 
-/// Pretty-prints a figure as aligned columns.
-pub fn print_table(title: &str, header: &[&str], rows: &[(String, Vec<f64>)]) {
-    println!("\n== {title} ==");
-    print!("{:<16}", "benchmark");
+/// Renders a figure as aligned columns (the format `print_table` emits).
+///
+/// Returning a `String` lets the repro harness render the same figure for
+/// serial and parallel sweeps and compare the two byte-for-byte.
+pub fn format_table(title: &str, header: &[&str], rows: &[(String, Vec<f64>)]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "\n== {title} ==");
+    let _ = write!(out, "{:<16}", "benchmark");
     for h in header {
-        print!("{h:>16}");
+        let _ = write!(out, "{h:>16}");
     }
-    println!();
+    let _ = writeln!(out);
     for (name, vals) in rows {
-        print!("{name:<16}");
+        let _ = write!(out, "{name:<16}");
         for v in vals {
-            print!("{v:>16.4}");
+            let _ = write!(out, "{v:>16.4}");
         }
-        println!();
+        let _ = writeln!(out);
     }
     let n = header.len();
-    print!("{:<16}", "MEAN");
+    let _ = write!(out, "{:<16}", "MEAN");
     for i in 0..n {
         let col: Vec<f64> = rows.iter().map(|(_, v)| v[i]).collect();
-        print!("{:>16.4}", mean(&col));
+        let _ = write!(out, "{:>16.4}", mean(&col));
     }
-    println!();
+    let _ = writeln!(out);
+    out
+}
+
+/// Pretty-prints a figure as aligned columns.
+pub fn print_table(title: &str, header: &[&str], rows: &[(String, Vec<f64>)]) {
+    print!("{}", format_table(title, header, rows));
 }
 
 /// Traffic-class byte breakdown of one run, normalized to data bytes.
@@ -168,6 +254,27 @@ mod tests {
             ..SimStats::default()
         };
         assert!((normalized_ipc(&slow, &base) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn same_length_names_get_distinct_seeds_and_traces() {
+        // Regression: the old `0xBEEF ^ name.len()` seed collapsed every
+        // same-length pair of benchmark names onto one trace.
+        assert_ne!(trace_seed("bfs"), trace_seed("spm"));
+        let mut a = scaled_suite(0.02).remove(0);
+        let mut b = a.clone();
+        a.name = "aaa";
+        b.name = "bbb";
+        let ta = a.generate(trace_seed(a.name));
+        let tb = b.generate(trace_seed(b.name));
+        let events = |t: &gpu_mem_sim::ContextTrace| -> Vec<gpu_types::MemEvent> {
+            t.all_events().copied().collect()
+        };
+        assert_ne!(
+            events(&ta),
+            events(&tb),
+            "same-length names must yield different traces"
+        );
     }
 
     #[test]

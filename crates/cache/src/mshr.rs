@@ -1,6 +1,6 @@
 //! Miss-status holding registers (MSHRs) with request merging.
 
-use std::collections::HashMap;
+use gpu_types::FxHashMap;
 
 /// Result of attempting to allocate an MSHR for a missing line.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -25,7 +25,7 @@ impl MshrAllocation {
 /// An MSHR table tracking outstanding misses per line address.
 #[derive(Clone, Debug)]
 pub struct Mshr {
-    entries: HashMap<u64, u32>,
+    entries: FxHashMap<u64, u32>,
     max_entries: usize,
     max_merges: u32,
 }
@@ -40,7 +40,7 @@ impl Mshr {
     pub fn new(max_entries: usize, max_merges: u32) -> Self {
         assert!(max_entries > 0 && max_merges > 0);
         Self {
-            entries: HashMap::new(),
+            entries: FxHashMap::default(),
             max_entries,
             max_merges,
         }

@@ -18,6 +18,7 @@ use gpu_mem_sim::{read_trace, write_trace, ContextTrace, DesignPoint, EnergyMode
 use gpu_types::{GpuConfig, TrafficClass};
 use shm_telemetry::{Probe, TelemetryConfig};
 use shm_workloads::BenchmarkProfile;
+use sim_exec::Executor;
 
 mod args;
 mod report;
@@ -113,8 +114,11 @@ fn dispatch(argv: &[String]) -> Result<(), CliError> {
 /// disabled (zero-cost) when the flag is absent.
 fn telemetry_probe(args: &Args) -> Result<Probe, String> {
     if !args.flag("telemetry") {
-        if args.get("trace-out").is_some() || args.get("epoch-cycles").is_some() {
-            return Err("--trace-out/--epoch-cycles require --telemetry".into());
+        if args.get("trace-out").is_some()
+            || args.get("epoch-cycles").is_some()
+            || args.get("epoch-csv").is_some()
+        {
+            return Err("--trace-out/--epoch-cycles/--epoch-csv require --telemetry".into());
         }
         return Ok(Probe::disabled());
     }
@@ -122,7 +126,13 @@ fn telemetry_probe(args: &Args) -> Result<Probe, String> {
     if let Some(n) = args.get_u64("epoch-cycles")? {
         cfg.epoch_cycles = n.max(1);
     }
-    let probe = Probe::enabled(cfg);
+    // With --trace-out the JSONL document streams to disk as the run
+    // produces it, instead of accumulating every sampled event in memory.
+    let probe = if let Some(path) = args.get("trace-out") {
+        Probe::enabled_streaming(cfg, Path::new(path)).map_err(|e| format!("create {path}: {e}"))?
+    } else {
+        Probe::enabled(cfg)
+    };
     probe.install_panic_hook();
     Ok(probe)
 }
@@ -136,11 +146,11 @@ fn print_help() {
         "shm — secure GPU memory simulator (SHM, HPCA 2022 reproduction)\n\n\
          commands:\n\
          \x20 list                                 benchmarks and designs\n\
-         \x20 run   -b <bench> -d <design> [--events N] [--seed S]\n\
+         \x20 run   -b <bench> -d <design> [--events N] [--seed S] [--jobs N]\n\
          \x20 run   --trace <file> -d <design>     replay a stored trace\n\
          \x20 run   --custom ro=0.9,stream=0.95,write=0.05 -d SHM\n\
-         \x20 run   ... --telemetry [--epoch-cycles N] [--trace-out t.jsonl]\n\
-         \x20 sweep -b <bench> [--events N] [--csv]\n\
+         \x20 run   ... --telemetry [--epoch-cycles N] [--trace-out t.jsonl] [--epoch-csv e.csv]\n\
+         \x20 sweep -b <bench> [--events N] [--csv] [--jobs N]\n\
          \x20 trace gen  -b <bench> -o <file> [--events N] [--seed S]\n\
          \x20 trace info <file>\n"
     );
@@ -245,25 +255,56 @@ fn parse_design(args: &Args) -> Result<DesignPoint, String> {
     DesignPoint::from_name(name).ok_or_else(|| format!("unknown design {name:?}"))
 }
 
+/// Resolves the worker-pool width for `--jobs N` (`None` defers to
+/// `SHM_JOBS` / available parallelism).
+fn parse_jobs(args: &Args) -> Result<Option<usize>, String> {
+    Ok(args.get_u64("jobs")?.map(|n| n.max(1) as usize))
+}
+
 fn cmd_run(args: Args) -> Result<(), CliError> {
     let trace = load_trace(&args)?;
     let design = parse_design(&args)?;
     let probe = telemetry_probe(&args)?;
+    let jobs = parse_jobs(&args)?;
     let cfg = GpuConfig::default();
-    let base = Simulator::new(&cfg, DesignPoint::Unprotected).run(&trace);
-    let stats = Simulator::new(&cfg, design)
-        .with_probe(probe.clone())
-        .run(&trace);
+    // The baseline and the protected design are independent runs — two jobs
+    // on the shared pool.  Only the design run carries the probe.
+    let designs = [DesignPoint::Unprotected, design];
+    let mut results = Executor::from_request(jobs)
+        .try_map(
+            &designs,
+            |_, d| format!("{} under {}", trace.name, d.name()),
+            |i, &d| {
+                let sim = Simulator::new(&cfg, d);
+                let sim = if i == 1 {
+                    sim.with_probe(probe.clone())
+                } else {
+                    sim
+                };
+                sim.run(&trace)
+            },
+        )
+        .map_err(|e| CliError::runtime(format!("simulation failed: {e}"), &probe))?;
+    let stats = results.pop().expect("two runs submitted");
+    let base = results.pop().expect("two runs submitted");
     report::print_run(&trace, design, &stats, &base, &EnergyModel::default());
     if probe.is_enabled() {
         if let Some(s) = probe.summary() {
             println!("{s}");
         }
         if let Some(path) = args.get("trace-out") {
+            // The document streamed to disk during the run; surface any
+            // write error the sink swallowed mid-run.
+            if let Some(e) = probe.stream_error() {
+                return Err(CliError::runtime(format!("write {path}: {e}"), &probe));
+            }
+            println!("telemetry trace streamed to {path}");
+        }
+        if let Some(path) = args.get("epoch-csv") {
             probe
-                .write_jsonl(Path::new(path))
+                .write_epoch_csv(Path::new(path))
                 .map_err(|e| CliError::runtime(format!("write {path}: {e}"), &probe))?;
-            println!("telemetry trace written to {path}");
+            println!("epoch CSV written to {path}");
         }
     }
     Ok(())
@@ -271,9 +312,21 @@ fn cmd_run(args: Args) -> Result<(), CliError> {
 
 fn cmd_sweep(args: Args) -> Result<(), String> {
     let trace = load_trace(&args)?;
+    let jobs = parse_jobs(&args)?;
     let cfg = GpuConfig::default();
     let energy = EnergyModel::default();
-    let base = Simulator::new(&cfg, DesignPoint::Unprotected).run(&trace);
+    // All design points are independent — sweep them on the pool, then
+    // print in the fixed `ALL` order (results come back in that order).
+    let all = DesignPoint::ALL;
+    let stats = Executor::from_request(jobs)
+        .try_map(
+            &all,
+            |_, d| format!("{} under {}", trace.name, d.name()),
+            |_, &d| Simulator::new(&cfg, d).run(&trace),
+        )
+        .map_err(|e| format!("sweep failed: {e}"))?;
+    // ALL[0] is the unprotected baseline every row normalizes against.
+    let base = stats[0].clone();
     let csv = args.flag("csv");
     if csv {
         println!("design,norm_ipc,cycles,metadata_bytes,overhead,energy_per_instr");
@@ -283,8 +336,7 @@ fn cmd_sweep(args: Args) -> Result<(), String> {
             "design", "norm IPC", "cycles", "metadata B", "overhead", "epi"
         );
     }
-    for d in DesignPoint::ALL {
-        let s = Simulator::new(&cfg, d).run(&trace);
+    for (d, s) in all.iter().zip(&stats) {
         let norm = base.cycles as f64 / s.cycles as f64;
         if csv {
             println!(
@@ -294,7 +346,7 @@ fn cmd_sweep(args: Args) -> Result<(), String> {
                 s.cycles,
                 s.traffic.metadata_bytes(),
                 s.traffic.overhead_ratio(),
-                energy.normalized_epi(&s, &base)
+                energy.normalized_epi(s, &base)
             );
         } else {
             println!(
@@ -304,7 +356,7 @@ fn cmd_sweep(args: Args) -> Result<(), String> {
                 s.cycles,
                 s.traffic.metadata_bytes(),
                 s.traffic.overhead_ratio() * 100.0,
-                energy.normalized_epi(&s, &base)
+                energy.normalized_epi(s, &base)
             );
         }
     }

@@ -2,9 +2,9 @@
 //! victim-store support for security metadata (Section IV-D).
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 
-use gpu_types::{GpuConfig, SECTORS_PER_BLOCK, SECTOR_BYTES};
+use gpu_types::{FxHashMap, GpuConfig, SECTORS_PER_BLOCK, SECTOR_BYTES};
 use secure_core::VictimStore;
 use shm_cache::{Eviction, Lookup, MissSampler, Mshr, MshrAllocation, SectoredCache};
 
@@ -34,7 +34,10 @@ pub enum L2Outcome {
 pub struct L2Bank {
     cache: SectoredCache,
     mshr: Mshr,
-    pending: HashMap<u64, u64>,
+    /// Outstanding sector fills, keyed by sector address.  This is the
+    /// hottest map in the simulator (touched on every L2 access), so it
+    /// uses the in-tree FxHash hasher instead of SipHash.
+    pending: FxHashMap<u64, u64>,
     /// Min-heap of `(ready_at, sector_addr)` used to retire outstanding
     /// fills as simulated time advances.
     completions: BinaryHeap<Reverse<(u64, u64)>>,
@@ -59,7 +62,7 @@ impl L2Bank {
                 SECTORS_PER_BLOCK as u32,
             ),
             mshr: Mshr::new(cfg.l2_mshr_entries as usize, cfg.l2_mshr_merges),
-            pending: HashMap::new(),
+            pending: FxHashMap::default(),
             completions: BinaryHeap::new(),
             sampler: MissSampler::new(8),
             deferred_writebacks: Vec::new(),

@@ -1,0 +1,141 @@
+//! A small in-tree FxHash-style hasher for the simulator's hot maps.
+//!
+//! `std::collections::HashMap` defaults to SipHash-1-3, which is
+//! DoS-resistant but costs tens of cycles per lookup.  The simulator's
+//! hottest maps (L2 pending-fill tracking, MSHR entries, the functional
+//! secure-memory stores) are keyed by trusted, internally generated `u64`
+//! addresses, so collision-flooding resistance buys nothing — a
+//! multiply-and-rotate hash in the style of rustc's `FxHasher` is both
+//! faster and deterministic across runs (a requirement for the parallel
+//! sweep executor's byte-identical-output guarantee).
+//!
+//! This is **not** a cryptographic hash and must never key data an
+//! adversary controls.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant from rustc's FxHasher (derived from the golden
+/// ratio, chosen for good bit dispersion under wrapping multiplication).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Rotation applied before each mix so consecutive keys spread across the
+/// whole word.
+const ROTATE: u32 = 5;
+
+/// A fast, deterministic, non-cryptographic hasher for trusted keys.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            self.mix(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            // Fold the length in so "ab" and "ab\0" cannot collide trivially.
+            self.mix(u64::from_le_bytes(tail) ^ ((rest.len() as u64) << 56));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.mix(n as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.mix(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.mix(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.mix(n);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, n: u128) {
+        self.mix(n as u64);
+        self.mix((n >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.mix(n as u64);
+    }
+}
+
+/// `BuildHasher` producing [`FxHasher`]s (zero-sized, `Default`-constructible).
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed with [`FxHasher`]; drop-in for hot simulator maps.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    fn hash_of<T: Hash>(v: T) -> u64 {
+        let mut h = FxHasher::default();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        assert_eq!(hash_of(0xDEAD_BEEFu64), hash_of(0xDEAD_BEEFu64));
+        assert_eq!(hash_of("streaming"), hash_of("streaming"));
+    }
+
+    #[test]
+    fn distinguishes_nearby_keys() {
+        // Block-aligned addresses differing in one step must not collide.
+        let hashes: Vec<u64> = (0..1024u64).map(|i| hash_of(i * 128)).collect();
+        let unique: FxHashSet<u64> = hashes.iter().copied().collect();
+        assert_eq!(unique.len(), hashes.len());
+    }
+
+    #[test]
+    fn tail_length_matters() {
+        assert_ne!(hash_of(b"ab".as_slice()), hash_of(b"ab\0".as_slice()));
+    }
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FxHashMap<u64, u64> = FxHashMap::default();
+        for i in 0..10_000u64 {
+            m.insert(i * 32, i);
+        }
+        assert_eq!(m.len(), 10_000);
+        assert_eq!(m.get(&(42 * 32)), Some(&42));
+        assert_eq!(m.get(&1), None);
+    }
+}

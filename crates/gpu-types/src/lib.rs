@@ -28,12 +28,14 @@
 pub mod access;
 pub mod addr;
 pub mod config;
+pub mod fxhash;
 pub mod rng;
 pub mod stats;
 
 pub use access::{AccessKind, MemEvent, MemorySpace, Warp};
 pub use addr::{ChunkId, LocalAddr, PartitionId, PartitionMap, PhysAddr, RegionId};
 pub use config::{GpuConfig, MdcConfig, ShmConfig};
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use rng::SplitMix64;
 pub use stats::{SimStats, TrafficBytes, TrafficClass};
 

@@ -10,9 +10,7 @@
 //! Addresses are block-aligned offsets into the protected span; all state is
 //! sparse (hash maps), so a 4 GB span costs only what is touched.
 
-use std::collections::HashMap;
-
-use gpu_types::{BLOCK_BYTES, CHUNK_BYTES};
+use gpu_types::{FxHashMap, BLOCK_BYTES, CHUNK_BYTES};
 use shm_crypto::{chunk_mac, otp, stateful_mac, Aes128, KeyTuple, MacKey};
 
 use crate::bmt::BmtTree;
@@ -51,19 +49,19 @@ pub struct SecureMemory {
     aes: Aes128,
     mac_key: MacKey,
     /// Ciphertext per block-aligned address ("DRAM" contents).
-    ciphertext: HashMap<u64, [u8; 128]>,
+    ciphertext: FxHashMap<u64, [u8; 128]>,
     /// Counter sectors per counter-sector address.
-    counters: HashMap<u64, CounterSector>,
+    counters: FxHashMap<u64, CounterSector>,
     /// Per-block MACs per block-aligned data address.
-    block_macs: HashMap<u64, u64>,
+    block_macs: FxHashMap<u64, u64>,
     /// Per-chunk MACs per chunk index.
-    chunk_macs: HashMap<u64, u64>,
+    chunk_macs: FxHashMap<u64, u64>,
     /// The integrity tree over counter lines.
     bmt: BmtTree,
     /// The on-chip shared counter for read-only regions.
     shared: SharedCounter,
     /// Whether each block currently uses the shared counter (read-only).
-    uses_shared: HashMap<u64, bool>,
+    uses_shared: FxHashMap<u64, bool>,
 }
 
 impl SecureMemory {
@@ -91,13 +89,13 @@ impl SecureMemory {
             layout,
             aes: Aes128::new(keys.k_enc),
             mac_key: MacKey::new(keys.k_mac),
-            ciphertext: HashMap::new(),
-            counters: HashMap::new(),
-            block_macs: HashMap::new(),
-            chunk_macs: HashMap::new(),
+            ciphertext: FxHashMap::default(),
+            counters: FxHashMap::default(),
+            block_macs: FxHashMap::default(),
+            chunk_macs: FxHashMap::default(),
             bmt,
             shared: SharedCounter::new(),
-            uses_shared: HashMap::new(),
+            uses_shared: FxHashMap::default(),
         }
     }
 

@@ -15,9 +15,7 @@
 //! bandwidth: streaming writes stay compressed, random/partial writes decay
 //! to per-block counter traffic.
 
-use std::collections::HashMap;
-
-use gpu_types::{CHUNK_BYTES, SECTOR_BYTES};
+use gpu_types::{FxHashMap, FxHashSet, CHUNK_BYTES, SECTOR_BYTES};
 
 /// Sectors per 4 KB page (the sweep-bitmap width).
 const SECTORS_PER_PAGE: u64 = CHUNK_BYTES / SECTOR_BYTES;
@@ -44,10 +42,10 @@ pub const DEFAULT_TABLE_PAGES: usize = 512;
 /// The on-chip common-counter table for one partition.
 #[derive(Clone, Debug)]
 pub struct CommonCounterTable {
-    pages: HashMap<u64, PageState>,
+    pages: FxHashMap<u64, PageState>,
     /// Pages spilled to per-block counters (kept separately so displacing
     /// sweep state never forgets a spill).
-    spilled: std::collections::HashSet<u64>,
+    spilled: FxHashSet<u64>,
     /// FIFO of pages holding sweep state, for capacity eviction.
     resident: std::collections::VecDeque<u64>,
     capacity: usize,
@@ -76,8 +74,8 @@ impl CommonCounterTable {
     pub fn with_capacity(capacity: usize) -> Self {
         assert!(capacity > 0, "table needs at least one entry");
         Self {
-            pages: HashMap::new(),
-            spilled: std::collections::HashSet::new(),
+            pages: FxHashMap::default(),
+            spilled: FxHashSet::default(),
             resident: std::collections::VecDeque::new(),
             capacity,
             compressed_reads: 0,

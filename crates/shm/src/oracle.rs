@@ -6,15 +6,15 @@
 //! records which 16 KB regions are truly read-only (never written) and which
 //! 4 KB chunks are truly streaming (every 128 B block touched).
 
-use std::collections::{HashMap, HashSet};
-
-use gpu_types::{ChunkId, LocalAddr, MemEvent, PartitionMap, RegionId, BLOCKS_PER_CHUNK};
+use gpu_types::{
+    ChunkId, FxHashMap, FxHashSet, LocalAddr, MemEvent, PartitionMap, RegionId, BLOCKS_PER_CHUNK,
+};
 
 /// Ground-truth classification of regions and chunks for one trace.
 #[derive(Clone, Debug, Default)]
 pub struct OracleProfile {
-    written_regions: HashSet<RegionId>,
-    chunk_touch: HashMap<ChunkId, u32>,
+    written_regions: FxHashSet<RegionId>,
+    chunk_touch: FxHashMap<ChunkId, u32>,
 }
 
 impl OracleProfile {

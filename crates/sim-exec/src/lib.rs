@@ -1,0 +1,361 @@
+//! A dependency-free work-stealing job executor for simulation sweeps.
+//!
+//! Every figure of the SHM evaluation is a (benchmark × design) cross
+//! product of completely independent single-threaded simulations, so the
+//! sweep parallelizes perfectly.  This crate provides the one abstraction
+//! the whole workspace shares for that: [`Executor::map`], which runs a
+//! slice of jobs on a bounded pool of scoped threads and reassembles the
+//! results **in submission order**, so parallel output is byte-identical
+//! to serial output.
+//!
+//! Design constraints (and how they are met):
+//!
+//! * **No registry access** — `std` only: `std::thread::scope` workers,
+//!   `Mutex<VecDeque>` per-worker job queues with stealing, and mutexed
+//!   per-job result slots.
+//! * **Deterministic results** — jobs carry their submission index; each
+//!   worker writes its result into the job's dedicated slot, so the order
+//!   in which jobs *finish* never affects the order results are returned.
+//! * **Panic isolation** — each job body runs under
+//!   [`std::panic::catch_unwind`]; a panicking job yields a [`JobPanic`]
+//!   carrying its index and payload instead of poisoning the whole sweep.
+//! * **Opt-out** — the pool width comes from (in priority order) an
+//!   explicit `--jobs N` style request, the `SHM_JOBS` environment
+//!   variable, then [`std::thread::available_parallelism`].  `SHM_JOBS=1`
+//!   forces fully serial execution on the calling thread.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
+
+/// Environment variable overriding the worker-pool width (`1` = serial).
+pub const JOBS_ENV: &str = "SHM_JOBS";
+
+/// A job that panicked: submission index plus the panic payload rendered
+/// as text, so the caller can report the failing (benchmark, design) pair.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JobPanic {
+    /// Submission index of the failed job.
+    pub index: usize,
+    /// Panic payload (`&str`/`String` payloads verbatim, otherwise a
+    /// placeholder).
+    pub message: String,
+}
+
+impl core::fmt::Display for JobPanic {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "job {} panicked: {}", self.index, self.message)
+    }
+}
+
+impl std::error::Error for JobPanic {}
+
+/// Per-job outcome: the job's return value, or its captured panic.
+pub type JobResult<T> = Result<T, JobPanic>;
+
+/// Renders a panic payload as text.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Resolves the worker-pool width.
+///
+/// Priority: `requested` (a CLI `--jobs N`), then the [`JOBS_ENV`]
+/// environment variable, then the machine's available parallelism.
+/// Zero (from either source) means "auto".
+pub fn effective_jobs(requested: Option<usize>) -> usize {
+    let from_env = || {
+        std::env::var(JOBS_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+    };
+    requested
+        .filter(|&n| n > 0)
+        .or_else(from_env)
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+}
+
+/// A bounded work-stealing thread pool for independent jobs.
+///
+/// The executor is stateless between calls: every [`Executor::map`] spawns
+/// a fresh scope of workers and joins them before returning, so there is
+/// no background machinery to shut down and no `'static` bound on jobs.
+#[derive(Clone, Copy, Debug)]
+pub struct Executor {
+    jobs: usize,
+}
+
+impl Default for Executor {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+impl Executor {
+    /// An executor with exactly `jobs` workers (clamped to at least 1).
+    pub fn new(jobs: usize) -> Self {
+        Self { jobs: jobs.max(1) }
+    }
+
+    /// Pool width from `SHM_JOBS` or the machine's available parallelism.
+    pub fn from_env() -> Self {
+        Self::new(effective_jobs(None))
+    }
+
+    /// Pool width from an explicit request, falling back to [`from_env`]
+    /// resolution (`Executor::from_request(None) == Executor::from_env()`).
+    ///
+    /// [`from_env`]: Executor::from_env
+    pub fn from_request(requested: Option<usize>) -> Self {
+        Self::new(effective_jobs(requested))
+    }
+
+    /// Number of workers this executor uses.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Runs `work(index, &items[index])` for every item and returns the
+    /// per-job outcomes in submission order.
+    ///
+    /// Jobs are dealt round-robin into per-worker queues; an idle worker
+    /// steals from the tail of its neighbours' queues.  With one worker
+    /// (or one item) everything runs on the calling thread — the panic
+    /// capture and result shape are identical, so `--jobs 1` output is the
+    /// reference the parallel path must reproduce byte-for-byte.
+    pub fn map<I, T, F>(&self, items: &[I], work: F) -> Vec<JobResult<T>>
+    where
+        I: Sync,
+        T: Send,
+        F: Fn(usize, &I) -> T + Sync,
+    {
+        let workers = self.jobs.min(items.len()).max(1);
+        let slots: Vec<Mutex<Option<JobResult<T>>>> =
+            (0..items.len()).map(|_| Mutex::new(None)).collect();
+
+        let run_one = |i: usize| {
+            let outcome =
+                catch_unwind(AssertUnwindSafe(|| work(i, &items[i]))).map_err(|payload| JobPanic {
+                    index: i,
+                    message: panic_message(payload),
+                });
+            // Each index is scheduled exactly once, so the slot is empty.
+            *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(outcome);
+        };
+
+        if workers == 1 {
+            for i in 0..items.len() {
+                run_one(i);
+            }
+        } else {
+            // Deal jobs round-robin so queues start balanced even when job
+            // costs correlate with index (heavier benchmarks first).
+            let queues: Vec<Mutex<VecDeque<usize>>> =
+                (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+            for (i, q) in (0..items.len()).zip((0..workers).cycle()) {
+                queues[q].lock().expect("fresh queue").push_back(i);
+            }
+            std::thread::scope(|scope| {
+                for w in 0..workers {
+                    let queues = &queues;
+                    let run_one = &run_one;
+                    scope.spawn(move || loop {
+                        // Own queue first (front), then steal from the tail
+                        // of the other queues.  Jobs never enqueue new jobs,
+                        // so "every queue empty" is a stable exit condition.
+                        let next = queues[w]
+                            .lock()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .pop_front()
+                            .or_else(|| {
+                                (1..workers).find_map(|d| {
+                                    queues[(w + d) % workers]
+                                        .lock()
+                                        .unwrap_or_else(|e| e.into_inner())
+                                        .pop_back()
+                                })
+                            });
+                        match next {
+                            Some(i) => run_one(i),
+                            None => break,
+                        }
+                    });
+                }
+            });
+        }
+
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .expect("every job scheduled once")
+            })
+            .collect()
+    }
+
+    /// Like [`map`](Executor::map), but turns any captured panic into an
+    /// error labelled via `label` (e.g. the failing `(benchmark, design)`
+    /// pair) while still returning every successful result.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SweepError`] listing every panicked job when at least
+    /// one job panicked.
+    pub fn try_map<I, T, F, L>(&self, items: &[I], label: L, work: F) -> Result<Vec<T>, SweepError>
+    where
+        I: Sync,
+        T: Send,
+        F: Fn(usize, &I) -> T + Sync,
+        L: Fn(usize, &I) -> String,
+    {
+        let mut ok = Vec::with_capacity(items.len());
+        let mut failed = Vec::new();
+        for (i, outcome) in self.map(items, work).into_iter().enumerate() {
+            match outcome {
+                Ok(v) => ok.push(v),
+                Err(p) => failed.push(LabelledPanic {
+                    label: label(i, &items[i]),
+                    panic: p,
+                }),
+            }
+        }
+        if failed.is_empty() {
+            Ok(ok)
+        } else {
+            Err(SweepError { failed })
+        }
+    }
+}
+
+/// A captured panic together with the caller's human-readable job label.
+#[derive(Clone, Debug)]
+pub struct LabelledPanic {
+    /// Caller-supplied job description, e.g. `"fdtd2d under SHM"`.
+    pub label: String,
+    /// The captured panic.
+    pub panic: JobPanic,
+}
+
+/// One or more jobs of a sweep panicked; the rest completed normally.
+#[derive(Clone, Debug)]
+pub struct SweepError {
+    /// Every failed job, in submission order.
+    pub failed: Vec<LabelledPanic>,
+}
+
+impl core::fmt::Display for SweepError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{} job(s) panicked:", self.failed.len())?;
+        for lp in &self.failed {
+            write!(f, " [{}: {}]", lp.label, lp.panic.message)?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for SweepError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_come_back_in_submission_order() {
+        let items: Vec<u64> = (0..100).collect();
+        for jobs in [1, 2, 7] {
+            let out = Executor::new(jobs).map(&items, |i, &x| {
+                // Make later jobs finish earlier to stress reassembly.
+                if i % 3 == 0 {
+                    std::thread::yield_now();
+                }
+                x * 2
+            });
+            let vals: Vec<u64> = out.into_iter().map(|r| r.expect("no panic")).collect();
+            assert_eq!(vals, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn parallel_equals_serial() {
+        let items: Vec<u64> = (0..64).collect();
+        let f = |_: usize, &x: &u64| x.wrapping_mul(0x9E37_79B9).rotate_left(13);
+        let serial = Executor::new(1).map(&items, f);
+        let parallel = Executor::new(8).map(&items, f);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn panics_are_captured_per_job() {
+        let items: Vec<u32> = (0..10).collect();
+        let out = Executor::new(4).map(&items, |_, &x| {
+            if x == 3 {
+                panic!("boom at {x}");
+            }
+            x + 1
+        });
+        for (i, r) in out.iter().enumerate() {
+            if i == 3 {
+                let p = r.as_ref().expect_err("job 3 must fail");
+                assert_eq!(p.index, 3);
+                assert!(p.message.contains("boom at 3"), "got {:?}", p.message);
+            } else {
+                assert_eq!(*r.as_ref().expect("other jobs unaffected"), i as u32 + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn try_map_labels_failures() {
+        let items = ["alpha", "beta", "gamma"];
+        let err = Executor::new(2)
+            .try_map(
+                &items,
+                |_, name| format!("job/{name}"),
+                |_, &name| {
+                    if name == "beta" {
+                        panic!("bad {name}");
+                    }
+                    name.len()
+                },
+            )
+            .expect_err("beta fails");
+        assert_eq!(err.failed.len(), 1);
+        assert_eq!(err.failed[0].label, "job/beta");
+        assert!(err.to_string().contains("job/beta"));
+    }
+
+    #[test]
+    fn all_jobs_run_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..333).collect();
+        let out = Executor::new(5).map(&items, |_, _| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(out.len(), 333);
+        assert_eq!(counter.load(Ordering::Relaxed), 333);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out: Vec<JobResult<u8>> = Executor::new(4).map(&[] as &[u8], |_, &x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn effective_jobs_priority() {
+        // Explicit request wins over everything.
+        assert_eq!(effective_jobs(Some(3)), 3);
+        // Zero request falls through to env/auto, which is at least 1.
+        assert!(effective_jobs(Some(0)) >= 1);
+        assert!(effective_jobs(None) >= 1);
+    }
+}

@@ -56,7 +56,6 @@ impl Default for TelemetryConfig {
 }
 
 /// Collected telemetry state for one simulation run.
-#[derive(Debug)]
 pub struct Telemetry {
     cfg: TelemetryConfig,
     events: Vec<(u64, Event)>,
@@ -71,6 +70,23 @@ pub struct Telemetry {
     pub engine_depth: Histogram,
     epochs: EpochTracker,
     dram_requests: u64,
+    /// Incremental JSONL sink: when attached, logged events stream out
+    /// instead of accumulating in `events`, and epoch snapshots flush as
+    /// they complete — memory stays bounded over arbitrarily long runs.
+    stream: Option<Box<dyn std::io::Write + Send>>,
+    stream_error: Option<String>,
+    epochs_streamed: usize,
+    stream_done: bool,
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("events", &self.events.len())
+            .field("epochs", &self.epochs.snapshots().len())
+            .field("streaming", &self.stream.is_some())
+            .finish_non_exhaustive()
+    }
 }
 
 impl Telemetry {
@@ -88,12 +104,77 @@ impl Telemetry {
             engine_depth: Histogram::new(),
             epochs,
             dram_requests: 0,
+            stream: None,
+            stream_error: None,
+            epochs_streamed: 0,
+            stream_done: false,
+        }
+    }
+
+    /// Attaches an incremental JSONL sink.  The `meta` line is written
+    /// immediately; from here on, logged events are written straight to the
+    /// sink (not retained in memory) and epoch snapshots flush as each one
+    /// completes.  Histogram and drops lines follow at [`finalize`].
+    /// Record types may interleave — JSONL consumers dispatch on `type`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error from writing the `meta` line, in which case no
+    /// sink is attached.
+    ///
+    /// [`finalize`]: Telemetry::finalize
+    pub fn attach_stream(
+        &mut self,
+        mut sink: Box<dyn std::io::Write + Send>,
+    ) -> std::io::Result<()> {
+        let mut line = String::new();
+        sink::meta_json(&self.cfg, &mut line);
+        line.push('\n');
+        sink.write_all(line.as_bytes())?;
+        self.stream = Some(sink);
+        Ok(())
+    }
+
+    /// First error the stream sink hit, if any (the sink is dropped on
+    /// error; collection continues in memory-less mode for events).
+    pub fn stream_error(&self) -> Option<&str> {
+        self.stream_error.as_deref()
+    }
+
+    /// Writes `line` (newline included) to the stream sink, dropping the
+    /// sink and recording the error on failure.
+    fn stream_write(&mut self, line: &str) {
+        if let Some(w) = self.stream.as_mut() {
+            if let Err(e) = w.write_all(line.as_bytes()) {
+                self.stream_error = Some(e.to_string());
+                self.stream = None;
+            }
+        }
+    }
+
+    /// Advances epoch time and flushes any snapshots that just completed to
+    /// the stream sink.
+    fn advance_epochs(&mut self, cycle: u64) {
+        self.epochs.advance(cycle);
+        if self.stream.is_some() {
+            self.stream_completed_epochs();
+        }
+    }
+
+    /// Streams every not-yet-written completed epoch snapshot.
+    fn stream_completed_epochs(&mut self) {
+        while self.epochs_streamed < self.epochs.snapshots().len() {
+            let mut line = String::new();
+            self.epochs.snapshots()[self.epochs_streamed].write_json(&mut line);
+            line.push('\n');
+            self.epochs_streamed += 1;
+            self.stream_write(&line);
         }
     }
 
     /// Records a structured event at `cycle`.
     pub fn emit(&mut self, cycle: u64, event: Event) {
-        self.epochs.advance(cycle);
+        self.advance_epochs(cycle);
         let idx = event.kind_index();
         self.kind_totals[idx] += 1;
         if self.ring.len() == self.cfg.ring_capacity.max(1) {
@@ -106,7 +187,14 @@ impl Telemetry {
             || self.kind_totals[idx] % self.cfg.sample_stride.max(1) == 1
             || self.cfg.sample_stride <= 1;
         if logged {
-            self.events.push((cycle, event));
+            if self.stream.is_some() {
+                let mut line = String::new();
+                event.write_json(cycle, &mut line);
+                line.push('\n');
+                self.stream_write(&line);
+            } else {
+                self.events.push((cycle, event));
+            }
         } else {
             self.sampled_out += 1;
         }
@@ -114,7 +202,7 @@ impl Telemetry {
 
     /// Attributes DRAM traffic to the current epoch.
     pub fn on_traffic(&mut self, cycle: u64, class: TrafficClass, bytes: u64, is_write: bool) {
-        self.epochs.advance(cycle);
+        self.advance_epochs(cycle);
         self.epochs
             .current_mut()
             .traffic
@@ -123,7 +211,7 @@ impl Telemetry {
 
     /// Records one completed DRAM request and its latency.
     pub fn on_dram_request(&mut self, cycle: u64, latency: u64) {
-        self.epochs.advance(cycle);
+        self.advance_epochs(cycle);
         self.dram_requests += 1;
         self.epochs.current_mut().dram_requests += 1;
         self.dram_latency.record(latency);
@@ -141,31 +229,51 @@ impl Telemetry {
 
     /// Counts retired instructions toward the current epoch's IPC proxy.
     pub fn on_instructions(&mut self, cycle: u64, n: u64) {
-        self.epochs.advance(cycle);
+        self.advance_epochs(cycle);
         self.epochs.current_mut().instructions += n;
     }
 
     /// Counts a warp-level memory access in the current epoch.
     pub fn on_access(&mut self, cycle: u64) {
-        self.epochs.advance(cycle);
+        self.advance_epochs(cycle);
         self.epochs.current_mut().accesses += 1;
     }
 
     /// Counts an L2 hit in the current epoch.
     pub fn on_l2_hit(&mut self, cycle: u64) {
-        self.epochs.advance(cycle);
+        self.advance_epochs(cycle);
         self.epochs.current_mut().l2_hits += 1;
     }
 
     /// Counts an L2 miss in the current epoch.
     pub fn on_l2_miss(&mut self, cycle: u64) {
-        self.epochs.advance(cycle);
+        self.advance_epochs(cycle);
         self.epochs.current_mut().l2_misses += 1;
     }
 
-    /// Closes the run: flushes the trailing partial epoch.
+    /// Closes the run: flushes the trailing partial epoch and, when a
+    /// stream sink is attached, its remaining snapshots plus the trailing
+    /// histogram and drops lines.
     pub fn finalize(&mut self, end_cycle: u64) {
         self.epochs.finalize(end_cycle);
+        if self.stream.is_some() && !self.stream_done {
+            self.stream_done = true;
+            self.stream_completed_epochs();
+            let mut tail = String::new();
+            for (name, hist) in sink::named_histograms(self) {
+                sink::hist_json(name, hist, &mut tail);
+                tail.push('\n');
+            }
+            sink::drops_json(self, &mut tail);
+            tail.push('\n');
+            self.stream_write(&tail);
+            if let Some(w) = self.stream.as_mut() {
+                if let Err(e) = w.flush() {
+                    self.stream_error = Some(e.to_string());
+                    self.stream = None;
+                }
+            }
+        }
     }
 
     /// Sampled event log, in emission order.
@@ -236,6 +344,31 @@ impl Probe {
         Self {
             inner: Some(Arc::new(Mutex::new(Telemetry::new(cfg)))),
         }
+    }
+
+    /// A probe that streams its JSONL document to `path` incrementally as
+    /// the run produces events and epoch snapshots, instead of buffering
+    /// the whole run in memory.  The document is completed (histograms,
+    /// drops line) and flushed by [`Probe::finalize`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error from creating `path` or writing the leading
+    /// `meta` line.
+    pub fn enabled_streaming(cfg: TelemetryConfig, path: &Path) -> std::io::Result<Self> {
+        let file = std::fs::File::create(path)?;
+        let writer = std::io::BufWriter::new(file);
+        let probe = Self::enabled(cfg);
+        probe
+            .with(|t| t.attach_stream(Box::new(writer)))
+            .expect("probe just enabled")?;
+        Ok(probe)
+    }
+
+    /// First stream-sink I/O error, if streaming was on and hit one.
+    pub fn stream_error(&self) -> Option<String> {
+        self.with(|t| t.stream_error().map(str::to_string))
+            .flatten()
     }
 
     /// Whether this probe records anything.
@@ -331,10 +464,28 @@ impl Probe {
         self.with(|t| t.finalize(end_cycle));
     }
 
-    /// Writes the full JSONL document to `path`. Returns `Ok(false)` when
-    /// the probe is disabled (nothing written).
+    /// Writes the full JSONL document to `path`, line by line through a
+    /// buffered writer (the document is never materialised as one string).
+    /// Returns `Ok(false)` when the probe is disabled (nothing written).
+    ///
+    /// With an attached stream sink the document already went to the sink;
+    /// this writes only what is still held in memory (epochs, histograms).
     pub fn write_jsonl(&self, path: &Path) -> std::io::Result<bool> {
-        match self.with(|t| sink::to_jsonl(t)) {
+        match self.with(|t| -> std::io::Result<()> {
+            let file = std::fs::File::create(path)?;
+            let mut w = std::io::BufWriter::new(file);
+            sink::write_jsonl_to(t, &mut w)?;
+            std::io::Write::flush(&mut w)
+        }) {
+            Some(result) => result.map(|()| true),
+            None => Ok(false),
+        }
+    }
+
+    /// Writes completed epoch snapshots as CSV to `path` (same quantities
+    /// as the JSONL `epoch` lines). Returns `Ok(false)` when disabled.
+    pub fn write_epoch_csv(&self, path: &Path) -> std::io::Result<bool> {
+        match self.with(|t| sink::epoch_csv(t)) {
             Some(doc) => {
                 std::fs::write(path, doc)?;
                 Ok(true)

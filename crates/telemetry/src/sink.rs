@@ -1,35 +1,24 @@
-//! Output sinks: JSONL document, human-readable summary, flight-recorder dump.
+//! Output sinks: JSONL document (in-memory or incremental), epoch CSV,
+//! human-readable summary, flight-recorder dump.
 
 use crate::event::Event;
 use crate::hist::Histogram;
-use crate::Telemetry;
+use crate::{Telemetry, TelemetryConfig};
 use gpu_types::TrafficClass;
 use std::fmt::Write as _;
 
-/// Serializes the whole collection as a JSONL document:
-/// one `meta` line, sampled `event` lines, `epoch` snapshot lines,
-/// `hist` lines for each histogram, and a trailing `drops` line making any
-/// sampling loss explicit.
-pub fn to_jsonl(t: &Telemetry) -> String {
-    let mut out = String::new();
-    let cfg = t.config();
-    let _ = writeln!(
+/// Appends the leading `meta` JSONL object (no trailing newline).
+pub fn meta_json(cfg: &TelemetryConfig, out: &mut String) {
+    let _ = write!(
         out,
         "{{\"type\":\"meta\",\"epoch_cycles\":{},\"sample_stride\":{},\"ring_capacity\":{}}}",
         cfg.epoch_cycles, cfg.sample_stride, cfg.ring_capacity
     );
-    for (cycle, event) in t.events() {
-        event.write_json(*cycle, &mut out);
-        out.push('\n');
-    }
-    for snap in t.snapshots() {
-        snap.write_json(&mut out);
-        out.push('\n');
-    }
-    for (name, hist) in named_histograms(t) {
-        hist_json(name, hist, &mut out);
-        out.push('\n');
-    }
+}
+
+/// Appends the trailing `drops` JSONL object (no trailing newline) making
+/// any sampling loss explicit, with exact per-kind totals.
+pub fn drops_json(t: &Telemetry, out: &mut String) {
     let _ = write!(
         out,
         "{{\"type\":\"drops\",\"sampled_out\":{},\"kind_totals\":{{",
@@ -41,7 +30,79 @@ pub fn to_jsonl(t: &Telemetry) -> String {
         }
         let _ = write!(out, "\"{}\":{}", Event::kind_label(i), total);
     }
-    out.push_str("}}\n");
+    out.push_str("}}");
+}
+
+/// Serializes the whole collection as a JSONL document:
+/// one `meta` line, sampled `event` lines, `epoch` snapshot lines,
+/// `hist` lines for each histogram, and a trailing `drops` line making any
+/// sampling loss explicit.
+pub fn to_jsonl(t: &Telemetry) -> String {
+    let mut out = Vec::new();
+    write_jsonl_to(t, &mut out).expect("writing to a Vec cannot fail");
+    String::from_utf8(out).expect("JSONL output is UTF-8")
+}
+
+/// Streams the JSONL document to `w` one line at a time, reusing a single
+/// line buffer — the whole-document string never exists in memory.
+///
+/// # Errors
+///
+/// Propagates the first I/O error from `w`.
+pub fn write_jsonl_to<W: std::io::Write>(t: &Telemetry, w: &mut W) -> std::io::Result<()> {
+    let mut line = String::new();
+    meta_json(t.config(), &mut line);
+    line.push('\n');
+    w.write_all(line.as_bytes())?;
+    for (cycle, event) in t.events() {
+        line.clear();
+        event.write_json(*cycle, &mut line);
+        line.push('\n');
+        w.write_all(line.as_bytes())?;
+    }
+    for snap in t.snapshots() {
+        line.clear();
+        snap.write_json(&mut line);
+        line.push('\n');
+        w.write_all(line.as_bytes())?;
+    }
+    for (name, hist) in named_histograms(t) {
+        line.clear();
+        hist_json(name, hist, &mut line);
+        line.push('\n');
+        w.write_all(line.as_bytes())?;
+    }
+    line.clear();
+    drops_json(t, &mut line);
+    line.push('\n');
+    w.write_all(line.as_bytes())
+}
+
+/// Renders completed epoch snapshots as CSV, mirroring the JSONL `epoch`
+/// schema: identity columns, per-class read/write byte columns, then the
+/// counter columns.
+pub fn epoch_csv(t: &Telemetry) -> String {
+    let mut out = String::new();
+    out.push_str("index,start_cycle,end_cycle");
+    for dir in ["read", "write"] {
+        for class in TrafficClass::ALL {
+            let _ = write!(out, ",{dir}_{}", class.label());
+        }
+    }
+    out.push_str(",instructions,accesses,l2_hits,l2_misses,dram_requests\n");
+    for s in t.snapshots() {
+        let _ = write!(out, "{},{},{}", s.index, s.start_cycle, s.end_cycle);
+        for bytes in [&s.traffic.read, &s.traffic.write] {
+            for v in bytes.iter().take(TrafficClass::ALL.len()) {
+                let _ = write!(out, ",{v}");
+            }
+        }
+        let _ = writeln!(
+            out,
+            ",{},{},{},{},{}",
+            s.instructions, s.accesses, s.l2_hits, s.l2_misses, s.dram_requests
+        );
+    }
     out
 }
 
@@ -137,12 +198,15 @@ mod tests {
     use super::*;
     use crate::{Probe, TelemetryConfig};
 
-    fn populated() -> Probe {
-        let p = Probe::enabled(TelemetryConfig {
+    fn cfg() -> TelemetryConfig {
+        TelemetryConfig {
             epoch_cycles: 100,
             sample_stride: 1,
             ring_capacity: 16,
-        });
+        }
+    }
+
+    fn populate(p: &Probe) {
         p.emit(
             0,
             Event::KernelStart {
@@ -166,6 +230,11 @@ mod tests {
             },
         );
         p.finalize(250);
+    }
+
+    fn populated() -> Probe {
+        let p = Probe::enabled(cfg());
+        populate(&p);
         p
     }
 
@@ -200,5 +269,67 @@ mod tests {
         let dump = populated().flight_dump().unwrap();
         assert_eq!(dump.lines().count(), 3);
         assert!(dump.lines().all(|l| l.contains("\"type\":\"event\"")));
+    }
+
+    #[test]
+    fn write_jsonl_to_matches_to_jsonl() {
+        let p = populated();
+        let doc = p.with(|t| to_jsonl(t)).unwrap();
+        let mut streamed = Vec::new();
+        p.with(|t| write_jsonl_to(t, &mut streamed))
+            .unwrap()
+            .unwrap();
+        assert_eq!(doc.into_bytes(), streamed);
+    }
+
+    #[test]
+    fn streaming_sink_emits_same_lines_as_in_memory_document() {
+        let path =
+            std::env::temp_dir().join(format!("shm-telemetry-stream-{}.jsonl", std::process::id()));
+        let streaming = Probe::enabled_streaming(cfg(), &path).expect("create stream file");
+        populate(&streaming);
+        assert_eq!(streaming.stream_error(), None);
+        drop(streaming);
+        let streamed = std::fs::read_to_string(&path).expect("read streamed doc");
+        let _ = std::fs::remove_file(&path);
+
+        let in_memory = populated().with(|t| to_jsonl(t)).unwrap();
+
+        // Streaming writes events and epoch snapshots in production order,
+        // so line ORDER differs from the grouped in-memory document — but
+        // the set of lines must match exactly.
+        let mut a: Vec<&str> = streamed.lines().collect();
+        let mut b: Vec<&str> = in_memory.lines().collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b, "streamed:\n{streamed}\nin-memory:\n{in_memory}");
+        // Meta comes first and drops last in both documents.
+        assert!(streamed.starts_with("{\"type\":\"meta\""));
+        assert!(streamed
+            .trim_end()
+            .lines()
+            .last()
+            .unwrap()
+            .starts_with("{\"type\":\"drops\""));
+    }
+
+    #[test]
+    fn epoch_csv_mirrors_jsonl_epoch_schema() {
+        let csv = populated().with(|t| epoch_csv(t)).unwrap();
+        let mut lines = csv.lines();
+        let header = lines.next().unwrap();
+        assert!(header.starts_with("index,start_cycle,end_cycle,read_"));
+        assert!(header.ends_with("instructions,accesses,l2_hits,l2_misses,dram_requests"));
+        let cols = header.split(',').count();
+        // Same epochs as the JSONL document: 0..100, 100..200, 200..250.
+        let rows: Vec<&str> = lines.collect();
+        assert_eq!(rows.len(), 3);
+        for row in &rows {
+            assert_eq!(row.split(',').count(), cols, "ragged row: {row}");
+        }
+        // 128 B of data-class read traffic lands in the first epoch.
+        assert!(rows[0].contains(",128"), "first epoch row: {}", rows[0]);
+        assert!(rows[0].starts_with("0,0,99"));
+        assert!(rows[2].starts_with("2,200,250"));
     }
 }

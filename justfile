@@ -27,3 +27,8 @@ repro scale="0.5":
 # Quickstart run with telemetry: JSONL trace + summary.
 telemetry out="run.jsonl":
     cargo run --release -p shm-cli -- run -b fdtd2d -d SHM --telemetry --trace-out {{out}}
+
+# Timed serial-vs-parallel repro throughput check (see docs/PERFORMANCE.md).
+# Verifies parallel output is byte-identical and records BENCH_throughput.json.
+bench-repro scale="0.25":
+    cargo run --release -p shm-bench --bin repro -- bench --scale {{scale}}
