@@ -30,7 +30,9 @@ use std::time::Instant;
 use gpu_mem_sim::{DesignPoint, EnergyModel, Simulator};
 use gpu_types::{GpuConfig, ShmConfig};
 use shm::{required_mechanisms, DataProperty, OracleProfile};
-use shm_bench::{format_table, mean, run_suite_jobs, scaled_suite, traffic_breakdown, Executor};
+use shm_bench::{
+    format_table, mean, scaled_suite, traffic_breakdown, try_run_suite_jobs, Executor,
+};
 use shm_telemetry::{Probe, TelemetryConfig};
 
 /// Every figure target, in `all` order (tables have no telemetry series).
@@ -131,7 +133,9 @@ fn run(args: &[String]) -> Result<(), ReproError> {
     if what == "bench" {
         bench_mode(scale, jobs, &bench_out)?;
     } else {
-        match render_target(&what, scale, jobs) {
+        match render_target(&what, scale, jobs)
+            .map_err(|e| ReproError::runtime(e, &Probe::disabled()))?
+        {
             Some(text) => print!("{text}"),
             None => return Err(ReproError::usage(format!("unknown target: {what}"))),
         }
@@ -153,23 +157,23 @@ fn run(args: &[String]) -> Result<(), ReproError> {
     Ok(())
 }
 
-/// Renders one named target (or `all`) to a string; `None` for unknown
-/// targets.  Keeping figures as strings lets `bench` compare serial and
-/// parallel renderings byte-for-byte.
-fn render_target(what: &str, scale: f64, jobs: Option<usize>) -> Option<String> {
-    Some(match what {
+/// Renders one named target (or `all`) to a string; `Ok(None)` for unknown
+/// targets, `Err` when a simulation job failed.  Keeping figures as strings
+/// lets `bench` compare serial and parallel renderings byte-for-byte.
+fn render_target(what: &str, scale: f64, jobs: Option<usize>) -> Result<Option<String>, String> {
+    Ok(Some(match what {
         "table1" => table1(),
         "table3_4" => table3_4(),
-        "table7" => table7(scale, jobs),
+        "table7" => table7(scale, jobs)?,
         "table9" => table9(),
-        "fig5" => fig5(scale, jobs),
-        "fig10" => fig10(scale, jobs),
-        "fig11" => fig11(scale, jobs),
-        "fig12" => fig12(scale, jobs),
-        "fig13" => fig13(scale, jobs),
-        "fig14" => fig14(scale, jobs),
-        "fig15" => fig15(scale, jobs),
-        "fig16" => fig16(scale, jobs),
+        "fig5" => fig5(scale, jobs)?,
+        "fig10" => fig10(scale, jobs)?,
+        "fig11" => fig11(scale, jobs)?,
+        "fig12" => fig12(scale, jobs)?,
+        "fig13" => fig13(scale, jobs)?,
+        "fig14" => fig14(scale, jobs)?,
+        "fig15" => fig15(scale, jobs)?,
+        "fig16" => fig16(scale, jobs)?,
         "micro" => micro_diag(),
         "sensitivity" => sensitivity(scale),
         "all" => {
@@ -177,32 +181,37 @@ fn render_target(what: &str, scale: f64, jobs: Option<usize>) -> Option<String> 
             out.push_str(&table1());
             out.push_str(&table9());
             out.push_str(&table3_4());
-            out.push_str(&fig5(scale, jobs));
-            out.push_str(&table7(scale, jobs));
-            out.push_str(&fig10(scale, jobs));
-            out.push_str(&fig11(scale, jobs));
-            out.push_str(&fig12(scale, jobs));
-            out.push_str(&fig13(scale, jobs));
-            out.push_str(&fig14(scale, jobs));
-            out.push_str(&fig15(scale, jobs));
-            out.push_str(&fig16(scale, jobs));
+            out.push_str(&fig5(scale, jobs)?);
+            out.push_str(&table7(scale, jobs)?);
+            out.push_str(&fig10(scale, jobs)?);
+            out.push_str(&fig11(scale, jobs)?);
+            out.push_str(&fig12(scale, jobs)?);
+            out.push_str(&fig13(scale, jobs)?);
+            out.push_str(&fig14(scale, jobs)?);
+            out.push_str(&fig15(scale, jobs)?);
+            out.push_str(&fig16(scale, jobs)?);
             out
         }
-        _ => return None,
-    })
+        _ => return Ok(None),
+    }))
 }
 
 /// `bench` target: renders every figure serially and in parallel, times
 /// both, verifies byte-identity, and records the result as JSON.
 fn bench_mode(scale: f64, jobs: Option<usize>, out_path: &str) -> Result<(), ReproError> {
     let workers = Executor::from_request(jobs).jobs();
+    let render_all = |jobs: usize| -> Result<String, ReproError> {
+        render_target("all", scale, Some(jobs))
+            .map_err(|e| ReproError::runtime(e, &Probe::disabled()))?
+            .ok_or_else(|| ReproError::usage("render target \"all\" is unknown"))
+    };
 
     let t0 = Instant::now();
-    let serial = render_target("all", scale, Some(1)).expect("all is a known target");
+    let serial = render_all(1)?;
     let serial_wall = t0.elapsed().as_secs_f64();
 
     let t1 = Instant::now();
-    let parallel = render_target("all", scale, Some(workers)).expect("all is a known target");
+    let parallel = render_all(workers)?;
     let parallel_wall = t1.elapsed().as_secs_f64();
 
     let identical = serial == parallel;
@@ -551,7 +560,7 @@ fn table3_4() -> String {
 }
 
 /// Table VII: measured bandwidth utilisation and memory-space usage.
-fn table7(scale: f64, jobs: Option<usize>) -> String {
+fn table7(scale: f64, jobs: Option<usize>) -> Result<String, String> {
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -564,118 +573,137 @@ fn table7(scale: f64, jobs: Option<usize>) -> String {
     );
     let cfg = GpuConfig::default();
     let profiles = scaled_suite(scale);
-    let lines = Executor::from_request(jobs).map(&profiles, |_, p| {
-        let trace = p.generate(shm_bench::trace_seed(p.name));
-        let stats = Simulator::new(&cfg, DesignPoint::Unprotected).run(&trace);
-        let util = stats
-            .bandwidth_utilization(cfg.partition_bytes_per_cycle() * cfg.num_partitions as f64);
-        let spaces = if p.uses_texture {
-            "constant/texture"
-        } else {
-            "constant"
-        };
-        format!(
-            "{:<16}{:>11.1}%{:>11.1}%{:>18}\n",
-            p.name,
-            util * 100.0,
-            stats.l2_miss_rate() * 100.0,
-            spaces
+    let lines = Executor::from_request(jobs)
+        .try_map(
+            &profiles,
+            |_, p| format!("table7 {}", p.name),
+            |_, p| {
+                let trace = p.generate(shm_bench::trace_seed(p.name));
+                let stats = Simulator::new(&cfg, DesignPoint::Unprotected).run(&trace);
+                let util = stats.bandwidth_utilization(
+                    cfg.partition_bytes_per_cycle() * cfg.num_partitions as f64,
+                );
+                let spaces = if p.uses_texture {
+                    "constant/texture"
+                } else {
+                    "constant"
+                };
+                format!(
+                    "{:<16}{:>11.1}%{:>11.1}%{:>18}\n",
+                    p.name,
+                    util * 100.0,
+                    stats.l2_miss_rate() * 100.0,
+                    spaces
+                )
+            },
         )
-    });
+        .map_err(|e| format!("table7 sweep failed: {e}"))?;
     for line in lines {
-        out.push_str(&line.expect("table7 job"));
+        out.push_str(&line);
     }
-    out
+    Ok(out)
 }
 
 /// Fig. 5: fraction of accesses touching streaming and read-only data.
-fn fig5(scale: f64, jobs: Option<usize>) -> String {
+fn fig5(scale: f64, jobs: Option<usize>) -> Result<String, String> {
     let map = GpuConfig::default().partition_map();
     let profiles = scaled_suite(scale);
     let rows: Vec<(String, Vec<f64>)> = Executor::from_request(jobs)
-        .map(&profiles, |_, p| {
-            let trace = p.generate(shm_bench::trace_seed(p.name));
-            let events: Vec<_> = trace.all_events().cloned().collect();
-            let oracle = OracleProfile::from_trace(&events, map);
-            (
-                p.name.to_string(),
-                vec![
-                    oracle.streaming_fraction(&events, map),
-                    oracle.read_only_fraction(&events, map),
-                ],
-            )
-        })
-        .into_iter()
-        .map(|r| r.expect("fig5 job"))
-        .collect();
-    format_table(
+        .try_map(
+            &profiles,
+            |_, p| format!("fig5 {}", p.name),
+            |_, p| {
+                let trace = p.generate(shm_bench::trace_seed(p.name));
+                let events: Vec<_> = trace.all_events().cloned().collect();
+                let oracle = OracleProfile::from_trace(&events, map);
+                (
+                    p.name.to_string(),
+                    vec![
+                        oracle.streaming_fraction(&events, map),
+                        oracle.read_only_fraction(&events, map),
+                    ],
+                )
+            },
+        )
+        .map_err(|e| format!("fig5 sweep failed: {e}"))?;
+    Ok(format_table(
         "Fig. 5: streaming / read-only access fractions",
         &["streaming", "read-only"],
         &rows,
-    )
+    ))
 }
 
 /// Fig. 10: read-only prediction breakdown.
-fn fig10(scale: f64, jobs: Option<usize>) -> String {
+fn fig10(scale: f64, jobs: Option<usize>) -> Result<String, String> {
     let cfg = GpuConfig::default();
     let profiles = scaled_suite(scale);
     let rows: Vec<(String, Vec<f64>)> = Executor::from_request(jobs)
-        .map(&profiles, |_, p| {
-            let trace = p.generate(shm_bench::trace_seed(p.name));
-            let (_, ro, _) = Simulator::new(&cfg, DesignPoint::Shm).run_detailed(&trace);
-            let t = ro.total().max(1) as f64;
-            (
-                p.name.to_string(),
-                vec![
-                    ro.correct as f64 / t,
-                    ro.mp_init as f64 / t,
-                    ro.mp_aliasing as f64 / t,
-                ],
-            )
-        })
-        .into_iter()
-        .map(|r| r.expect("fig10 job"))
-        .collect();
-    format_table(
+        .try_map(
+            &profiles,
+            |_, p| format!("fig10 {}", p.name),
+            |_, p| {
+                let trace = p.generate(shm_bench::trace_seed(p.name));
+                let (_, ro, _) = Simulator::new(&cfg, DesignPoint::Shm).run_detailed(&trace);
+                let t = ro.total().max(1) as f64;
+                (
+                    p.name.to_string(),
+                    vec![
+                        ro.correct as f64 / t,
+                        ro.mp_init as f64 / t,
+                        ro.mp_aliasing as f64 / t,
+                    ],
+                )
+            },
+        )
+        .map_err(|e| format!("fig10 sweep failed: {e}"))?;
+    Ok(format_table(
         "Fig. 10: read-only prediction breakdown",
         &["correct", "mp_init", "mp_aliasing"],
         &rows,
-    )
+    ))
 }
 
 /// Fig. 11: streaming prediction breakdown.
-fn fig11(scale: f64, jobs: Option<usize>) -> String {
+fn fig11(scale: f64, jobs: Option<usize>) -> Result<String, String> {
     let cfg = GpuConfig::default();
     let profiles = scaled_suite(scale);
     let rows: Vec<(String, Vec<f64>)> = Executor::from_request(jobs)
-        .map(&profiles, |_, p| {
-            let trace = p.generate(shm_bench::trace_seed(p.name));
-            let (_, _, st) = Simulator::new(&cfg, DesignPoint::Shm).run_detailed(&trace);
-            let t = st.total().max(1) as f64;
-            (
-                p.name.to_string(),
-                vec![
-                    st.correct as f64 / t,
-                    st.mp_init as f64 / t,
-                    st.mp_runtime_read_only as f64 / t,
-                    st.mp_runtime_non_read_only as f64 / t,
-                    st.mp_aliasing as f64 / t,
-                ],
-            )
-        })
-        .into_iter()
-        .map(|r| r.expect("fig11 job"))
-        .collect();
-    format_table(
+        .try_map(
+            &profiles,
+            |_, p| format!("fig11 {}", p.name),
+            |_, p| {
+                let trace = p.generate(shm_bench::trace_seed(p.name));
+                let (_, _, st) = Simulator::new(&cfg, DesignPoint::Shm).run_detailed(&trace);
+                let t = st.total().max(1) as f64;
+                (
+                    p.name.to_string(),
+                    vec![
+                        st.correct as f64 / t,
+                        st.mp_init as f64 / t,
+                        st.mp_runtime_read_only as f64 / t,
+                        st.mp_runtime_non_read_only as f64 / t,
+                        st.mp_aliasing as f64 / t,
+                    ],
+                )
+            },
+        )
+        .map_err(|e| format!("fig11 sweep failed: {e}"))?;
+    Ok(format_table(
         "Fig. 11: streaming prediction breakdown",
         &["correct", "mp_init", "mp_rt_ro", "mp_rt_nro", "mp_alias"],
         &rows,
-    )
+    ))
 }
 
-fn norm_ipc_table(title: &str, designs: &[DesignPoint], scale: f64, jobs: Option<usize>) -> String {
+fn norm_ipc_table(
+    title: &str,
+    designs: &[DesignPoint],
+    scale: f64,
+    jobs: Option<usize>,
+) -> Result<String, String> {
     let header: Vec<&str> = designs.iter().map(|d| d.name()).collect();
-    let rows: Vec<(String, Vec<f64>)> = run_suite_jobs(designs, scale, jobs)
+    let rows: Vec<(String, Vec<f64>)> = try_run_suite_jobs(designs, scale, jobs)
+        .map_err(|e| format!("{title}: suite sweep failed: {e}"))?
         .iter()
         .map(|row| {
             (
@@ -684,11 +712,11 @@ fn norm_ipc_table(title: &str, designs: &[DesignPoint], scale: f64, jobs: Option
             )
         })
         .collect();
-    format_table(title, &header, &rows)
+    Ok(format_table(title, &header, &rows))
 }
 
 /// Fig. 12: normalized IPC of the main designs.
-fn fig12(scale: f64, jobs: Option<usize>) -> String {
+fn fig12(scale: f64, jobs: Option<usize>) -> Result<String, String> {
     norm_ipc_table(
         "Fig. 12: normalized IPC",
         &[
@@ -704,7 +732,7 @@ fn fig12(scale: f64, jobs: Option<usize>) -> String {
 }
 
 /// Fig. 13: optimisation breakdown.
-fn fig13(scale: f64, jobs: Option<usize>) -> String {
+fn fig13(scale: f64, jobs: Option<usize>) -> Result<String, String> {
     norm_ipc_table(
         "Fig. 13: performance impact of each optimisation",
         &[
@@ -720,7 +748,7 @@ fn fig13(scale: f64, jobs: Option<usize>) -> String {
 }
 
 /// Fig. 14: bandwidth overheads of security metadata.
-fn fig14(scale: f64, jobs: Option<usize>) -> String {
+fn fig14(scale: f64, jobs: Option<usize>) -> Result<String, String> {
     let designs = [
         DesignPoint::Naive,
         DesignPoint::CommonCtr,
@@ -730,16 +758,16 @@ fn fig14(scale: f64, jobs: Option<usize>) -> String {
     ];
     let header: Vec<&str> = designs.iter().map(|d| d.name()).collect();
     let mut breakdown_acc: BTreeMap<&str, Vec<f64>> = BTreeMap::new();
-    let suite_rows = run_suite_jobs(&designs, scale, jobs);
+    let suite_rows = try_run_suite_jobs(&designs, scale, jobs)
+        .map_err(|e| format!("fig14 sweep failed: {e}"))?;
     let rows: Vec<(String, Vec<f64>)> = suite_rows
         .iter()
         .map(|row| {
-            for d in &designs {
+            for (di, d) in designs.iter().enumerate() {
                 for (label, v) in traffic_breakdown(&row.stats[d.name()]) {
                     breakdown_acc
                         .entry(label)
-                        .or_insert_with(|| vec![0.0; designs.len()])
-                        [designs.iter().position(|x| x == d).expect("d in designs")] += v;
+                        .or_insert_with(|| vec![0.0; designs.len()])[di] += v;
                 }
             }
             (
@@ -765,11 +793,11 @@ fn fig14(scale: f64, jobs: Option<usize>) -> String {
         }
         let _ = writeln!(out);
     }
-    out
+    Ok(out)
 }
 
 /// Fig. 15: normalized energy per instruction.
-fn fig15(scale: f64, jobs: Option<usize>) -> String {
+fn fig15(scale: f64, jobs: Option<usize>) -> Result<String, String> {
     let designs = [
         DesignPoint::Naive,
         DesignPoint::CommonCtr,
@@ -778,7 +806,8 @@ fn fig15(scale: f64, jobs: Option<usize>) -> String {
     ];
     let model = EnergyModel::default();
     let header: Vec<&str> = designs.iter().map(|d| d.name()).collect();
-    let rows: Vec<(String, Vec<f64>)> = run_suite_jobs(&designs, scale, jobs)
+    let rows: Vec<(String, Vec<f64>)> = try_run_suite_jobs(&designs, scale, jobs)
+        .map_err(|e| format!("fig15 sweep failed: {e}"))?
         .iter()
         .map(|row| {
             (
@@ -790,16 +819,21 @@ fn fig15(scale: f64, jobs: Option<usize>) -> String {
             )
         })
         .collect();
-    format_table("Fig. 15: normalized energy per instruction", &header, &rows)
+    Ok(format_table(
+        "Fig. 15: normalized energy per instruction",
+        &header,
+        &rows,
+    ))
 }
 
 /// Fig. 16: SHM vs SHM with the L2 victim cache.
-fn fig16(scale: f64, jobs: Option<usize>) -> String {
+fn fig16(scale: f64, jobs: Option<usize>) -> Result<String, String> {
     let designs = [DesignPoint::Shm, DesignPoint::ShmVL2];
     let header: Vec<&str> = designs.iter().map(|d| d.name()).collect();
     // One sweep feeds both the table and the mean-gain headline (the old
     // implementation re-ran the whole suite for the second number).
-    let suite_rows = run_suite_jobs(&designs, scale, jobs);
+    let suite_rows = try_run_suite_jobs(&designs, scale, jobs)
+        .map_err(|e| format!("fig16 sweep failed: {e}"))?;
     let rows: Vec<(String, Vec<f64>)> = suite_rows
         .iter()
         .map(|row| {
@@ -819,5 +853,5 @@ fn fig16(scale: f64, jobs: Option<usize>) -> String {
         .map(|row| row.norm_ipc(DesignPoint::ShmVL2) - row.norm_ipc(DesignPoint::Shm))
         .collect();
     let _ = writeln!(out, "mean vL2 gain: {:+.4} normalized IPC", mean(&gain));
-    out
+    Ok(out)
 }

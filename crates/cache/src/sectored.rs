@@ -24,6 +24,9 @@ pub struct Eviction {
     pub dirty_sectors: u8,
     /// Mask of sectors that were valid (used by victim caching).
     pub valid_sectors: u8,
+    /// Lookup hits the line served while resident — its hotness at eviction
+    /// time (victim-policy telemetry).
+    pub uses: u64,
 }
 
 impl Eviction {
@@ -39,6 +42,7 @@ struct Way {
     valid_sectors: u8,
     dirty_sectors: u8,
     lru: u64,
+    uses: u64,
 }
 
 impl Way {
@@ -183,6 +187,7 @@ impl SectoredCache {
                 let missing = sectors & !way.valid_sectors;
                 return if missing == 0 {
                     self.hits += 1;
+                    way.uses += 1;
                     Lookup::Hit
                 } else {
                     self.misses += 1;
@@ -228,6 +233,7 @@ impl SectoredCache {
                 valid_sectors: sectors,
                 dirty_sectors: 0,
                 lru: tick,
+                uses: 0,
             };
             return None;
         }
@@ -245,11 +251,13 @@ impl SectoredCache {
             valid_sectors: sectors,
             dirty_sectors: 0,
             lru: tick,
+            uses: 0,
         };
         Some(Eviction {
             addr: victim.tag,
             dirty_sectors: victim.dirty_sectors,
             valid_sectors: victim.valid_sectors,
+            uses: victim.uses,
         })
     }
 
@@ -300,6 +308,7 @@ impl SectoredCache {
                 addr: way.tag,
                 dirty_sectors: way.dirty_sectors,
                 valid_sectors: way.valid_sectors,
+                uses: way.uses,
             };
             *way = Way::default();
             Some(ev)
@@ -318,6 +327,7 @@ impl SectoredCache {
                         addr: way.tag,
                         dirty_sectors: way.dirty_sectors,
                         valid_sectors: way.valid_sectors,
+                        uses: way.uses,
                     });
                     *way = Way::default();
                 }
@@ -398,6 +408,24 @@ mod tests {
         c.fill(0x400, 0b1111);
         let ev = c.fill(0x800, 0b1111).expect("eviction");
         assert!(!ev.is_dirty());
+    }
+
+    #[test]
+    fn eviction_carries_hotness() {
+        let mut c = small();
+        c.fill(0x000, 0b1111);
+        for _ in 0..5 {
+            assert_eq!(c.lookup(0x000, 0b0001), Lookup::Hit);
+        }
+        c.fill(0x400, 0b1111);
+        // Touch 0x000 again so 0x400 (never hit) becomes LRU.
+        assert_eq!(c.lookup(0x000, 0b0001), Lookup::Hit);
+        let ev = c.fill(0x800, 0b1111).expect("eviction");
+        assert_eq!(ev.addr, 0x400);
+        assert_eq!(ev.uses, 0, "never-hit line evicts with zero hotness");
+        let ev = c.fill(0xC00, 0b1111).expect("eviction");
+        assert_eq!(ev.addr, 0x000);
+        assert_eq!(ev.uses, 6, "hotness counts lookup hits while resident");
     }
 
     #[test]

@@ -16,7 +16,8 @@ use std::process::ExitCode;
 
 use gpu_mem_sim::{read_trace, write_trace, ContextTrace, DesignPoint, EnergyModel, Simulator};
 use gpu_types::{GpuConfig, TrafficClass};
-use shm_telemetry::{Probe, TelemetryConfig};
+use shm_runtime::{BufferKind, Context, RecoveryPolicy};
+use shm_telemetry::{Event, Probe, TelemetryConfig};
 use shm_workloads::BenchmarkProfile;
 use sim_exec::Executor;
 
@@ -50,6 +51,18 @@ impl CliError {
         Self {
             message: message.into(),
             code: 1,
+            probe: probe.clone(),
+        }
+    }
+
+    /// Integrity failure: an attack campaign ended with an undetected
+    /// tamper, a wrong-variant detection, or a false alarm (exit code 3,
+    /// distinct from ordinary runtime failures so scripts can tell a
+    /// broken security claim from a crashed run).
+    fn integrity(message: impl Into<String>, probe: &Probe) -> Self {
+        Self {
+            message: message.into(),
+            code: 3,
             probe: probe.clone(),
         }
     }
@@ -98,6 +111,7 @@ fn dispatch(argv: &[String]) -> Result<(), CliError> {
             Ok(())
         }
         "run" => cmd_run(Args::parse(rest).map_err(stringify)?),
+        "attack" => cmd_attack(Args::parse(rest).map_err(stringify)?),
         "sweep" => Ok(cmd_sweep(Args::parse(rest).map_err(stringify)?)?),
         "trace" => match rest.first().map(String::as_str) {
             Some("gen") => Ok(cmd_trace_gen(Args::parse(&rest[1..]).map_err(stringify)?)?),
@@ -151,6 +165,8 @@ fn print_help() {
          \x20 run   --custom ro=0.9,stream=0.95,write=0.05 -d SHM\n\
          \x20 run   ... --telemetry [--epoch-cycles N] [--trace-out t.jsonl] [--epoch-csv e.csv]\n\
          \x20 sweep -b <bench> [--events N] [--csv] [--jobs N]\n\
+         \x20 attack --campaign smoke|full [--seed S] [--policy abort|retry|quarantine]\n\
+         \x20        [--telemetry ...]            adversary campaign; exit 3 on any miss\n\
          \x20 trace gen  -b <bench> -o <file> [--events N] [--seed S]\n\
          \x20 trace info <file>\n"
     );
@@ -285,8 +301,13 @@ fn cmd_run(args: Args) -> Result<(), CliError> {
             },
         )
         .map_err(|e| CliError::runtime(format!("simulation failed: {e}"), &probe))?;
-    let stats = results.pop().expect("two runs submitted");
-    let base = results.pop().expect("two runs submitted");
+    let mut take = || {
+        results
+            .pop()
+            .ok_or_else(|| CliError::runtime("executor returned fewer results than jobs", &probe))
+    };
+    let stats = take()?;
+    let base = take()?;
     report::print_run(&trace, design, &stats, &base, &EnergyModel::default());
     if probe.is_enabled() {
         if let Some(s) = probe.summary() {
@@ -306,6 +327,111 @@ fn cmd_run(args: Args) -> Result<(), CliError> {
                 .map_err(|e| CliError::runtime(format!("write {path}: {e}"), &probe))?;
             println!("epoch CSV written to {path}");
         }
+    }
+    Ok(())
+}
+
+/// `--policy abort|retry|quarantine` → runtime recovery policy.
+fn parse_policy(args: &Args) -> Result<Option<RecoveryPolicy>, String> {
+    match args.get("policy") {
+        None => Ok(None),
+        Some("abort") => Ok(Some(RecoveryPolicy::Abort)),
+        Some("retry") => Ok(Some(RecoveryPolicy::RetryOnce)),
+        Some("quarantine") => Ok(Some(RecoveryPolicy::Quarantine)),
+        Some(other) => Err(format!(
+            "unknown --policy {other:?} (want abort|retry|quarantine)"
+        )),
+    }
+}
+
+fn cmd_attack(args: Args) -> Result<(), CliError> {
+    let campaign = args.get("campaign").unwrap_or("smoke").to_string();
+    let seed = args.get_u64("seed")?.unwrap_or(7);
+    let policy = parse_policy(&args)?;
+    let probe = telemetry_probe(&args)?;
+    let report = shm_fault::run_campaign(&campaign, seed).ok_or_else(|| {
+        CliError::usage(format!("unknown campaign {campaign:?} (want smoke|full)"))
+    })?;
+    if probe.is_enabled() {
+        // Replay the campaign's verdicts into the telemetry stream so the
+        // flight recorder and JSONL trace carry one `integrity_violation`
+        // event per detection (cycle = incident index in execution order).
+        for (cycle, inc) in report.incidents.iter().enumerate() {
+            if let Some(observed) = inc.observed {
+                probe.emit(
+                    cycle as u64,
+                    Event::IntegrityViolation {
+                        addr: inc.addr,
+                        kind: observed.label(),
+                        action: if inc.recovered {
+                            "retry_recovered"
+                        } else {
+                            "abort"
+                        },
+                    },
+                );
+            }
+        }
+    }
+    print!("{}", report.render());
+    if let Some(policy) = policy {
+        run_policy_demo(policy, seed, &probe)?;
+    }
+    if probe.is_enabled() {
+        if let Some(s) = probe.summary() {
+            println!("{s}");
+        }
+    }
+    if !report.is_clean_pass() {
+        let silent: usize = report.matrix.iter().map(|(_, e)| e.silent).sum();
+        return Err(CliError::integrity(
+            format!(
+                "campaign {} (seed {}) broke the security claim: {}/{} detected, {} silent, {} false alarms",
+                report.name,
+                report.seed,
+                report.total_detected(),
+                report.total_injected(),
+                silent,
+                report.false_alarms,
+            ),
+            &probe,
+        ));
+    }
+    Ok(())
+}
+
+/// Runs one tampered kernel under the requested recovery policy and prints
+/// what the runtime did about it: a transient fault (absorbable by
+/// retry-fetch-once) plus a persistent ciphertext flip on the next block.
+fn run_policy_demo(policy: RecoveryPolicy, seed: u64, probe: &Probe) -> Result<(), CliError> {
+    let fail = |e: shm_runtime::RuntimeError| CliError::runtime(format!("policy demo: {e}"), probe);
+    let mut ctx = Context::new(seed)
+        .with_recovery(policy)
+        .with_probe(probe.clone());
+    let buf = ctx.alloc(1024, BufferKind::Scratch).map_err(fail)?;
+    ctx.memcpy_to_device(buf, &[0xA5; 1024]).map_err(fail)?;
+    let base = ctx.device_address(buf).map_err(fail)?;
+    ctx.secure_memory_mut().inject_transient_fault(base, 3, 1);
+    ctx.secure_memory_mut()
+        .tamper_ciphertext_bit(base + 128, 0, 1);
+    let outcome = ctx.launch("policy-demo", |k| {
+        for block in 0..8u64 {
+            let _ = k.load_u8(buf, block * 128)?;
+        }
+        Ok(())
+    });
+    println!(
+        "policy {:?}: kernel {}, {} violation(s) recorded, degraded={}",
+        policy,
+        match outcome {
+            Ok(()) => "completed".to_string(),
+            Err(e) => format!("aborted ({e})"),
+        },
+        ctx.violations().len(),
+        ctx.is_degraded(),
+    );
+    for v in ctx.violations() {
+        println!("  {v}");
     }
     Ok(())
 }

@@ -100,6 +100,12 @@ pub struct DramPartition {
     /// Direction of the previous transfer (true = write).
     last_was_write: Option<bool>,
     turnarounds: u64,
+    /// Rows marked as corrupted by the fault-injection harness, keyed by
+    /// (bank, row).  The timing model keeps serving them — real DRAM has no
+    /// idea its cells flipped — but every serve is counted so a campaign can
+    /// assert the integrity layer saw exactly the accesses that mattered.
+    faulted_rows: std::collections::HashSet<(usize, u64)>,
+    corrupted_accesses: u64,
 }
 
 impl DramPartition {
@@ -123,7 +129,50 @@ impl DramPartition {
             refreshes: 0,
             last_was_write: None,
             turnarounds: 0,
+            faulted_rows: std::collections::HashSet::new(),
+            corrupted_accesses: 0,
         }
+    }
+
+    /// (bank, row) pair addressing the row buffer that serves `addr`.
+    fn row_key(&self, addr: u64) -> (usize, u64) {
+        let bank = ((addr / self.cfg.row_bytes) % self.banks.len() as u64) as usize;
+        let row = addr / (self.cfg.row_bytes * self.banks.len() as u64);
+        (bank, row)
+    }
+
+    /// Marks the DRAM row containing `addr` as corrupted.  Deterministic
+    /// fault-injection hook: no randomness, no wall clock — campaigns decide
+    /// where and when.  Functional corruption of the protected contents is
+    /// modelled in `SecureMemory`; this marks the physical event so timing
+    /// and integrity layers can be cross-checked.
+    pub fn inject_fault(&mut self, addr: u64) {
+        let key = self.row_key(addr);
+        self.faulted_rows.insert(key);
+    }
+
+    /// Whether the row containing `addr` carries a fault mark.
+    pub fn faulted(&self, addr: u64) -> bool {
+        self.faulted_rows.contains(&self.row_key(addr))
+    }
+
+    /// Accesses that were served from a faulted row so far.
+    pub fn corrupted_accesses(&self) -> u64 {
+        self.corrupted_accesses
+    }
+
+    /// Clears all fault marks (campaign step repair).
+    pub fn clear_faults(&mut self) {
+        self.faulted_rows.clear();
+    }
+
+    /// Partition-local addresses one row stride below and above `addr` —
+    /// the physically adjacent rows in the same bank that a Rowhammer
+    /// aggressor on `addr`'s row disturbs.  The lower neighbour saturates
+    /// at 0 for rows at the edge of the array.
+    pub fn row_neighbors(&self, addr: u64) -> [u64; 2] {
+        let stride = self.cfg.row_bytes * self.banks.len() as u64;
+        [addr.saturating_sub(stride), addr.saturating_add(stride)]
     }
 
     /// Applies any refresh windows that have elapsed by `now`: each steals
@@ -168,8 +217,10 @@ impl DramPartition {
         self.apply_turnaround(false);
         self.accesses += 1;
         self.bytes_read += bytes;
-        let bank_idx = ((addr / self.cfg.row_bytes) % self.banks.len() as u64) as usize;
-        let row = addr / (self.cfg.row_bytes * self.banks.len() as u64);
+        let (bank_idx, row) = self.row_key(addr);
+        if self.faulted_rows.contains(&(bank_idx, row)) {
+            self.corrupted_accesses += 1;
+        }
         let bank = &mut self.banks[bank_idx];
         let row_latency = if bank.open_row == Some(row) {
             self.row_hits += 1;
@@ -202,8 +253,10 @@ impl DramPartition {
             self.bytes_read += bytes;
         }
 
-        let bank_idx = ((addr / self.cfg.row_bytes) % self.banks.len() as u64) as usize;
-        let row = addr / (self.cfg.row_bytes * self.banks.len() as u64);
+        let (bank_idx, row) = self.row_key(addr);
+        if self.faulted_rows.contains(&(bank_idx, row)) {
+            self.corrupted_accesses += 1;
+        }
 
         let bank = &mut self.banks[bank_idx];
         let row_latency = if bank.open_row == Some(row) {
@@ -420,6 +473,38 @@ mod tests {
         assert!(alternating.turnarounds() > 50);
         assert_eq!(uniform.turnarounds(), 0);
         assert!(alternating.bus_free_at() > uniform.bus_free_at());
+    }
+
+    #[test]
+    fn faulted_rows_count_corrupted_serves() {
+        let mut d = DramPartition::new(DramConfig::default());
+        d.inject_fault(0x1000);
+        assert!(d.faulted(0x1000));
+        assert!(d.faulted(0x17ff), "same 2 KB row chunk");
+        assert!(!d.faulted(0x800), "different row chunk");
+        d.access(0, 0x1000, 32, false);
+        d.access(0, 0x800, 32, false);
+        assert_eq!(d.corrupted_accesses(), 1);
+        d.access_priority(0, 0x1200, 32);
+        assert_eq!(d.corrupted_accesses(), 2);
+        d.clear_faults();
+        d.access(0, 0x1000, 32, false);
+        assert_eq!(d.corrupted_accesses(), 2, "cleared marks stop counting");
+    }
+
+    #[test]
+    fn row_neighbors_are_one_row_stride_in_the_same_bank() {
+        let d = DramPartition::new(DramConfig::default());
+        let cfg = DramConfig::default();
+        let stride = cfg.row_bytes * cfg.num_banks as u64;
+        let [below, above] = d.row_neighbors(0x1000);
+        assert_eq!(above, 0x1000 + stride);
+        assert_eq!(below, 0, "lower neighbour saturates at the array edge");
+        // The upper neighbour maps to the same bank, adjacent row.
+        assert_eq!(
+            ((above / cfg.row_bytes) % cfg.num_banks as u64),
+            ((0x1000 / cfg.row_bytes) % cfg.num_banks as u64)
+        );
     }
 
     proptest! {

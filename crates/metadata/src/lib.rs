@@ -33,4 +33,4 @@ pub use counters::{CounterSector, Increment};
 pub use ctr_tree::CtrTree;
 pub use layout::{MetadataKind, MetadataLayout};
 pub use shared::SharedCounter;
-pub use store::{SecureMemory, VerifyError};
+pub use store::{IntegrityViolation, SecureMemory, VerifyError};

@@ -42,6 +42,36 @@ impl core::fmt::Display for VerifyError {
 
 impl std::error::Error for VerifyError {}
 
+impl VerifyError {
+    /// Stable lower-case label used in telemetry and detection matrices.
+    pub fn label(&self) -> &'static str {
+        match self {
+            VerifyError::BlockMacMismatch => "block_mac_mismatch",
+            VerifyError::ChunkMacMismatch => "chunk_mac_mismatch",
+            VerifyError::FreshnessViolation => "freshness_violation",
+        }
+    }
+}
+
+/// A verification failure bound to the address that raised it — the
+/// structured record propagated from the engine through the runtime to the
+/// CLI and telemetry.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct IntegrityViolation {
+    /// Block-aligned device address of the offending access.
+    pub addr: u64,
+    /// Which check rejected the access.
+    pub error: VerifyError,
+}
+
+impl core::fmt::Display for IntegrityViolation {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "integrity violation at {:#x}: {}", self.addr, self.error)
+    }
+}
+
+impl std::error::Error for IntegrityViolation {}
+
 /// A functional secure-memory engine over a protected span.
 #[derive(Clone, Debug)]
 pub struct SecureMemory {
@@ -62,6 +92,10 @@ pub struct SecureMemory {
     shared: SharedCounter,
     /// Whether each block currently uses the shared counter (read-only).
     uses_shared: FxHashMap<u64, bool>,
+    /// Pending one-shot transient faults per block: `(byte, bit)` flipped in
+    /// the *fetched copy* of the next read only — the stored ciphertext is
+    /// untouched, so a refetch succeeds (models a bus/DRAM soft error).
+    transient_faults: FxHashMap<u64, (usize, u8)>,
 }
 
 impl SecureMemory {
@@ -96,6 +130,7 @@ impl SecureMemory {
             bmt,
             shared: SharedCounter::new(),
             uses_shared: FxHashMap::default(),
+            transient_faults: FxHashMap::default(),
         }
     }
 
@@ -208,7 +243,11 @@ impl SecureMemory {
     /// BMT rejects the counter (replay of a non-read-only block).
     pub fn read_block(&mut self, addr: u64) -> Result<[u8; 128], VerifyError> {
         let addr = addr & !(BLOCK_BYTES - 1);
-        let ct = self.ciphertext.get(&addr).copied().unwrap_or([0u8; 128]);
+        let mut ct = self.ciphertext.get(&addr).copied().unwrap_or([0u8; 128]);
+        if let Some((byte, bit)) = self.transient_faults.remove(&addr) {
+            // Corrupt only this fetch; the stored copy stays intact.
+            ct[byte % 128] ^= 1 << (bit % 8);
+        }
         let shared = self.uses_shared.get(&addr).copied().unwrap_or(false);
 
         let (major, minor) = if shared {
@@ -362,6 +401,97 @@ impl SecureMemory {
             .get(&self.layout.counter_sector(addr))
             .cloned()
             .unwrap_or_default()
+    }
+
+    /// Attacker action: flip one bit of the stored ciphertext in place
+    /// (Rowhammer-style disturbance of a DRAM cell).
+    pub fn tamper_ciphertext_bit(&mut self, addr: u64, byte: usize, bit: u8) {
+        let addr = addr & !(BLOCK_BYTES - 1);
+        let ct = self.ciphertext.entry(addr).or_insert([0u8; 128]);
+        ct[byte % 128] ^= 1 << (bit % 8);
+    }
+
+    /// Attacker action: corrupt the stored per-block MAC by XOR-ing `mask`
+    /// into it (a fault in the MAC region of DRAM).
+    pub fn tamper_block_mac(&mut self, addr: u64, mask: u64) {
+        let addr = addr & !(BLOCK_BYTES - 1);
+        let shared = self.uses_shared.get(&addr).copied().unwrap_or(false);
+        let (major, minor) = if shared {
+            self.shared.seed_pair()
+        } else {
+            let s = self.layout.counter_sector(addr);
+            self.counters
+                .get(&s)
+                .cloned()
+                .unwrap_or_default()
+                .seed_pair(Self::block_in_sector(addr))
+        };
+        let stored = self.block_macs.get(&addr).copied().unwrap_or_else(|| {
+            stateful_mac(&self.mac_key, &[0u8; 128], pack_ctr(major, minor), addr)
+        });
+        self.block_macs.insert(addr, stored ^ mask);
+    }
+
+    /// Attacker action: corrupt a stored chunk-level MAC by XOR-ing `mask`
+    /// into it.  No-op if the chunk MAC was never produced.
+    pub fn tamper_chunk_mac(&mut self, addr: u64, mask: u64) {
+        let chunk = addr / CHUNK_BYTES;
+        if let Some(m) = self.chunk_macs.get_mut(&chunk) {
+            *m ^= mask;
+        }
+    }
+
+    /// Attacker action: roll a counter sector's minors back by re-inserting a
+    /// default (all-zero) sector without touching the BMT.
+    pub fn tamper_counter_reset(&mut self, addr: u64) {
+        let s = self.layout.counter_sector(addr);
+        self.counters.insert(s, CounterSector::default());
+    }
+
+    /// Attacker action: overwrite the BMT leaf covering `addr`'s counter line
+    /// with `stale_hash` — splicing a stale tree node into DRAM.
+    pub fn tamper_bmt_leaf(&mut self, addr: u64, stale_hash: u64) {
+        let leaf = self.bmt_leaf_of(addr);
+        self.bmt.tamper_leaf(leaf, stale_hash);
+    }
+
+    /// Current BMT leaf hash covering `addr` (what an attacker snoops before
+    /// replaying it later via [`Self::tamper_bmt_leaf`]).
+    pub fn snapshot_bmt_leaf(&self, addr: u64) -> u64 {
+        let sector_addr = self.layout.counter_sector(addr);
+        self.counter_hash(sector_addr)
+    }
+
+    /// Attacker action: splice block `src`'s stored `(ciphertext, mac)` over
+    /// block `dst` — relocating valid DRAM content to the wrong address.
+    pub fn splice_blocks(&mut self, src: u64, dst: u64) {
+        let (ct, mac) = self.snapshot_block(src);
+        let dst = dst & !(BLOCK_BYTES - 1);
+        self.ciphertext.insert(dst, ct);
+        self.block_macs.insert(dst, mac);
+    }
+
+    /// Attacker action: splice only block `src`'s MAC over block `dst`'s MAC
+    /// (cross-address MAC relocation; ciphertexts stay put).
+    pub fn splice_block_macs(&mut self, src: u64, dst: u64) {
+        let (_, mac) = self.snapshot_block(src);
+        self.block_macs.insert(dst & !(BLOCK_BYTES - 1), mac);
+    }
+
+    /// Arms a one-shot transient fault on `addr`: the *next* fetch of the
+    /// block sees bit `bit` of byte `byte` flipped, but the stored copy is
+    /// untouched, so a refetch verifies.  Models a correctable soft error
+    /// and exercises the retry-fetch-once recovery policy.
+    pub fn inject_transient_fault(&mut self, addr: u64, byte: usize, bit: u8) {
+        self.transient_faults
+            .insert(addr & !(BLOCK_BYTES - 1), (byte, bit));
+    }
+
+    /// Whether a transient fault is still armed on `addr` (it clears itself
+    /// on the first fetch).
+    pub fn transient_fault_armed(&self, addr: u64) -> bool {
+        self.transient_faults
+            .contains_key(&(addr & !(BLOCK_BYTES - 1)))
     }
 
     fn invalidate_chunk_mac(&mut self, addr: u64) {
@@ -524,6 +654,73 @@ mod tests {
         ct[0] ^= 0xFF;
         m.tamper_ciphertext(5 * 128, ct);
         assert_eq!(m.verify_chunk(0), Err(VerifyError::ChunkMacMismatch));
+    }
+
+    #[test]
+    fn bit_flip_hook_is_detected() {
+        let mut m = mem();
+        m.write_block(0x1000, &[1u8; 128]);
+        m.tamper_ciphertext_bit(0x1000, 17, 3);
+        assert_eq!(m.read_block(0x1000), Err(VerifyError::BlockMacMismatch));
+    }
+
+    #[test]
+    fn mac_corruption_is_detected() {
+        let mut m = mem();
+        m.write_block(0x1000, &[1u8; 128]);
+        m.tamper_block_mac(0x1000, 1);
+        assert_eq!(m.read_block(0x1000), Err(VerifyError::BlockMacMismatch));
+    }
+
+    #[test]
+    fn spliced_block_is_detected() {
+        // A valid (ct, mac) pair moved to a different address must fail: the
+        // stateful MAC binds the address.
+        let mut m = mem();
+        m.write_block(0x1000, &[1u8; 128]);
+        m.write_block(0x2000, &[2u8; 128]);
+        m.splice_blocks(0x1000, 0x2000);
+        assert_eq!(m.read_block(0x2000), Err(VerifyError::BlockMacMismatch));
+    }
+
+    #[test]
+    fn counter_reset_without_bmt_fix_is_detected() {
+        let mut m = mem();
+        m.write_block(0x1000, &[1u8; 128]);
+        m.tamper_counter_reset(0x1000);
+        assert_eq!(m.read_block(0x1000), Err(VerifyError::FreshnessViolation));
+    }
+
+    #[test]
+    fn stale_bmt_leaf_is_detected() {
+        let mut m = mem();
+        m.write_block(0x1000, &[1u8; 128]);
+        let stale = m.snapshot_bmt_leaf(0x1000);
+        m.write_block(0x1000, &[2u8; 128]);
+        m.tamper_bmt_leaf(0x1000, stale);
+        assert_eq!(m.read_block(0x1000), Err(VerifyError::FreshnessViolation));
+    }
+
+    #[test]
+    fn transient_fault_fails_once_then_recovers() {
+        let mut m = mem();
+        m.write_block(0x1000, &[5u8; 128]);
+        m.inject_transient_fault(0x1000, 9, 1);
+        assert!(m.transient_fault_armed(0x1000));
+        assert_eq!(m.read_block(0x1000), Err(VerifyError::BlockMacMismatch));
+        assert!(!m.transient_fault_armed(0x1000), "fault is one-shot");
+        assert_eq!(m.read_block(0x1000).expect("refetch verifies"), [5u8; 128]);
+    }
+
+    #[test]
+    fn violation_display_names_address_and_check() {
+        let v = IntegrityViolation {
+            addr: 0x1000,
+            error: VerifyError::FreshnessViolation,
+        };
+        let s = v.to_string();
+        assert!(s.contains("0x1000"), "{s}");
+        assert!(s.contains("freshness"), "{s}");
     }
 
     #[test]

@@ -37,13 +37,15 @@
 //! # }
 //! ```
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use gpu_mem_sim::{ContextTrace, HostAction, KernelTrace};
 use gpu_types::{AccessKind, MemEvent, MemorySpace, PhysAddr, Warp, BLOCK_BYTES};
 use shm_crypto::KeyTuple;
-use shm_metadata::{SecureMemory, VerifyError};
+use shm_metadata::SecureMemory;
 use shm_telemetry::{Event, Probe};
+
+pub use shm_metadata::{IntegrityViolation, VerifyError};
 
 /// Device-buffer classification (Table II's data classes).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -87,8 +89,9 @@ pub struct DeviceBuffer(u32);
 /// Errors surfaced by the secure runtime.
 #[derive(Debug, PartialEq, Eq)]
 pub enum RuntimeError {
-    /// The MEE rejected an access (tampering / replay detected).
-    Verification(VerifyError),
+    /// The MEE rejected an access (tampering / replay detected); carries
+    /// the offending device address and the failing check.
+    Verification(IntegrityViolation),
     /// Access past the end of a buffer.
     OutOfBounds {
         /// The offending buffer.
@@ -131,9 +134,104 @@ impl core::fmt::Display for RuntimeError {
 
 impl std::error::Error for RuntimeError {}
 
-impl From<VerifyError> for RuntimeError {
-    fn from(e: VerifyError) -> Self {
-        RuntimeError::Verification(e)
+impl From<IntegrityViolation> for RuntimeError {
+    fn from(v: IntegrityViolation) -> Self {
+        RuntimeError::Verification(v)
+    }
+}
+
+/// What the runtime does when secure memory rejects a block
+/// (Section VII's attack-response knob).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum RecoveryPolicy {
+    /// Fail the access — and with it the kernel — on the first violation.
+    #[default]
+    Abort,
+    /// Re-fetch the block once before failing: a transient fault (bus
+    /// glitch, marginal cell) disappears on the second fetch, while a real
+    /// tamper fails both and aborts.
+    RetryOnce,
+    /// Record the violation, quarantine the block (further reads serve
+    /// zeros) and continue degraded.  A later store re-encrypts fresh data
+    /// and lifts the quarantine.
+    Quarantine,
+}
+
+/// Recovery-policy label for telemetry `integrity_violation` events.
+fn violation_action(policy: RecoveryPolicy) -> &'static str {
+    match policy {
+        RecoveryPolicy::Abort => "abort",
+        RecoveryPolicy::RetryOnce => "retry",
+        RecoveryPolicy::Quarantine => "quarantine",
+    }
+}
+
+/// Fetches one block under the recovery policy — the single choke point
+/// every runtime read path (host copy-out and kernel loads/stores) goes
+/// through, so violations are recorded and reported uniformly.
+#[allow(clippy::too_many_arguments)]
+fn fetch_block(
+    mem: &mut SecureMemory,
+    policy: RecoveryPolicy,
+    quarantined: &mut HashSet<u64>,
+    violations: &mut Vec<IntegrityViolation>,
+    probe: &Probe,
+    clock: u64,
+    addr: u64,
+) -> Result<[u8; BLOCK_BYTES as usize], RuntimeError> {
+    let base = addr & !(BLOCK_BYTES - 1);
+    if quarantined.contains(&base) {
+        return Ok([0u8; BLOCK_BYTES as usize]);
+    }
+    let first = match mem.read_block(base) {
+        Ok(block) => return Ok(block),
+        Err(e) => IntegrityViolation {
+            addr: base,
+            error: e,
+        },
+    };
+    let verdict = if matches!(policy, RecoveryPolicy::RetryOnce) {
+        match mem.read_block(base) {
+            Ok(block) => {
+                // Transient: gone on re-fetch.  Record it, report it, keep
+                // going — the data the kernel sees is the verified re-fetch.
+                violations.push(first);
+                if probe.is_enabled() {
+                    probe.emit(
+                        clock,
+                        Event::IntegrityViolation {
+                            addr: base,
+                            kind: first.error.label(),
+                            action: "retry_recovered",
+                        },
+                    );
+                }
+                return Ok(block);
+            }
+            Err(e) => IntegrityViolation {
+                addr: base,
+                error: e,
+            },
+        }
+    } else {
+        first
+    };
+    violations.push(verdict);
+    if probe.is_enabled() {
+        probe.emit(
+            clock,
+            Event::IntegrityViolation {
+                addr: base,
+                kind: verdict.error.label(),
+                action: violation_action(policy),
+            },
+        );
+    }
+    if matches!(policy, RecoveryPolicy::Quarantine) {
+        quarantined.insert(base);
+        Ok([0u8; BLOCK_BYTES as usize])
+    } else {
+        Err(RuntimeError::Verification(verdict))
     }
 }
 
@@ -163,6 +261,9 @@ pub struct Context {
     pending_actions: Vec<HostAction>,
     name: String,
     probe: Probe,
+    policy: RecoveryPolicy,
+    violations: Vec<IntegrityViolation>,
+    quarantined: HashSet<u64>,
 }
 
 impl Context {
@@ -179,7 +280,39 @@ impl Context {
             pending_actions: Vec::new(),
             name: format!("runtime-{context_seed:x}"),
             probe: Probe::disabled(),
+            policy: RecoveryPolicy::Abort,
+            violations: Vec::new(),
+            quarantined: HashSet::new(),
         }
+    }
+
+    /// Selects the response to integrity violations (default:
+    /// [`RecoveryPolicy::Abort`]).
+    pub fn with_recovery(mut self, policy: RecoveryPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Changes the recovery policy mid-context.
+    pub fn set_recovery_policy(&mut self, policy: RecoveryPolicy) {
+        self.policy = policy;
+    }
+
+    /// The recovery policy in force.
+    pub fn recovery_policy(&self) -> RecoveryPolicy {
+        self.policy
+    }
+
+    /// Every integrity violation observed so far, in detection order —
+    /// including transient faults absorbed by [`RecoveryPolicy::RetryOnce`].
+    pub fn violations(&self) -> &[IntegrityViolation] {
+        &self.violations
+    }
+
+    /// True while any block is quarantined: reads of it serve zeros, so
+    /// results are not trustworthy end-to-end.
+    pub fn is_degraded(&self) -> bool {
+        !self.quarantined.is_empty()
     }
 
     /// Names the context (becomes the trace name).
@@ -292,8 +425,17 @@ impl Context {
         }
         let mut out = Vec::with_capacity(len as usize);
         let mut off = 0;
+        let clock = self.kernels.len() as u64;
         while off < len {
-            let block = self.mem.read_block(alloc.base + off)?;
+            let block = fetch_block(
+                &mut self.mem,
+                self.policy,
+                &mut self.quarantined,
+                &mut self.violations,
+                &self.probe,
+                clock,
+                alloc.base + off,
+            )?;
             let take = ((len - off).min(BLOCK_BYTES)) as usize;
             out.extend_from_slice(&block[..take]);
             off += BLOCK_BYTES;
@@ -334,6 +476,10 @@ impl Context {
             allocs: &self.allocs,
             events: Vec::new(),
             op_counter: 0,
+            policy: self.policy,
+            violations: &mut self.violations,
+            quarantined: &mut self.quarantined,
+            probe: &self.probe,
         };
         if self.probe.is_enabled() {
             self.probe.emit(
@@ -399,6 +545,10 @@ pub struct KernelCtx<'a> {
     allocs: &'a HashMap<DeviceBuffer, Allocation>,
     events: Vec<MemEvent>,
     op_counter: u64,
+    policy: RecoveryPolicy,
+    violations: &'a mut Vec<IntegrityViolation>,
+    quarantined: &'a mut HashSet<u64>,
+    probe: &'a Probe,
 }
 
 impl KernelCtx<'_> {
@@ -450,7 +600,15 @@ impl KernelCtx<'_> {
     /// Verification failures and bounds errors.
     pub fn load_u8(&mut self, buf: DeviceBuffer, offset: u64) -> Result<u8, RuntimeError> {
         let (addr, kind) = self.resolve(buf, offset, 1)?;
-        let block = self.mem.read_block(addr)?;
+        let block = fetch_block(
+            self.mem,
+            self.policy,
+            self.quarantined,
+            self.violations,
+            self.probe,
+            self.op_counter,
+            addr,
+        )?;
         self.record(addr, AccessKind::Read, kind.space());
         Ok(block[(addr % BLOCK_BYTES) as usize])
     }
@@ -486,9 +644,20 @@ impl KernelCtx<'_> {
             return Err(RuntimeError::ReadOnlyViolation(buf));
         }
         let base = addr & !(BLOCK_BYTES - 1);
-        let mut block = self.mem.read_block(base)?;
+        let mut block = fetch_block(
+            self.mem,
+            self.policy,
+            self.quarantined,
+            self.violations,
+            self.probe,
+            self.op_counter,
+            base,
+        )?;
         block[(addr % BLOCK_BYTES) as usize] = value;
         self.mem.write_block(base, &block);
+        // A fresh store re-encrypts the whole block, so a quarantined block
+        // becomes trustworthy again.
+        self.quarantined.remove(&base);
         self.record(addr, AccessKind::Write, kind.space());
         Ok(())
     }
@@ -576,8 +745,99 @@ mod tests {
             .expect_err("tampered load");
         assert_eq!(
             err,
-            RuntimeError::Verification(VerifyError::BlockMacMismatch)
+            RuntimeError::Verification(IntegrityViolation {
+                addr,
+                error: VerifyError::BlockMacMismatch,
+            })
         );
+        assert_eq!(
+            ctx.violations(),
+            [IntegrityViolation {
+                addr,
+                error: VerifyError::BlockMacMismatch,
+            }]
+        );
+        assert!(!ctx.is_degraded(), "abort policy quarantines nothing");
+    }
+
+    #[test]
+    fn retry_once_absorbs_transient_faults() {
+        let mut ctx = Context::new(20).with_recovery(RecoveryPolicy::RetryOnce);
+        let x = ctx.alloc(128, BufferKind::Scratch).expect("alloc");
+        ctx.memcpy_to_device(x, &[5u8; 128]).expect("h2d");
+        let addr = ctx.device_address(x).expect("addr");
+        ctx.secure_memory_mut().inject_transient_fault(addr, 3, 1);
+        ctx.launch("victim", |k| {
+            assert_eq!(k.load_u8(x, 0)?, 5, "re-fetch must return good data");
+            Ok(())
+        })
+        .expect("retry-once absorbs a transient fault");
+        assert_eq!(ctx.violations().len(), 1, "the glitch is still recorded");
+        assert_eq!(ctx.violations()[0].error, VerifyError::BlockMacMismatch);
+        assert!(!ctx.is_degraded());
+    }
+
+    #[test]
+    fn retry_once_still_aborts_on_persistent_tampering() {
+        let mut ctx = Context::new(23).with_recovery(RecoveryPolicy::RetryOnce);
+        let x = ctx.alloc(128, BufferKind::Scratch).expect("alloc");
+        ctx.memcpy_to_device(x, &[5u8; 128]).expect("h2d");
+        let addr = ctx.device_address(x).expect("addr");
+        let (mut ct, _) = ctx.secure_memory_mut().snapshot_block(addr);
+        ct[0] ^= 0x10;
+        ctx.secure_memory_mut().tamper_ciphertext(addr, ct);
+        let err = ctx
+            .launch("victim", |k| k.load_u8(x, 0).map(|_| ()))
+            .expect_err("persistent tamper survives the re-fetch");
+        assert!(matches!(err, RuntimeError::Verification(_)));
+    }
+
+    #[test]
+    fn quarantine_serves_zeros_and_continues_degraded() {
+        let mut ctx = Context::new(21).with_recovery(RecoveryPolicy::Quarantine);
+        let x = ctx.alloc(256, BufferKind::Scratch).expect("alloc");
+        ctx.memcpy_to_device(x, &[9u8; 256]).expect("h2d");
+        let addr = ctx.device_address(x).expect("addr");
+        let (mut ct, _) = ctx.secure_memory_mut().snapshot_block(addr);
+        ct[0] ^= 1;
+        ctx.secure_memory_mut().tamper_ciphertext(addr, ct);
+        ctx.launch("degraded", |k| {
+            assert_eq!(k.load_u8(x, 0)?, 0, "quarantined block serves zeros");
+            assert_eq!(k.load_u8(x, 128)?, 9, "neighbouring block unaffected");
+            Ok(())
+        })
+        .expect("quarantine policy must not abort the kernel");
+        assert!(ctx.is_degraded());
+        assert_eq!(ctx.violations().len(), 1);
+        assert_eq!(ctx.violations()[0].addr, addr);
+        // A fresh store re-encrypts the block and lifts the quarantine.
+        ctx.launch("repair", |k| {
+            for i in 0..128 {
+                k.store_u8(x, i, 3)?;
+            }
+            assert_eq!(k.load_u8(x, 0)?, 3);
+            Ok(())
+        })
+        .expect("repair");
+        assert!(!ctx.is_degraded());
+    }
+
+    #[test]
+    fn violations_emit_telemetry_events() {
+        use shm_telemetry::TelemetryConfig;
+        let probe = Probe::enabled(TelemetryConfig::default());
+        let mut ctx = Context::new(22).with_probe(probe.clone());
+        let x = ctx.alloc(128, BufferKind::Scratch).expect("alloc");
+        ctx.memcpy_to_device(x, &[1u8; 128]).expect("h2d");
+        let addr = ctx.device_address(x).expect("addr");
+        let (mut ct, _) = ctx.secure_memory_mut().snapshot_block(addr);
+        ct[5] ^= 2;
+        ctx.secure_memory_mut().tamper_ciphertext(addr, ct);
+        let _ = ctx.launch("victim", |k| k.load_u8(x, 0).map(|_| ()));
+        let dump = probe.flight_dump().expect("probe enabled");
+        assert!(dump.contains("integrity_violation"), "{dump}");
+        assert!(dump.contains("block_mac_mismatch"), "{dump}");
+        assert!(dump.contains("\"action\":\"abort\""), "{dump}");
     }
 
     #[test]

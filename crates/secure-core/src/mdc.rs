@@ -213,6 +213,12 @@ impl MeeCore {
         // sixteen block-/chunk-MACs and has far more reuse than a data line
         // (Section IV-D, "especially the MAC cache").  Counter/BMT victims
         // would mostly pollute the L2.
+        // Counter-cache victims carry their hotness (lookup hits served
+        // while resident) to telemetry so the victim policy can be tuned
+        // from traces instead of aggregate miss rates.
+        if matches!(class, TrafficClass::Counter) {
+            self.probe.on_ctr_victim(now, ev.uses);
+        }
         if matches!(class, TrafficClass::Mac)
             && victim.insert_victim(ev.addr, ev.valid_sectors, ev.dirty_sectors)
         {
@@ -803,6 +809,38 @@ mod tests {
             128,
             "naive fetch should move a whole line"
         );
+    }
+
+    #[test]
+    fn counter_victims_report_hotness_to_telemetry() {
+        let (mut mee, mut f, mut stats) = setup();
+        let probe = shm_telemetry::Probe::enabled(shm_telemetry::TelemetryConfig::default());
+        mee.set_probe(probe.clone());
+        let mut v = NoVictim;
+        // Re-touch one hot counter sector, then stream enough distinct
+        // counter lines to evict it (2 KB cache = 16 lines of 128 B).
+        for _ in 0..8 {
+            mee.fetch_counter(0, la(0), PhysAddr::new(0), true, &mut f, &mut v, &mut stats);
+        }
+        for i in 1..64u64 {
+            let off = i * 8192; // one counter line of data span per step
+            mee.fetch_counter(
+                0,
+                la(off),
+                PhysAddr::new(off),
+                true,
+                &mut f,
+                &mut v,
+                &mut stats,
+            );
+        }
+        probe.finalize(0);
+        probe.with(|t| {
+            let victims: u64 = t.snapshots().iter().map(|s| s.ctr_victims).sum();
+            let uses: u64 = t.snapshots().iter().map(|s| s.ctr_victim_uses).sum();
+            assert!(victims > 0, "streaming misses must evict counter lines");
+            assert!(uses > 0, "the hot line's hits must surface as hotness");
+        });
     }
 
     #[test]

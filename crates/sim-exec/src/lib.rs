@@ -24,12 +24,22 @@
 //!   variable, then [`std::thread::available_parallelism`].  `SHM_JOBS=1`
 //!   forces fully serial execution on the calling thread.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// Environment variable overriding the worker-pool width (`1` = serial).
 pub const JOBS_ENV: &str = "SHM_JOBS";
+
+/// Environment variable setting the per-job wall-clock budget in
+/// milliseconds for [`Executor::run_robust`] (`0` disables the watchdog).
+pub const JOB_TIMEOUT_ENV: &str = "SHM_JOB_TIMEOUT_MS";
+
+/// Environment variable setting the sweep-wide retry budget for
+/// [`Executor::run_robust`].
+pub const JOB_RETRIES_ENV: &str = "SHM_JOB_RETRIES";
 
 /// A job that panicked: submission index plus the panic payload rendered
 /// as text, so the caller can report the failing (benchmark, design) pair.
@@ -37,6 +47,9 @@ pub const JOBS_ENV: &str = "SHM_JOBS";
 pub struct JobPanic {
     /// Submission index of the failed job.
     pub index: usize,
+    /// Human-readable job description (e.g. `"kmeans under SHM"`), when
+    /// the submitting layer supplied one.
+    pub label: Option<String>,
     /// Panic payload (`&str`/`String` payloads verbatim, otherwise a
     /// placeholder).
     pub message: String,
@@ -44,7 +57,14 @@ pub struct JobPanic {
 
 impl core::fmt::Display for JobPanic {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        write!(f, "job {} panicked: {}", self.index, self.message)
+        match &self.label {
+            Some(label) => write!(
+                f,
+                "job {} ({}) panicked: {}",
+                self.index, label, self.message
+            ),
+            None => write!(f, "job {} panicked: {}", self.index, self.message),
+        }
     }
 }
 
@@ -144,6 +164,7 @@ impl Executor {
             let outcome =
                 catch_unwind(AssertUnwindSafe(|| work(i, &items[i]))).map_err(|payload| JobPanic {
                     index: i,
+                    label: None,
                     message: panic_message(payload),
                 });
             // Each index is scheduled exactly once, so the slot is empty.
@@ -221,10 +242,11 @@ impl Executor {
         for (i, outcome) in self.map(items, work).into_iter().enumerate() {
             match outcome {
                 Ok(v) => ok.push(v),
-                Err(p) => failed.push(LabelledPanic {
-                    label: label(i, &items[i]),
-                    panic: p,
-                }),
+                Err(mut p) => {
+                    let l = label(i, &items[i]);
+                    p.label = Some(l.clone());
+                    failed.push(LabelledPanic { label: l, panic: p });
+                }
             }
         }
         if failed.is_empty() {
@@ -232,6 +254,328 @@ impl Executor {
         } else {
             Err(SweepError { failed })
         }
+    }
+
+    /// Runs every job under a wall-clock watchdog and a bounded retry
+    /// budget, always completing the sweep: a hung job is abandoned as a
+    /// [`JobOutcome::TimedOut`] while the remaining jobs keep running, so
+    /// the caller gets deterministic partial results instead of a wedged
+    /// process.
+    ///
+    /// Mechanics:
+    ///
+    /// * Jobs run on detached worker threads (hence the `'static` bounds —
+    ///   a wedged job cannot be killed, only abandoned, and a scoped thread
+    ///   would block the join).  When the watchdog expires a job it sets
+    ///   the job's [`JobCtx`] cancel flag — cooperative jobs poll
+    ///   [`JobCtx::cancelled`] and bail out; uncooperative ones leak a
+    ///   thread that dies with the process — and spawns a replacement
+    ///   worker so pending jobs still drain.
+    /// * A job whose attempt panics is re-queued exactly once while the
+    ///   sweep-wide `retry_budget` lasts (transient-failure recovery);
+    ///   its second panic is final.  Timed-out jobs are never retried — a
+    ///   wedge is assumed to reproduce.
+    /// * Outcomes come back in submission order; a late completion of an
+    ///   abandoned attempt is discarded (first verdict wins), so the
+    ///   report shape is deterministic given which jobs wedge.
+    pub fn run_robust<I, T, F, L>(
+        &self,
+        items: Vec<I>,
+        cfg: RobustConfig,
+        label: L,
+        work: F,
+    ) -> RobustReport<T>
+    where
+        I: Send + Sync + 'static,
+        T: Send + 'static,
+        F: Fn(&JobCtx, &I) -> T + Send + Sync + 'static,
+        L: Fn(usize, &I) -> String,
+    {
+        let n = items.len();
+        if n == 0 {
+            return RobustReport {
+                outcomes: Vec::new(),
+                retries_used: 0,
+            };
+        }
+        let items = Arc::new(items);
+        let work = Arc::new(work);
+        let pending: Arc<Mutex<VecDeque<(usize, u32)>>> =
+            Arc::new(Mutex::new((0..n).map(|i| (i, 0u32)).collect()));
+        let cancels: Arc<Vec<AtomicBool>> =
+            Arc::new((0..n).map(|_| AtomicBool::new(false)).collect());
+        let (tx, rx) = mpsc::channel::<RobustMsg<T>>();
+
+        let spawn_worker = |tx: mpsc::Sender<RobustMsg<T>>| {
+            let items = Arc::clone(&items);
+            let work = Arc::clone(&work);
+            let pending = Arc::clone(&pending);
+            let cancels = Arc::clone(&cancels);
+            std::thread::spawn(move || loop {
+                let job = pending
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .pop_front();
+                let Some((i, attempt)) = job else { break };
+                let _ = tx.send(RobustMsg::Started { index: i });
+                let ctx = JobCtx {
+                    index: i,
+                    cancels: Arc::clone(&cancels),
+                };
+                let result =
+                    catch_unwind(AssertUnwindSafe(|| work(&ctx, &items[i]))).map_err(panic_message);
+                if tx
+                    .send(RobustMsg::Finished {
+                        index: i,
+                        attempt,
+                        result,
+                    })
+                    .is_err()
+                {
+                    break; // sweep already reported; nobody is listening
+                }
+            });
+        };
+        for _ in 0..self.jobs.min(n) {
+            spawn_worker(tx.clone());
+        }
+
+        let watchdog = (cfg.timeout_ms > 0).then(|| Duration::from_millis(cfg.timeout_ms));
+        let mut outcomes: Vec<Option<JobOutcome<T>>> = (0..n).map(|_| None).collect();
+        let mut running: HashMap<usize, Instant> = HashMap::new();
+        let mut resolved = 0usize;
+        let mut budget = cfg.retry_budget;
+        let mut retries_used = 0u32;
+
+        while resolved < n {
+            // Wake at the earliest running deadline; with no watchdog (or
+            // nothing running yet) poll at a coarse interval — `tx` is held
+            // here, so the channel can never disconnect under us.
+            let wait = match (watchdog, running.values().min()) {
+                (Some(_), Some(&deadline)) => deadline.saturating_duration_since(Instant::now()),
+                _ => Duration::from_millis(25),
+            };
+            match rx.recv_timeout(wait) {
+                Ok(RobustMsg::Started { index }) => {
+                    if outcomes[index].is_none() {
+                        if let Some(t) = watchdog {
+                            running.insert(index, Instant::now() + t);
+                        }
+                    }
+                }
+                Ok(RobustMsg::Finished {
+                    index,
+                    attempt,
+                    result,
+                }) => {
+                    running.remove(&index);
+                    if outcomes[index].is_some() {
+                        continue; // abandoned attempt finished late
+                    }
+                    match result {
+                        Ok(v) => {
+                            outcomes[index] = Some(JobOutcome::Ok(v));
+                            resolved += 1;
+                        }
+                        Err(_) if attempt == 0 && budget > 0 => {
+                            budget -= 1;
+                            retries_used += 1;
+                            pending
+                                .lock()
+                                .unwrap_or_else(|e| e.into_inner())
+                                .push_back((index, 1));
+                            spawn_worker(tx.clone());
+                        }
+                        Err(message) => {
+                            outcomes[index] = Some(JobOutcome::Panicked(JobPanic {
+                                index,
+                                label: Some(label(index, &items[index])),
+                                message,
+                            }));
+                            resolved += 1;
+                        }
+                    }
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    let now = Instant::now();
+                    let expired: Vec<usize> = running
+                        .iter()
+                        .filter(|&(_, &deadline)| deadline <= now)
+                        .map(|(&i, _)| i)
+                        .collect();
+                    for i in expired {
+                        running.remove(&i);
+                        cancels[i].store(true, Ordering::Relaxed);
+                        outcomes[i] = Some(JobOutcome::TimedOut(JobTimeout {
+                            index: i,
+                            label: label(i, &items[i]),
+                            timeout_ms: cfg.timeout_ms,
+                        }));
+                        resolved += 1;
+                        // The worker on job i may be wedged for good;
+                        // replace it so the rest of the queue still drains.
+                        spawn_worker(tx.clone());
+                    }
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => break,
+            }
+        }
+
+        RobustReport {
+            outcomes: outcomes
+                .into_iter()
+                .map(|o| o.expect("every job resolved"))
+                .collect(),
+            retries_used,
+        }
+    }
+}
+
+/// Completion-channel messages for [`Executor::run_robust`].
+enum RobustMsg<T> {
+    Started {
+        index: usize,
+    },
+    Finished {
+        index: usize,
+        attempt: u32,
+        result: Result<T, String>,
+    },
+}
+
+/// Watchdog and retry policy for [`Executor::run_robust`].  The default is
+/// "no watchdog, no retries".
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RobustConfig {
+    /// Wall-clock budget per job attempt in milliseconds; 0 disables the
+    /// watchdog entirely.
+    pub timeout_ms: u64,
+    /// Total re-runs the whole sweep may spend on panicked jobs.  Each job
+    /// is retried at most once, and only while budget remains.
+    pub retry_budget: u32,
+}
+
+impl RobustConfig {
+    /// Policy from [`JOB_TIMEOUT_ENV`] and [`JOB_RETRIES_ENV`], defaulting
+    /// to "no watchdog, no retries" when unset or unparsable.
+    pub fn from_env() -> Self {
+        Self {
+            timeout_ms: std::env::var(JOB_TIMEOUT_ENV)
+                .ok()
+                .and_then(|v| v.trim().parse().ok())
+                .unwrap_or(0),
+            retry_budget: std::env::var(JOB_RETRIES_ENV)
+                .ok()
+                .and_then(|v| v.trim().parse().ok())
+                .unwrap_or(0),
+        }
+    }
+}
+
+/// Handle passed to [`Executor::run_robust`] jobs for cooperative
+/// cancellation.
+#[derive(Clone, Debug)]
+pub struct JobCtx {
+    index: usize,
+    cancels: Arc<Vec<AtomicBool>>,
+}
+
+impl JobCtx {
+    /// Submission index of the job this context belongs to.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// True once the watchdog has abandoned this attempt.  Long-running
+    /// jobs should poll this and return early; the value they return is
+    /// discarded.
+    pub fn cancelled(&self) -> bool {
+        self.cancels[self.index].load(Ordering::Relaxed)
+    }
+}
+
+/// A job that exceeded its wall-clock budget and was abandoned.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JobTimeout {
+    /// Submission index of the abandoned job.
+    pub index: usize,
+    /// Human-readable job description (e.g. `"kmeans under SHM"`).
+    pub label: String,
+    /// The budget that was exceeded, in milliseconds.
+    pub timeout_ms: u64,
+}
+
+impl core::fmt::Display for JobTimeout {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "job {} ({}) timed out after {} ms",
+            self.index, self.label, self.timeout_ms
+        )
+    }
+}
+
+impl std::error::Error for JobTimeout {}
+
+/// Per-job verdict from [`Executor::run_robust`].
+#[derive(Clone, Debug)]
+pub enum JobOutcome<T> {
+    /// The job completed, possibly after a retry.
+    Ok(T),
+    /// The job panicked on its final attempt.
+    Panicked(JobPanic),
+    /// The job exceeded its wall-clock budget and was abandoned.
+    TimedOut(JobTimeout),
+}
+
+impl<T> JobOutcome<T> {
+    /// The completed value, if any.
+    pub fn ok(&self) -> Option<&T> {
+        match self {
+            JobOutcome::Ok(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// A rendered failure line for panicked / timed-out jobs.
+    pub fn failure(&self) -> Option<String> {
+        match self {
+            JobOutcome::Ok(_) => None,
+            JobOutcome::Panicked(p) => Some(p.to_string()),
+            JobOutcome::TimedOut(t) => Some(t.to_string()),
+        }
+    }
+}
+
+/// Everything [`Executor::run_robust`] learned about a sweep: one outcome
+/// per job in submission order, plus the retries consumed.
+#[derive(Clone, Debug)]
+pub struct RobustReport<T> {
+    /// One outcome per submitted job, in submission order.
+    pub outcomes: Vec<JobOutcome<T>>,
+    /// Retries consumed from the budget.
+    pub retries_used: u32,
+}
+
+impl<T> RobustReport<T> {
+    /// Number of jobs that completed.
+    pub fn ok_count(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.ok().is_some()).count()
+    }
+
+    /// Number of jobs that panicked or timed out.
+    pub fn failed_count(&self) -> usize {
+        self.outcomes.len() - self.ok_count()
+    }
+
+    /// True when every job completed.
+    pub fn is_clean(&self) -> bool {
+        self.failed_count() == 0
+    }
+
+    /// Rendered failure lines, in submission order.
+    pub fn failure_lines(&self) -> Vec<String> {
+        self.outcomes.iter().filter_map(|o| o.failure()).collect()
     }
 }
 
@@ -348,6 +692,132 @@ mod tests {
     fn empty_input_is_fine() {
         let out: Vec<JobResult<u8>> = Executor::new(4).map(&[] as &[u8], |_, &x| x);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn job_panic_display_includes_label_when_known() {
+        let bare = JobPanic {
+            index: 4,
+            label: None,
+            message: "boom".into(),
+        };
+        assert_eq!(bare.to_string(), "job 4 panicked: boom");
+        let labelled = JobPanic {
+            index: 4,
+            label: Some("kmeans under SHM".into()),
+            message: "boom".into(),
+        };
+        assert_eq!(
+            labelled.to_string(),
+            "job 4 (kmeans under SHM) panicked: boom"
+        );
+    }
+
+    #[test]
+    fn try_map_attaches_label_to_the_panic_itself() {
+        let items = ["alpha", "beta"];
+        let err = Executor::new(2)
+            .try_map(
+                &items,
+                |_, name| format!("job/{name}"),
+                |_, &name| {
+                    if name == "beta" {
+                        panic!("bad");
+                    }
+                    1
+                },
+            )
+            .expect_err("beta fails");
+        assert!(
+            err.failed[0].panic.to_string().contains("(job/beta)"),
+            "{}",
+            err.failed[0].panic
+        );
+    }
+
+    #[test]
+    fn run_robust_times_out_wedged_jobs_and_returns_partial_results() {
+        let report = Executor::new(2).run_robust(
+            vec![1u32, 2, 3, 4],
+            RobustConfig {
+                timeout_ms: 150,
+                retry_budget: 0,
+            },
+            |i, _| format!("job-{i}"),
+            |ctx, &x| {
+                if x == 3 {
+                    // Wedge cooperatively: hold until the watchdog abandons
+                    // this attempt, so the test leaks no long-lived thread.
+                    while !ctx.cancelled() {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    return 0;
+                }
+                x * 10
+            },
+        );
+        assert_eq!(report.outcomes.len(), 4);
+        assert!(matches!(report.outcomes[0], JobOutcome::Ok(10)));
+        assert!(matches!(report.outcomes[1], JobOutcome::Ok(20)));
+        match &report.outcomes[2] {
+            JobOutcome::TimedOut(t) => {
+                assert_eq!(t.label, "job-2");
+                assert_eq!(t.timeout_ms, 150);
+                assert!(t.to_string().contains("job-2"), "{t}");
+            }
+            other => panic!("expected timeout, got {other:?}"),
+        }
+        assert!(matches!(report.outcomes[3], JobOutcome::Ok(40)));
+        assert_eq!(report.ok_count(), 3);
+        assert_eq!(report.failed_count(), 1);
+        assert!(!report.is_clean());
+        assert_eq!(report.failure_lines().len(), 1);
+    }
+
+    #[test]
+    fn run_robust_retries_transient_panics_within_budget() {
+        let tries = Arc::new(AtomicUsize::new(0));
+        let t2 = Arc::clone(&tries);
+        let report = Executor::new(2).run_robust(
+            vec![0u32, 1],
+            RobustConfig {
+                timeout_ms: 0,
+                retry_budget: 2,
+            },
+            |i, _| format!("job-{i}"),
+            move |ctx, _| {
+                if ctx.index() == 1 && t2.fetch_add(1, Ordering::SeqCst) == 0 {
+                    panic!("transient");
+                }
+                7u32
+            },
+        );
+        assert!(report.is_clean(), "{:?}", report.failure_lines());
+        assert_eq!(report.retries_used, 1);
+        assert_eq!(tries.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn run_robust_reports_final_panics_with_labels() {
+        let report = Executor::new(2).run_robust(
+            vec![0u32, 1],
+            RobustConfig::default(),
+            |i, _| format!("job-{i}"),
+            |ctx, _| {
+                if ctx.index() == 1 {
+                    panic!("always");
+                }
+                3u32
+            },
+        );
+        assert_eq!(report.ok_count(), 1);
+        match &report.outcomes[1] {
+            JobOutcome::Panicked(p) => {
+                assert_eq!(p.label.as_deref(), Some("job-1"));
+                assert!(p.to_string().contains("(job-1)"), "{p}");
+            }
+            other => panic!("expected panic, got {other:?}"),
+        }
     }
 
     #[test]

@@ -31,6 +31,11 @@ pub struct EpochSnapshot {
     pub l2_misses: u64,
     /// DRAM requests completed during the epoch.
     pub dram_requests: u64,
+    /// Counter-cache lines evicted during the epoch (victim-policy tuning).
+    pub ctr_victims: u64,
+    /// Sum of per-line hit counts over those evicted counter lines — the
+    /// hotness the MDC victim policy gave up by evicting them.
+    pub ctr_victim_uses: u64,
 }
 
 impl EpochSnapshot {
@@ -74,8 +79,9 @@ impl EpochSnapshot {
         }
         let _ = write!(
             out,
-            ",\"instructions\":{},\"accesses\":{},\"l2_hits\":{},\"l2_misses\":{},\"dram_requests\":{}}}",
-            self.instructions, self.accesses, self.l2_hits, self.l2_misses, self.dram_requests
+            ",\"instructions\":{},\"accesses\":{},\"l2_hits\":{},\"l2_misses\":{},\"dram_requests\":{},\"ctr_victims\":{},\"ctr_victim_uses\":{}}}",
+            self.instructions, self.accesses, self.l2_hits, self.l2_misses, self.dram_requests,
+            self.ctr_victims, self.ctr_victim_uses
         );
     }
 }

@@ -32,10 +32,17 @@ pub enum Event {
     },
     /// Misprediction fixup traffic was charged.
     MispredictFixup { partition: usize, bytes: u64 },
+    /// Secure memory rejected an access: `kind` is the `VerifyError` label,
+    /// `action` the recovery taken (abort / retry_recovered / quarantine).
+    IntegrityViolation {
+        addr: u64,
+        kind: &'static str,
+        action: &'static str,
+    },
 }
 
 /// Total number of distinct event kinds.
-pub const NUM_KINDS: usize = 9;
+pub const NUM_KINDS: usize = 10;
 
 impl Event {
     /// Stable snake_case kind tag used in JSONL output and summaries.
@@ -50,6 +57,7 @@ impl Event {
             Event::BmtWalk { .. } => "bmt_walk",
             Event::DetectorTransition { .. } => "detector_transition",
             Event::MispredictFixup { .. } => "mispredict_fixup",
+            Event::IntegrityViolation { .. } => "integrity_violation",
         }
     }
 
@@ -65,6 +73,7 @@ impl Event {
             Event::BmtWalk { .. } => 6,
             Event::DetectorTransition { .. } => 7,
             Event::MispredictFixup { .. } => 8,
+            Event::IntegrityViolation { .. } => 9,
         }
     }
 
@@ -80,6 +89,7 @@ impl Event {
             "bmt_walk",
             "detector_transition",
             "mispredict_fixup",
+            "integrity_violation",
         ][index]
     }
 
@@ -87,7 +97,10 @@ impl Event {
     pub fn is_low_frequency(&self) -> bool {
         matches!(
             self,
-            Event::KernelStart { .. } | Event::KernelEnd { .. } | Event::DetectorTransition { .. }
+            Event::KernelStart { .. }
+                | Event::KernelEnd { .. }
+                | Event::DetectorTransition { .. }
+                | Event::IntegrityViolation { .. }
         )
     }
 
@@ -136,6 +149,12 @@ impl Event {
             }
             Event::MispredictFixup { partition, bytes } => {
                 let _ = write!(out, ",\"partition\":{partition},\"bytes\":{bytes}");
+            }
+            Event::IntegrityViolation { addr, kind, action } => {
+                let _ = write!(
+                    out,
+                    ",\"addr\":{addr},\"violation\":\"{kind}\",\"action\":\"{action}\""
+                );
             }
         }
         out.push('}');
@@ -192,6 +211,11 @@ mod tests {
             Event::MispredictFixup {
                 partition: 0,
                 bytes: 0,
+            },
+            Event::IntegrityViolation {
+                addr: 0,
+                kind: "block_mac_mismatch",
+                action: "abort",
             },
         ];
         assert_eq!(events.len(), NUM_KINDS);

@@ -251,6 +251,15 @@ impl Telemetry {
         self.epochs.current_mut().l2_misses += 1;
     }
 
+    /// Records a counter-cache victim eviction: `uses` is how many lookup
+    /// hits the evicted line had served (its hotness).
+    pub fn on_ctr_victim(&mut self, cycle: u64, uses: u64) {
+        self.advance_epochs(cycle);
+        let cur = self.epochs.current_mut();
+        cur.ctr_victims += 1;
+        cur.ctr_victim_uses += uses;
+    }
+
     /// Closes the run: flushes the trailing partial epoch and, when a
     /// stream sink is attached, its remaining snapshots plus the trailing
     /// histogram and drops lines.
@@ -459,6 +468,14 @@ impl Probe {
         }
     }
 
+    /// See [`Telemetry::on_ctr_victim`].
+    #[inline]
+    pub fn on_ctr_victim(&self, cycle: u64, uses: u64) {
+        if self.inner.is_some() {
+            self.with(|t| t.on_ctr_victim(cycle, uses));
+        }
+    }
+
     /// See [`Telemetry::finalize`].
     pub fn finalize(&self, end_cycle: u64) {
         self.with(|t| t.finalize(end_cycle));
@@ -610,6 +627,25 @@ mod tests {
             assert_eq!(t.dram_latency.count(), 50);
             let epoch_sum: u64 = t.snapshots().iter().map(|s| s.dram_requests).sum();
             assert_eq!(epoch_sum, 50);
+        });
+    }
+
+    #[test]
+    fn ctr_victim_hotness_lands_in_epochs() {
+        let p = Probe::enabled(TelemetryConfig {
+            epoch_cycles: 100,
+            ..Default::default()
+        });
+        p.on_ctr_victim(10, 3);
+        p.on_ctr_victim(20, 5);
+        p.on_ctr_victim(150, 1);
+        p.finalize(150);
+        p.with(|t| {
+            let snaps = t.snapshots();
+            assert_eq!(snaps[0].ctr_victims, 2);
+            assert_eq!(snaps[0].ctr_victim_uses, 8);
+            assert_eq!(snaps[1].ctr_victims, 1);
+            assert_eq!(snaps[1].ctr_victim_uses, 1);
         });
     }
 

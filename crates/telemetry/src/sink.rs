@@ -89,7 +89,9 @@ pub fn epoch_csv(t: &Telemetry) -> String {
             let _ = write!(out, ",{dir}_{}", class.label());
         }
     }
-    out.push_str(",instructions,accesses,l2_hits,l2_misses,dram_requests\n");
+    out.push_str(
+        ",instructions,accesses,l2_hits,l2_misses,dram_requests,ctr_victims,ctr_victim_uses\n",
+    );
     for s in t.snapshots() {
         let _ = write!(out, "{},{},{}", s.index, s.start_cycle, s.end_cycle);
         for bytes in [&s.traffic.read, &s.traffic.write] {
@@ -99,8 +101,14 @@ pub fn epoch_csv(t: &Telemetry) -> String {
         }
         let _ = writeln!(
             out,
-            ",{},{},{},{},{}",
-            s.instructions, s.accesses, s.l2_hits, s.l2_misses, s.dram_requests
+            ",{},{},{},{},{},{},{}",
+            s.instructions,
+            s.accesses,
+            s.l2_hits,
+            s.l2_misses,
+            s.dram_requests,
+            s.ctr_victims,
+            s.ctr_victim_uses
         );
     }
     out
@@ -319,7 +327,9 @@ mod tests {
         let mut lines = csv.lines();
         let header = lines.next().unwrap();
         assert!(header.starts_with("index,start_cycle,end_cycle,read_"));
-        assert!(header.ends_with("instructions,accesses,l2_hits,l2_misses,dram_requests"));
+        assert!(header.ends_with(
+            "instructions,accesses,l2_hits,l2_misses,dram_requests,ctr_victims,ctr_victim_uses"
+        ));
         let cols = header.split(',').count();
         // Same epochs as the JSONL document: 0..100, 100..200, 200..250.
         let rows: Vec<&str> = lines.collect();

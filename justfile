@@ -32,3 +32,8 @@ telemetry out="run.jsonl":
 # Verifies parallel output is byte-identical and records BENCH_throughput.json.
 bench-repro scale="0.25":
     cargo run --release -p shm-bench --bin repro -- bench --scale {{scale}}
+
+# Adversary-campaign smoke: every tamper class must surface as the expected
+# VerifyError with zero false alarms (exit 3 otherwise — docs/ROBUSTNESS.md).
+attack-smoke seed="7":
+    cargo run --release -p shm-cli -- attack --campaign smoke --seed {{seed}}
