@@ -1,6 +1,13 @@
 //! `repro` — regenerates every table and figure of the SHM evaluation.
 //!
-//! Usage: `repro [fig5|fig10|fig11|fig12|fig13|fig14|fig15|fig16|table1|table3_4|table7|table9|micro|sensitivity|bench|all] [--scale X] [--jobs N] [--telemetry-dir DIR] [--bench-out PATH]`
+//! Usage: `repro [fig5|fig10|fig11|fig12|fig13|fig14|fig15|fig16|table1|table3_4|table7|table9|micro|sensitivity|bench|all] [--scale X] [--jobs N] [--telemetry-dir DIR] [--bench-out PATH] [--journal DIR [--resume] [--crash-after-jobs N]]`
+//!
+//! With `--journal DIR`, the suite-based figures (fig12–fig16) checkpoint
+//! every completed (benchmark, design) job to `DIR/<figure>.jsonl` as it
+//! lands.  An interrupted run (SIGINT/SIGTERM, exit code 130) leaves those
+//! journals valid; re-running with `--resume` skips the completed jobs and
+//! produces byte-identical tables.  `--crash-after-jobs N` deterministically
+//! cancels the sweep after N fresh completions (CI crash-recovery smoke).
 //!
 //! Figures run their (benchmark × design) simulations on the `sim-exec`
 //! work-stealing pool; `--jobs N` bounds the pool (1 = serial) and the
@@ -31,7 +38,8 @@ use gpu_mem_sim::{DesignPoint, EnergyModel, Simulator};
 use gpu_types::{GpuConfig, ShmConfig};
 use shm::{required_mechanisms, DataProperty, OracleProfile};
 use shm_bench::{
-    format_table, mean, scaled_suite, traffic_breakdown, try_run_suite_jobs, Executor,
+    format_table, mean, scaled_suite, traffic_breakdown, try_run_suite_jobs,
+    try_run_suite_journaled, BenchRow, Executor,
 };
 use shm_telemetry::{Probe, TelemetryConfig};
 
@@ -65,6 +73,16 @@ impl ReproError {
         }
     }
 
+    /// Cooperative cancellation stopped a journaled sweep early; exit code
+    /// 130 so scripts can tell resumable interruption from failure.
+    fn interrupted(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+            code: 130,
+            probe: Probe::disabled(),
+        }
+    }
+
     fn report(self) -> ExitCode {
         eprintln!("error: {}", self.message);
         if let Some(dump) = self.probe.flight_dump().filter(|d| !d.is_empty()) {
@@ -83,14 +101,104 @@ fn main() -> ExitCode {
     }
 }
 
+/// Checkpoint/resume options for the suite-based figures.
+#[derive(Clone)]
+struct JournalCtx {
+    dir: String,
+    resume: bool,
+    crash_after_jobs: Option<usize>,
+}
+
+/// How a figure rendering failed: a resumable interruption of a journaled
+/// sweep, or an ordinary failure.
+enum FigError {
+    Interrupted { journal: String, done: Vec<String> },
+    Failed(String),
+}
+
+impl From<String> for FigError {
+    fn from(message: String) -> Self {
+        FigError::Failed(message)
+    }
+}
+
+/// Runs one figure's suite sweep, through the journal when `--journal` was
+/// given.  `Err(Interrupted)` means everything completed so far is safely
+/// journaled and a `--resume` re-run will skip it.
+fn suite_rows(
+    figure: &str,
+    designs: &[DesignPoint],
+    scale: f64,
+    jobs: Option<usize>,
+    jctx: Option<&JournalCtx>,
+) -> Result<Vec<BenchRow>, FigError> {
+    let Some(ctx) = jctx else {
+        return try_run_suite_jobs(designs, scale, jobs)
+            .map_err(|e| FigError::Failed(format!("{figure} sweep failed: {e}")));
+    };
+    let dir = std::path::Path::new(&ctx.dir);
+    if !ctx.resume && dir.join(format!("{figure}.jsonl")).exists() {
+        return Err(FigError::Failed(format!(
+            "journal {}/{figure}.jsonl already exists; pass --resume to continue it or remove it",
+            ctx.dir
+        )));
+    }
+    let sweep = try_run_suite_journaled(figure, designs, scale, jobs, dir, ctx.crash_after_jobs)
+        .map_err(|e| FigError::Failed(format!("{figure} journaled sweep failed: {e}")))?;
+    if sweep.reused > 0 {
+        eprintln!(
+            "{figure}: resumed from {}: {} job(s) reused, {} executed",
+            sweep.journal_path.display(),
+            sweep.reused,
+            sweep.executed
+        );
+    }
+    match sweep.rows {
+        Some(rows) => Ok(rows),
+        None => Err(FigError::Interrupted {
+            journal: sweep.journal_path.display().to_string(),
+            done: sweep.completed_labels,
+        }),
+    }
+}
+
 fn run(args: &[String]) -> Result<(), ReproError> {
     let mut what = "all".to_string();
     let mut scale = 0.5f64;
     let mut jobs: Option<usize> = None;
     let mut telemetry_dir: Option<String> = None;
     let mut bench_out = "BENCH_throughput.json".to_string();
+    let mut journal_dir: Option<String> = None;
+    let mut resume = false;
+    let mut crash_after_jobs: Option<usize> = None;
     let mut i = 0;
     while i < args.len() {
+        match args[i].as_str() {
+            "--journal" => {
+                journal_dir = Some(
+                    args.get(i + 1)
+                        .cloned()
+                        .ok_or_else(|| ReproError::usage("--journal needs a directory"))?,
+                );
+                i += 2;
+                continue;
+            }
+            "--resume" => {
+                resume = true;
+                i += 1;
+                continue;
+            }
+            "--crash-after-jobs" => {
+                crash_after_jobs = Some(
+                    args.get(i + 1)
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| ReproError::usage("--crash-after-jobs needs a count"))?,
+                );
+                i += 2;
+                continue;
+            }
+            _ => {}
+        }
         match args[i].as_str() {
             "--scale" => {
                 scale = args
@@ -130,14 +238,37 @@ fn run(args: &[String]) -> Result<(), ReproError> {
         }
     }
 
+    if (resume || crash_after_jobs.is_some()) && journal_dir.is_none() {
+        return Err(ReproError::usage(
+            "--resume/--crash-after-jobs require --journal DIR",
+        ));
+    }
+    let jctx = journal_dir.map(|dir| JournalCtx {
+        dir,
+        resume,
+        crash_after_jobs,
+    });
+
     if what == "bench" {
         bench_mode(scale, jobs, &bench_out)?;
     } else {
-        match render_target(&what, scale, jobs)
-            .map_err(|e| ReproError::runtime(e, &Probe::disabled()))?
-        {
-            Some(text) => print!("{text}"),
-            None => return Err(ReproError::usage(format!("unknown target: {what}"))),
+        match render_target(&what, scale, jobs, jctx.as_ref()) {
+            Ok(Some(text)) => print!("{text}"),
+            Ok(None) => return Err(ReproError::usage(format!("unknown target: {what}"))),
+            Err(FigError::Interrupted { journal, done }) => {
+                eprintln!(
+                    "interrupted: {} job(s) completed and journaled in {journal}",
+                    done.len()
+                );
+                for label in &done {
+                    eprintln!("  done {label}");
+                }
+                eprintln!("re-run with --resume to pick up where this left off");
+                return Err(ReproError::interrupted("figure sweep interrupted"));
+            }
+            Err(FigError::Failed(e)) => {
+                return Err(ReproError::runtime(e, &Probe::disabled()));
+            }
         }
     }
 
@@ -158,9 +289,15 @@ fn run(args: &[String]) -> Result<(), ReproError> {
 }
 
 /// Renders one named target (or `all`) to a string; `Ok(None)` for unknown
-/// targets, `Err` when a simulation job failed.  Keeping figures as strings
-/// lets `bench` compare serial and parallel renderings byte-for-byte.
-fn render_target(what: &str, scale: f64, jobs: Option<usize>) -> Result<Option<String>, String> {
+/// targets, `Err` when a simulation job failed or a journaled sweep was
+/// interrupted.  Keeping figures as strings lets `bench` compare serial and
+/// parallel renderings byte-for-byte.
+fn render_target(
+    what: &str,
+    scale: f64,
+    jobs: Option<usize>,
+    jctx: Option<&JournalCtx>,
+) -> Result<Option<String>, FigError> {
     Ok(Some(match what {
         "table1" => table1(),
         "table3_4" => table3_4(),
@@ -169,11 +306,11 @@ fn render_target(what: &str, scale: f64, jobs: Option<usize>) -> Result<Option<S
         "fig5" => fig5(scale, jobs)?,
         "fig10" => fig10(scale, jobs)?,
         "fig11" => fig11(scale, jobs)?,
-        "fig12" => fig12(scale, jobs)?,
-        "fig13" => fig13(scale, jobs)?,
-        "fig14" => fig14(scale, jobs)?,
-        "fig15" => fig15(scale, jobs)?,
-        "fig16" => fig16(scale, jobs)?,
+        "fig12" => fig12(scale, jobs, jctx)?,
+        "fig13" => fig13(scale, jobs, jctx)?,
+        "fig14" => fig14(scale, jobs, jctx)?,
+        "fig15" => fig15(scale, jobs, jctx)?,
+        "fig16" => fig16(scale, jobs, jctx)?,
         "micro" => micro_diag(),
         "sensitivity" => sensitivity(scale),
         "all" => {
@@ -185,11 +322,11 @@ fn render_target(what: &str, scale: f64, jobs: Option<usize>) -> Result<Option<S
             out.push_str(&table7(scale, jobs)?);
             out.push_str(&fig10(scale, jobs)?);
             out.push_str(&fig11(scale, jobs)?);
-            out.push_str(&fig12(scale, jobs)?);
-            out.push_str(&fig13(scale, jobs)?);
-            out.push_str(&fig14(scale, jobs)?);
-            out.push_str(&fig15(scale, jobs)?);
-            out.push_str(&fig16(scale, jobs)?);
+            out.push_str(&fig12(scale, jobs, jctx)?);
+            out.push_str(&fig13(scale, jobs, jctx)?);
+            out.push_str(&fig14(scale, jobs, jctx)?);
+            out.push_str(&fig15(scale, jobs, jctx)?);
+            out.push_str(&fig16(scale, jobs, jctx)?);
             out
         }
         _ => return Ok(None),
@@ -201,8 +338,13 @@ fn render_target(what: &str, scale: f64, jobs: Option<usize>) -> Result<Option<S
 fn bench_mode(scale: f64, jobs: Option<usize>, out_path: &str) -> Result<(), ReproError> {
     let workers = Executor::from_request(jobs).jobs();
     let render_all = |jobs: usize| -> Result<String, ReproError> {
-        render_target("all", scale, Some(jobs))
-            .map_err(|e| ReproError::runtime(e, &Probe::disabled()))?
+        render_target("all", scale, Some(jobs), None)
+            .map_err(|e| match e {
+                FigError::Interrupted { journal, .. } => {
+                    ReproError::interrupted(format!("bench sweep interrupted (journal {journal})"))
+                }
+                FigError::Failed(msg) => ReproError::runtime(msg, &Probe::disabled()),
+            })?
             .ok_or_else(|| ReproError::usage("render target \"all\" is unknown"))
     };
 
@@ -695,15 +837,17 @@ fn fig11(scale: f64, jobs: Option<usize>) -> Result<String, String> {
     ))
 }
 
+#[allow(clippy::too_many_arguments)]
 fn norm_ipc_table(
     title: &str,
+    figure: &str,
     designs: &[DesignPoint],
     scale: f64,
     jobs: Option<usize>,
-) -> Result<String, String> {
+    jctx: Option<&JournalCtx>,
+) -> Result<String, FigError> {
     let header: Vec<&str> = designs.iter().map(|d| d.name()).collect();
-    let rows: Vec<(String, Vec<f64>)> = try_run_suite_jobs(designs, scale, jobs)
-        .map_err(|e| format!("{title}: suite sweep failed: {e}"))?
+    let rows: Vec<(String, Vec<f64>)> = suite_rows(figure, designs, scale, jobs, jctx)?
         .iter()
         .map(|row| {
             (
@@ -716,9 +860,10 @@ fn norm_ipc_table(
 }
 
 /// Fig. 12: normalized IPC of the main designs.
-fn fig12(scale: f64, jobs: Option<usize>) -> Result<String, String> {
+fn fig12(scale: f64, jobs: Option<usize>, jctx: Option<&JournalCtx>) -> Result<String, FigError> {
     norm_ipc_table(
         "Fig. 12: normalized IPC",
+        "fig12",
         &[
             DesignPoint::Naive,
             DesignPoint::CommonCtr,
@@ -728,13 +873,15 @@ fn fig12(scale: f64, jobs: Option<usize>) -> Result<String, String> {
         ],
         scale,
         jobs,
+        jctx,
     )
 }
 
 /// Fig. 13: optimisation breakdown.
-fn fig13(scale: f64, jobs: Option<usize>) -> Result<String, String> {
+fn fig13(scale: f64, jobs: Option<usize>, jctx: Option<&JournalCtx>) -> Result<String, FigError> {
     norm_ipc_table(
         "Fig. 13: performance impact of each optimisation",
+        "fig13",
         &[
             DesignPoint::Pssm,
             DesignPoint::PssmCctr,
@@ -744,11 +891,12 @@ fn fig13(scale: f64, jobs: Option<usize>) -> Result<String, String> {
         ],
         scale,
         jobs,
+        jctx,
     )
 }
 
 /// Fig. 14: bandwidth overheads of security metadata.
-fn fig14(scale: f64, jobs: Option<usize>) -> Result<String, String> {
+fn fig14(scale: f64, jobs: Option<usize>, jctx: Option<&JournalCtx>) -> Result<String, FigError> {
     let designs = [
         DesignPoint::Naive,
         DesignPoint::CommonCtr,
@@ -758,8 +906,7 @@ fn fig14(scale: f64, jobs: Option<usize>) -> Result<String, String> {
     ];
     let header: Vec<&str> = designs.iter().map(|d| d.name()).collect();
     let mut breakdown_acc: BTreeMap<&str, Vec<f64>> = BTreeMap::new();
-    let suite_rows = try_run_suite_jobs(&designs, scale, jobs)
-        .map_err(|e| format!("fig14 sweep failed: {e}"))?;
+    let suite_rows = suite_rows("fig14", &designs, scale, jobs, jctx)?;
     let rows: Vec<(String, Vec<f64>)> = suite_rows
         .iter()
         .map(|row| {
@@ -797,7 +944,7 @@ fn fig14(scale: f64, jobs: Option<usize>) -> Result<String, String> {
 }
 
 /// Fig. 15: normalized energy per instruction.
-fn fig15(scale: f64, jobs: Option<usize>) -> Result<String, String> {
+fn fig15(scale: f64, jobs: Option<usize>, jctx: Option<&JournalCtx>) -> Result<String, FigError> {
     let designs = [
         DesignPoint::Naive,
         DesignPoint::CommonCtr,
@@ -806,8 +953,7 @@ fn fig15(scale: f64, jobs: Option<usize>) -> Result<String, String> {
     ];
     let model = EnergyModel::default();
     let header: Vec<&str> = designs.iter().map(|d| d.name()).collect();
-    let rows: Vec<(String, Vec<f64>)> = try_run_suite_jobs(&designs, scale, jobs)
-        .map_err(|e| format!("fig15 sweep failed: {e}"))?
+    let rows: Vec<(String, Vec<f64>)> = suite_rows("fig15", &designs, scale, jobs, jctx)?
         .iter()
         .map(|row| {
             (
@@ -827,13 +973,12 @@ fn fig15(scale: f64, jobs: Option<usize>) -> Result<String, String> {
 }
 
 /// Fig. 16: SHM vs SHM with the L2 victim cache.
-fn fig16(scale: f64, jobs: Option<usize>) -> Result<String, String> {
+fn fig16(scale: f64, jobs: Option<usize>, jctx: Option<&JournalCtx>) -> Result<String, FigError> {
     let designs = [DesignPoint::Shm, DesignPoint::ShmVL2];
     let header: Vec<&str> = designs.iter().map(|d| d.name()).collect();
     // One sweep feeds both the table and the mean-gain headline (the old
     // implementation re-ran the whole suite for the second number).
-    let suite_rows = try_run_suite_jobs(&designs, scale, jobs)
-        .map_err(|e| format!("fig16 sweep failed: {e}"))?;
+    let suite_rows = suite_rows("fig16", &designs, scale, jobs, jctx)?;
     let rows: Vec<(String, Vec<f64>)> = suite_rows
         .iter()
         .map(|row| {

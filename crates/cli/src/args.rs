@@ -41,7 +41,7 @@ impl core::fmt::Display for ArgError {
 impl std::error::Error for ArgError {}
 
 /// Options that never take a value.
-const FLAGS: &[&str] = &["csv", "verbose", "telemetry"];
+const FLAGS: &[&str] = &["csv", "verbose", "telemetry", "resume", "sweep"];
 
 impl Args {
     /// Parses `argv` (without the command name).

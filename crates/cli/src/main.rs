@@ -5,9 +5,14 @@
 //! shm run -b fdtd2d -d SHM [--events N]         one (benchmark, design) run
 //! shm run --trace file.trace -d PSSM            replay a stored trace
 //! shm sweep -b kmeans [--events N] [--csv]      all designs on one benchmark
+//! shm sweep -b kmeans --journal s.jsonl --resume   checkpointed sweep
+//! shm crash --seed 7 --sweep                    power-cut recovery matrix
 //! shm trace gen -b lbm -o lbm.trace [--events N]
 //! shm trace info lbm.trace
 //! ```
+//!
+//! Exit codes: 0 success, 1 runtime failure, 2 usage, 3 broken integrity
+//! claim, 130 interrupted (SIGINT/SIGTERM; journaled sweeps stay resumable).
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
@@ -15,11 +20,14 @@ use std::path::Path;
 use std::process::ExitCode;
 
 use gpu_mem_sim::{read_trace, write_trace, ContextTrace, DesignPoint, EnergyModel, Simulator};
-use gpu_types::{GpuConfig, TrafficClass};
+use gpu_types::{GpuConfig, SimStats, TrafficClass};
+use shm_recovery::{
+    config_hash, crash_sweep, map_journaled, run_crash, CrashConfig, JobJournal, SweepOptions,
+};
 use shm_runtime::{BufferKind, Context, RecoveryPolicy};
 use shm_telemetry::{Event, Probe, TelemetryConfig};
 use shm_workloads::BenchmarkProfile;
-use sim_exec::Executor;
+use sim_exec::{CancelToken, Executor};
 
 mod args;
 mod report;
@@ -67,6 +75,17 @@ impl CliError {
         }
     }
 
+    /// Cooperative cancellation (SIGINT/SIGTERM or an injected crash point)
+    /// stopped the run early. Exit code 130 so scripts can tell an
+    /// interrupted-but-resumable sweep from a failed one.
+    fn interrupted(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+            code: 130,
+            probe: Probe::disabled(),
+        }
+    }
+
     /// Prints the report and returns the process exit code.
     fn report(self) -> ExitCode {
         eprintln!("error: {}", self.message);
@@ -88,12 +107,37 @@ impl From<String> for CliError {
 }
 
 fn main() -> ExitCode {
+    install_signal_handlers();
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match dispatch(&argv) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => e.report(),
     }
 }
+
+/// Routes SIGINT/SIGTERM into sim-exec's cooperative cancellation: workers
+/// finish their in-flight jobs (journaling each one) and stop pulling new
+/// work, so journals and sinks stay valid.  Uses the C runtime's `signal`
+/// directly — the handler only stores to an atomic, which is async-signal
+/// safe.
+#[cfg(unix)]
+fn install_signal_handlers() {
+    extern "C" fn on_signal(_signum: std::ffi::c_int) {
+        sim_exec::request_cancel();
+    }
+    extern "C" {
+        fn signal(signum: std::ffi::c_int, handler: extern "C" fn(std::ffi::c_int)) -> usize;
+    }
+    const SIGINT: std::ffi::c_int = 2;
+    const SIGTERM: std::ffi::c_int = 15;
+    unsafe {
+        signal(SIGINT, on_signal);
+        signal(SIGTERM, on_signal);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_signal_handlers() {}
 
 fn dispatch(argv: &[String]) -> Result<(), CliError> {
     let Some(cmd) = argv.first().map(String::as_str) else {
@@ -112,7 +156,8 @@ fn dispatch(argv: &[String]) -> Result<(), CliError> {
         }
         "run" => cmd_run(Args::parse(rest).map_err(stringify)?),
         "attack" => cmd_attack(Args::parse(rest).map_err(stringify)?),
-        "sweep" => Ok(cmd_sweep(Args::parse(rest).map_err(stringify)?)?),
+        "crash" => cmd_crash(Args::parse(rest).map_err(stringify)?),
+        "sweep" => cmd_sweep(Args::parse(rest).map_err(stringify)?),
         "trace" => match rest.first().map(String::as_str) {
             Some("gen") => Ok(cmd_trace_gen(Args::parse(&rest[1..]).map_err(stringify)?)?),
             Some("info") => Ok(cmd_trace_info(&rest[1..])?),
@@ -165,8 +210,12 @@ fn print_help() {
          \x20 run   --custom ro=0.9,stream=0.95,write=0.05 -d SHM\n\
          \x20 run   ... --telemetry [--epoch-cycles N] [--trace-out t.jsonl] [--epoch-csv e.csv]\n\
          \x20 sweep -b <bench> [--events N] [--csv] [--jobs N]\n\
+         \x20 sweep ... --journal <file> [--resume]  checkpoint results; SIGINT/SIGTERM\n\
+         \x20        stops gracefully (exit 130) and --resume skips completed jobs\n\
          \x20 attack --campaign smoke|full [--seed S] [--policy abort|retry|quarantine]\n\
          \x20        [--telemetry ...]            adversary campaign; exit 3 on any miss\n\
+         \x20 crash --at-cycle N [--seed S] [--ops K] [--flush F]   cut power at a\n\
+         \x20        micro-op cycle, recover, classify; --sweep covers every cycle\n\
          \x20 trace gen  -b <bench> -o <file> [--events N] [--seed S]\n\
          \x20 trace info <file>\n"
     );
@@ -436,7 +485,72 @@ fn run_policy_demo(policy: RecoveryPolicy, seed: u64, probe: &Probe) -> Result<(
     Ok(())
 }
 
-fn cmd_sweep(args: Args) -> Result<(), String> {
+/// `shm crash`: cut power at a micro-op cycle inside a seeded secure-memory
+/// workload, run log-replay recovery, and classify the outcome.  Any silent
+/// divergence from the golden run breaks the crash-consistency claim (exit
+/// code 3, like a missed tamper in `shm attack`).
+fn cmd_crash(args: Args) -> Result<(), CliError> {
+    let seed = args.get_u64("seed")?.unwrap_or(7);
+    let ops = args.get_u64("ops")?.unwrap_or(12) as usize;
+    let flush = args.get_u64("flush")?.unwrap_or(1) as usize;
+    if args.flag("sweep") {
+        let report = crash_sweep(seed, ops, flush);
+        print!("{}", report.render());
+        if report.total_silent_divergences() > 0 {
+            return Err(CliError::integrity(
+                format!(
+                    "crash sweep (seed {seed}) served {} silently diverged read(s)",
+                    report.total_silent_divergences()
+                ),
+                &Probe::disabled(),
+            ));
+        }
+        return Ok(());
+    }
+    let at_cycle = args
+        .get_u64("at-cycle")?
+        .ok_or_else(|| CliError::usage("need --at-cycle N (or --sweep to cover every cycle)"))?;
+    let cfg = CrashConfig {
+        ops,
+        flush_interval: flush,
+        ..CrashConfig::smoke(seed, at_cycle)
+    };
+    let total_cycles = cfg.total_cycles();
+    let (n_ops, flush_interval) = (cfg.ops, cfg.flush_interval);
+    let report = run_crash(cfg);
+    println!(
+        "crash at cycle {at_cycle}/{total_cycles} (seed {seed}, {n_ops} ops, flush every {flush_interval}):"
+    );
+    println!(
+        "  committed ops {}  torn phase {}  torn addr {}",
+        report.committed_ops,
+        report.torn_phase,
+        report
+            .torn_addr
+            .map_or("none".to_string(), |a| format!("{a:#x}")),
+    );
+    for (addr, outcome) in &report.regions {
+        println!("  region {addr:#06x}  {outcome:?}");
+    }
+    println!(
+        "  outcome: {}  verified {}  silent divergences {}",
+        report.outcome.label(),
+        report.verified_regions,
+        report.silent_divergences
+    );
+    if report.silent_divergences > 0 {
+        return Err(CliError::integrity(
+            format!(
+                "crash at cycle {at_cycle} (seed {seed}) served {} silently diverged read(s)",
+                report.silent_divergences
+            ),
+            &Probe::disabled(),
+        ));
+    }
+    Ok(())
+}
+
+fn cmd_sweep(args: Args) -> Result<(), CliError> {
     let trace = load_trace(&args)?;
     let jobs = parse_jobs(&args)?;
     let cfg = GpuConfig::default();
@@ -444,13 +558,22 @@ fn cmd_sweep(args: Args) -> Result<(), String> {
     // All design points are independent — sweep them on the pool, then
     // print in the fixed `ALL` order (results come back in that order).
     let all = DesignPoint::ALL;
-    let stats = Executor::from_request(jobs)
-        .try_map(
+    let exec = Executor::from_request(jobs);
+    let stats: Vec<SimStats> = if let Some(path) = args.get("journal") {
+        sweep_journaled(&args, &trace, &cfg, &exec, path)?
+    } else {
+        if args.flag("resume") || args.get("crash-after-jobs").is_some() {
+            return Err(CliError::usage(
+                "--resume/--crash-after-jobs require --journal <file>",
+            ));
+        }
+        exec.try_map(
             &all,
             |_, d| format!("{} under {}", trace.name, d.name()),
             |_, &d| Simulator::new(&cfg, d).run(&trace),
         )
-        .map_err(|e| format!("sweep failed: {e}"))?;
+        .map_err(|e| CliError::runtime(format!("sweep failed: {e}"), &Probe::disabled()))?
+    };
     // ALL[0] is the unprotected baseline every row normalizes against.
     let base = stats[0].clone();
     let csv = args.flag("csv");
@@ -487,6 +610,72 @@ fn cmd_sweep(args: Args) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+/// Runs the design sweep through a durable job journal: every completed
+/// (benchmark, design) result is appended to `path` as it lands, so an
+/// interrupted sweep (SIGINT/SIGTERM, or `--crash-after-jobs N` for tests)
+/// can be re-run with `--resume` and skip straight past the finished jobs —
+/// the final table is byte-identical to an uninterrupted run.
+fn sweep_journaled(
+    args: &Args,
+    trace: &ContextTrace,
+    cfg: &GpuConfig,
+    exec: &Executor,
+    path: &str,
+) -> Result<Vec<SimStats>, CliError> {
+    let all = DesignPoint::ALL;
+    let resume = args.flag("resume");
+    if !resume && Path::new(path).exists() {
+        return Err(CliError::usage(format!(
+            "journal {path} already exists; pass --resume to continue it or remove it first"
+        )));
+    }
+    // The hash binds the journal to this exact sweep: same trace content
+    // (name + event count) and same design list, or the journal is rejected.
+    let mut parts: Vec<String> = vec![
+        trace.name.to_string(),
+        trace.all_events().count().to_string(),
+    ];
+    parts.extend(all.iter().map(|d| d.name().to_string()));
+    let part_refs: Vec<&str> = parts.iter().map(String::as_str).collect();
+    let mut journal = JobJournal::open(Path::new(path), config_hash(&part_refs))
+        .map_err(|e| CliError::runtime(format!("journal {path}: {e}"), &Probe::disabled()))?;
+    let token = CancelToken::new();
+    let opts = SweepOptions {
+        crash_after_jobs: args.get_u64("crash-after-jobs")?.map(|n| n as usize),
+    };
+    let sweep = map_journaled(
+        exec,
+        &all,
+        &mut journal,
+        &token,
+        opts,
+        |_, d| format!("{} under {}", trace.name, d.name()),
+        |_, &d| Simulator::new(cfg, d).run(trace),
+    )
+    .map_err(|e| CliError::runtime(format!("sweep failed: {e}"), &Probe::disabled()))?;
+    let (reused, executed) = (sweep.reused, sweep.executed);
+    match sweep.complete() {
+        Some(stats) => {
+            if reused > 0 {
+                eprintln!("resumed from {path}: {reused} job(s) reused, {executed} executed");
+            }
+            Ok(stats)
+        }
+        None => {
+            eprintln!(
+                "interrupted: {} of {} job(s) completed and journaled in {path}",
+                journal.len(),
+                all.len()
+            );
+            for label in journal.completed_labels() {
+                eprintln!("  done {label}");
+            }
+            eprintln!("re-run with --resume to pick up where this left off");
+            Err(CliError::interrupted("sweep interrupted"))
+        }
+    }
 }
 
 fn cmd_trace_gen(args: Args) -> Result<(), String> {

@@ -62,10 +62,15 @@ pub enum TamperKind {
     /// One-shot bit flip on the wire: corrupts exactly one fetch, gone on
     /// re-fetch (the transient the retry-once recovery policy absorbs).
     TransientBitFlip,
+    /// Power-cut tear: a write's ciphertext lands but its MAC, counter and
+    /// BMT micro-ops do not (the crash axis — `crates/recovery` models the
+    /// full cut-and-recover flow; here the campaign asserts the torn state
+    /// itself can never be served silently).
+    TornWrite,
 }
 
 /// Every attack class, in matrix order.
-pub const ALL_KINDS: [TamperKind; 11] = [
+pub const ALL_KINDS: [TamperKind; 12] = [
     TamperKind::CiphertextBitFlip,
     TamperKind::MacCorruption,
     TamperKind::BlockSplice,
@@ -77,6 +82,7 @@ pub const ALL_KINDS: [TamperKind; 11] = [
     TamperKind::RowhammerNeighborFlips,
     TamperKind::ChunkTamper,
     TamperKind::TransientBitFlip,
+    TamperKind::TornWrite,
 ];
 
 impl TamperKind {
@@ -94,6 +100,7 @@ impl TamperKind {
             TamperKind::RowhammerNeighborFlips => "rowhammer_neighbor_flips",
             TamperKind::ChunkTamper => "chunk_tamper",
             TamperKind::TransientBitFlip => "transient_bit_flip",
+            TamperKind::TornWrite => "torn_write",
         }
     }
 
@@ -107,7 +114,8 @@ impl TamperKind {
             | TamperKind::MacSplice
             | TamperKind::BlockReplay
             | TamperKind::RowhammerNeighborFlips
-            | TamperKind::TransientBitFlip => VerifyError::BlockMacMismatch,
+            | TamperKind::TransientBitFlip
+            | TamperKind::TornWrite => VerifyError::BlockMacMismatch,
             TamperKind::FullReplay | TamperKind::CounterReset | TamperKind::BmtNodeTamper => {
                 VerifyError::FreshnessViolation
             }
@@ -430,6 +438,18 @@ fn inject(
         }
         TamperKind::TransientBitFlip => {
             mem.inject_transient_fault(addr, rng.next_below(128) as usize, rng.next_below(8) as u8);
+            vec![addr]
+        }
+        TamperKind::TornWrite => {
+            // Power cut after the ciphertext micro-op: the new ciphertext
+            // lands, MAC and counter stay pre-write (the consistent restore
+            // keeps the BMT agreeing with the stale counter, as on real
+            // hardware where neither was updated).
+            let (_, old_mac) = mem.snapshot_block(addr);
+            let old_ctr = mem.snapshot_counter(addr);
+            mem.write_block(addr, &[fill_byte(seed, addr) ^ 0xA5; 128]);
+            mem.restore_block_mac(addr, old_mac);
+            mem.restore_counter(addr, old_ctr);
             vec![addr]
         }
     }

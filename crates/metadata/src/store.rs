@@ -497,6 +497,46 @@ impl SecureMemory {
     fn invalidate_chunk_mac(&mut self, addr: u64) {
         self.chunk_macs.remove(&(addr / CHUNK_BYTES));
     }
+
+    // --- Persistence domain: recovery actions replaying a write-ahead log.
+    //
+    // Unlike the attacker hooks above, these restore *consistent* state: a
+    // counter restore always rewrites the full BMT path, so a recovered
+    // region verifies again instead of merely holding old bytes.
+
+    /// Recovery action: restore a block's stored ciphertext from a journal
+    /// record (undo/redo of a torn data write).
+    pub fn restore_ciphertext(&mut self, addr: u64, ct: [u8; 128]) {
+        self.ciphertext.insert(addr & !(BLOCK_BYTES - 1), ct);
+    }
+
+    /// Recovery action: restore a block's stored per-block MAC from a
+    /// journal record.
+    pub fn restore_block_mac(&mut self, addr: u64, mac: u64) {
+        self.block_macs.insert(addr & !(BLOCK_BYTES - 1), mac);
+    }
+
+    /// Recovery action: restore the counter sector covering `addr` and
+    /// rebuild the whole BMT path over its counter line, leaving the tree
+    /// consistent with the restored sector (contrast
+    /// [`Self::replay_counter`], which deliberately leaves the tree stale).
+    pub fn restore_counter(&mut self, addr: u64, sector: CounterSector) {
+        let sector_addr = self.layout.counter_sector(addr);
+        self.counters.insert(sector_addr, sector);
+        let leaf = self.bmt_leaf_of(addr);
+        let hash = self.counter_hash(sector_addr);
+        self.bmt.update_leaf(leaf, hash);
+    }
+
+    /// Recovery action: recompute the BMT leaf covering `addr` from the
+    /// counters currently stored and rewrite its path bottom-up — heals a
+    /// tree whose leaf or inner nodes were torn mid-update.
+    pub fn rebuild_bmt_leaf(&mut self, addr: u64) {
+        let sector_addr = self.layout.counter_sector(addr);
+        let leaf = self.bmt_leaf_of(addr);
+        let hash = self.counter_hash(sector_addr);
+        self.bmt.update_leaf(leaf, hash);
+    }
 }
 
 /// Packs a (major, minor) pair into the single counter word fed to the MAC.
@@ -710,6 +750,37 @@ mod tests {
         assert_eq!(m.read_block(0x1000), Err(VerifyError::BlockMacMismatch));
         assert!(!m.transient_fault_armed(0x1000), "fault is one-shot");
         assert_eq!(m.read_block(0x1000).expect("refetch verifies"), [5u8; 128]);
+    }
+
+    #[test]
+    fn rebuild_bmt_leaf_heals_torn_tree_write() {
+        // A crash between the counter write and the BMT path write leaves
+        // the tree stale (exactly what tamper_bmt_leaf models); recovery
+        // recomputes the leaf from the stored counters and the read verifies.
+        let mut m = mem();
+        m.write_block(0x1000, &[1u8; 128]);
+        let stale = m.snapshot_bmt_leaf(0x1000);
+        m.write_block(0x1000, &[2u8; 128]);
+        m.tamper_bmt_leaf(0x1000, stale);
+        assert_eq!(m.read_block(0x1000), Err(VerifyError::FreshnessViolation));
+        m.rebuild_bmt_leaf(0x1000);
+        assert_eq!(m.read_block(0x1000).expect("healed read"), [2u8; 128]);
+    }
+
+    #[test]
+    fn restore_counter_rewrites_full_bmt_path() {
+        // Undo of a torn write: rolling ciphertext, MAC and counter back to
+        // the pre-write journal images must leave a *verifying* block —
+        // restore_counter rebuilds the tree path, unlike replay_counter.
+        let mut m = mem();
+        m.write_block(0x1000, &[1u8; 128]);
+        let (old_ct, old_mac) = m.snapshot_block(0x1000);
+        let old_ctr = m.snapshot_counter(0x1000);
+        m.write_block(0x1000, &[2u8; 128]);
+        m.restore_ciphertext(0x1000, old_ct);
+        m.restore_block_mac(0x1000, old_mac);
+        m.restore_counter(0x1000, old_ctr);
+        assert_eq!(m.read_block(0x1000).expect("restored read"), [1u8; 128]);
     }
 
     #[test]

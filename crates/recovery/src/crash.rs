@@ -1,0 +1,461 @@
+//! Power-cut model and log-replay recovery for the secure-memory engine.
+//!
+//! A logical write of [`SecureMemory`] reaches DRAM as four micro-ops —
+//! ① ciphertext, ② per-block MAC, ③ counter sector, ④ BMT path — so
+//! cutting power at micro-op cycle `N` tears write `N / 4` between phase
+//! `N % 4` and the next.  [`run_crash`] drives a seeded write workload,
+//! journals it through a [`WriteAheadLog`], reconstructs the exact torn
+//! DRAM state at the cut, then recovers: replay the durable log (redo the
+//! torn write from its journaled after-images, or undo to the
+//! before-images), rebuild stale counters and BMT branches through the
+//! consistent [`SecureMemory`] restore path, re-verify every region and
+//! classify the run.  The golden, uncrashed run is mirrored as plaintext
+//! and every verifying read is checked against it: a read that verifies
+//! but returns bytes outside the acceptable set is a **silent
+//! divergence**, and the whole subsystem exists to prove there are none.
+
+use gpu_types::{SplitMix64, BLOCK_BYTES};
+use shm_crypto::KeyTuple;
+use shm_metadata::SecureMemory;
+use std::collections::HashMap;
+
+use crate::wal::{WalRecord, WriteAheadLog};
+
+/// Micro-ops (DRAM cycles) one logical secure write occupies:
+/// ciphertext, block MAC, counter sector, BMT path.
+pub const MICRO_OPS_PER_WRITE: u64 = 4;
+
+/// One seeded crash experiment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CrashConfig {
+    /// Seed for the write workload (addresses and payloads).
+    pub seed: u64,
+    /// Logical writes issued after the primed checkpoint.
+    pub ops: usize,
+    /// Micro-op cycle of the power cut, `0..=ops * MICRO_OPS_PER_WRITE`.
+    pub at_cycle: u64,
+    /// WAL group-commit interval (1 = strict write-ahead logging).
+    pub flush_interval: usize,
+    /// Distinct block slots the workload writes into.
+    pub blocks: u64,
+}
+
+impl CrashConfig {
+    /// The smoke-sized experiment the CLI and CI sweep: 12 writes over 8
+    /// blocks with strict logging.
+    pub fn smoke(seed: u64, at_cycle: u64) -> Self {
+        Self {
+            seed,
+            ops: 12,
+            at_cycle,
+            flush_interval: 1,
+            blocks: 8,
+        }
+    }
+
+    /// Total micro-op cycles the workload spans.
+    pub fn total_cycles(&self) -> u64 {
+        self.ops as u64 * MICRO_OPS_PER_WRITE
+    }
+}
+
+/// Classification of one whole crash-recovery run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CrashOutcome {
+    /// The cut landed on an op boundary; every region verified as-is.
+    Clean,
+    /// At least one region was torn and log replay repaired all of them.
+    Recovered,
+    /// At least one torn region had no durable journal record; it was
+    /// detected and quarantined, never served silently.
+    UnrecoverableDetected,
+}
+
+impl CrashOutcome {
+    /// Stable lower-case label for tables and JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            CrashOutcome::Clean => "clean",
+            CrashOutcome::Recovered => "recovered",
+            CrashOutcome::UnrecoverableDetected => "unrecoverable_detected",
+        }
+    }
+}
+
+/// What recovery did to one region (block address).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RegionOutcome {
+    /// Verified without repair.
+    Clean,
+    /// Repaired by rolling forward to the journaled after-images.
+    RecoveredRedo,
+    /// Repaired by rolling back to the journaled before-images.
+    RecoveredUndo,
+    /// Torn with no durable record: detected, quarantined, never served.
+    Quarantined,
+}
+
+/// Everything one crash experiment learned.
+#[derive(Clone, Debug)]
+pub struct CrashReport {
+    /// The experiment configuration.
+    pub config: CrashConfig,
+    /// Writes fully committed before the cut.
+    pub committed_ops: usize,
+    /// Micro-ops of the torn write that landed (0 = boundary, no tear).
+    pub torn_phase: u8,
+    /// Address of the torn write, when there is one.
+    pub torn_addr: Option<u64>,
+    /// Per-region verdicts, sorted by address.
+    pub regions: Vec<(u64, RegionOutcome)>,
+    /// Verifying reads whose plaintext left the golden acceptable set
+    /// (must be zero — the subsystem's core invariant).
+    pub silent_divergences: usize,
+    /// Regions re-verified after recovery (everything not quarantined).
+    pub verified_regions: usize,
+    /// Overall classification.
+    pub outcome: CrashOutcome,
+}
+
+/// Deterministic payload of write `seq` under `seed` (priming uses
+/// `seq == usize::MAX - slot`).
+fn payload(seed: u64, seq: usize) -> [u8; 128] {
+    let mut r = SplitMix64::new(seed ^ (seq as u64).rotate_left(23) ^ 0xD15C_0B5E);
+    [r.next_u64() as u8; 128]
+}
+
+/// The seeded workload: `(addr, payload)` per logical write.
+fn workload(cfg: &CrashConfig) -> Vec<(u64, [u8; 128])> {
+    let mut rng = SplitMix64::new(cfg.seed ^ 0xC4A5_4C0D);
+    (0..cfg.ops)
+        .map(|seq| {
+            let addr = rng.next_below(cfg.blocks) * BLOCK_BYTES;
+            (addr, payload(cfg.seed, seq))
+        })
+        .collect()
+}
+
+/// Runs one crash experiment end to end; see the module docs for the
+/// phases.  Never panics: every anomaly is reported in the returned
+/// [`CrashReport`] (tests assert on it).
+pub fn run_crash(cfg: CrashConfig) -> CrashReport {
+    let keys = KeyTuple::derive(cfg.seed ^ 0x0FF1_CE00);
+    let span = cfg.blocks * BLOCK_BYTES;
+    let mut mem = SecureMemory::new(span, &keys);
+    let mut log = WriteAheadLog::new(cfg.flush_interval);
+
+    // Golden mirror: the plaintext an uncrashed run would hold.
+    let mut golden: HashMap<u64, [u8; 128]> = HashMap::new();
+
+    // Primed checkpoint: every slot durably written before cycle 0.
+    for slot in 0..cfg.blocks {
+        let addr = slot * BLOCK_BYTES;
+        let init = payload(cfg.seed ^ 0xBA5E, usize::MAX - slot as usize);
+        mem.write_block(addr, &init);
+        golden.insert(addr, init);
+    }
+
+    let ops = workload(&cfg);
+    let committed = ((cfg.at_cycle / MICRO_OPS_PER_WRITE) as usize).min(cfg.ops);
+    let torn_phase = if committed < cfg.ops {
+        (cfg.at_cycle % MICRO_OPS_PER_WRITE) as u8
+    } else {
+        0
+    };
+
+    // Committed writes: journal, then apply all four micro-ops.
+    for (seq, &(addr, pt)) in ops.iter().take(committed).enumerate() {
+        let (old_ct, old_mac) = mem.snapshot_block(addr);
+        let old_sector = mem.snapshot_counter(addr);
+        mem.write_block(addr, &pt);
+        let (new_ct, new_mac) = mem.snapshot_block(addr);
+        let new_sector = mem.snapshot_counter(addr);
+        log.append(WalRecord {
+            seq,
+            addr,
+            old_ct,
+            old_mac,
+            old_sector,
+            new_ct,
+            new_mac,
+            new_sector,
+        });
+        golden.insert(addr, pt);
+    }
+
+    // The torn write: journaled (append precedes the micro-ops), applied in
+    // full, then rolled back to the micro-op boundary the cut hit.
+    let mut torn_addr = None;
+    let mut torn_new_pt = None;
+    if torn_phase > 0 {
+        let (addr, pt) = ops[committed];
+        let (old_ct, old_mac) = mem.snapshot_block(addr);
+        let old_sector = mem.snapshot_counter(addr);
+        let old_leaf = mem.snapshot_bmt_leaf(addr);
+        mem.write_block(addr, &pt);
+        let (new_ct, new_mac) = mem.snapshot_block(addr);
+        let new_sector = mem.snapshot_counter(addr);
+        log.append(WalRecord {
+            seq: committed,
+            addr,
+            old_ct,
+            old_mac,
+            old_sector: old_sector.clone(),
+            new_ct,
+            new_mac,
+            new_sector,
+        });
+        match torn_phase {
+            // ① landed: MAC, counter and BMT still hold pre-write state.
+            1 => {
+                mem.restore_block_mac(addr, old_mac);
+                mem.restore_counter(addr, old_sector);
+            }
+            // ①② landed: counter and BMT still hold pre-write state.
+            2 => {
+                mem.restore_counter(addr, old_sector);
+            }
+            // ①②③ landed: only the BMT path is stale.
+            _ => {
+                mem.tamper_bmt_leaf(addr, old_leaf);
+            }
+        }
+        torn_addr = Some(addr);
+        torn_new_pt = Some(pt);
+    }
+
+    // --- Power is back: detect, replay the log tail, re-verify. ---
+    let acceptable = |addr: u64, pt: &[u8; 128]| -> bool {
+        golden.get(&addr).is_some_and(|g| g == pt)
+            || (torn_addr == Some(addr) && torn_new_pt.as_ref() == Some(pt))
+    };
+
+    // Detection pass: which regions fail verification as-is?  A torn BMT
+    // path breaks *every* block sharing the counter line, so failures here
+    // are symptoms, not yet verdicts.
+    let failing: Vec<u64> = (0..cfg.blocks)
+        .map(|slot| slot * BLOCK_BYTES)
+        .filter(|&addr| mem.read_block(addr).is_err())
+        .collect();
+
+    // Repair pass.  The only record recovery may trust for repair is the
+    // log tail, and only when that tail is the *last write issued* — the
+    // write-ahead guarantee says a torn write's record precedes its
+    // micro-ops, so "durable tail == last append" identifies the tear
+    // exactly.  Replaying any older record would resurrect
+    // stale-but-authentic state (a self-replay), so it is never done; a
+    // tear inside an unflushed group-commit epoch therefore stays
+    // unrecoverable — and detected.
+    let mut repaired: Option<(u64, RegionOutcome)> = None;
+    if let Some(tail) = log.durable_records().last() {
+        if tail.seq + 1 == log.len() && failing.contains(&tail.addr) {
+            let addr = tail.addr;
+            // Redo: roll forward to the after-images; restore_counter
+            // rebuilds the BMT branch, transitively healing line-mates
+            // that failed only through the shared leaf.
+            mem.restore_ciphertext(addr, tail.new_ct);
+            mem.restore_block_mac(addr, tail.new_mac);
+            mem.restore_counter(addr, tail.new_sector.clone());
+            match mem.read_block(addr) {
+                Ok(pt) if acceptable(addr, &pt) => {
+                    repaired = Some((addr, RegionOutcome::RecoveredRedo));
+                }
+                _ => {
+                    // Redo images rejected: undo to the before-images.
+                    mem.restore_ciphertext(addr, tail.old_ct);
+                    mem.restore_block_mac(addr, tail.old_mac);
+                    mem.restore_counter(addr, tail.old_sector.clone());
+                    if matches!(mem.read_block(addr), Ok(pt) if acceptable(addr, &pt)) {
+                        repaired = Some((addr, RegionOutcome::RecoveredUndo));
+                    }
+                }
+            }
+        }
+    }
+
+    // Re-verification pass over every region: what still fails after
+    // replay is quarantined, never served.
+    let mut regions = Vec::new();
+    let mut silent = 0usize;
+    let mut verified = 0usize;
+    for slot in 0..cfg.blocks {
+        let addr = slot * BLOCK_BYTES;
+        match mem.read_block(addr) {
+            Ok(pt) => {
+                if !acceptable(addr, &pt) {
+                    silent += 1;
+                }
+                verified += 1;
+                let outcome = match repaired {
+                    Some((a, o)) if a == addr => o,
+                    _ => RegionOutcome::Clean,
+                };
+                regions.push((addr, outcome));
+            }
+            Err(_) => regions.push((addr, RegionOutcome::Quarantined)),
+        }
+    }
+
+    let quarantined = regions
+        .iter()
+        .filter(|(_, o)| *o == RegionOutcome::Quarantined)
+        .count();
+    let repaired = regions
+        .iter()
+        .filter(|(_, o)| {
+            matches!(
+                o,
+                RegionOutcome::RecoveredRedo | RegionOutcome::RecoveredUndo
+            )
+        })
+        .count();
+    let outcome = if quarantined > 0 {
+        CrashOutcome::UnrecoverableDetected
+    } else if repaired > 0 {
+        CrashOutcome::Recovered
+    } else {
+        CrashOutcome::Clean
+    };
+
+    CrashReport {
+        config: cfg,
+        committed_ops: committed,
+        torn_phase,
+        torn_addr,
+        regions,
+        silent_divergences: silent,
+        verified_regions: verified,
+        outcome,
+    }
+}
+
+/// A crash experiment at every micro-op cycle of the workload.
+#[derive(Clone, Debug)]
+pub struct CrashSweepReport {
+    /// Per-cycle reports, `at_cycle == index`.
+    pub reports: Vec<CrashReport>,
+}
+
+impl CrashSweepReport {
+    /// Runs cut after cut: `at_cycle` from 0 through the whole workload.
+    pub fn new(seed: u64, ops: usize, flush_interval: usize) -> Self {
+        let total = ops as u64 * MICRO_OPS_PER_WRITE;
+        let reports = (0..=total)
+            .map(|at_cycle| {
+                run_crash(CrashConfig {
+                    at_cycle,
+                    ops,
+                    flush_interval,
+                    ..CrashConfig::smoke(seed, at_cycle)
+                })
+            })
+            .collect();
+        Self { reports }
+    }
+
+    /// Count of runs with the given outcome.
+    pub fn count(&self, outcome: CrashOutcome) -> usize {
+        self.reports.iter().filter(|r| r.outcome == outcome).count()
+    }
+
+    /// Silent divergences summed over every run (must be zero).
+    pub fn total_silent_divergences(&self) -> usize {
+        self.reports.iter().map(|r| r.silent_divergences).sum()
+    }
+
+    /// Fixed-format summary table.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let first = &self.reports[0].config;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "crash sweep: seed {} / {} ops / flush interval {} / {} cut points",
+            first.seed,
+            first.ops,
+            first.flush_interval,
+            self.reports.len()
+        );
+        for outcome in [
+            CrashOutcome::Clean,
+            CrashOutcome::Recovered,
+            CrashOutcome::UnrecoverableDetected,
+        ] {
+            let _ = writeln!(out, "  {:<24} {}", outcome.label(), self.count(outcome));
+        }
+        let _ = writeln!(
+            out,
+            "  {:<24} {}",
+            "silent_divergences",
+            self.total_silent_divergences()
+        );
+        out
+    }
+}
+
+/// Convenience wrapper: full sweep with [`CrashConfig::smoke`] sizing.
+pub fn crash_sweep(seed: u64, ops: usize, flush_interval: usize) -> CrashSweepReport {
+    CrashSweepReport::new(seed, ops, flush_interval)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boundary_cut_is_clean() {
+        for at in [0, 4, 8, 48] {
+            let r = run_crash(CrashConfig::smoke(7, at));
+            assert_eq!(r.outcome, CrashOutcome::Clean, "cycle {at}");
+            assert_eq!(r.silent_divergences, 0);
+            assert!(r.torn_addr.is_none());
+        }
+    }
+
+    #[test]
+    fn mid_write_cut_recovers_under_strict_wal() {
+        for phase in 1..4u64 {
+            let r = run_crash(CrashConfig::smoke(7, 4 * 5 + phase));
+            assert_eq!(r.outcome, CrashOutcome::Recovered, "phase {phase}");
+            assert_eq!(r.silent_divergences, 0);
+            assert!(r.torn_addr.is_some());
+            assert!(r
+                .regions
+                .iter()
+                .any(|(_, o)| matches!(o, RegionOutcome::RecoveredRedo)));
+        }
+    }
+
+    #[test]
+    fn unflushed_epoch_tear_is_detected_not_silent() {
+        // Flush interval 4: a tear inside an unflushed epoch has no durable
+        // record — the region must be quarantined, never served.
+        let cfg = CrashConfig {
+            flush_interval: 4,
+            at_cycle: 4 * 5 + 2,
+            ..CrashConfig::smoke(7, 0)
+        };
+        let r = run_crash(cfg);
+        assert_eq!(r.outcome, CrashOutcome::UnrecoverableDetected);
+        assert_eq!(r.silent_divergences, 0);
+    }
+
+    #[test]
+    fn same_config_same_report() {
+        let a = run_crash(CrashConfig::smoke(11, 17));
+        let b = run_crash(CrashConfig::smoke(11, 17));
+        assert_eq!(a.regions, b.regions);
+        assert_eq!(a.outcome, b.outcome);
+    }
+
+    #[test]
+    fn sweep_covers_every_cycle_with_zero_divergence() {
+        let sweep = crash_sweep(7, 6, 1);
+        assert_eq!(sweep.reports.len(), 25);
+        assert_eq!(sweep.total_silent_divergences(), 0);
+        assert_eq!(sweep.count(CrashOutcome::UnrecoverableDetected), 0);
+        assert!(sweep.count(CrashOutcome::Recovered) > 0);
+        assert!(sweep.count(CrashOutcome::Clean) > 0);
+        assert!(sweep.render().contains("silent_divergences       0"));
+    }
+}

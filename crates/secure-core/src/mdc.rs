@@ -386,6 +386,7 @@ impl MeeCore {
             );
             // Counter level plus every BMT level visited.
             self.probe.on_engine_depth(1 + u64::from(walked));
+            self.probe.on_bmt_walk(now, u64::from(walked));
         }
         ctr_ready
     }
@@ -840,6 +841,35 @@ mod tests {
             let uses: u64 = t.snapshots().iter().map(|s| s.ctr_victim_uses).sum();
             assert!(victims > 0, "streaming misses must evict counter lines");
             assert!(uses > 0, "the hot line's hits must surface as hotness");
+        });
+    }
+
+    #[test]
+    fn bmt_walk_depths_land_in_epoch_snapshots() {
+        let (mut mee, mut f, mut stats) = setup();
+        let probe = shm_telemetry::Probe::enabled(shm_telemetry::TelemetryConfig::default());
+        mee.set_probe(probe.clone());
+        let mut v = NoVictim;
+        // Cold counter miss walks the whole tree; a distant counter sharing
+        // the upper path early-terminates, so a shallower walk is recorded.
+        mee.fetch_counter(0, la(0), PhysAddr::new(0), true, &mut f, &mut v, &mut stats);
+        mee.fetch_counter(
+            0,
+            la(8192),
+            PhysAddr::new(8192),
+            true,
+            &mut f,
+            &mut v,
+            &mut stats,
+        );
+        probe.finalize(0);
+        probe.with(|t| {
+            let walks: u64 = t.snapshots().iter().map(|s| s.bmt_walks).sum();
+            let depth_sum: u64 = t.snapshots().iter().map(|s| s.bmt_depth_sum).sum();
+            let depth_max = t.snapshots().iter().map(|s| s.bmt_depth_max).max().unwrap();
+            assert_eq!(walks, 2, "each counter miss records one walk");
+            assert!(depth_sum > depth_max, "two walks contribute to the sum");
+            assert!(depth_max as usize <= mee.layout.bmt().levels());
         });
     }
 

@@ -41,6 +41,56 @@ pub const JOB_TIMEOUT_ENV: &str = "SHM_JOB_TIMEOUT_MS";
 /// [`Executor::run_robust`].
 pub const JOB_RETRIES_ENV: &str = "SHM_JOB_RETRIES";
 
+/// Process-global cancellation flag, set by the CLI's SIGINT/SIGTERM
+/// handler.  An atomic store is all a signal handler may safely do, so the
+/// flag lives here and every [`CancelToken`] observes it.
+static GLOBAL_CANCEL: AtomicBool = AtomicBool::new(false);
+
+/// Requests cooperative cancellation of every in-progress sweep in the
+/// process.  Async-signal-safe: a single atomic store.
+pub fn request_cancel() {
+    GLOBAL_CANCEL.store(true, Ordering::SeqCst);
+}
+
+/// True once [`request_cancel`] has been called.
+pub fn cancel_requested() -> bool {
+    GLOBAL_CANCEL.load(Ordering::SeqCst)
+}
+
+/// Clears the process-global cancellation flag (start of a fresh sweep).
+pub fn reset_cancel() {
+    GLOBAL_CANCEL.store(false, Ordering::SeqCst);
+}
+
+/// Cooperative cancellation handle for [`Executor::map_cancellable`].
+///
+/// A token trips either locally (via [`CancelToken::cancel`] — e.g. a
+/// deterministic `--crash-after-jobs` test knob) or process-wide (via
+/// [`request_cancel`] from a signal handler).  Workers observing a tripped
+/// token stop *pulling* new jobs; jobs already running drain to completion,
+/// so every recorded result is complete and journals stay valid.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    local: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, untripped token (still observes the process-global flag).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Trips this token only (other sweeps in the process are unaffected).
+    pub fn cancel(&self) {
+        self.local.store(true, Ordering::SeqCst);
+    }
+
+    /// True when this token or the process-global flag has been tripped.
+    pub fn is_cancelled(&self) -> bool {
+        self.local.load(Ordering::SeqCst) || cancel_requested()
+    }
+}
+
 /// A job that panicked: submission index plus the panic payload rendered
 /// as text, so the caller can report the failing (benchmark, design) pair.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -219,6 +269,88 @@ impl Executor {
                     .unwrap_or_else(|e| e.into_inner())
                     .expect("every job scheduled once")
             })
+            .collect()
+    }
+
+    /// Like [`map`](Executor::map), but drains instead of finishing when
+    /// `token` trips: workers stop *pulling* new jobs once
+    /// [`CancelToken::is_cancelled`] turns true, while jobs already running
+    /// complete normally.  Jobs never started come back as `None`, in
+    /// submission order — the caller can tell exactly which results exist.
+    ///
+    /// This is the graceful-shutdown primitive: Ctrl-C trips the global
+    /// flag, in-flight simulations drain, their results land in the job
+    /// journal, and the process exits with a valid journal for `--resume`.
+    pub fn map_cancellable<I, T, F>(
+        &self,
+        items: &[I],
+        token: &CancelToken,
+        work: F,
+    ) -> Vec<Option<JobResult<T>>>
+    where
+        I: Sync,
+        T: Send,
+        F: Fn(usize, &I) -> T + Sync,
+    {
+        let workers = self.jobs.min(items.len()).max(1);
+        let slots: Vec<Mutex<Option<JobResult<T>>>> =
+            (0..items.len()).map(|_| Mutex::new(None)).collect();
+
+        let run_one = |i: usize| {
+            let outcome =
+                catch_unwind(AssertUnwindSafe(|| work(i, &items[i]))).map_err(|payload| JobPanic {
+                    index: i,
+                    label: None,
+                    message: panic_message(payload),
+                });
+            *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(outcome);
+        };
+
+        if workers == 1 {
+            for i in 0..items.len() {
+                if token.is_cancelled() {
+                    break;
+                }
+                run_one(i);
+            }
+        } else {
+            let queues: Vec<Mutex<VecDeque<usize>>> =
+                (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+            for (i, q) in (0..items.len()).zip((0..workers).cycle()) {
+                queues[q].lock().expect("fresh queue").push_back(i);
+            }
+            std::thread::scope(|scope| {
+                for w in 0..workers {
+                    let queues = &queues;
+                    let run_one = &run_one;
+                    scope.spawn(move || loop {
+                        if token.is_cancelled() {
+                            break;
+                        }
+                        let next = queues[w]
+                            .lock()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .pop_front()
+                            .or_else(|| {
+                                (1..workers).find_map(|d| {
+                                    queues[(w + d) % workers]
+                                        .lock()
+                                        .unwrap_or_else(|e| e.into_inner())
+                                        .pop_back()
+                                })
+                            });
+                        match next {
+                            Some(i) => run_one(i),
+                            None => break,
+                        }
+                    });
+                }
+            });
+        }
+
+        slots
+            .into_iter()
+            .map(|slot| slot.into_inner().unwrap_or_else(|e| e.into_inner()))
             .collect()
     }
 
@@ -818,6 +950,85 @@ mod tests {
             }
             other => panic!("expected panic, got {other:?}"),
         }
+    }
+
+    /// Serializes tests that read or write the process-global cancel flag —
+    /// `cargo test` runs tests on concurrent threads in one process.
+    static CANCEL_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn map_cancellable_without_cancel_matches_map() {
+        let _guard = CANCEL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let items: Vec<u64> = (0..40).collect();
+        let token = CancelToken::new();
+        let out = Executor::new(4).map_cancellable(&items, &token, |_, &x| x + 1);
+        let vals: Vec<u64> = out
+            .into_iter()
+            .map(|o| o.expect("all ran").expect("no panic"))
+            .collect();
+        assert_eq!(vals, items.iter().map(|x| x + 1).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_cancellable_serial_stops_pulling_after_cancel() {
+        let _guard = CANCEL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let items: Vec<u64> = (0..10).collect();
+        let token = CancelToken::new();
+        let out = Executor::new(1).map_cancellable(&items, &token, |i, &x| {
+            if i == 3 {
+                token.cancel();
+            }
+            x * 2
+        });
+        // The cancelling job itself drains; nothing after it starts.
+        for (i, o) in out.iter().enumerate() {
+            if i <= 3 {
+                assert_eq!(
+                    *o.as_ref().expect("ran").as_ref().expect("ok"),
+                    items[i] * 2
+                );
+            } else {
+                assert!(o.is_none(), "job {i} ran after cancel");
+            }
+        }
+    }
+
+    #[test]
+    fn map_cancellable_parallel_drains_in_flight_jobs() {
+        let _guard = CANCEL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let items: Vec<u64> = (0..64).collect();
+        let token = CancelToken::new();
+        let started = AtomicUsize::new(0);
+        let out = Executor::new(4).map_cancellable(&items, &token, |i, &x| {
+            started.fetch_add(1, Ordering::SeqCst);
+            if i == 0 {
+                token.cancel();
+            }
+            std::thread::yield_now();
+            x
+        });
+        let ran = out.iter().filter(|o| o.is_some()).count();
+        // Every slot that ran holds a complete result (drained, not torn),
+        // and cancellation kept at least some of the 64 jobs from starting.
+        assert_eq!(ran, started.load(Ordering::SeqCst));
+        assert!(ran >= 1);
+        assert!(ran < items.len(), "cancel had no effect");
+        for (o, &x) in out.iter().zip(&items) {
+            if let Some(r) = o {
+                assert_eq!(*r.as_ref().expect("ok"), x);
+            }
+        }
+    }
+
+    #[test]
+    fn cancel_token_observes_global_flag() {
+        let _guard = CANCEL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let token = CancelToken::new();
+        assert!(!token.is_cancelled());
+        request_cancel();
+        assert!(token.is_cancelled(), "global flag must trip local tokens");
+        reset_cancel();
+        assert!(!token.is_cancelled());
     }
 
     #[test]

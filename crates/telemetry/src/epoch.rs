@@ -36,6 +36,13 @@ pub struct EpochSnapshot {
     /// Sum of per-line hit counts over those evicted counter lines — the
     /// hotness the MDC victim policy gave up by evicting them.
     pub ctr_victim_uses: u64,
+    /// BMT authentication walks started during the epoch (counter misses).
+    pub bmt_walks: u64,
+    /// Sum of levels climbed over those walks (`sum / walks` = mean depth —
+    /// how far up the tree misses travel before hitting a cached node).
+    pub bmt_depth_sum: u64,
+    /// Deepest single walk observed during the epoch.
+    pub bmt_depth_max: u64,
 }
 
 impl EpochSnapshot {
@@ -79,9 +86,10 @@ impl EpochSnapshot {
         }
         let _ = write!(
             out,
-            ",\"instructions\":{},\"accesses\":{},\"l2_hits\":{},\"l2_misses\":{},\"dram_requests\":{},\"ctr_victims\":{},\"ctr_victim_uses\":{}}}",
+            ",\"instructions\":{},\"accesses\":{},\"l2_hits\":{},\"l2_misses\":{},\"dram_requests\":{},\"ctr_victims\":{},\"ctr_victim_uses\":{},\"bmt_walks\":{},\"bmt_depth_sum\":{},\"bmt_depth_max\":{}}}",
             self.instructions, self.accesses, self.l2_hits, self.l2_misses, self.dram_requests,
-            self.ctr_victims, self.ctr_victim_uses
+            self.ctr_victims, self.ctr_victim_uses, self.bmt_walks, self.bmt_depth_sum,
+            self.bmt_depth_max
         );
     }
 }

@@ -260,6 +260,16 @@ impl Telemetry {
         cur.ctr_victim_uses += uses;
     }
 
+    /// Records one BMT authentication walk that climbed `depth` levels
+    /// before terminating (at a cached node or the root).
+    pub fn on_bmt_walk(&mut self, cycle: u64, depth: u64) {
+        self.advance_epochs(cycle);
+        let cur = self.epochs.current_mut();
+        cur.bmt_walks += 1;
+        cur.bmt_depth_sum += depth;
+        cur.bmt_depth_max = cur.bmt_depth_max.max(depth);
+    }
+
     /// Closes the run: flushes the trailing partial epoch and, when a
     /// stream sink is attached, its remaining snapshots plus the trailing
     /// histogram and drops lines.
@@ -323,6 +333,18 @@ impl Telemetry {
     /// Collection configuration in effect.
     pub fn config(&self) -> &TelemetryConfig {
         &self.cfg
+    }
+}
+
+impl Drop for Telemetry {
+    /// Flushes whatever the stream sink has buffered.  No records are
+    /// written here — a run dropped without [`Telemetry::finalize`] keeps
+    /// its partial document on disk rather than losing the buffer tail,
+    /// and a finalized run's flush is a no-op.
+    fn drop(&mut self) {
+        if let Some(w) = self.stream.as_mut() {
+            let _ = w.flush();
+        }
     }
 }
 
@@ -473,6 +495,14 @@ impl Probe {
     pub fn on_ctr_victim(&self, cycle: u64, uses: u64) {
         if self.inner.is_some() {
             self.with(|t| t.on_ctr_victim(cycle, uses));
+        }
+    }
+
+    /// See [`Telemetry::on_bmt_walk`].
+    #[inline]
+    pub fn on_bmt_walk(&self, cycle: u64, depth: u64) {
+        if self.inner.is_some() {
+            self.with(|t| t.on_bmt_walk(cycle, depth));
         }
     }
 
@@ -646,6 +676,27 @@ mod tests {
             assert_eq!(snaps[0].ctr_victim_uses, 8);
             assert_eq!(snaps[1].ctr_victims, 1);
             assert_eq!(snaps[1].ctr_victim_uses, 1);
+        });
+    }
+
+    #[test]
+    fn bmt_walk_depths_split_per_epoch() {
+        let p = Probe::enabled(TelemetryConfig {
+            epoch_cycles: 100,
+            ..Default::default()
+        });
+        p.on_bmt_walk(10, 2);
+        p.on_bmt_walk(20, 5);
+        p.on_bmt_walk(150, 3);
+        p.finalize(150);
+        p.with(|t| {
+            let snaps = t.snapshots();
+            assert_eq!(snaps[0].bmt_walks, 2);
+            assert_eq!(snaps[0].bmt_depth_sum, 7);
+            assert_eq!(snaps[0].bmt_depth_max, 5);
+            assert_eq!(snaps[1].bmt_walks, 1);
+            assert_eq!(snaps[1].bmt_depth_sum, 3);
+            assert_eq!(snaps[1].bmt_depth_max, 3);
         });
     }
 

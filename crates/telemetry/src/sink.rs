@@ -90,7 +90,7 @@ pub fn epoch_csv(t: &Telemetry) -> String {
         }
     }
     out.push_str(
-        ",instructions,accesses,l2_hits,l2_misses,dram_requests,ctr_victims,ctr_victim_uses\n",
+        ",instructions,accesses,l2_hits,l2_misses,dram_requests,ctr_victims,ctr_victim_uses,bmt_walks,bmt_depth_sum,bmt_depth_max\n",
     );
     for s in t.snapshots() {
         let _ = write!(out, "{},{},{}", s.index, s.start_cycle, s.end_cycle);
@@ -101,14 +101,17 @@ pub fn epoch_csv(t: &Telemetry) -> String {
         }
         let _ = writeln!(
             out,
-            ",{},{},{},{},{},{},{}",
+            ",{},{},{},{},{},{},{},{},{},{}",
             s.instructions,
             s.accesses,
             s.l2_hits,
             s.l2_misses,
             s.dram_requests,
             s.ctr_victims,
-            s.ctr_victim_uses
+            s.ctr_victim_uses,
+            s.bmt_walks,
+            s.bmt_depth_sum,
+            s.bmt_depth_max
         );
     }
     out
@@ -328,7 +331,7 @@ mod tests {
         let header = lines.next().unwrap();
         assert!(header.starts_with("index,start_cycle,end_cycle,read_"));
         assert!(header.ends_with(
-            "instructions,accesses,l2_hits,l2_misses,dram_requests,ctr_victims,ctr_victim_uses"
+            "instructions,accesses,l2_hits,l2_misses,dram_requests,ctr_victims,ctr_victim_uses,bmt_walks,bmt_depth_sum,bmt_depth_max"
         ));
         let cols = header.split(',').count();
         // Same epochs as the JSONL document: 0..100, 100..200, 200..250.

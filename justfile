@@ -37,3 +37,15 @@ bench-repro scale="0.25":
 # VerifyError with zero false alarms (exit 3 otherwise — docs/ROBUSTNESS.md).
 attack-smoke seed="7":
     cargo run --release -p shm-cli -- attack --campaign smoke --seed {{seed}}
+
+# Crash-consistency smoke: the power-cut matrix must classify every cut with
+# zero silent divergence, and a sweep killed mid-run must --resume to
+# byte-identical tables without re-executing completed jobs.
+recovery-smoke scale="0.25":
+    cargo run --release -p shm-cli -- crash --sweep --seed 7
+    rm -rf /tmp/shm_recovery_j
+    cargo run --release -p shm-bench --bin repro -- fig16 --scale {{scale}} > /tmp/shm_recovery_golden.txt
+    cargo run --release -p shm-bench --bin repro -- fig16 --scale {{scale}} --journal /tmp/shm_recovery_j --crash-after-jobs 5; test $? -eq 130
+    cargo run --release -p shm-bench --bin repro -- fig16 --scale {{scale}} --journal /tmp/shm_recovery_j --resume > /tmp/shm_recovery_resumed.txt
+    diff /tmp/shm_recovery_golden.txt /tmp/shm_recovery_resumed.txt
+    rm -rf /tmp/shm_recovery_j /tmp/shm_recovery_golden.txt /tmp/shm_recovery_resumed.txt

@@ -41,7 +41,7 @@ fn full_campaign_seed7_matches_the_golden_detection_matrix() {
         assert_eq!(entry.wrong_variant, 0, "{}: wrong variant", kind.label());
         assert_eq!(entry.silent, 0, "{}: silent corruption", kind.label());
     }
-    assert_eq!(report.total_injected(), 57);
+    assert_eq!(report.total_injected(), 63);
     assert_eq!(report.false_alarms, 0, "clean reads must verify");
     assert!(report.clean_blocks > 0, "the false-alarm pass ran");
     assert!(report.is_clean_pass());
