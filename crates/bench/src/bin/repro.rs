@@ -37,6 +37,7 @@ use std::time::Instant;
 use gpu_mem_sim::{DesignPoint, EnergyModel, Simulator};
 use gpu_types::{GpuConfig, ShmConfig};
 use shm::{required_mechanisms, DataProperty, OracleProfile};
+use shm_bench::dist::{try_run_suite_dist, try_run_suite_dist_journaled, DistSweepConfig};
 use shm_bench::{
     format_table, mean, scaled_suite, traffic_breakdown, try_run_suite_jobs,
     try_run_suite_journaled, BenchRow, Executor,
@@ -109,6 +110,35 @@ struct JournalCtx {
     crash_after_jobs: Option<usize>,
 }
 
+/// How the suite-based figures execute their sweeps: optionally through a
+/// journal (`--journal`), optionally on a worker cluster (`--dist`); the
+/// two compose (dist results land in the same journals local runs use).
+#[derive(Default)]
+struct SweepCtx {
+    jctx: Option<JournalCtx>,
+    dist: Option<DistSweepConfig>,
+}
+
+/// Prints the cluster accounting of a distributed sweep to stderr (stdout
+/// must stay byte-identical to a local run).
+fn report_dist(figure: &str, summary: &shm_bench::dist::DistSummary) {
+    if summary.degraded {
+        return; // the fallback path already warned
+    }
+    for w in &summary.workers {
+        eprintln!(
+            "{figure}: worker {}: {} job(s), {} B out, {} B in, {} reassigned",
+            w.id, w.jobs_done, w.bytes_sent, w.bytes_received, w.reassigned
+        );
+    }
+    if summary.reassignments > 0 {
+        eprintln!(
+            "{figure}: {} job(s) reassigned after worker loss",
+            summary.reassignments
+        );
+    }
+}
+
 /// How a figure rendering failed: a resumable interruption of a journaled
 /// sweep, or an ordinary failure.
 enum FigError {
@@ -130,9 +160,15 @@ fn suite_rows(
     designs: &[DesignPoint],
     scale: f64,
     jobs: Option<usize>,
-    jctx: Option<&JournalCtx>,
+    sctx: &SweepCtx,
 ) -> Result<Vec<BenchRow>, FigError> {
-    let Some(ctx) = jctx else {
+    let Some(ctx) = &sctx.jctx else {
+        if let Some(cfg) = &sctx.dist {
+            let (rows, summary) = try_run_suite_dist(designs, scale, cfg)
+                .map_err(|e| FigError::Failed(format!("{figure} distributed sweep: {e}")))?;
+            report_dist(figure, &summary);
+            return Ok(rows);
+        }
         return try_run_suite_jobs(designs, scale, jobs)
             .map_err(|e| FigError::Failed(format!("{figure} sweep failed: {e}")));
     };
@@ -143,8 +179,18 @@ fn suite_rows(
             ctx.dir
         )));
     }
-    let sweep = try_run_suite_journaled(figure, designs, scale, jobs, dir, ctx.crash_after_jobs)
-        .map_err(|e| FigError::Failed(format!("{figure} journaled sweep failed: {e}")))?;
+    let sweep = if let Some(cfg) = &sctx.dist {
+        let (sweep, summary) =
+            try_run_suite_dist_journaled(figure, designs, scale, cfg, dir, ctx.crash_after_jobs)
+                .map_err(|e| {
+                    FigError::Failed(format!("{figure} distributed journaled sweep: {e}"))
+                })?;
+        report_dist(figure, &summary);
+        sweep
+    } else {
+        try_run_suite_journaled(figure, designs, scale, jobs, dir, ctx.crash_after_jobs)
+            .map_err(|e| FigError::Failed(format!("{figure} journaled sweep failed: {e}")))?
+    };
     if sweep.reused > 0 {
         eprintln!(
             "{figure}: resumed from {}: {} job(s) reused, {} executed",
@@ -171,6 +217,7 @@ fn run(args: &[String]) -> Result<(), ReproError> {
     let mut journal_dir: Option<String> = None;
     let mut resume = false;
     let mut crash_after_jobs: Option<usize> = None;
+    let mut dist_bind: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -208,11 +255,23 @@ fn run(args: &[String]) -> Result<(), ReproError> {
                 i += 2;
             }
             "--jobs" => {
-                jobs = Some(
+                let raw = args
+                    .get(i + 1)
+                    .ok_or_else(|| ReproError::usage("--jobs needs a value"))?;
+                jobs = sim_exec::parse_jobs_spec(raw);
+                if jobs.is_none() {
+                    eprintln!(
+                        "warning: ignoring --jobs {raw:?} (expected a positive integer); \
+                         using auto parallelism"
+                    );
+                }
+                i += 2;
+            }
+            "--dist" => {
+                dist_bind = Some(
                     args.get(i + 1)
-                        .and_then(|s| s.parse().ok())
-                        .filter(|&n: &usize| n > 0)
-                        .ok_or_else(|| ReproError::usage("--jobs needs a positive integer"))?,
+                        .cloned()
+                        .ok_or_else(|| ReproError::usage("--dist needs a bind address"))?,
                 );
                 i += 2;
             }
@@ -243,16 +302,19 @@ fn run(args: &[String]) -> Result<(), ReproError> {
             "--resume/--crash-after-jobs require --journal DIR",
         ));
     }
-    let jctx = journal_dir.map(|dir| JournalCtx {
-        dir,
-        resume,
-        crash_after_jobs,
-    });
+    let sctx = SweepCtx {
+        jctx: journal_dir.map(|dir| JournalCtx {
+            dir,
+            resume,
+            crash_after_jobs,
+        }),
+        dist: dist_bind.map(|bind| DistSweepConfig::from_env(&bind)),
+    };
 
     if what == "bench" {
         bench_mode(scale, jobs, &bench_out)?;
     } else {
-        match render_target(&what, scale, jobs, jctx.as_ref()) {
+        match render_target(&what, scale, jobs, &sctx) {
             Ok(Some(text)) => print!("{text}"),
             Ok(None) => return Err(ReproError::usage(format!("unknown target: {what}"))),
             Err(FigError::Interrupted { journal, done }) => {
@@ -296,7 +358,7 @@ fn render_target(
     what: &str,
     scale: f64,
     jobs: Option<usize>,
-    jctx: Option<&JournalCtx>,
+    sctx: &SweepCtx,
 ) -> Result<Option<String>, FigError> {
     Ok(Some(match what {
         "table1" => table1(),
@@ -306,11 +368,11 @@ fn render_target(
         "fig5" => fig5(scale, jobs)?,
         "fig10" => fig10(scale, jobs)?,
         "fig11" => fig11(scale, jobs)?,
-        "fig12" => fig12(scale, jobs, jctx)?,
-        "fig13" => fig13(scale, jobs, jctx)?,
-        "fig14" => fig14(scale, jobs, jctx)?,
-        "fig15" => fig15(scale, jobs, jctx)?,
-        "fig16" => fig16(scale, jobs, jctx)?,
+        "fig12" => fig12(scale, jobs, sctx)?,
+        "fig13" => fig13(scale, jobs, sctx)?,
+        "fig14" => fig14(scale, jobs, sctx)?,
+        "fig15" => fig15(scale, jobs, sctx)?,
+        "fig16" => fig16(scale, jobs, sctx)?,
         "micro" => micro_diag(),
         "sensitivity" => sensitivity(scale),
         "all" => {
@@ -322,11 +384,11 @@ fn render_target(
             out.push_str(&table7(scale, jobs)?);
             out.push_str(&fig10(scale, jobs)?);
             out.push_str(&fig11(scale, jobs)?);
-            out.push_str(&fig12(scale, jobs, jctx)?);
-            out.push_str(&fig13(scale, jobs, jctx)?);
-            out.push_str(&fig14(scale, jobs, jctx)?);
-            out.push_str(&fig15(scale, jobs, jctx)?);
-            out.push_str(&fig16(scale, jobs, jctx)?);
+            out.push_str(&fig12(scale, jobs, sctx)?);
+            out.push_str(&fig13(scale, jobs, sctx)?);
+            out.push_str(&fig14(scale, jobs, sctx)?);
+            out.push_str(&fig15(scale, jobs, sctx)?);
+            out.push_str(&fig16(scale, jobs, sctx)?);
             out
         }
         _ => return Ok(None),
@@ -338,7 +400,7 @@ fn render_target(
 fn bench_mode(scale: f64, jobs: Option<usize>, out_path: &str) -> Result<(), ReproError> {
     let workers = Executor::from_request(jobs).jobs();
     let render_all = |jobs: usize| -> Result<String, ReproError> {
-        render_target("all", scale, Some(jobs), None)
+        render_target("all", scale, Some(jobs), &SweepCtx::default())
             .map_err(|e| match e {
                 FigError::Interrupted { journal, .. } => {
                     ReproError::interrupted(format!("bench sweep interrupted (journal {journal})"))
@@ -844,10 +906,10 @@ fn norm_ipc_table(
     designs: &[DesignPoint],
     scale: f64,
     jobs: Option<usize>,
-    jctx: Option<&JournalCtx>,
+    sctx: &SweepCtx,
 ) -> Result<String, FigError> {
     let header: Vec<&str> = designs.iter().map(|d| d.name()).collect();
-    let rows: Vec<(String, Vec<f64>)> = suite_rows(figure, designs, scale, jobs, jctx)?
+    let rows: Vec<(String, Vec<f64>)> = suite_rows(figure, designs, scale, jobs, sctx)?
         .iter()
         .map(|row| {
             (
@@ -860,7 +922,7 @@ fn norm_ipc_table(
 }
 
 /// Fig. 12: normalized IPC of the main designs.
-fn fig12(scale: f64, jobs: Option<usize>, jctx: Option<&JournalCtx>) -> Result<String, FigError> {
+fn fig12(scale: f64, jobs: Option<usize>, sctx: &SweepCtx) -> Result<String, FigError> {
     norm_ipc_table(
         "Fig. 12: normalized IPC",
         "fig12",
@@ -873,12 +935,12 @@ fn fig12(scale: f64, jobs: Option<usize>, jctx: Option<&JournalCtx>) -> Result<S
         ],
         scale,
         jobs,
-        jctx,
+        sctx,
     )
 }
 
 /// Fig. 13: optimisation breakdown.
-fn fig13(scale: f64, jobs: Option<usize>, jctx: Option<&JournalCtx>) -> Result<String, FigError> {
+fn fig13(scale: f64, jobs: Option<usize>, sctx: &SweepCtx) -> Result<String, FigError> {
     norm_ipc_table(
         "Fig. 13: performance impact of each optimisation",
         "fig13",
@@ -891,12 +953,12 @@ fn fig13(scale: f64, jobs: Option<usize>, jctx: Option<&JournalCtx>) -> Result<S
         ],
         scale,
         jobs,
-        jctx,
+        sctx,
     )
 }
 
 /// Fig. 14: bandwidth overheads of security metadata.
-fn fig14(scale: f64, jobs: Option<usize>, jctx: Option<&JournalCtx>) -> Result<String, FigError> {
+fn fig14(scale: f64, jobs: Option<usize>, sctx: &SweepCtx) -> Result<String, FigError> {
     let designs = [
         DesignPoint::Naive,
         DesignPoint::CommonCtr,
@@ -906,7 +968,7 @@ fn fig14(scale: f64, jobs: Option<usize>, jctx: Option<&JournalCtx>) -> Result<S
     ];
     let header: Vec<&str> = designs.iter().map(|d| d.name()).collect();
     let mut breakdown_acc: BTreeMap<&str, Vec<f64>> = BTreeMap::new();
-    let suite_rows = suite_rows("fig14", &designs, scale, jobs, jctx)?;
+    let suite_rows = suite_rows("fig14", &designs, scale, jobs, sctx)?;
     let rows: Vec<(String, Vec<f64>)> = suite_rows
         .iter()
         .map(|row| {
@@ -944,7 +1006,7 @@ fn fig14(scale: f64, jobs: Option<usize>, jctx: Option<&JournalCtx>) -> Result<S
 }
 
 /// Fig. 15: normalized energy per instruction.
-fn fig15(scale: f64, jobs: Option<usize>, jctx: Option<&JournalCtx>) -> Result<String, FigError> {
+fn fig15(scale: f64, jobs: Option<usize>, sctx: &SweepCtx) -> Result<String, FigError> {
     let designs = [
         DesignPoint::Naive,
         DesignPoint::CommonCtr,
@@ -953,7 +1015,7 @@ fn fig15(scale: f64, jobs: Option<usize>, jctx: Option<&JournalCtx>) -> Result<S
     ];
     let model = EnergyModel::default();
     let header: Vec<&str> = designs.iter().map(|d| d.name()).collect();
-    let rows: Vec<(String, Vec<f64>)> = suite_rows("fig15", &designs, scale, jobs, jctx)?
+    let rows: Vec<(String, Vec<f64>)> = suite_rows("fig15", &designs, scale, jobs, sctx)?
         .iter()
         .map(|row| {
             (
@@ -973,12 +1035,12 @@ fn fig15(scale: f64, jobs: Option<usize>, jctx: Option<&JournalCtx>) -> Result<S
 }
 
 /// Fig. 16: SHM vs SHM with the L2 victim cache.
-fn fig16(scale: f64, jobs: Option<usize>, jctx: Option<&JournalCtx>) -> Result<String, FigError> {
+fn fig16(scale: f64, jobs: Option<usize>, sctx: &SweepCtx) -> Result<String, FigError> {
     let designs = [DesignPoint::Shm, DesignPoint::ShmVL2];
     let header: Vec<&str> = designs.iter().map(|d| d.name()).collect();
     // One sweep feeds both the table and the mean-gain headline (the old
     // implementation re-ran the whole suite for the second number).
-    let suite_rows = suite_rows("fig16", &designs, scale, jobs, jctx)?;
+    let suite_rows = suite_rows("fig16", &designs, scale, jobs, sctx)?;
     let rows: Vec<(String, Vec<f64>)> = suite_rows
         .iter()
         .map(|row| {

@@ -17,6 +17,8 @@ use shm_recovery::{config_hash, map_journaled, JobJournal, SweepOptions};
 use shm_workloads::BenchmarkProfile;
 pub use sim_exec::{CancelToken, Executor, SweepError};
 
+pub mod dist;
+
 /// Scale factor for event counts: 1.0 = full runs (repro binary),
 /// smaller for quick tests/benches.
 pub fn scaled_suite(scale: f64) -> Vec<BenchmarkProfile> {
@@ -146,7 +148,7 @@ pub fn try_run_suite_jobs(
 
 /// The baseline-first design list and `(profile index, design)` job pairs
 /// every suite sweep iterates, in deterministic submission order.
-fn suite_pairs(
+pub(crate) fn suite_pairs(
     designs: &[DesignPoint],
     profiles: &[BenchmarkProfile],
 ) -> (Vec<DesignPoint>, Vec<(usize, DesignPoint)>) {

@@ -158,6 +158,7 @@ fn dispatch(argv: &[String]) -> Result<(), CliError> {
         "attack" => cmd_attack(Args::parse(rest).map_err(stringify)?),
         "crash" => cmd_crash(Args::parse(rest).map_err(stringify)?),
         "sweep" => cmd_sweep(Args::parse(rest).map_err(stringify)?),
+        "worker" => cmd_worker(Args::parse(rest).map_err(stringify)?),
         "trace" => match rest.first().map(String::as_str) {
             Some("gen") => Ok(cmd_trace_gen(Args::parse(&rest[1..]).map_err(stringify)?)?),
             Some("info") => Ok(cmd_trace_info(&rest[1..])?),
@@ -212,6 +213,9 @@ fn print_help() {
          \x20 sweep -b <bench> [--events N] [--csv] [--jobs N]\n\
          \x20 sweep ... --journal <file> [--resume]  checkpoint results; SIGINT/SIGTERM\n\
          \x20        stops gracefully (exit 130) and --resume skips completed jobs\n\
+         \x20 sweep -b <bench> --dist HOST:PORT    run the sweep on a worker cluster\n\
+         \x20        (SHM_DIST_WORKERS=N spawns loopback workers; composes with --journal)\n\
+         \x20 worker --connect HOST:PORT [--jobs N] [--id NAME]   serve sweep jobs\n\
          \x20 attack --campaign smoke|full [--seed S] [--policy abort|retry|quarantine]\n\
          \x20        [--telemetry ...]            adversary campaign; exit 3 on any miss\n\
          \x20 crash --at-cycle N [--seed S] [--ops K] [--flush F]   cut power at a\n\
@@ -321,9 +325,20 @@ fn parse_design(args: &Args) -> Result<DesignPoint, String> {
 }
 
 /// Resolves the worker-pool width for `--jobs N` (`None` defers to
-/// `SHM_JOBS` / available parallelism).
+/// `SHM_JOBS` / available parallelism).  `--jobs 0` or a non-numeric value
+/// means "auto" with a stderr warning, mirroring the `SHM_JOBS` policy.
 fn parse_jobs(args: &Args) -> Result<Option<usize>, String> {
-    Ok(args.get_u64("jobs")?.map(|n| n.max(1) as usize))
+    let Some(raw) = args.get("jobs") else {
+        return Ok(None);
+    };
+    let parsed = sim_exec::parse_jobs_spec(raw);
+    if parsed.is_none() {
+        eprintln!(
+            "warning: ignoring --jobs {raw:?} (expected a positive integer); \
+             using auto parallelism"
+        );
+    }
+    Ok(parsed)
 }
 
 fn cmd_run(args: Args) -> Result<(), CliError> {
@@ -551,10 +566,15 @@ fn cmd_crash(args: Args) -> Result<(), CliError> {
 }
 
 fn cmd_sweep(args: Args) -> Result<(), CliError> {
+    if let Some(bind) = args.get("dist") {
+        let bind = bind.to_string();
+        let stats = sweep_dist(&args, &bind)?;
+        print_sweep_table(&stats, args.flag("csv"));
+        return Ok(());
+    }
     let trace = load_trace(&args)?;
     let jobs = parse_jobs(&args)?;
     let cfg = GpuConfig::default();
-    let energy = EnergyModel::default();
     // All design points are independent — sweep them on the pool, then
     // print in the fixed `ALL` order (results come back in that order).
     let all = DesignPoint::ALL;
@@ -574,9 +594,17 @@ fn cmd_sweep(args: Args) -> Result<(), CliError> {
         )
         .map_err(|e| CliError::runtime(format!("sweep failed: {e}"), &Probe::disabled()))?
     };
+    print_sweep_table(&stats, args.flag("csv"));
+    Ok(())
+}
+
+/// Prints the design table for one sweep; both the local and the
+/// distributed path end here so their stdout is byte-identical.
+fn print_sweep_table(stats: &[SimStats], csv: bool) {
+    let all = DesignPoint::ALL;
+    let energy = EnergyModel::default();
     // ALL[0] is the unprotected baseline every row normalizes against.
     let base = stats[0].clone();
-    let csv = args.flag("csv");
     if csv {
         println!("design,norm_ipc,cycles,metadata_bytes,overhead,energy_per_instr");
     } else {
@@ -585,7 +613,7 @@ fn cmd_sweep(args: Args) -> Result<(), CliError> {
             "design", "norm IPC", "cycles", "metadata B", "overhead", "epi"
         );
     }
-    for (d, s) in all.iter().zip(&stats) {
+    for (d, s) in all.iter().zip(stats) {
         let norm = base.cycles as f64 / s.cycles as f64;
         if csv {
             println!(
@@ -609,7 +637,300 @@ fn cmd_sweep(args: Args) -> Result<(), CliError> {
             );
         }
     }
-    Ok(())
+}
+
+/// `shm sweep --dist HOST:PORT`: runs the design sweep on a sim-dist worker
+/// cluster.  Requires a *named* benchmark — workers regenerate the trace
+/// from its (name, events, seed) triple, so stored traces and `--custom`
+/// profiles cannot be shipped over the wire.  Composes with
+/// `--journal`/`--resume` using the exact hash recipe of the local path, so
+/// a journal written locally resumes distributed and vice versa (entries
+/// gain a `worker` attribution when they come from the cluster).
+fn sweep_dist(args: &Args, bind: &str) -> Result<Vec<SimStats>, CliError> {
+    use shm_bench::dist::{run_dist_jobs, DistSweepConfig, SimJob};
+    use shm_recovery::JournalCodec;
+    use sim_dist::{DistError, DistJob};
+
+    if args.get("trace").is_some() || args.get("custom").is_some() {
+        return Err(CliError::usage(
+            "--dist needs a named benchmark (-b): workers regenerate the trace from its name",
+        ));
+    }
+    let bench = args
+        .get("b")
+        .or_else(|| args.get("benchmark"))
+        .ok_or_else(|| CliError::usage("need --benchmark/-b with --dist"))?
+        .to_string();
+    let mut profile = BenchmarkProfile::by_name(&bench)
+        .ok_or_else(|| CliError::usage(format!("unknown benchmark {bench:?}")))?;
+    if let Some(n) = args.get_u64("events")? {
+        profile.events_per_kernel = n;
+    }
+    let seed = args.get_u64("seed")?.unwrap_or(0xBEEF);
+    let probe = telemetry_probe(args)?;
+    let cfg = DistSweepConfig::from_env(bind);
+    let all = DesignPoint::ALL;
+
+    let all_jobs: Vec<DistJob> = all
+        .iter()
+        .map(|d| DistJob {
+            label: format!("{bench} under {}", d.name()),
+            payload: SimJob {
+                bench: bench.clone(),
+                events_per_kernel: profile.events_per_kernel,
+                seed,
+                design: d.name().to_string(),
+            }
+            .encode(),
+        })
+        .collect();
+
+    let mut journal = match args.get("journal") {
+        Some(path) => {
+            if !args.flag("resume") && Path::new(path).exists() {
+                return Err(CliError::usage(format!(
+                    "journal {path} already exists; pass --resume to continue it or remove it first"
+                )));
+            }
+            // Same hash parts as `sweep_journaled`: trace content (name +
+            // event count) plus the design list.
+            let trace = profile.generate(seed);
+            let mut parts: Vec<String> = vec![
+                trace.name.to_string(),
+                trace.all_events().count().to_string(),
+            ];
+            parts.extend(all.iter().map(|d| d.name().to_string()));
+            let part_refs: Vec<&str> = parts.iter().map(String::as_str).collect();
+            let journal = JobJournal::open(Path::new(path), config_hash(&part_refs))
+                .map_err(|e| CliError::runtime(format!("journal {path}: {e}"), &probe))?;
+            Some((journal, path.to_string()))
+        }
+        None => {
+            if args.flag("resume") || args.get("crash-after-jobs").is_some() {
+                return Err(CliError::usage(
+                    "--resume/--crash-after-jobs require --journal <file>",
+                ));
+            }
+            None
+        }
+    };
+
+    let mut results: Vec<Option<SimStats>> = Vec::with_capacity(all.len());
+    let mut missing: Vec<usize> = Vec::new();
+    for (i, job) in all_jobs.iter().enumerate() {
+        match journal
+            .as_ref()
+            .and_then(|(j, _)| j.get::<SimStats>(&job.label))
+        {
+            Some(s) => results.push(Some(s)),
+            None => {
+                missing.push(i);
+                results.push(None);
+            }
+        }
+    }
+    let reused = all.len() - missing.len();
+    if reused > 0 {
+        if let Some((_, path)) = &journal {
+            eprintln!(
+                "resumed from {path}: {reused} job(s) reused, {} to run",
+                missing.len()
+            );
+        }
+    }
+
+    if !missing.is_empty() {
+        let jobs: Vec<DistJob> = missing.iter().map(|&i| all_jobs[i].clone()).collect();
+        let labels: Vec<String> = jobs.iter().map(|j| j.label.clone()).collect();
+        let token = CancelToken::new();
+        let crash_after = args.get_u64("crash-after-jobs")?.map(|n| n as usize);
+        let mut appended = 0usize;
+        let mut io_error: Option<std::io::Error> = None;
+        let mut decoded: Vec<Option<SimStats>> = vec![None; missing.len()];
+        let report = run_dist_jobs(jobs, &cfg, &token, |j, worker, outcome| {
+            let Ok(payload) = outcome else { return };
+            let Some(stats) = SimStats::decode_journal(payload) else {
+                return;
+            };
+            if let Some((jr, _)) = journal.as_mut() {
+                if io_error.is_none() {
+                    match jr.record_with_worker(&labels[j], Some(worker), &stats) {
+                        Ok(()) => {
+                            appended += 1;
+                            if crash_after == Some(appended) {
+                                token.cancel();
+                            }
+                        }
+                        Err(e) => {
+                            io_error = Some(e);
+                            token.cancel();
+                        }
+                    }
+                }
+            }
+            decoded[j] = Some(stats);
+        });
+        match report {
+            Ok(rep) => {
+                if let Some(e) = io_error {
+                    return Err(CliError::runtime(format!("journal write: {e}"), &probe));
+                }
+                // Per-worker accounting: one flight-recorder event each
+                // (satisfies `--telemetry`) and a stderr line so plain runs
+                // see the cluster shape without touching stdout.
+                for w in &rep.workers {
+                    probe.emit(
+                        0,
+                        Event::DistWorker {
+                            worker: w.id.clone(),
+                            jobs: w.jobs_done,
+                            bytes_rx: w.bytes_received,
+                            bytes_tx: w.bytes_sent,
+                            reassigned: w.reassigned,
+                        },
+                    );
+                    eprintln!(
+                        "worker {}: {} job(s), {} B dispatched, {} B of results{}",
+                        w.id,
+                        w.jobs_done,
+                        w.bytes_sent,
+                        w.bytes_received,
+                        if w.reassigned > 0 {
+                            format!(", {} reassigned", w.reassigned)
+                        } else {
+                            String::new()
+                        }
+                    );
+                }
+                if rep.reassignments > 0 {
+                    eprintln!("{} job(s) reassigned after worker loss", rep.reassignments);
+                }
+                let mut failed: Vec<String> = Vec::new();
+                for (j, outcome) in rep.results.iter().enumerate() {
+                    match outcome {
+                        None => {}
+                        Some(Ok(_)) => {
+                            results[missing[j]] = decoded[j].take();
+                            if results[missing[j]].is_none() {
+                                failed.push(format!("{}: undecodable result payload", labels[j]));
+                            }
+                        }
+                        Some(Err(p)) => failed.push(format!("{}: {}", labels[j], p.message)),
+                    }
+                }
+                if !failed.is_empty() {
+                    return Err(CliError::runtime(
+                        format!("distributed sweep failed: {}", failed.join("; ")),
+                        &probe,
+                    ));
+                }
+            }
+            Err(DistError::NoWorkers) => {
+                // Degraded mode: nothing connected within the window, so the
+                // sweep runs on the local executor instead of failing.
+                eprintln!(
+                    "warning: no distributed worker reachable at {bind}; \
+                     running the sweep on the local executor"
+                );
+                let trace = profile.generate(seed);
+                let gpu = GpuConfig::default();
+                let designs: Vec<DesignPoint> = missing.iter().map(|&i| all[i]).collect();
+                let stats = Executor::from_request(parse_jobs(args)?)
+                    .try_map(
+                        &designs,
+                        |_, d| format!("{bench} under {}", d.name()),
+                        |_, &d| Simulator::new(&gpu, d).run(&trace),
+                    )
+                    .map_err(|e| CliError::runtime(format!("sweep failed: {e}"), &probe))?;
+                for (&i, s) in missing.iter().zip(stats) {
+                    if let Some((jr, path)) = journal.as_mut() {
+                        jr.record(&all_jobs[i].label, &s).map_err(|e| {
+                            CliError::runtime(format!("journal {path}: {e}"), &probe)
+                        })?;
+                    }
+                    results[i] = Some(s);
+                }
+            }
+            Err(e) => {
+                return Err(CliError::runtime(
+                    format!("distributed sweep failed: {e}"),
+                    &probe,
+                ))
+            }
+        }
+    }
+
+    if results.iter().any(Option::is_none) {
+        if let Some((jr, path)) = &journal {
+            eprintln!(
+                "interrupted: {} of {} job(s) completed and journaled in {path}",
+                jr.len(),
+                all.len()
+            );
+            for label in jr.completed_labels() {
+                eprintln!("  done {label}");
+            }
+            eprintln!("re-run with --resume to pick up where this left off");
+        }
+        return Err(CliError::interrupted("distributed sweep interrupted"));
+    }
+    if probe.is_enabled() {
+        // No simulator ran in this process, so close the telemetry document
+        // here — otherwise a `--trace-out` stream never gets its trailer.
+        probe.finalize(0);
+        if let Some(s) = probe.summary() {
+            println!("{s}");
+        }
+        if let Some(path) = args.get("trace-out") {
+            if let Some(e) = probe.stream_error() {
+                return Err(CliError::runtime(format!("write {path}: {e}"), &probe));
+            }
+            println!("telemetry trace streamed to {path}");
+        }
+        if let Some(path) = args.get("epoch-csv") {
+            probe
+                .write_epoch_csv(Path::new(path))
+                .map_err(|e| CliError::runtime(format!("write {path}: {e}"), &probe))?;
+            println!("epoch CSV written to {path}");
+        }
+    }
+    Ok(results.into_iter().flatten().collect())
+}
+
+/// `shm worker --connect HOST:PORT`: serve sweep jobs to a coordinator.
+/// Each dispatched job regenerates its trace locally and runs on this
+/// host's executor pool; the process keeps reconnecting (with backoff)
+/// until the coordinator shuts the cluster down.
+fn cmd_worker(args: Args) -> Result<(), CliError> {
+    let addr = args
+        .get("connect")
+        .ok_or_else(|| CliError::usage("need --connect HOST:PORT"))?
+        .to_string();
+    let opts = sim_dist::WorkerOptions {
+        jobs: parse_jobs(&args)?,
+        ..sim_dist::WorkerOptions::default()
+    };
+    let opts = match args.get("id") {
+        Some(id) => sim_dist::WorkerOptions {
+            worker_id: id.to_string(),
+            ..opts
+        },
+        None => opts,
+    };
+    eprintln!("worker {} connecting to {addr}", opts.worker_id);
+    match shm_bench::dist::serve_worker(&addr, opts) {
+        Ok(s) => {
+            eprintln!(
+                "worker done: {} job(s), {} B received, {} B sent, {} reconnect(s)",
+                s.jobs_done, s.bytes_received, s.bytes_sent, s.reconnects
+            );
+            Ok(())
+        }
+        Err(e) => Err(CliError::runtime(
+            format!("worker: {e}"),
+            &Probe::disabled(),
+        )),
+    }
 }
 
 /// Runs the design sweep through a durable job journal: every completed

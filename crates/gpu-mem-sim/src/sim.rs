@@ -332,22 +332,22 @@ impl Simulator {
         let completion = match outcome {
             L2Outcome::Hit => {
                 stats.l2_hits += 1;
-                self.probe.on_l2_hit(t);
+                self.probe.on_l2_hit(t, p.index());
                 t + L2_HIT_LATENCY
             }
             L2Outcome::WriteAllocated => {
                 stats.l2_misses += 1;
-                self.probe.on_l2_miss(t);
+                self.probe.on_l2_miss(t, p.index());
                 t + L2_HIT_LATENCY
             }
             L2Outcome::MergedMiss { ready_at } => {
                 stats.l2_hits += 1; // merged: no extra DRAM traffic
-                self.probe.on_l2_hit(t);
+                self.probe.on_l2_hit(t, p.index());
                 ready_at.max(t) + L2_HIT_LATENCY
             }
             L2Outcome::Miss => {
                 stats.l2_misses += 1;
-                self.probe.on_l2_miss(t);
+                self.probe.on_l2_miss(t, p.index());
                 if self.probe.is_enabled() {
                     self.probe.emit(
                         t,

@@ -263,6 +263,9 @@ pub struct JobJournal {
     path: PathBuf,
     file: std::fs::File,
     completed: BTreeMap<String, String>,
+    /// Which worker produced each result (distributed sweeps only; local
+    /// sweeps record no attribution).
+    workers: BTreeMap<String, String>,
 }
 
 impl JobJournal {
@@ -287,6 +290,7 @@ impl JobJournal {
         };
 
         let mut completed = BTreeMap::new();
+        let mut workers = BTreeMap::new();
         let mut needs_meta = true;
         if let Some(doc) = &existing {
             let lines: Vec<&str> = doc.lines().collect();
@@ -310,7 +314,10 @@ impl JobJournal {
                     continue;
                 }
                 match parse_job(line) {
-                    Some((label, payload)) => {
+                    Some((label, worker, payload)) => {
+                        if let Some(w) = worker {
+                            workers.insert(label.clone(), w);
+                        }
                         completed.insert(label, payload);
                     }
                     None if is_last => {} // torn final record: drop it
@@ -336,6 +343,7 @@ impl JobJournal {
             path,
             file,
             completed,
+            workers,
         })
     }
 
@@ -377,10 +385,33 @@ impl JobJournal {
     ///
     /// Propagates file write/sync errors.
     pub fn record<T: JournalCodec>(&mut self, label: &str, value: &T) -> std::io::Result<()> {
+        self.record_with_worker(label, None, value)
+    }
+
+    /// [`JobJournal::record`], attributing the result to the distributed
+    /// worker that produced it.  The attribution is informational — resume
+    /// matches on labels only, so a journal written by a cluster resumes
+    /// fine locally and vice versa.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file write/sync errors.
+    pub fn record_with_worker<T: JournalCodec>(
+        &mut self,
+        label: &str,
+        worker: Option<&str>,
+        value: &T,
+    ) -> std::io::Result<()> {
         let mut line = String::with_capacity(128);
         line.push_str("{\"type\":\"job\",\"label\":\"");
         escape_into(label, &mut line);
-        line.push_str("\",\"payload\":");
+        line.push('"');
+        if let Some(w) = worker {
+            line.push_str(",\"worker\":\"");
+            escape_into(w, &mut line);
+            line.push('"');
+        }
+        line.push_str(",\"payload\":");
         let mut payload = String::new();
         value.encode_journal(&mut payload);
         line.push_str(&payload);
@@ -388,7 +419,16 @@ impl JobJournal {
         self.file.write_all(line.as_bytes())?;
         self.file.sync_data()?;
         self.completed.insert(label.to_string(), payload);
+        if let Some(w) = worker {
+            self.workers.insert(label.to_string(), w.to_string());
+        }
         Ok(())
+    }
+
+    /// Which worker produced the result for `label`, when the journal was
+    /// written by a distributed sweep.
+    pub fn worker_of(&self, label: &str) -> Option<&str> {
+        self.workers.get(label).map(String::as_str)
     }
 }
 
@@ -404,31 +444,40 @@ fn parse_meta(line: &str) -> Option<(u32, u64)> {
     Some((version, u64::from_str_radix(hex, 16).ok()?))
 }
 
-/// Parses a `job` line into `(label, payload)`.
-fn parse_job(line: &str) -> Option<(String, String)> {
+/// Finds the closing quote of an escaped string starting at `s[0]`.
+fn escaped_string_end(s: &str) -> Option<usize> {
+    let mut escaped = false;
+    for (i, c) in s.char_indices() {
+        match (escaped, c) {
+            (true, _) => escaped = false,
+            (false, '\\') => escaped = true,
+            (false, '"') => return Some(i),
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Parses a `job` line into `(label, worker, payload)`.  The `worker`
+/// field is optional — local sweeps never write it — so journals from
+/// before the distributed backend still parse.
+fn parse_job(line: &str) -> Option<(String, Option<String>, String)> {
     let rest = line.strip_prefix("{\"type\":\"job\",\"label\":\"")?;
     if !line.ends_with('}') {
         return None;
     }
-    // Scan the escaped label for its closing quote.
-    let mut end = None;
-    let mut escaped = false;
-    for (i, c) in rest.char_indices() {
-        match (escaped, c) {
-            (true, _) => escaped = false,
-            (false, '\\') => escaped = true,
-            (false, '"') => {
-                end = Some(i);
-                break;
-            }
-            _ => {}
-        }
-    }
-    let end = end?;
+    let end = escaped_string_end(rest)?;
     let label = unescape(&rest[..end])?;
-    let payload = rest[end..].strip_prefix("\",\"payload\":")?;
+    let mut rest = rest[end..].strip_prefix('"')?;
+    let mut worker = None;
+    if let Some(w) = rest.strip_prefix(",\"worker\":\"") {
+        let wend = escaped_string_end(w)?;
+        worker = Some(unescape(&w[..wend])?);
+        rest = w[wend..].strip_prefix('"')?;
+    }
+    let payload = rest.strip_prefix(",\"payload\":")?;
     let payload = payload.strip_suffix('}')?;
-    Some((label, payload.to_string()))
+    Some((label, worker, payload.to_string()))
 }
 
 /// Knobs for [`map_journaled`] beyond the journal itself.
@@ -788,6 +837,28 @@ mod tests {
         let j2 = JobJournal::open(&path, 3).expect("reopen");
         assert_eq!(j2.len(), 2);
         assert!(!j2.contains("job-2"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn worker_attribution_roundtrips_and_stays_optional() {
+        let path = tmp("worker-attr");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut j = JobJournal::open(&path, 5).expect("create");
+            j.record("local job", &stats(1)).expect("append");
+            j.record_with_worker("remote \"job\"", Some("node-a:2"), &stats(2))
+                .expect("append");
+            assert_eq!(j.worker_of("local job"), None);
+            assert_eq!(j.worker_of("remote \"job\""), Some("node-a:2"));
+        }
+        // Attribution survives reopen and never disturbs result lookup.
+        let j = JobJournal::open(&path, 5).expect("reopen");
+        assert_eq!(j.len(), 2);
+        assert_eq!(j.get::<SimStats>("local job"), Some(stats(1)));
+        assert_eq!(j.get::<SimStats>("remote \"job\""), Some(stats(2)));
+        assert_eq!(j.worker_of("local job"), None);
+        assert_eq!(j.worker_of("remote \"job\""), Some("node-a:2"));
         let _ = std::fs::remove_file(&path);
     }
 

@@ -77,7 +77,8 @@ impl DramFabric {
             );
         }
         let done = chan.access(now, offset, bytes, is_write);
-        self.probe.on_traffic(now, class, bytes, is_write);
+        self.probe
+            .on_traffic(now, partition.index(), class, bytes, is_write);
         self.probe.on_dram_request(done, done.saturating_sub(now));
         done
     }
@@ -120,7 +121,8 @@ impl DramFabric {
         self.traffic.record(class, bytes, false);
         self.requests += 1;
         let done = self.partitions[partition.index()].access_priority(now, offset, bytes);
-        self.probe.on_traffic(now, class, bytes, false);
+        self.probe
+            .on_traffic(now, partition.index(), class, bytes, false);
         self.probe.on_dram_request(done, done.saturating_sub(now));
         if partition != from {
             self.cross_partition_accesses += 1;

@@ -1,0 +1,594 @@
+//! Work-pulling sweep coordinator.
+//!
+//! The coordinator owns the job list and a TCP listener.  Each connecting
+//! worker is served by its own thread: after a hello whose version and
+//! config hash must match, the thread keeps the worker's dispatch window
+//! full from a shared pending queue (work-pulling — fast workers simply
+//! pull more), collects result/error frames, and watches heartbeats.  A
+//! worker that stops heartbeating (or drops its connection) is declared
+//! dead and its in-flight jobs are pushed back onto the pending queue,
+//! consuming the sweep-wide retry budget exactly like
+//! `Executor::run_robust`: a job is retried while budget lasts, after
+//! which it resolves as a [`JobPanic`] naming its label.  Completed
+//! results are merged back into **submission order**, so a distributed
+//! sweep is byte-identical to `--jobs 1`.
+
+use std::collections::{HashMap, VecDeque};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use sim_exec::{CancelToken, JobPanic, JobResult};
+
+use crate::protocol::{write_frame, Frame, FrameError, FrameReader, PROTOCOL_VERSION};
+use crate::{DistError, WorkerStats};
+
+/// One unit of work shipped to a worker: a human-readable label (the
+/// `"{benchmark} under {design}"` pair used everywhere for panic capture)
+/// plus an opaque payload the submitting layer knows how to decode.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DistJob {
+    pub label: String,
+    pub payload: String,
+}
+
+/// Tunables for a coordinator run.
+#[derive(Clone, Debug)]
+pub struct DistOptions {
+    /// How long to wait for the first worker before giving up with
+    /// [`DistError::NoWorkers`] (the degraded-mode trigger).
+    pub connect_wait_ms: u64,
+    /// A worker silent for longer than this (no frames, no heartbeats) is
+    /// declared dead and its in-flight jobs are reassigned.
+    pub heartbeat_timeout_ms: u64,
+    /// Bounded per-read socket timeout; also the coordinator's bookkeeping
+    /// tick.
+    pub read_timeout_ms: u64,
+    /// Sweep-wide budget of job re-dispatches (worker loss or job panic),
+    /// mirroring `run_robust`'s retry budget.
+    pub retry_budget: u32,
+}
+
+impl Default for DistOptions {
+    fn default() -> Self {
+        Self {
+            connect_wait_ms: 5_000,
+            heartbeat_timeout_ms: 5_000,
+            read_timeout_ms: 100,
+            retry_budget: 64,
+        }
+    }
+}
+
+/// What a finished distributed sweep looked like.
+#[derive(Debug)]
+pub struct DistReport {
+    /// Per-job outcomes in submission order; `None` only when the sweep
+    /// was cancelled before the job ran (mirrors `map_cancellable`).
+    pub results: Vec<Option<JobResult<String>>>,
+    /// Per-worker accounting, in connection order.
+    pub workers: Vec<WorkerStats>,
+    /// Jobs re-queued because their worker died mid-flight.
+    pub reassignments: u64,
+    /// Retry budget consumed (reassignments + panic retries).
+    pub retries_used: u32,
+    /// True when the sweep stopped early on a tripped [`CancelToken`].
+    pub interrupted: bool,
+}
+
+impl DistReport {
+    /// True when every job resolved to a clean result.
+    pub fn is_clean(&self) -> bool {
+        self.results.iter().all(|r| matches!(r, Some(Ok(_))))
+    }
+}
+
+/// (submission index, attempt) — attempt 1 is the first dispatch.
+type Pending = (usize, u32);
+
+struct Completion {
+    index: usize,
+    worker: String,
+    outcome: JobResult<String>,
+}
+
+struct Inner {
+    pending: VecDeque<Pending>,
+    resolved: Vec<bool>,
+    resolved_count: usize,
+    in_flight_total: usize,
+    completions: VecDeque<Completion>,
+    retry_left: u32,
+    retries_used: u32,
+    reassignments: u64,
+    workers: Vec<WorkerStats>,
+    live_workers: usize,
+    ever_connected: bool,
+    /// When the last live worker disappeared (cleared on reconnect); the
+    /// run fails remaining jobs if nobody returns within the connect wait.
+    workerless_since: Option<Instant>,
+    cancelled: bool,
+    done: bool,
+}
+
+struct Shared {
+    inner: Mutex<Inner>,
+    cond: Condvar,
+    jobs: Vec<DistJob>,
+    opts: DistOptions,
+    config_hash: u64,
+}
+
+/// TCP sweep coordinator; see the module docs for the protocol.
+pub struct Coordinator {
+    listener: TcpListener,
+    local_addr: SocketAddr,
+    config_hash: u64,
+    opts: DistOptions,
+}
+
+impl Coordinator {
+    /// Binds the listener.  Use port 0 to let the OS pick (loopback tests
+    /// and `SHM_DIST_WORKERS` self-spawned clusters read it back via
+    /// [`Coordinator::local_addr`]).
+    pub fn bind(addr: &str, config_hash: u64, opts: DistOptions) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        Ok(Self {
+            listener,
+            local_addr,
+            config_hash,
+            opts,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Runs the sweep to completion; convenience wrapper over
+    /// [`Coordinator::run_with`] without a completion callback.
+    pub fn run(self, jobs: Vec<DistJob>, token: &CancelToken) -> Result<DistReport, DistError> {
+        self.run_with(jobs, token, |_, _, _| {})
+    }
+
+    /// Runs the sweep, invoking `on_complete(index, worker_id, outcome)`
+    /// on the calling thread as each job resolves (in completion order —
+    /// the journal layer uses this to record which worker produced each
+    /// job).  Results in the report are always in submission order.
+    pub fn run_with<F>(
+        self,
+        jobs: Vec<DistJob>,
+        token: &CancelToken,
+        mut on_complete: F,
+    ) -> Result<DistReport, DistError>
+    where
+        F: FnMut(usize, &str, &JobResult<String>),
+    {
+        let n = jobs.len();
+        let shared = Arc::new(Shared {
+            inner: Mutex::new(Inner {
+                pending: (0..n).map(|i| (i, 1)).collect(),
+                resolved: vec![false; n],
+                resolved_count: 0,
+                in_flight_total: 0,
+                completions: VecDeque::new(),
+                retry_left: self.opts.retry_budget,
+                retries_used: 0,
+                reassignments: 0,
+                workers: Vec::new(),
+                live_workers: 0,
+                ever_connected: false,
+                workerless_since: None,
+                cancelled: false,
+                done: false,
+            }),
+            cond: Condvar::new(),
+            jobs,
+            opts: self.opts.clone(),
+            config_hash: self.config_hash,
+        });
+
+        let stop_accept = Arc::new(AtomicBool::new(false));
+        let accept_handle = {
+            let shared = Arc::clone(&shared);
+            let stop = Arc::clone(&stop_accept);
+            let listener = self.listener;
+            listener.set_nonblocking(true).map_err(DistError::Io)?;
+            std::thread::spawn(move || accept_loop(listener, shared, stop))
+        };
+
+        let mut results: Vec<Option<JobResult<String>>> = (0..n).map(|_| None).collect();
+        let started = Instant::now();
+        let connect_wait = Duration::from_millis(shared.opts.connect_wait_ms);
+        let tick = Duration::from_millis(shared.opts.read_timeout_ms.max(10));
+        let mut no_workers = false;
+
+        let mut inner = shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            // Drain completions on this thread so `on_complete` (journal
+            // appends) never runs under a connection thread.
+            while let Some(c) = inner.completions.pop_front() {
+                drop(inner);
+                on_complete(c.index, &c.worker, &c.outcome);
+                results[c.index] = Some(c.outcome);
+                inner = shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+            }
+
+            if inner.resolved_count == n {
+                break;
+            }
+            if token.is_cancelled() && !inner.cancelled {
+                inner.cancelled = true;
+                // Jobs never dispatched stay unresolved (None), exactly
+                // like `map_cancellable`; in-flight jobs drain.
+                let undispatched = inner.pending.len();
+                inner.pending.clear();
+                inner.resolved_count += undispatched;
+                shared.cond.notify_all();
+            }
+            if inner.cancelled && inner.in_flight_total == 0 && inner.completions.is_empty() {
+                break;
+            }
+            if !inner.ever_connected && started.elapsed() >= connect_wait {
+                no_workers = true;
+                break;
+            }
+            // All workers gone mid-sweep: give replacements one connect
+            // window to appear, then fail the remaining jobs explicitly
+            // rather than hanging forever.
+            if inner.ever_connected && inner.live_workers == 0 && !inner.cancelled {
+                let silent_for = inner.workerless_since.map(|t| t.elapsed());
+                if silent_for.is_some_and(|d| d >= connect_wait) {
+                    while let Some((index, _)) = inner.pending.pop_front() {
+                        let label = shared.jobs[index].label.clone();
+                        inner.resolved[index] = true;
+                        inner.resolved_count += 1;
+                        inner.completions.push_back(Completion {
+                            index,
+                            worker: String::new(),
+                            outcome: Err(JobPanic {
+                                index,
+                                label: Some(label),
+                                message: "no live workers and reconnect window expired".into(),
+                            }),
+                        });
+                    }
+                    if inner.in_flight_total == 0 {
+                        continue; // completions drain next iteration
+                    }
+                }
+            }
+            inner = shared
+                .cond
+                .wait_timeout(inner, tick)
+                .unwrap_or_else(|e| e.into_inner())
+                .0;
+        }
+        inner.done = true;
+        shared.cond.notify_all();
+        let reassignments = inner.reassignments;
+        let retries_used = inner.retries_used;
+        let interrupted = inner.cancelled;
+        drop(inner);
+
+        stop_accept.store(true, Ordering::SeqCst);
+        let conn_handles = accept_handle.join().unwrap_or_default();
+        for h in conn_handles {
+            let _ = h.join();
+        }
+
+        // Workers may have pushed final completions between the last drain
+        // and `done`; collect them so no resolved job is lost.
+        let mut inner = shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let workers = inner.workers.clone();
+        while let Some(c) = inner.completions.pop_front() {
+            drop(inner);
+            on_complete(c.index, &c.worker, &c.outcome);
+            results[c.index] = Some(c.outcome);
+            inner = shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+        }
+        drop(inner);
+
+        if no_workers {
+            return Err(DistError::NoWorkers);
+        }
+        Ok(DistReport {
+            results,
+            workers,
+            reassignments,
+            retries_used,
+            interrupted,
+        })
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    stop: Arc<AtomicBool>,
+) -> Vec<std::thread::JoinHandle<()>> {
+    let mut handles = Vec::new();
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let shared = Arc::clone(&shared);
+                handles.push(std::thread::spawn(move || serve_connection(stream, shared)));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(_) => break,
+        }
+    }
+    handles
+}
+
+/// Per-connection worker driver; see module docs.
+fn serve_connection(stream: TcpStream, shared: Arc<Shared>) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(
+        shared.opts.read_timeout_ms.max(10),
+    )));
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut writer = write_half;
+    let mut reader = FrameReader::new(stream);
+
+    // --- Hello, within a bounded window ---
+    let hello_deadline = Instant::now() + Duration::from_millis(shared.opts.heartbeat_timeout_ms);
+    let hello = loop {
+        match reader.read_frame() {
+            Ok(Frame::Hello {
+                version,
+                config_hash,
+                worker_id,
+                window,
+            }) => break (version, config_hash, worker_id, window),
+            Ok(_) => {
+                let _ = write_frame(
+                    &mut writer,
+                    &Frame::HelloAck {
+                        accepted: false,
+                        reason: "expected hello".into(),
+                    },
+                );
+                return;
+            }
+            Err(FrameError::Timeout) if Instant::now() < hello_deadline => continue,
+            Err(_) => return,
+        }
+    };
+    let (version, config_hash, worker_id, window) = hello;
+    if version != PROTOCOL_VERSION {
+        let _ = write_frame(
+            &mut writer,
+            &Frame::HelloAck {
+                accepted: false,
+                reason: format!(
+                    "protocol version mismatch: coordinator {PROTOCOL_VERSION}, worker {version}"
+                ),
+            },
+        );
+        return;
+    }
+    if config_hash != shared.config_hash {
+        let _ = write_frame(
+            &mut writer,
+            &Frame::HelloAck {
+                accepted: false,
+                reason: format!(
+                    "config hash mismatch: coordinator {:016x}, worker {:016x}",
+                    shared.config_hash, config_hash
+                ),
+            },
+        );
+        return;
+    }
+    if write_frame(
+        &mut writer,
+        &Frame::HelloAck {
+            accepted: true,
+            reason: String::new(),
+        },
+    )
+    .is_err()
+    {
+        return;
+    }
+
+    // --- Register ---
+    let window = window.max(1) as usize;
+    let wslot = {
+        let mut inner = shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.workers.push(WorkerStats::new(&worker_id));
+        inner.live_workers += 1;
+        inner.ever_connected = true;
+        inner.workerless_since = None;
+        shared.cond.notify_all();
+        inner.workers.len() - 1
+    };
+
+    let heartbeat_timeout = Duration::from_millis(shared.opts.heartbeat_timeout_ms);
+    let mut in_flight: HashMap<usize, u32> = HashMap::new();
+    let mut last_seen = Instant::now();
+    let mut cancel_sent = false;
+    let mut lost = false;
+
+    'conn: loop {
+        // Keep the dispatch window full.
+        loop {
+            let dispatch = {
+                let mut inner = shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+                if inner.done {
+                    let _ = write_frame(&mut writer, &Frame::Shutdown);
+                    break 'conn;
+                }
+                if inner.cancelled {
+                    None
+                } else if in_flight.len() < window {
+                    let next = inner.pending.pop_front();
+                    if next.is_some() {
+                        inner.in_flight_total += 1;
+                    }
+                    next
+                } else {
+                    None
+                }
+            };
+            match dispatch {
+                Some((index, attempt)) => {
+                    let job = &shared.jobs[index];
+                    let frame = Frame::JobDispatch {
+                        index: index as u64,
+                        label: job.label.clone(),
+                        payload: job.payload.clone(),
+                    };
+                    match write_frame(&mut writer, &frame) {
+                        Ok(bytes) => {
+                            in_flight.insert(index, attempt);
+                            let mut inner = shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+                            inner.workers[wslot].bytes_sent += bytes as u64;
+                        }
+                        Err(_) => {
+                            // Send failed: hand the job straight back (no
+                            // budget charge — it never reached the worker).
+                            let mut inner = shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+                            inner.pending.push_front((index, attempt));
+                            inner.in_flight_total -= 1;
+                            inner.reassignments += 1;
+                            inner.workers[wslot].reassigned += 1;
+                            lost = true;
+                            break 'conn;
+                        }
+                    }
+                }
+                None => break,
+            }
+        }
+
+        // Propagate cancellation once.
+        {
+            let inner = shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+            let cancelled = inner.cancelled;
+            drop(inner);
+            if cancelled && !cancel_sent {
+                cancel_sent = true;
+                if write_frame(&mut writer, &Frame::Cancel).is_err() {
+                    lost = true;
+                    break 'conn;
+                }
+            }
+        }
+
+        // Collect one frame (bounded timeout doubles as the liveness tick).
+        match reader.read_frame() {
+            Ok(Frame::Heartbeat { .. }) => last_seen = Instant::now(),
+            Ok(Frame::JobResult { index, payload }) => {
+                last_seen = Instant::now();
+                let index = index as usize;
+                if in_flight.remove(&index).is_some() {
+                    let mut inner = shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+                    inner.in_flight_total -= 1;
+                    inner.workers[wslot].jobs_done += 1;
+                    inner.workers[wslot].bytes_received += payload.len() as u64;
+                    if !inner.resolved[index] {
+                        inner.resolved[index] = true;
+                        inner.resolved_count += 1;
+                        inner.completions.push_back(Completion {
+                            index,
+                            worker: worker_id.clone(),
+                            outcome: Ok(payload),
+                        });
+                    }
+                    shared.cond.notify_all();
+                }
+            }
+            Ok(Frame::JobError { index, message }) => {
+                last_seen = Instant::now();
+                let index = index as usize;
+                if let Some(attempt) = in_flight.remove(&index) {
+                    let mut inner = shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+                    inner.in_flight_total -= 1;
+                    // `run_robust` semantics: retry a panicked job exactly
+                    // once while the sweep-wide budget lasts.
+                    if attempt == 1 && inner.retry_left > 0 && !inner.cancelled {
+                        inner.retry_left -= 1;
+                        inner.retries_used += 1;
+                        inner.pending.push_back((index, attempt + 1));
+                    } else if !inner.resolved[index] {
+                        let label = shared.jobs[index].label.clone();
+                        inner.resolved[index] = true;
+                        inner.resolved_count += 1;
+                        inner.completions.push_back(Completion {
+                            index,
+                            worker: worker_id.clone(),
+                            outcome: Err(JobPanic {
+                                index,
+                                label: Some(label),
+                                message,
+                            }),
+                        });
+                    }
+                    shared.cond.notify_all();
+                }
+            }
+            Ok(Frame::Shutdown) | Ok(Frame::Cancel) => {
+                // A worker announcing departure: treat like a clean loss.
+                lost = true;
+                break 'conn;
+            }
+            Ok(_) => {
+                lost = true; // protocol violation
+                break 'conn;
+            }
+            Err(FrameError::Timeout) => {
+                if last_seen.elapsed() >= heartbeat_timeout {
+                    lost = true; // missed heartbeats → dead worker
+                    break 'conn;
+                }
+            }
+            Err(_) => {
+                lost = true; // EOF / reset / corrupt stream
+                break 'conn;
+            }
+        }
+    }
+
+    // --- Deregister; reassign anything this worker still held ---
+    let mut inner = shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+    if lost {
+        inner.live_workers -= 1;
+        if inner.live_workers == 0 {
+            inner.workerless_since = Some(Instant::now());
+        }
+        for (index, attempt) in in_flight.drain() {
+            inner.in_flight_total -= 1;
+            inner.workers[wslot].reassigned += 1;
+            inner.reassignments += 1;
+            if inner.retry_left > 0 && !inner.cancelled {
+                inner.retry_left -= 1;
+                inner.retries_used += 1;
+                inner.pending.push_front((index, attempt));
+            } else if !inner.resolved[index] {
+                let label = shared.jobs[index].label.clone();
+                inner.resolved[index] = true;
+                inner.resolved_count += 1;
+                inner.completions.push_back(Completion {
+                    index,
+                    worker: worker_id.clone(),
+                    outcome: Err(JobPanic {
+                        index,
+                        label: Some(label),
+                        message: format!("worker '{worker_id}' lost with job in flight and retry budget exhausted"),
+                    }),
+                });
+            }
+        }
+    }
+    shared.cond.notify_all();
+}

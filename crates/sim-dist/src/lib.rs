@@ -1,0 +1,332 @@
+//! Distributed sweep backend: a dependency-free TCP coordinator/worker
+//! cluster that runs any existing sweep across processes or hosts while
+//! preserving `sim-exec`'s contract.
+//!
+//! The contract being preserved, concretely:
+//!
+//! * **Submission-order determinism** — results come back indexed by
+//!   submission order regardless of which worker ran what, so a
+//!   distributed sweep renders byte-identical tables to `--jobs 1`.
+//! * **Per-job panic capture** — a job that panics on a worker resolves
+//!   to a [`sim_exec::JobPanic`] carrying the `"{benchmark} under
+//!   {design}"` label, exactly like the local pool.
+//! * **Cooperative cancellation** — a tripped [`sim_exec::CancelToken`]
+//!   stops dispatch, drains in-flight jobs, and reports partial results,
+//!   so `--journal --resume` composes with `--dist`.
+//! * **Fault tolerance** — dead workers (missed heartbeats or dropped
+//!   connections) have their in-flight jobs reassigned under a bounded
+//!   retry budget mirroring `Executor::run_robust`.
+//!
+//! Layering: this crate moves opaque `(label, payload)` strings; the
+//! job encodings (which benchmark, how many events, which design) belong
+//! to the submitting layer (`shm-bench`), keeping the cluster machinery
+//! generic.  See `docs/DISTRIBUTED.md` for the wire format and failure
+//! semantics.
+
+mod coordinator;
+pub mod protocol;
+mod worker;
+
+pub use coordinator::{Coordinator, DistJob, DistOptions, DistReport};
+pub use worker::{run_worker, WorkerOptions, WorkerSummary};
+
+/// Environment variable: number of loopback workers a `--dist` sweep
+/// spawns in-process (handy for single-machine clusters and CI smoke).
+pub const DIST_WORKERS_ENV: &str = "SHM_DIST_WORKERS";
+
+/// Per-worker accounting reported by the coordinator (and mirrored into
+/// the flight recorder as `dist_worker` telemetry events).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Worker-chosen identity from its hello frame.
+    pub id: String,
+    /// Jobs whose results this worker delivered.
+    pub jobs_done: u64,
+    /// Wire bytes of job dispatches sent to this worker.
+    pub bytes_sent: u64,
+    /// Wire bytes of result payloads received from this worker.
+    pub bytes_received: u64,
+    /// In-flight jobs taken back from this worker when it died.
+    pub reassigned: u64,
+}
+
+impl WorkerStats {
+    pub fn new(id: &str) -> Self {
+        Self {
+            id: id.to_string(),
+            ..Self::default()
+        }
+    }
+}
+
+/// Why a distributed run (coordinator or worker side) failed.
+#[derive(Debug)]
+pub enum DistError {
+    /// Underlying socket failure.
+    Io(std::io::Error),
+    /// No worker completed a handshake within the connect window — the
+    /// signal for callers to fall back to local execution.
+    NoWorkers,
+    /// The coordinator refused our hello (version or config-hash
+    /// mismatch); permanent, never retried.
+    Rejected { reason: String },
+    /// Could not (re)connect within the backoff budget.
+    Unreachable {
+        addr: String,
+        attempts: u32,
+        last_error: String,
+    },
+    /// The peer violated the frame protocol.
+    Protocol(String),
+}
+
+impl core::fmt::Display for DistError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            DistError::Io(e) => write!(f, "i/o error: {e}"),
+            DistError::NoWorkers => {
+                write!(
+                    f,
+                    "no worker completed a handshake within the connect window"
+                )
+            }
+            DistError::Rejected { reason } => write!(f, "coordinator rejected hello: {reason}"),
+            DistError::Unreachable {
+                addr,
+                attempts,
+                last_error,
+            } => write!(
+                f,
+                "coordinator {addr} unreachable after {attempts} attempts: {last_error}"
+            ),
+            DistError::Protocol(why) => write!(f, "protocol violation: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for DistError {}
+
+impl From<std::io::Error> for DistError {
+    fn from(e: std::io::Error) -> Self {
+        DistError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_exec::CancelToken;
+    use std::sync::atomic::{AtomicU32, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    fn echo_jobs(n: usize) -> Vec<DistJob> {
+        (0..n)
+            .map(|i| DistJob {
+                label: format!("job-{i}"),
+                payload: format!("payload-{i}"),
+            })
+            .collect()
+    }
+
+    fn quick_opts() -> DistOptions {
+        DistOptions {
+            connect_wait_ms: 2_000,
+            heartbeat_timeout_ms: 2_000,
+            read_timeout_ms: 20,
+            retry_budget: 16,
+        }
+    }
+
+    fn worker_opts(id: &str) -> WorkerOptions {
+        WorkerOptions {
+            worker_id: id.into(),
+            jobs: Some(2),
+            heartbeat_interval_ms: 50,
+            read_timeout_ms: 20,
+            reconnect_base_ms: 20,
+            reconnect_max_ms: 100,
+            max_reconnect_attempts: 5,
+            disconnect_after_jobs: None,
+        }
+    }
+
+    fn spawn_worker(
+        addr: String,
+        hash: u64,
+        opts: WorkerOptions,
+    ) -> std::thread::JoinHandle<Result<WorkerSummary, DistError>> {
+        std::thread::spawn(move || {
+            run_worker(&addr, hash, opts, |label, payload| {
+                format!("{label}:{payload}:ok")
+            })
+        })
+    }
+
+    #[test]
+    fn two_workers_preserve_submission_order() {
+        let coord = Coordinator::bind("127.0.0.1:0", 0xABCD, quick_opts()).unwrap();
+        let addr = coord.local_addr().to_string();
+        let w1 = spawn_worker(addr.clone(), 0xABCD, worker_opts("w1"));
+        let w2 = spawn_worker(addr, 0xABCD, worker_opts("w2"));
+
+        let report = coord.run(echo_jobs(24), &CancelToken::new()).unwrap();
+        assert!(report.is_clean());
+        for (i, r) in report.results.iter().enumerate() {
+            let got = r.as_ref().unwrap().as_ref().unwrap();
+            assert_eq!(got, &format!("job-{i}:payload-{i}:ok"));
+        }
+        let total: u64 = report.workers.iter().map(|w| w.jobs_done).sum();
+        assert_eq!(total, 24);
+        assert!(w1.join().unwrap().is_ok());
+        assert!(w2.join().unwrap().is_ok());
+    }
+
+    #[test]
+    fn killed_worker_jobs_are_reassigned() {
+        let coord = Coordinator::bind("127.0.0.1:0", 0x5117, quick_opts()).unwrap();
+        let addr = coord.local_addr().to_string();
+        let mut dying = worker_opts("doomed");
+        dying.disconnect_after_jobs = Some(2);
+        // Jobs must take real time so the queue is non-empty when the
+        // doomed worker dies with dispatched work in flight.
+        let slow = |label: &str, payload: &str| {
+            std::thread::sleep(Duration::from_millis(25));
+            format!("{label}:{payload}:ok")
+        };
+        let (a1, a2) = (addr.clone(), addr);
+        let w1 = std::thread::spawn(move || run_worker(&a1, 0x5117, dying, slow));
+        let w2 = std::thread::spawn(move || run_worker(&a2, 0x5117, worker_opts("survivor"), slow));
+
+        let report = coord.run(echo_jobs(16), &CancelToken::new()).unwrap();
+        assert!(report.is_clean(), "all jobs must finish: {report:?}");
+        for (i, r) in report.results.iter().enumerate() {
+            assert_eq!(
+                r.as_ref().unwrap().as_ref().unwrap(),
+                &format!("job-{i}:payload-{i}:ok")
+            );
+        }
+        assert!(
+            report.reassignments >= 1,
+            "the killed worker held dispatched jobs: {report:?}"
+        );
+        let _ = w1.join().unwrap();
+        assert!(w2.join().unwrap().is_ok());
+    }
+
+    #[test]
+    fn config_hash_mismatch_is_rejected_at_hello() {
+        let coord = Coordinator::bind("127.0.0.1:0", 0xAAAA, quick_opts()).unwrap();
+        let addr = coord.local_addr().to_string();
+        // The coordinator only accepts while `run` is live, so drive it on
+        // a background thread while we interrogate the workers.
+        let run = std::thread::spawn(move || coord.run(echo_jobs(4), &CancelToken::new()));
+
+        let bad = spawn_worker(addr.clone(), 0xBBBB, worker_opts("stale"));
+        let err = bad
+            .join()
+            .unwrap()
+            .expect_err("mismatched hash must be rejected");
+        match err {
+            DistError::Rejected { reason } => {
+                assert!(reason.contains("config hash mismatch"), "reason: {reason}")
+            }
+            other => panic!("expected Rejected, got {other}"),
+        }
+
+        // A correctly-configured worker still completes the sweep.
+        let good = spawn_worker(addr, 0xAAAA, worker_opts("fresh"));
+        let report = run.join().unwrap().unwrap();
+        assert!(report.is_clean());
+        assert_eq!(report.workers.len(), 1, "rejected worker never registers");
+        assert!(good.join().unwrap().is_ok());
+    }
+
+    #[test]
+    fn job_panic_carries_label_and_retries_once() {
+        let coord = Coordinator::bind("127.0.0.1:0", 7, quick_opts()).unwrap();
+        let addr = coord.local_addr().to_string();
+        let attempts = Arc::new(AtomicU32::new(0));
+        let seen = Arc::clone(&attempts);
+        let w = std::thread::spawn(move || {
+            run_worker(&addr, 7, worker_opts("w"), move |label, payload| {
+                if label == "job-1" {
+                    seen.fetch_add(1, Ordering::SeqCst);
+                    panic!("injected failure in {label}");
+                }
+                payload.to_string()
+            })
+        });
+        let report = coord.run(echo_jobs(3), &CancelToken::new()).unwrap();
+        let failed = report.results[1].as_ref().unwrap().as_ref().unwrap_err();
+        assert_eq!(failed.label.as_deref(), Some("job-1"));
+        assert!(failed.message.contains("injected failure"));
+        assert!(report.results[0].as_ref().unwrap().is_ok());
+        assert!(report.results[2].as_ref().unwrap().is_ok());
+        assert_eq!(
+            attempts.load(Ordering::SeqCst),
+            2,
+            "run_robust semantics: one retry within budget"
+        );
+        assert!(w.join().unwrap().is_ok());
+    }
+
+    #[test]
+    fn no_workers_reports_degraded_signal() {
+        let mut opts = quick_opts();
+        opts.connect_wait_ms = 100;
+        let coord = Coordinator::bind("127.0.0.1:0", 1, opts).unwrap();
+        match coord.run(echo_jobs(2), &CancelToken::new()) {
+            Err(DistError::NoWorkers) => {}
+            other => panic!("expected NoWorkers, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cancellation_drains_in_flight_and_reports_partial() {
+        let coord = Coordinator::bind("127.0.0.1:0", 9, quick_opts()).unwrap();
+        let addr = coord.local_addr().to_string();
+        let token = CancelToken::new();
+        let trip = token.clone();
+        let w = std::thread::spawn(move || {
+            run_worker(&addr, 9, worker_opts("slow"), move |_, payload| {
+                // Trip cancellation from inside the first job, then let it
+                // finish: drained in-flight results must be recorded.
+                trip.cancel();
+                std::thread::sleep(Duration::from_millis(50));
+                payload.to_string()
+            })
+        });
+        let report = coord
+            .run(echo_jobs(32), &token)
+            .unwrap_or_else(|e| panic!("cancelled run still returns a report: {e}"));
+        assert!(report.interrupted);
+        assert_eq!(report.results.len(), 32);
+        assert!(
+            report.results.iter().any(|r| r.is_none()),
+            "cancellation must leave undispatched jobs unresolved"
+        );
+        for r in report.results.iter().flatten() {
+            assert!(r.is_ok(), "drained in-flight jobs resolve cleanly: {r:?}");
+        }
+        assert!(w.join().unwrap().is_ok());
+    }
+
+    #[test]
+    fn unreachable_coordinator_exhausts_backoff() {
+        // Bind then drop a listener so the port is (very likely) closed.
+        let port = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().port()
+        };
+        let mut opts = worker_opts("lonely");
+        opts.max_reconnect_attempts = 2;
+        opts.reconnect_base_ms = 10;
+        let err = run_worker(&format!("127.0.0.1:{port}"), 0, opts, |_, p| p.to_string())
+            .expect_err("nobody is listening");
+        match err {
+            DistError::Unreachable { attempts, .. } => assert_eq!(attempts, 2),
+            other => panic!("expected Unreachable, got {other}"),
+        }
+    }
+}

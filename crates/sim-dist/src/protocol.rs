@@ -1,0 +1,557 @@
+//! Hand-rolled length-prefixed framed wire protocol for the sweep cluster.
+//!
+//! Every frame on the wire is
+//!
+//! ```text
+//! +-------+------+---------+----------------+-------+
+//! | magic | type | payload | payload bytes  | crc32 |
+//! | u32   | u8   | len u32 | ...            | u32   |
+//! +-------+------+---------+----------------+-------+
+//! ```
+//!
+//! with all integers little-endian and the CRC computed over the type byte,
+//! the length field, and the payload.  A corrupted frame is detected (CRC or
+//! magic mismatch) rather than misinterpreted, and an oversized length field
+//! is rejected before any allocation so a scrambled stream cannot OOM the
+//! coordinator.
+//!
+//! Reads go through [`FrameReader`], which accumulates partial bytes across
+//! socket read timeouts: a timeout mid-frame leaves the buffered prefix
+//! intact, so bounded read timeouts (used for heartbeat-miss detection)
+//! never desynchronise the stream.
+
+use std::io::{self, Read, Write};
+
+/// Protocol version carried in the [`Frame::Hello`] handshake.  Bumped on
+/// any wire-incompatible change; mismatches are rejected at hello time.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Frame magic: `"SHMD"`.
+pub const FRAME_MAGIC: u32 = 0x4448_4D53; // b"SHMD" little-endian
+
+/// Upper bound on a frame payload; a length field beyond this is treated
+/// as stream corruption (jobs ship event counts and stat tables, not bulk
+/// data, so real payloads are tiny).
+pub const MAX_FRAME_LEN: usize = 64 << 20;
+
+const HEADER_LEN: usize = 4 + 1 + 4;
+const TRAILER_LEN: usize = 4;
+
+/// IEEE CRC-32 lookup table, built at compile time.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// IEEE CRC-32 over `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+/// Everything the coordinator and workers say to each other.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Frame {
+    /// Worker → coordinator: versioned handshake.  The coordinator rejects
+    /// a hello whose `version` or `config_hash` does not match its own, so
+    /// a worker built from a different sweep configuration can never
+    /// contribute stats to the wrong table.
+    Hello {
+        version: u32,
+        config_hash: u64,
+        worker_id: String,
+        /// How many jobs the worker wants in flight (its local pool width).
+        window: u32,
+    },
+    /// Coordinator → worker: handshake verdict.  `reason` is empty on
+    /// acceptance.
+    HelloAck { accepted: bool, reason: String },
+    /// Coordinator → worker: one job.  `index` is the submission index the
+    /// result must be merged back into; `label` names the (benchmark,
+    /// design) pair for panic capture; `payload` is an opaque job encoding
+    /// owned by the submitting layer.
+    JobDispatch {
+        index: u64,
+        label: String,
+        payload: String,
+    },
+    /// Worker → coordinator: a job finished cleanly.
+    JobResult { index: u64, payload: String },
+    /// Worker → coordinator: the job body panicked; `message` carries the
+    /// captured panic payload.
+    JobError { index: u64, message: String },
+    /// Worker → coordinator: liveness beacon, sent on a timer even while
+    /// long jobs run.  Missing heartbeats mark the worker dead.
+    Heartbeat { jobs_done: u64 },
+    /// Coordinator → worker: stop pulling new jobs (cooperative
+    /// cancellation); in-flight jobs drain normally.
+    Cancel,
+    /// Coordinator → worker: sweep complete, disconnect cleanly.
+    Shutdown,
+}
+
+impl Frame {
+    fn type_byte(&self) -> u8 {
+        match self {
+            Frame::Hello { .. } => 1,
+            Frame::HelloAck { .. } => 2,
+            Frame::JobDispatch { .. } => 3,
+            Frame::JobResult { .. } => 4,
+            Frame::JobError { .. } => 5,
+            Frame::Heartbeat { .. } => 6,
+            Frame::Cancel => 7,
+            Frame::Shutdown => 8,
+        }
+    }
+}
+
+/// Why a frame could not be read.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The peer closed the connection at a frame boundary.
+    Eof,
+    /// The read timed out (bounded socket timeout); buffered partial bytes
+    /// are kept and the next call resumes where this one stopped.
+    Timeout,
+    /// Underlying I/O failure (connection reset, etc.).
+    Io(io::Error),
+    /// Magic, CRC, length-bound, or payload-structure violation.
+    Corrupt(String),
+}
+
+impl core::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            FrameError::Eof => write!(f, "connection closed"),
+            FrameError::Timeout => write!(f, "read timed out"),
+            FrameError::Io(e) => write!(f, "i/o error: {e}"),
+            FrameError::Corrupt(why) => write!(f, "corrupt frame: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+/// Sequential payload decoder; every getter advances the cursor.
+struct Cursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        Self { data, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], FrameError> {
+        if self.pos + n > self.data.len() {
+            return Err(FrameError::Corrupt(format!(
+                "payload truncated: wanted {n} bytes at offset {}",
+                self.pos
+            )));
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> Result<u32, FrameError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, FrameError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn str(&mut self) -> Result<String, FrameError> {
+        let len = self.u32()? as usize;
+        if len > MAX_FRAME_LEN {
+            return Err(FrameError::Corrupt(format!(
+                "string length {len} too large"
+            )));
+        }
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| FrameError::Corrupt("string is not UTF-8".into()))
+    }
+
+    fn finish(&self) -> Result<(), FrameError> {
+        if self.pos != self.data.len() {
+            return Err(FrameError::Corrupt(format!(
+                "{} trailing payload bytes",
+                self.data.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Serialises `frame` into a self-contained wire buffer.
+pub fn encode_frame(frame: &Frame) -> Vec<u8> {
+    let mut payload = Vec::new();
+    match frame {
+        Frame::Hello {
+            version,
+            config_hash,
+            worker_id,
+            window,
+        } => {
+            put_u32(&mut payload, *version);
+            put_u64(&mut payload, *config_hash);
+            put_str(&mut payload, worker_id);
+            put_u32(&mut payload, *window);
+        }
+        Frame::HelloAck { accepted, reason } => {
+            payload.push(u8::from(*accepted));
+            put_str(&mut payload, reason);
+        }
+        Frame::JobDispatch {
+            index,
+            label,
+            payload: job,
+        } => {
+            put_u64(&mut payload, *index);
+            put_str(&mut payload, label);
+            put_str(&mut payload, job);
+        }
+        Frame::JobResult {
+            index,
+            payload: result,
+        } => {
+            put_u64(&mut payload, *index);
+            put_str(&mut payload, result);
+        }
+        Frame::JobError { index, message } => {
+            put_u64(&mut payload, *index);
+            put_str(&mut payload, message);
+        }
+        Frame::Heartbeat { jobs_done } => put_u64(&mut payload, *jobs_done),
+        Frame::Cancel | Frame::Shutdown => {}
+    }
+
+    let mut buf = Vec::with_capacity(HEADER_LEN + payload.len() + TRAILER_LEN);
+    put_u32(&mut buf, FRAME_MAGIC);
+    buf.push(frame.type_byte());
+    put_u32(&mut buf, payload.len() as u32);
+    buf.extend_from_slice(&payload);
+    let crc = crc32(&buf[4..]); // type byte + length + payload
+    put_u32(&mut buf, crc);
+    buf
+}
+
+/// Writes one frame as a single `write_all` (frames are small, so the
+/// kernel send buffer absorbs them without partial-write bookkeeping).
+pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> io::Result<usize> {
+    let buf = encode_frame(frame);
+    w.write_all(&buf)?;
+    w.flush()?;
+    Ok(buf.len())
+}
+
+fn decode_payload(type_byte: u8, payload: &[u8]) -> Result<Frame, FrameError> {
+    let mut c = Cursor::new(payload);
+    let frame = match type_byte {
+        1 => Frame::Hello {
+            version: c.u32()?,
+            config_hash: c.u64()?,
+            worker_id: c.str()?,
+            window: c.u32()?,
+        },
+        2 => Frame::HelloAck {
+            accepted: c.take(1)?[0] != 0,
+            reason: c.str()?,
+        },
+        3 => Frame::JobDispatch {
+            index: c.u64()?,
+            label: c.str()?,
+            payload: c.str()?,
+        },
+        4 => Frame::JobResult {
+            index: c.u64()?,
+            payload: c.str()?,
+        },
+        5 => Frame::JobError {
+            index: c.u64()?,
+            message: c.str()?,
+        },
+        6 => Frame::Heartbeat {
+            jobs_done: c.u64()?,
+        },
+        7 => Frame::Cancel,
+        8 => Frame::Shutdown,
+        other => return Err(FrameError::Corrupt(format!("unknown frame type {other}"))),
+    };
+    c.finish()?;
+    Ok(frame)
+}
+
+/// Incremental frame reader that survives bounded read timeouts.
+///
+/// Owns a growable buffer of bytes received so far; [`FrameReader::read_frame`]
+/// returns [`FrameError::Timeout`] when the socket timeout fires before a
+/// complete frame arrived, keeping the partial prefix for the next call.
+pub struct FrameReader<R: Read> {
+    inner: R,
+    buf: Vec<u8>,
+    /// Total payload bytes successfully received (telemetry).
+    pub bytes_read: u64,
+}
+
+impl<R: Read> FrameReader<R> {
+    pub fn new(inner: R) -> Self {
+        Self {
+            inner,
+            buf: Vec::new(),
+            bytes_read: 0,
+        }
+    }
+
+    /// Tries to parse one complete frame, reading more bytes as needed.
+    pub fn read_frame(&mut self) -> Result<Frame, FrameError> {
+        loop {
+            if let Some(frame_len) = self.complete_frame_len()? {
+                let frame = self.parse_one(frame_len)?;
+                self.buf.drain(..frame_len);
+                self.bytes_read += frame_len as u64;
+                return Ok(frame);
+            }
+            let mut chunk = [0u8; 4096];
+            match self.inner.read(&mut chunk) {
+                Ok(0) => {
+                    return if self.buf.is_empty() {
+                        Err(FrameError::Eof)
+                    } else {
+                        Err(FrameError::Corrupt("connection closed mid-frame".into()))
+                    };
+                }
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    return Err(FrameError::Timeout);
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(FrameError::Io(e)),
+            }
+        }
+    }
+
+    /// Length of the complete frame at the head of the buffer, if all its
+    /// bytes have arrived.  Validates magic and the length bound early so
+    /// garbage fails fast instead of stalling on a huge phantom length.
+    fn complete_frame_len(&self) -> Result<Option<usize>, FrameError> {
+        if self.buf.len() < HEADER_LEN {
+            return Ok(None);
+        }
+        let magic = u32::from_le_bytes(self.buf[0..4].try_into().unwrap());
+        if magic != FRAME_MAGIC {
+            return Err(FrameError::Corrupt(format!("bad magic {magic:#010x}")));
+        }
+        let len = u32::from_le_bytes(self.buf[5..9].try_into().unwrap()) as usize;
+        if len > MAX_FRAME_LEN {
+            return Err(FrameError::Corrupt(format!(
+                "payload length {len} too large"
+            )));
+        }
+        let total = HEADER_LEN + len + TRAILER_LEN;
+        Ok((self.buf.len() >= total).then_some(total))
+    }
+
+    fn parse_one(&self, total: usize) -> Result<Frame, FrameError> {
+        let type_byte = self.buf[4];
+        let payload = &self.buf[HEADER_LEN..total - TRAILER_LEN];
+        let wire_crc = u32::from_le_bytes(self.buf[total - TRAILER_LEN..total].try_into().unwrap());
+        let want = crc32(&self.buf[4..total - TRAILER_LEN]);
+        if wire_crc != want {
+            return Err(FrameError::Corrupt(format!(
+                "crc mismatch: wire {wire_crc:#010x}, computed {want:#010x}"
+            )));
+        }
+        decode_payload(type_byte, payload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_frames() -> Vec<Frame> {
+        vec![
+            Frame::Hello {
+                version: PROTOCOL_VERSION,
+                config_hash: 0xDEAD_BEEF_CAFE_F00D,
+                worker_id: "worker-1".into(),
+                window: 4,
+            },
+            Frame::HelloAck {
+                accepted: false,
+                reason: "config hash mismatch".into(),
+            },
+            Frame::JobDispatch {
+                index: 7,
+                label: "kmeans under SHM".into(),
+                payload: "{\"bench\":\"kmeans\"}".into(),
+            },
+            Frame::JobResult {
+                index: 7,
+                payload: "{\"cycles\":123}".into(),
+            },
+            Frame::JobError {
+                index: 3,
+                message: "index out of bounds".into(),
+            },
+            Frame::Heartbeat { jobs_done: 42 },
+            Frame::Cancel,
+            Frame::Shutdown,
+        ]
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        for frame in sample_frames() {
+            let wire = encode_frame(&frame);
+            let mut r = FrameReader::new(&wire[..]);
+            assert_eq!(r.read_frame().unwrap(), frame, "round trip of {frame:?}");
+        }
+    }
+
+    #[test]
+    fn back_to_back_frames_parse_from_one_buffer() {
+        let frames = sample_frames();
+        let mut wire = Vec::new();
+        for f in &frames {
+            wire.extend_from_slice(&encode_frame(f));
+        }
+        let mut r = FrameReader::new(&wire[..]);
+        for f in &frames {
+            assert_eq!(&r.read_frame().unwrap(), f);
+        }
+        assert!(matches!(r.read_frame(), Err(FrameError::Eof)));
+    }
+
+    #[test]
+    fn single_bit_flips_are_detected() {
+        let frame = Frame::JobDispatch {
+            index: 9,
+            label: "bfs under PSSM".into(),
+            payload: "payload".into(),
+        };
+        let clean = encode_frame(&frame);
+        for bit in 0..clean.len() * 8 {
+            let mut dirty = clean.clone();
+            dirty[bit / 8] ^= 1 << (bit % 8);
+            let mut r = FrameReader::new(&dirty[..]);
+            match r.read_frame() {
+                Err(FrameError::Corrupt(_)) => {}
+                // A flip in the length field can make the frame "longer"
+                // than the bytes available — the reader keeps waiting and
+                // reports the truncated close instead.
+                Err(FrameError::Eof) => panic!("flip at bit {bit} read as clean EOF"),
+                Ok(f) => panic!("flip at bit {bit} decoded as {f:?}"),
+                Err(_) => {}
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_length_rejected_before_allocation() {
+        let mut wire = encode_frame(&Frame::Cancel);
+        wire[5..9].copy_from_slice(&(u32::MAX).to_le_bytes());
+        let mut r = FrameReader::new(&wire[..]);
+        assert!(matches!(r.read_frame(), Err(FrameError::Corrupt(_))));
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut wire = encode_frame(&Frame::Heartbeat { jobs_done: 1 });
+        wire[0] ^= 0xFF;
+        let mut r = FrameReader::new(&wire[..]);
+        assert!(matches!(r.read_frame(), Err(FrameError::Corrupt(_))));
+    }
+
+    #[test]
+    fn split_delivery_reassembles() {
+        // Feed the frame one byte at a time through a reader that times out
+        // between bytes, mimicking a slow peer under a short socket timeout.
+        struct Drip<'a> {
+            data: &'a [u8],
+            pos: usize,
+            ready: bool,
+        }
+        impl Read for Drip<'_> {
+            fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+                if !self.ready {
+                    self.ready = true;
+                    return Err(io::Error::new(io::ErrorKind::WouldBlock, "drip"));
+                }
+                self.ready = false;
+                if self.pos >= self.data.len() {
+                    return Ok(0);
+                }
+                out[0] = self.data[self.pos];
+                self.pos += 1;
+                Ok(1)
+            }
+        }
+        let frame = Frame::JobResult {
+            index: 5,
+            payload: "stats".into(),
+        };
+        let wire = encode_frame(&frame);
+        let mut r = FrameReader::new(Drip {
+            data: &wire,
+            pos: 0,
+            ready: false,
+        });
+        let mut timeouts = 0;
+        loop {
+            match r.read_frame() {
+                Ok(f) => {
+                    assert_eq!(f, frame);
+                    break;
+                }
+                Err(FrameError::Timeout) => timeouts += 1,
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert!(timeouts >= wire.len(), "every byte costs one timeout");
+    }
+
+    #[test]
+    fn crc32_matches_reference_vector() {
+        // IEEE CRC-32 of "123456789" is the classic check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+}

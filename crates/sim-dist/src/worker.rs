@@ -1,0 +1,376 @@
+//! Sweep worker: connects to a coordinator, pulls jobs, runs them on a
+//! local pool, and streams results back.
+//!
+//! The worker reconnects with exponential backoff when the coordinator is
+//! unreachable or the connection drops mid-sweep; a rejected hello
+//! (version or config-hash mismatch) is permanent and aborts immediately.
+//! A heartbeat thread beacons liveness on a timer independent of job
+//! execution, so a worker grinding through a long simulation is never
+//! mistaken for a dead one.
+
+use std::collections::VecDeque;
+use std::net::{Shutdown, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use sim_exec::effective_jobs;
+
+use crate::protocol::{write_frame, Frame, FrameError, FrameReader, PROTOCOL_VERSION};
+use crate::DistError;
+
+/// Tunables for [`run_worker`].
+#[derive(Clone, Debug)]
+pub struct WorkerOptions {
+    /// Name reported to the coordinator (shows up in journals and the
+    /// per-worker telemetry).
+    pub worker_id: String,
+    /// Local pool width; `None` resolves like `Executor::from_env`.
+    pub jobs: Option<usize>,
+    /// Liveness beacon period.
+    pub heartbeat_interval_ms: u64,
+    /// Bounded per-read socket timeout.
+    pub read_timeout_ms: u64,
+    /// First reconnect delay; doubles per attempt up to
+    /// [`WorkerOptions::reconnect_max_ms`].
+    pub reconnect_base_ms: u64,
+    /// Backoff ceiling.
+    pub reconnect_max_ms: u64,
+    /// Consecutive failed connect attempts tolerated before giving up.
+    pub max_reconnect_attempts: u32,
+    /// Test knob: abruptly drop the connection (no reconnect, no goodbye)
+    /// after this many results have been sent — the deterministic
+    /// "worker killed mid-sweep" used by the reassignment tests.
+    pub disconnect_after_jobs: Option<u64>,
+}
+
+impl Default for WorkerOptions {
+    fn default() -> Self {
+        Self {
+            worker_id: format!("worker-{}", std::process::id()),
+            jobs: None,
+            heartbeat_interval_ms: 500,
+            read_timeout_ms: 100,
+            reconnect_base_ms: 100,
+            reconnect_max_ms: 5_000,
+            max_reconnect_attempts: 5,
+            disconnect_after_jobs: None,
+        }
+    }
+}
+
+/// What one worker did over its lifetime.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WorkerSummary {
+    pub jobs_done: u64,
+    pub bytes_received: u64,
+    pub bytes_sent: u64,
+    pub reconnects: u32,
+}
+
+enum ServeEnd {
+    /// Coordinator said [`Frame::Shutdown`]: sweep complete.
+    Done,
+    /// Connection dropped; try to reconnect.
+    Lost,
+    /// `disconnect_after_jobs` fired: simulate a killed worker.
+    SelfKilled,
+}
+
+/// Connects to `addr` and serves jobs until the coordinator shuts the
+/// sweep down.  `handler(label, payload) -> result_payload` runs under
+/// panic capture; a panicking job reports a [`Frame::JobError`] carrying
+/// the payload text and the worker keeps serving.
+pub fn run_worker<H>(
+    addr: &str,
+    config_hash: u64,
+    opts: WorkerOptions,
+    handler: H,
+) -> Result<WorkerSummary, DistError>
+where
+    H: Fn(&str, &str) -> String + Send + Sync,
+{
+    let mut summary = WorkerSummary::default();
+    let mut attempt: u32 = 0;
+    loop {
+        let stream = match TcpStream::connect(addr) {
+            Ok(s) => s,
+            Err(e) => {
+                attempt += 1;
+                if attempt > opts.max_reconnect_attempts {
+                    return Err(DistError::Unreachable {
+                        addr: addr.to_string(),
+                        attempts: attempt - 1,
+                        last_error: e.to_string(),
+                    });
+                }
+                std::thread::sleep(backoff(&opts, attempt));
+                continue;
+            }
+        };
+        attempt = 0;
+
+        match serve(stream, config_hash, &opts, &handler, &mut summary) {
+            Ok(ServeEnd::Done) | Ok(ServeEnd::SelfKilled) => return Ok(summary),
+            Ok(ServeEnd::Lost) => {
+                summary.reconnects += 1;
+                attempt += 1;
+                if attempt > opts.max_reconnect_attempts {
+                    return Err(DistError::Unreachable {
+                        addr: addr.to_string(),
+                        attempts: attempt - 1,
+                        last_error: "connection lost and retries exhausted".into(),
+                    });
+                }
+                std::thread::sleep(backoff(&opts, attempt));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+fn backoff(opts: &WorkerOptions, attempt: u32) -> Duration {
+    let exp = opts
+        .reconnect_base_ms
+        .saturating_mul(1u64 << attempt.min(16).saturating_sub(1));
+    Duration::from_millis(exp.min(opts.reconnect_max_ms))
+}
+
+struct LocalQueue {
+    jobs: VecDeque<(u64, String, String)>,
+    closed: bool,
+}
+
+fn serve<H>(
+    stream: TcpStream,
+    config_hash: u64,
+    opts: &WorkerOptions,
+    handler: &H,
+    summary: &mut WorkerSummary,
+) -> Result<ServeEnd, DistError>
+where
+    H: Fn(&str, &str) -> String + Send + Sync,
+{
+    let _ = stream.set_nodelay(true);
+    stream
+        .set_read_timeout(Some(Duration::from_millis(opts.read_timeout_ms.max(10))))
+        .map_err(DistError::Io)?;
+    let pool_width = effective_jobs(opts.jobs).max(1);
+    let writer = Arc::new(Mutex::new(stream.try_clone().map_err(DistError::Io)?));
+    let mut reader = FrameReader::new(stream.try_clone().map_err(DistError::Io)?);
+
+    // --- Handshake ---
+    {
+        let mut w = writer.lock().unwrap_or_else(|e| e.into_inner());
+        let sent = write_frame(
+            &mut *w,
+            &Frame::Hello {
+                version: PROTOCOL_VERSION,
+                config_hash,
+                worker_id: opts.worker_id.clone(),
+                window: pool_width as u32,
+            },
+        )
+        .map_err(DistError::Io)?;
+        summary.bytes_sent += sent as u64;
+    }
+    let ack_deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        match reader.read_frame() {
+            Ok(Frame::HelloAck { accepted: true, .. }) => break,
+            Ok(Frame::HelloAck {
+                accepted: false,
+                reason,
+            }) => return Err(DistError::Rejected { reason }),
+            Ok(other) => {
+                return Err(DistError::Protocol(format!(
+                    "expected hello ack, got {other:?}"
+                )))
+            }
+            Err(FrameError::Timeout) if Instant::now() < ack_deadline => continue,
+            Err(FrameError::Timeout) => {
+                return Err(DistError::Protocol("hello ack timed out".into()))
+            }
+            Err(FrameError::Io(e)) => return Err(DistError::Io(e)),
+            Err(e) => return Err(DistError::Protocol(e.to_string())),
+        }
+    }
+
+    // --- Serve ---
+    let jobs_done = AtomicU64::new(summary.jobs_done);
+    let bytes_sent = AtomicU64::new(0);
+    let stop = AtomicBool::new(false);
+    let killed = AtomicBool::new(false);
+    let queue = Mutex::new(LocalQueue {
+        jobs: VecDeque::new(),
+        closed: false,
+    });
+    let queue_cond = Condvar::new();
+    let in_flight = AtomicU64::new(0);
+
+    let end = std::thread::scope(|scope| {
+        // Heartbeat beacon, independent of job execution.
+        scope.spawn(|| {
+            let period = Duration::from_millis(opts.heartbeat_interval_ms.max(10));
+            'beat: while !stop.load(Ordering::SeqCst) {
+                // Sleep in slices so a finished sweep joins promptly.
+                let mut slept = Duration::ZERO;
+                while slept < period {
+                    let slice = Duration::from_millis(20).min(period - slept);
+                    std::thread::sleep(slice);
+                    slept += slice;
+                    if stop.load(Ordering::SeqCst) {
+                        break 'beat;
+                    }
+                }
+                let mut w = writer.lock().unwrap_or_else(|e| e.into_inner());
+                let beat = Frame::Heartbeat {
+                    jobs_done: jobs_done.load(Ordering::SeqCst),
+                };
+                match write_frame(&mut *w, &beat) {
+                    Ok(n) => {
+                        bytes_sent.fetch_add(n as u64, Ordering::SeqCst);
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+
+        // Local pool.
+        for _ in 0..pool_width {
+            scope.spawn(|| loop {
+                let job = {
+                    let mut q = queue.lock().unwrap_or_else(|e| e.into_inner());
+                    loop {
+                        if let Some(job) = q.jobs.pop_front() {
+                            break Some(job);
+                        }
+                        if q.closed {
+                            break None;
+                        }
+                        q = queue_cond.wait(q).unwrap_or_else(|e| e.into_inner());
+                    }
+                };
+                let Some((index, label, payload)) = job else {
+                    break;
+                };
+                let outcome = catch_unwind(AssertUnwindSafe(|| handler(&label, &payload)));
+                let frame = match outcome {
+                    Ok(result) => Frame::JobResult {
+                        index,
+                        payload: result,
+                    },
+                    Err(panic) => Frame::JobError {
+                        index,
+                        message: panic_text(panic),
+                    },
+                };
+                let done_now = {
+                    let mut w = writer.lock().unwrap_or_else(|e| e.into_inner());
+                    match write_frame(&mut *w, &frame) {
+                        Ok(n) => {
+                            bytes_sent.fetch_add(n as u64, Ordering::SeqCst);
+                            jobs_done.fetch_add(1, Ordering::SeqCst) + 1
+                        }
+                        Err(_) => {
+                            in_flight.fetch_sub(1, Ordering::SeqCst);
+                            break;
+                        }
+                    }
+                };
+                in_flight.fetch_sub(1, Ordering::SeqCst);
+                if let Some(k) = opts.disconnect_after_jobs {
+                    if done_now >= k && !killed.swap(true, Ordering::SeqCst) {
+                        // Simulate a kill: sever the socket abruptly and
+                        // stop everything; dispatched-but-unfinished jobs
+                        // are left for the coordinator to reassign.
+                        let w = writer.lock().unwrap_or_else(|e| e.into_inner());
+                        let _ = w.shutdown(Shutdown::Both);
+                        drop(w);
+                        stop.store(true, Ordering::SeqCst);
+                        let mut q = queue.lock().unwrap_or_else(|e| e.into_inner());
+                        q.closed = true;
+                        q.jobs.clear();
+                        queue_cond.notify_all();
+                        break;
+                    }
+                }
+            });
+        }
+
+        // Reader / dispatcher (this thread).
+        let mut draining = false;
+        let end = loop {
+            if killed.load(Ordering::SeqCst) {
+                break ServeEnd::SelfKilled;
+            }
+            if draining
+                && in_flight.load(Ordering::SeqCst) == 0
+                && queue
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .jobs
+                    .is_empty()
+            {
+                break ServeEnd::Done;
+            }
+            match reader.read_frame() {
+                Ok(Frame::JobDispatch {
+                    index,
+                    label,
+                    payload,
+                }) => {
+                    in_flight.fetch_add(1, Ordering::SeqCst);
+                    let mut q = queue.lock().unwrap_or_else(|e| e.into_inner());
+                    q.jobs.push_back((index, label, payload));
+                    queue_cond.notify_one();
+                }
+                Ok(Frame::Cancel) => {
+                    // Stop expecting new work; in-flight jobs drain and the
+                    // coordinator follows up with Shutdown.
+                }
+                Ok(Frame::Shutdown) => draining = true,
+                Ok(_) => {} // ignore unexpected chatter
+                Err(FrameError::Timeout) => {}
+                Err(_) => {
+                    if killed.load(Ordering::SeqCst) {
+                        break ServeEnd::SelfKilled;
+                    }
+                    if draining {
+                        // The coordinator already said Shutdown; finish
+                        // local work, then exit cleanly.
+                        while in_flight.load(Ordering::SeqCst) != 0 {
+                            std::thread::sleep(Duration::from_millis(10));
+                        }
+                        break ServeEnd::Done;
+                    }
+                    break ServeEnd::Lost;
+                }
+            }
+        };
+
+        stop.store(true, Ordering::SeqCst);
+        {
+            let mut q = queue.lock().unwrap_or_else(|e| e.into_inner());
+            q.closed = true;
+            queue_cond.notify_all();
+        }
+        end
+    });
+
+    summary.jobs_done = jobs_done.load(Ordering::SeqCst);
+    summary.bytes_sent += bytes_sent.load(Ordering::SeqCst);
+    summary.bytes_received += reader.bytes_read;
+    Ok(end)
+}
+
+fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}

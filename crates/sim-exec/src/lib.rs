@@ -134,17 +134,43 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
+/// Interprets a jobs specification (`SHM_JOBS`, `--jobs N`): `Some(n)`
+/// for a positive integer, `None` for anything else — zero and garbage
+/// both mean "auto" (the caller decides whether that deserves a warning).
+pub fn parse_jobs_spec(raw: &str) -> Option<usize> {
+    raw.trim().parse::<usize>().ok().filter(|&n| n > 0)
+}
+
+/// Warns (once per process, to keep sweep loops quiet) that a jobs
+/// specification was unusable and auto parallelism is in effect.
+static BAD_JOBS_WARNING: std::sync::Once = std::sync::Once::new();
+
+fn warn_bad_jobs(source: &str, raw: &str) {
+    BAD_JOBS_WARNING.call_once(|| {
+        eprintln!(
+            "warning: ignoring {source}={raw:?} (expected a positive integer); \
+             using auto parallelism"
+        );
+    });
+}
+
 /// Resolves the worker-pool width.
 ///
 /// Priority: `requested` (a CLI `--jobs N`), then the [`JOBS_ENV`]
 /// environment variable, then the machine's available parallelism.
-/// Zero (from either source) means "auto".
+/// Zero (from either source) means "auto"; an unparsable [`JOBS_ENV`]
+/// also means "auto", with a stderr warning rather than a panic or a
+/// silently serial run.
 pub fn effective_jobs(requested: Option<usize>) -> usize {
-    let from_env = || {
-        std::env::var(JOBS_ENV)
-            .ok()
-            .and_then(|v| v.trim().parse::<usize>().ok())
-            .filter(|&n| n > 0)
+    let from_env = || match std::env::var(JOBS_ENV) {
+        Err(_) => None,
+        Ok(raw) => {
+            let parsed = parse_jobs_spec(&raw);
+            if parsed.is_none() {
+                warn_bad_jobs(JOBS_ENV, &raw);
+            }
+            parsed
+        }
     };
     requested
         .filter(|&n| n > 0)
@@ -1038,5 +1064,37 @@ mod tests {
         // Zero request falls through to env/auto, which is at least 1.
         assert!(effective_jobs(Some(0)) >= 1);
         assert!(effective_jobs(None) >= 1);
+    }
+
+    #[test]
+    fn parse_jobs_spec_accepts_only_positive_integers() {
+        assert_eq!(parse_jobs_spec("4"), Some(4));
+        assert_eq!(parse_jobs_spec(" 8 "), Some(8));
+        assert_eq!(parse_jobs_spec("0"), None);
+        assert_eq!(parse_jobs_spec("garbage"), None);
+        assert_eq!(parse_jobs_spec("-1"), None);
+        assert_eq!(parse_jobs_spec("1.5"), None);
+        assert_eq!(parse_jobs_spec(""), None);
+    }
+
+    /// Serializes tests that mutate the `SHM_JOBS` environment variable.
+    static JOBS_ENV_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn bad_jobs_env_values_fall_back_to_auto() {
+        let _guard = JOBS_ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let auto = std::thread::available_parallelism().map_or(1, |n| n.get());
+        for bad in ["0", "banana", "-3", "1.5", " "] {
+            std::env::set_var(JOBS_ENV, bad);
+            assert_eq!(
+                effective_jobs(None),
+                auto,
+                "SHM_JOBS={bad:?} must mean auto, not panic or serial"
+            );
+        }
+        std::env::set_var(JOBS_ENV, "3");
+        assert_eq!(effective_jobs(None), 3);
+        assert_eq!(effective_jobs(Some(2)), 2, "explicit request beats env");
+        std::env::remove_var(JOBS_ENV);
     }
 }

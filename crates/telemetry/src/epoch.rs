@@ -10,6 +10,21 @@ use std::fmt::Write as _;
 
 use crate::event::json_escape;
 
+/// Per-L2-partition activity inside one epoch (one entry per memory
+/// partition that was touched; the vector grows on demand, so partitions
+/// beyond the highest recorded index are implicitly all-zero).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PartitionEpoch {
+    /// DRAM bytes read through this partition during the epoch.
+    pub read_bytes: u64,
+    /// DRAM bytes written through this partition during the epoch.
+    pub write_bytes: u64,
+    /// L2 hits in this partition's banks during the epoch.
+    pub l2_hits: u64,
+    /// L2 misses in this partition's banks during the epoch.
+    pub l2_misses: u64,
+}
+
 /// Metrics accumulated over one epoch window of the simulation.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct EpochSnapshot {
@@ -43,9 +58,18 @@ pub struct EpochSnapshot {
     pub bmt_depth_sum: u64,
     /// Deepest single walk observed during the epoch.
     pub bmt_depth_max: u64,
+    /// Per-partition traffic and L2 hit/miss breakdown (index = partition).
+    pub partitions: Vec<PartitionEpoch>,
 }
 
 impl EpochSnapshot {
+    /// The accumulator for partition `p`, growing the vector as needed.
+    pub fn partition_mut(&mut self, p: usize) -> &mut PartitionEpoch {
+        if self.partitions.len() <= p {
+            self.partitions.resize(p + 1, PartitionEpoch::default());
+        }
+        &mut self.partitions[p]
+    }
     /// Total bytes moved during the epoch, all classes.
     pub fn total_bytes(&self) -> u64 {
         TrafficClass::ALL
@@ -86,11 +110,23 @@ impl EpochSnapshot {
         }
         let _ = write!(
             out,
-            ",\"instructions\":{},\"accesses\":{},\"l2_hits\":{},\"l2_misses\":{},\"dram_requests\":{},\"ctr_victims\":{},\"ctr_victim_uses\":{},\"bmt_walks\":{},\"bmt_depth_sum\":{},\"bmt_depth_max\":{}}}",
+            ",\"instructions\":{},\"accesses\":{},\"l2_hits\":{},\"l2_misses\":{},\"dram_requests\":{},\"ctr_victims\":{},\"ctr_victim_uses\":{},\"bmt_walks\":{},\"bmt_depth_sum\":{},\"bmt_depth_max\":{}",
             self.instructions, self.accesses, self.l2_hits, self.l2_misses, self.dram_requests,
             self.ctr_victims, self.ctr_victim_uses, self.bmt_walks, self.bmt_depth_sum,
             self.bmt_depth_max
         );
+        out.push_str(",\"partitions\":[");
+        for (i, p) in self.partitions.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"read_bytes\":{},\"write_bytes\":{},\"l2_hits\":{},\"l2_misses\":{}}}",
+                p.read_bytes, p.write_bytes, p.l2_hits, p.l2_misses
+            );
+        }
+        out.push_str("]}");
     }
 }
 

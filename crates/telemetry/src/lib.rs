@@ -23,7 +23,7 @@ pub mod event;
 pub mod hist;
 pub mod sink;
 
-pub use epoch::{EpochSnapshot, EpochTracker};
+pub use epoch::{EpochSnapshot, EpochTracker, PartitionEpoch};
 pub use event::{Event, NUM_KINDS};
 pub use hist::Histogram;
 
@@ -200,13 +200,25 @@ impl Telemetry {
         }
     }
 
-    /// Attributes DRAM traffic to the current epoch.
-    pub fn on_traffic(&mut self, cycle: u64, class: TrafficClass, bytes: u64, is_write: bool) {
+    /// Attributes DRAM traffic through `partition` to the current epoch,
+    /// both in the per-class totals and the per-partition breakdown.
+    pub fn on_traffic(
+        &mut self,
+        cycle: u64,
+        partition: usize,
+        class: TrafficClass,
+        bytes: u64,
+        is_write: bool,
+    ) {
         self.advance_epochs(cycle);
-        self.epochs
-            .current_mut()
-            .traffic
-            .record(class, bytes, is_write);
+        let cur = self.epochs.current_mut();
+        cur.traffic.record(class, bytes, is_write);
+        let part = cur.partition_mut(partition);
+        if is_write {
+            part.write_bytes += bytes;
+        } else {
+            part.read_bytes += bytes;
+        }
     }
 
     /// Records one completed DRAM request and its latency.
@@ -239,16 +251,20 @@ impl Telemetry {
         self.epochs.current_mut().accesses += 1;
     }
 
-    /// Counts an L2 hit in the current epoch.
-    pub fn on_l2_hit(&mut self, cycle: u64) {
+    /// Counts an L2 hit in `partition` in the current epoch.
+    pub fn on_l2_hit(&mut self, cycle: u64, partition: usize) {
         self.advance_epochs(cycle);
-        self.epochs.current_mut().l2_hits += 1;
+        let cur = self.epochs.current_mut();
+        cur.l2_hits += 1;
+        cur.partition_mut(partition).l2_hits += 1;
     }
 
-    /// Counts an L2 miss in the current epoch.
-    pub fn on_l2_miss(&mut self, cycle: u64) {
+    /// Counts an L2 miss in `partition` in the current epoch.
+    pub fn on_l2_miss(&mut self, cycle: u64, partition: usize) {
         self.advance_epochs(cycle);
-        self.epochs.current_mut().l2_misses += 1;
+        let cur = self.epochs.current_mut();
+        cur.l2_misses += 1;
+        cur.partition_mut(partition).l2_misses += 1;
     }
 
     /// Records a counter-cache victim eviction: `uses` is how many lookup
@@ -428,9 +444,16 @@ impl Probe {
 
     /// See [`Telemetry::on_traffic`].
     #[inline]
-    pub fn on_traffic(&self, cycle: u64, class: TrafficClass, bytes: u64, is_write: bool) {
+    pub fn on_traffic(
+        &self,
+        cycle: u64,
+        partition: usize,
+        class: TrafficClass,
+        bytes: u64,
+        is_write: bool,
+    ) {
         if self.inner.is_some() {
-            self.with(|t| t.on_traffic(cycle, class, bytes, is_write));
+            self.with(|t| t.on_traffic(cycle, partition, class, bytes, is_write));
         }
     }
 
@@ -476,17 +499,17 @@ impl Probe {
 
     /// See [`Telemetry::on_l2_hit`].
     #[inline]
-    pub fn on_l2_hit(&self, cycle: u64) {
+    pub fn on_l2_hit(&self, cycle: u64, partition: usize) {
         if self.inner.is_some() {
-            self.with(|t| t.on_l2_hit(cycle));
+            self.with(|t| t.on_l2_hit(cycle, partition));
         }
     }
 
     /// See [`Telemetry::on_l2_miss`].
     #[inline]
-    pub fn on_l2_miss(&self, cycle: u64) {
+    pub fn on_l2_miss(&self, cycle: u64, partition: usize) {
         if self.inner.is_some() {
-            self.with(|t| t.on_l2_miss(cycle));
+            self.with(|t| t.on_l2_miss(cycle, partition));
         }
     }
 
@@ -583,7 +606,7 @@ mod tests {
     fn disabled_probe_is_inert() {
         let p = Probe::disabled();
         p.emit(0, Event::MshrStall { bank: 0 });
-        p.on_traffic(0, TrafficClass::Data, 128, false);
+        p.on_traffic(0, 0, TrafficClass::Data, 128, false);
         p.finalize(10);
         assert!(!p.is_enabled());
         assert!(p.summary().is_none());
@@ -704,8 +727,42 @@ mod tests {
     fn probe_clones_share_state() {
         let p = Probe::enabled(TelemetryConfig::default());
         let q = p.clone();
-        p.on_traffic(5, TrafficClass::Mac, 32, true);
-        q.on_traffic(9, TrafficClass::Mac, 32, false);
+        p.on_traffic(5, 2, TrafficClass::Mac, 32, true);
+        q.on_traffic(9, 2, TrafficClass::Mac, 32, false);
         p.with(|t| assert_eq!(t.total_traffic().class_total(TrafficClass::Mac), 64));
+    }
+
+    #[test]
+    fn partition_breakdown_tracks_traffic_and_l2() {
+        let p = Probe::enabled(TelemetryConfig {
+            epoch_cycles: 100,
+            ..Default::default()
+        });
+        p.on_traffic(10, 3, TrafficClass::Data, 128, false);
+        p.on_traffic(20, 3, TrafficClass::Mac, 32, true);
+        p.on_l2_hit(30, 1);
+        p.on_l2_miss(40, 3);
+        p.finalize(50);
+        p.with(|t| {
+            let snap = &t.snapshots()[0];
+            // Grown to the highest touched index; untouched ones are zero.
+            assert_eq!(snap.partitions.len(), 4);
+            assert_eq!(snap.partitions[3].read_bytes, 128);
+            assert_eq!(snap.partitions[3].write_bytes, 32);
+            assert_eq!(snap.partitions[3].l2_misses, 1);
+            assert_eq!(snap.partitions[1].l2_hits, 1);
+            assert_eq!(snap.partitions[0], PartitionEpoch::default());
+            // Per-partition totals agree with the epoch-wide counters.
+            let (r, w): (u64, u64) = snap
+                .partitions
+                .iter()
+                .fold((0, 0), |(r, w), p| (r + p.read_bytes, w + p.write_bytes));
+            assert_eq!(r + w, snap.total_bytes());
+            let mut json = String::new();
+            snap.write_json(&mut json);
+            assert!(json.contains("\"partitions\":[{\"read_bytes\":0"));
+            assert!(json
+                .contains("{\"read_bytes\":128,\"write_bytes\":32,\"l2_hits\":0,\"l2_misses\":1}"));
+        });
     }
 }

@@ -79,8 +79,10 @@ pub fn write_jsonl_to<W: std::io::Write>(t: &Telemetry, w: &mut W) -> std::io::R
 }
 
 /// Renders completed epoch snapshots as CSV, mirroring the JSONL `epoch`
-/// schema: identity columns, per-class read/write byte columns, then the
-/// counter columns.
+/// schema: identity columns, per-class read/write byte columns, the counter
+/// columns, then per-partition breakdown columns (`p<i>_read_bytes`, …) for
+/// every partition any epoch touched — rows are zero-padded to that width
+/// so the table is always rectangular.
 pub fn epoch_csv(t: &Telemetry) -> String {
     let mut out = String::new();
     out.push_str("index,start_cycle,end_cycle");
@@ -90,8 +92,22 @@ pub fn epoch_csv(t: &Telemetry) -> String {
         }
     }
     out.push_str(
-        ",instructions,accesses,l2_hits,l2_misses,dram_requests,ctr_victims,ctr_victim_uses,bmt_walks,bmt_depth_sum,bmt_depth_max\n",
+        ",instructions,accesses,l2_hits,l2_misses,dram_requests,ctr_victims,ctr_victim_uses,bmt_walks,bmt_depth_sum,bmt_depth_max",
     );
+    let num_partitions = t
+        .snapshots()
+        .iter()
+        .map(|s| s.partitions.len())
+        .max()
+        .unwrap_or(0);
+    for p in 0..num_partitions {
+        let _ = write!(
+            out,
+            ",p{p}_read_bytes,p{p}_write_bytes,p{p}_l2_hits,p{p}_l2_misses"
+        );
+    }
+    out.push('\n');
+    let zero = crate::PartitionEpoch::default();
     for s in t.snapshots() {
         let _ = write!(out, "{},{},{}", s.index, s.start_cycle, s.end_cycle);
         for bytes in [&s.traffic.read, &s.traffic.write] {
@@ -99,7 +115,7 @@ pub fn epoch_csv(t: &Telemetry) -> String {
                 let _ = write!(out, ",{v}");
             }
         }
-        let _ = writeln!(
+        let _ = write!(
             out,
             ",{},{},{},{},{},{},{},{},{},{}",
             s.instructions,
@@ -113,6 +129,15 @@ pub fn epoch_csv(t: &Telemetry) -> String {
             s.bmt_depth_sum,
             s.bmt_depth_max
         );
+        for p in 0..num_partitions {
+            let part = s.partitions.get(p).unwrap_or(&zero);
+            let _ = write!(
+                out,
+                ",{},{},{},{}",
+                part.read_bytes, part.write_bytes, part.l2_hits, part.l2_misses
+            );
+        }
+        out.push('\n');
     }
     out
 }
@@ -231,7 +256,7 @@ mod tests {
                 addr: 4096,
             },
         );
-        p.on_traffic(5, TrafficClass::Data, 128, false);
+        p.on_traffic(5, 1, TrafficClass::Data, 128, false);
         p.on_dram_request(40, 35);
         p.emit(
             250,
@@ -330,8 +355,12 @@ mod tests {
         let mut lines = csv.lines();
         let header = lines.next().unwrap();
         assert!(header.starts_with("index,start_cycle,end_cycle,read_"));
-        assert!(header.ends_with(
+        assert!(header.contains(
             "instructions,accesses,l2_hits,l2_misses,dram_requests,ctr_victims,ctr_victim_uses,bmt_walks,bmt_depth_sum,bmt_depth_max"
+        ));
+        // Traffic landed in partition 1, so the breakdown covers p0..p1.
+        assert!(header.ends_with(
+            "p0_read_bytes,p0_write_bytes,p0_l2_hits,p0_l2_misses,p1_read_bytes,p1_write_bytes,p1_l2_hits,p1_l2_misses"
         ));
         let cols = header.split(',').count();
         // Same epochs as the JSONL document: 0..100, 100..200, 200..250.

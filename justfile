@@ -49,3 +49,11 @@ recovery-smoke scale="0.25":
     cargo run --release -p shm-bench --bin repro -- fig16 --scale {{scale}} --journal /tmp/shm_recovery_j --resume > /tmp/shm_recovery_resumed.txt
     diff /tmp/shm_recovery_golden.txt /tmp/shm_recovery_resumed.txt
     rm -rf /tmp/shm_recovery_j /tmp/shm_recovery_golden.txt /tmp/shm_recovery_resumed.txt
+
+# Distributed-sweep smoke: a loopback coordinator + 2 worker cluster must
+# render fig16 byte-identical to the serial run (see docs/DISTRIBUTED.md).
+dist-smoke scale="0.25":
+    cargo run --release -p shm-bench --bin repro -- fig16 --scale {{scale}} --jobs 1 > /tmp/shm_dist_serial.txt
+    SHM_DIST_WORKERS=2 cargo run --release -p shm-bench --bin repro -- fig16 --scale {{scale}} --dist 127.0.0.1:0 > /tmp/shm_dist_cluster.txt
+    diff /tmp/shm_dist_serial.txt /tmp/shm_dist_cluster.txt
+    rm -f /tmp/shm_dist_serial.txt /tmp/shm_dist_cluster.txt

@@ -120,7 +120,8 @@ proptest! {
             let class = TrafficClass::ALL[(x >> 16) as usize % TrafficClass::ALL.len()];
             let bytes = 32 + (x >> 32) % 4096;
             let is_write = i % 3 == 0;
-            t.on_traffic(cycle, class, bytes, is_write);
+            let partition = ((x >> 48) % 12) as usize;
+            t.on_traffic(cycle, partition, class, bytes, is_write);
             expected.record(class, bytes, is_write);
         }
         t.finalize(cycle + 1);
@@ -128,6 +129,18 @@ proptest! {
         for class in TrafficClass::ALL {
             prop_assert_eq!(summed.class_total(class), expected.class_total(class));
         }
+        // The per-partition breakdown partitions the byte totals exactly.
+        let part_bytes: u64 = t
+            .snapshots()
+            .iter()
+            .flat_map(|s| s.partitions.iter())
+            .map(|p| p.read_bytes + p.write_bytes)
+            .sum();
+        let total: u64 = TrafficClass::ALL
+            .iter()
+            .map(|&c| summed.class_total(c))
+            .sum();
+        prop_assert_eq!(part_bytes, total);
         // Every epoch is non-overlapping and ordered.
         let snaps = t.snapshots();
         for w in snaps.windows(2) {
