@@ -23,7 +23,7 @@ use shm_recovery::{config_hash, JobJournal, JournalCodec, RecoveryError};
 use shm_workloads::BenchmarkProfile;
 use sim_dist::protocol::PROTOCOL_VERSION;
 use sim_dist::{
-    run_worker, Coordinator, DistError, DistJob, DistOptions, DistReport, WorkerOptions,
+    run_worker, Coordinator, DistError, DistJob, DistOptions, DistReport, JobTiming, WorkerOptions,
     WorkerStats, WorkerSummary, DIST_WORKERS_ENV,
 };
 use sim_exec::{effective_jobs, CancelToken, JobPanic, LabelledPanic, SweepError};
@@ -160,12 +160,13 @@ pub struct DistSweepConfig {
 }
 
 impl DistSweepConfig {
-    /// A config binding `bind`, with `SHM_DIST_WORKERS` self workers.
+    /// A config binding `bind`, with `SHM_DIST_WORKERS` self workers and
+    /// cluster tunables (heartbeat miss window) from the environment.
     pub fn from_env(bind: &str) -> Self {
         Self {
             bind: bind.to_string(),
             self_workers: self_workers_from_env(),
-            opts: DistOptions::default(),
+            opts: DistOptions::from_env(),
         }
     }
 }
@@ -199,6 +200,10 @@ pub struct DistSummary {
     /// True when no worker was reachable and the sweep fell back to the
     /// local executor.
     pub degraded: bool,
+    /// Distributed-trace id the coordinator minted (0 when degraded).
+    pub trace_id: u64,
+    /// Per-job observed timings, submission order (empty when degraded).
+    pub timings: Vec<JobTiming>,
 }
 
 /// Why a distributed sweep failed.
@@ -270,7 +275,7 @@ where
             let opts = WorkerOptions {
                 worker_id: format!("local-{i}"),
                 jobs: Some(per_worker),
-                ..WorkerOptions::default()
+                ..WorkerOptions::from_env()
             };
             self_workers.push(std::thread::spawn(move || {
                 run_worker(&addr, hash, opts, dist_worker_handler)
@@ -366,6 +371,8 @@ pub fn try_run_suite_dist(
                 workers: report.workers,
                 reassignments: report.reassignments,
                 degraded: false,
+                trace_id: report.trace_id,
+                timings: report.timings,
             };
             let mut stats = Vec::with_capacity(pairs.len());
             let mut failed = Vec::new();
@@ -502,6 +509,8 @@ pub fn try_run_suite_dist_journaled(
                 }
                 summary.workers = report.workers;
                 summary.reassignments = report.reassignments;
+                summary.trace_id = report.trace_id;
+                summary.timings = report.timings;
                 for (j, outcome) in report.results.iter().enumerate() {
                     match outcome {
                         None => {} // cancelled before dispatch: stays missing

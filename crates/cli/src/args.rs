@@ -41,7 +41,15 @@ impl core::fmt::Display for ArgError {
 impl std::error::Error for ArgError {}
 
 /// Options that never take a value.
-const FLAGS: &[&str] = &["csv", "verbose", "telemetry", "resume", "sweep"];
+const FLAGS: &[&str] = &[
+    "csv",
+    "verbose",
+    "telemetry",
+    "resume",
+    "sweep",
+    "profile",
+    "once",
+];
 
 impl Args {
     /// Parses `argv` (without the command name).

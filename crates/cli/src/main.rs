@@ -18,6 +18,7 @@ use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::path::Path;
 use std::process::ExitCode;
+use std::time::Instant;
 
 use gpu_mem_sim::{read_trace, write_trace, ContextTrace, DesignPoint, EnergyModel, Simulator};
 use gpu_types::{GpuConfig, SimStats, TrafficClass};
@@ -30,6 +31,7 @@ use shm_workloads::BenchmarkProfile;
 use sim_exec::{CancelToken, Executor};
 
 mod args;
+mod obs;
 mod report;
 
 use args::{ArgError, Args};
@@ -159,6 +161,12 @@ fn dispatch(argv: &[String]) -> Result<(), CliError> {
         "crash" => cmd_crash(Args::parse(rest).map_err(stringify)?),
         "sweep" => cmd_sweep(Args::parse(rest).map_err(stringify)?),
         "worker" => cmd_worker(Args::parse(rest).map_err(stringify)?),
+        "trace-report" => obs::cmd_trace_report(rest),
+        "top" => obs::cmd_top(&Args::parse(rest).map_err(stringify)?),
+        "env" => {
+            obs::cmd_env();
+            Ok(())
+        }
         "trace" => match rest.first().map(String::as_str) {
             Some("gen") => Ok(cmd_trace_gen(Args::parse(&rest[1..]).map_err(stringify)?)?),
             Some("info") => Ok(cmd_trace_info(&rest[1..])?),
@@ -210,12 +218,20 @@ fn print_help() {
          \x20 run   --trace <file> -d <design>     replay a stored trace\n\
          \x20 run   --custom ro=0.9,stream=0.95,write=0.05 -d SHM\n\
          \x20 run   ... --telemetry [--epoch-cycles N] [--trace-out t.jsonl] [--epoch-csv e.csv]\n\
+         \x20 run   ... --profile                  phase self-profiler (forces --jobs 1)\n\
          \x20 sweep -b <bench> [--events N] [--csv] [--jobs N]\n\
          \x20 sweep ... --journal <file> [--resume]  checkpoint results; SIGINT/SIGTERM\n\
          \x20        stops gracefully (exit 130) and --resume skips completed jobs\n\
          \x20 sweep -b <bench> --dist HOST:PORT    run the sweep on a worker cluster\n\
          \x20        (SHM_DIST_WORKERS=N spawns loopback workers; composes with --journal)\n\
-         \x20 worker --connect HOST:PORT [--jobs N] [--id NAME]   serve sweep jobs\n\
+         \x20 sweep ... --metrics-addr HOST:PORT [--metrics-hold-ms N]   live /metrics\n\
+         \x20        endpoint (Prometheus text); --dist adds [--heartbeat-timeout-ms N]\n\
+         \x20 worker --connect HOST:PORT [--jobs N] [--id NAME] [--heartbeat-ms N]\n\
+         \x20        [--metrics-addr HOST:PORT]    serve sweep jobs\n\
+         \x20 trace-report <file.jsonl> [--top N]  span timeline from a telemetry trace\n\
+         \x20 top --connect HOST:PORT [--interval-ms N] [--iterations N] [--once]\n\
+         \x20        live cluster monitor over a /metrics endpoint\n\
+         \x20 env                                  every SHM_* environment knob\n\
          \x20 attack --campaign smoke|full [--seed S] [--policy abort|retry|quarantine]\n\
          \x20        [--telemetry ...]            adversary campaign; exit 3 on any miss\n\
          \x20 crash --at-cycle N [--seed S] [--ops K] [--flush F]   cut power at a\n\
@@ -342,10 +358,25 @@ fn parse_jobs(args: &Args) -> Result<Option<usize>, String> {
 }
 
 fn cmd_run(args: Args) -> Result<(), CliError> {
+    let profiling = args.flag("profile");
+    if profiling {
+        // Phase timers are process-global, so profiled runs are serial —
+        // concurrent jobs would double-charge wall time to the phases.
+        if args.get("jobs").is_some() {
+            eprintln!("note: --profile forces --jobs 1 (phase timers are process-global)");
+        }
+        shm_metrics::phase::enable_profiling();
+        shm_metrics::phase::reset_phases();
+    }
+    let profile_started = Instant::now();
     let trace = load_trace(&args)?;
     let design = parse_design(&args)?;
     let probe = telemetry_probe(&args)?;
-    let jobs = parse_jobs(&args)?;
+    let jobs = if profiling {
+        Some(1)
+    } else {
+        parse_jobs(&args)?
+    };
     let cfg = GpuConfig::default();
     // The baseline and the protected design are independent runs — two jobs
     // on the shared pool.  Only the design run carries the probe.
@@ -365,6 +396,7 @@ fn cmd_run(args: Args) -> Result<(), CliError> {
             },
         )
         .map_err(|e| CliError::runtime(format!("simulation failed: {e}"), &probe))?;
+    let profiled_wall_ns = profile_started.elapsed().as_nanos() as u64;
     let mut take = || {
         results
             .pop()
@@ -391,6 +423,15 @@ fn cmd_run(args: Args) -> Result<(), CliError> {
                 .map_err(|e| CliError::runtime(format!("write {path}: {e}"), &probe))?;
             println!("epoch CSV written to {path}");
         }
+    }
+    if profiling {
+        print!("{}", shm_metrics::phase::report());
+        let covered = shm_metrics::phase::total_nanos();
+        println!(
+            "profile: phases cover {:.1}% of {:.1} ms wall",
+            100.0 * covered as f64 / profiled_wall_ns.max(1) as f64,
+            profiled_wall_ns as f64 / 1e6
+        );
     }
     Ok(())
 }
@@ -566,35 +607,121 @@ fn cmd_crash(args: Args) -> Result<(), CliError> {
 }
 
 fn cmd_sweep(args: Args) -> Result<(), CliError> {
+    // The /metrics endpoint (when requested) covers the whole sweep and is
+    // shut down after the table prints, honoring --metrics-hold-ms.
+    let metrics = obs::MetricsGuard::from_args(&args)?;
+    let result = cmd_sweep_inner(&args);
+    metrics.finish();
+    result
+}
+
+fn cmd_sweep_inner(args: &Args) -> Result<(), CliError> {
     if let Some(bind) = args.get("dist") {
         let bind = bind.to_string();
-        let stats = sweep_dist(&args, &bind)?;
+        let stats = sweep_dist(args, &bind)?;
         print_sweep_table(&stats, args.flag("csv"));
         return Ok(());
     }
-    let trace = load_trace(&args)?;
-    let jobs = parse_jobs(&args)?;
+    let trace = load_trace(args)?;
+    let probe = telemetry_probe(args)?;
+    let jobs = parse_jobs(args)?;
     let cfg = GpuConfig::default();
     // All design points are independent — sweep them on the pool, then
     // print in the fixed `ALL` order (results come back in that order).
     let all = DesignPoint::ALL;
     let exec = Executor::from_request(jobs);
     let stats: Vec<SimStats> = if let Some(path) = args.get("journal") {
-        sweep_journaled(&args, &trace, &cfg, &exec, path)?
+        sweep_journaled(args, &trace, &cfg, &exec, path)?
     } else {
         if args.flag("resume") || args.get("crash-after-jobs").is_some() {
             return Err(CliError::usage(
                 "--resume/--crash-after-jobs require --journal <file>",
             ));
         }
-        exec.try_map(
-            &all,
-            |_, d| format!("{} under {}", trace.name, d.name()),
-            |_, &d| Simulator::new(&cfg, d).run(&trace),
-        )
-        .map_err(|e| CliError::runtime(format!("sweep failed: {e}"), &Probe::disabled()))?
+        // Per-job wall timings, recorded by the worker threads so the
+        // local path emits the same span tree a --dist sweep does.
+        let sweep_started = Instant::now();
+        let timings: std::sync::Mutex<Vec<(usize, u64, u64, u64)>> =
+            std::sync::Mutex::new(Vec::new());
+        let stats = exec
+            .try_map(
+                &all,
+                |_, d| format!("{} under {}", trace.name, d.name()),
+                |i, &d| {
+                    let begun = Instant::now();
+                    let begun_ms = sweep_started.elapsed().as_millis() as u64;
+                    let s = Simulator::new(&cfg, d).run(&trace);
+                    let run_ns = begun.elapsed().as_nanos() as u64;
+                    timings.lock().unwrap_or_else(|e| e.into_inner()).push((
+                        i,
+                        begun_ms,
+                        sweep_started.elapsed().as_millis() as u64,
+                        run_ns,
+                    ));
+                    s
+                },
+            )
+            .map_err(|e| CliError::runtime(format!("sweep failed: {e}"), &probe))?;
+        if probe.is_enabled() {
+            emit_local_sweep_spans(&probe, &trace.name, &stats, timings.into_inner().unwrap());
+        }
+        stats
     };
     print_sweep_table(&stats, args.flag("csv"));
+    finish_sweep_telemetry(args, &probe)?;
+    Ok(())
+}
+
+/// Converts the local executor's per-job timings into the canonical span
+/// tree (`shm_telemetry::span::build_job_spans`), so `--jobs N` and
+/// `--dist` sweeps produce structurally identical traces.
+fn emit_local_sweep_spans(
+    probe: &Probe,
+    bench: &str,
+    stats: &[SimStats],
+    mut timings: Vec<(usize, u64, u64, u64)>,
+) {
+    use shm_telemetry::span::JobSpanInput;
+    timings.sort_by_key(|t| t.0);
+    let inputs: Vec<JobSpanInput> = timings
+        .into_iter()
+        .map(|(i, dispatch_ms, end_ms, run_ns)| JobSpanInput {
+            index: i,
+            label: format!("{} under {}", bench, DesignPoint::ALL[i].name()),
+            worker: "local".to_string(),
+            dispatch_ms,
+            end_ms,
+            run_ns,
+            cycles: stats.get(i).map_or(0, |s| s.cycles),
+        })
+        .collect();
+    let trace_id = shm_telemetry::wall_ms().wrapping_mul(1_000_000) | 1;
+    probe.emit_job_spans(trace_id, &format!("sweep {bench}"), &inputs);
+}
+
+/// Shared `--telemetry` epilogue for sweep paths that never run a
+/// simulator in-process with the probe attached: close the document and
+/// surface any `--trace-out` / `--epoch-csv` outputs.
+fn finish_sweep_telemetry(args: &Args, probe: &Probe) -> Result<(), CliError> {
+    if !probe.is_enabled() {
+        return Ok(());
+    }
+    probe.finalize(0);
+    if let Some(s) = probe.summary() {
+        println!("{s}");
+    }
+    if let Some(path) = args.get("trace-out") {
+        if let Some(e) = probe.stream_error() {
+            return Err(CliError::runtime(format!("write {path}: {e}"), probe));
+        }
+        println!("telemetry trace streamed to {path}");
+    }
+    if let Some(path) = args.get("epoch-csv") {
+        probe
+            .write_epoch_csv(Path::new(path))
+            .map_err(|e| CliError::runtime(format!("write {path}: {e}"), probe))?;
+        println!("epoch CSV written to {path}");
+    }
     Ok(())
 }
 
@@ -668,7 +795,10 @@ fn sweep_dist(args: &Args, bind: &str) -> Result<Vec<SimStats>, CliError> {
     }
     let seed = args.get_u64("seed")?.unwrap_or(0xBEEF);
     let probe = telemetry_probe(args)?;
-    let cfg = DistSweepConfig::from_env(bind);
+    let mut cfg = DistSweepConfig::from_env(bind);
+    if let Some(ms) = args.get_u64("heartbeat-timeout-ms")? {
+        cfg.opts.heartbeat_timeout_ms = ms.max(1);
+    }
     let all = DesignPoint::ALL;
 
     let all_jobs: Vec<DistJob> = all
@@ -805,6 +935,25 @@ fn sweep_dist(args: &Args, bind: &str) -> Result<Vec<SimStats>, CliError> {
                 if rep.reassignments > 0 {
                     eprintln!("{} job(s) reassigned after worker loss", rep.reassignments);
                 }
+                if probe.is_enabled() && !rep.timings.is_empty() {
+                    // Same span-tree recipe as the local path: root span +
+                    // one child per job, ids fixed by submission index.
+                    use shm_telemetry::span::JobSpanInput;
+                    let inputs: Vec<JobSpanInput> = rep
+                        .timings
+                        .iter()
+                        .map(|t| JobSpanInput {
+                            index: t.index,
+                            label: labels[t.index].clone(),
+                            worker: t.worker.clone(),
+                            dispatch_ms: t.dispatch_ms,
+                            end_ms: t.end_ms,
+                            run_ns: t.run_ns,
+                            cycles: decoded[t.index].as_ref().map_or(0, |s| s.cycles),
+                        })
+                        .collect();
+                    probe.emit_job_spans(rep.trace_id, &format!("sweep {bench}"), &inputs);
+                }
                 let mut failed: Vec<String> = Vec::new();
                 for (j, outcome) in rep.results.iter().enumerate() {
                     match outcome {
@@ -906,19 +1055,20 @@ fn cmd_worker(args: Args) -> Result<(), CliError> {
         .get("connect")
         .ok_or_else(|| CliError::usage("need --connect HOST:PORT"))?
         .to_string();
-    let opts = sim_dist::WorkerOptions {
-        jobs: parse_jobs(&args)?,
-        ..sim_dist::WorkerOptions::default()
-    };
-    let opts = match args.get("id") {
-        Some(id) => sim_dist::WorkerOptions {
-            worker_id: id.to_string(),
-            ..opts
-        },
-        None => opts,
-    };
+    let metrics = obs::MetricsGuard::from_args(&args)?;
+    // Heartbeat interval: flag beats SHM_HEARTBEAT_MS beats the default.
+    let mut opts = sim_dist::WorkerOptions::from_env();
+    opts.jobs = parse_jobs(&args)?;
+    if let Some(ms) = args.get_u64("heartbeat-ms")? {
+        opts.heartbeat_interval_ms = ms.max(10);
+    }
+    if let Some(id) = args.get("id") {
+        opts.worker_id = id.to_string();
+    }
     eprintln!("worker {} connecting to {addr}", opts.worker_id);
-    match shm_bench::dist::serve_worker(&addr, opts) {
+    let served = shm_bench::dist::serve_worker(&addr, opts);
+    metrics.finish();
+    match served {
         Ok(s) => {
             eprintln!(
                 "worker done: {} job(s), {} B received, {} B sent, {} reconnect(s)",

@@ -1,0 +1,308 @@
+//! Observability subcommands and helpers: the `/metrics` endpoint guard
+//! (`--metrics-addr`), `shm trace-report`, `shm top`, and `shm env`.
+
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+use shm_metrics::{fetch_metrics, parse_exposition, MetricsServer, Sample};
+use shm_telemetry::span::{SpanEvent, TraceReport};
+use shm_telemetry::Probe;
+
+use crate::args::Args;
+use crate::CliError;
+
+/// Environment variable: address the `/metrics` endpoint binds when the
+/// `--metrics-addr` flag is absent (`HOST:PORT`, port 0 = OS-assigned).
+pub const METRICS_ADDR_ENV: &str = "SHM_METRICS_ADDR";
+
+/// Live `/metrics` endpoint for the duration of one command.  Starting it
+/// flips the process-global metrics registry on; without it every counter
+/// in the hot paths stays a single relaxed load.
+pub struct MetricsGuard {
+    server: Option<MetricsServer>,
+    hold_ms: u64,
+}
+
+impl MetricsGuard {
+    /// Starts the exposition server when `--metrics-addr` (or
+    /// `SHM_METRICS_ADDR`) asks for one.
+    pub fn from_args(args: &Args) -> Result<Self, CliError> {
+        let addr = args.get("metrics-addr").map(str::to_string).or_else(|| {
+            std::env::var(METRICS_ADDR_ENV)
+                .ok()
+                .filter(|s| !s.trim().is_empty())
+        });
+        let hold_ms = args.get_u64("metrics-hold-ms")?.unwrap_or(0);
+        let Some(addr) = addr else {
+            return Ok(Self {
+                server: None,
+                hold_ms,
+            });
+        };
+        shm_metrics::set_enabled(true);
+        let server = MetricsServer::bind(&addr).map_err(|e| {
+            CliError::runtime(
+                format!("bind metrics endpoint {addr}: {e}"),
+                &Probe::disabled(),
+            )
+        })?;
+        eprintln!("metrics: serving http://{}/metrics", server.local_addr());
+        Ok(Self {
+            server: Some(server),
+            hold_ms,
+        })
+    }
+
+    /// Keeps the endpoint up for `--metrics-hold-ms` (so a scraper can take
+    /// a final post-sweep sample), then shuts it down.
+    pub fn finish(self) {
+        if let Some(server) = self.server {
+            if self.hold_ms > 0 {
+                std::thread::sleep(Duration::from_millis(self.hold_ms));
+            }
+            server.shutdown();
+        }
+    }
+}
+
+/// `shm trace-report <file.jsonl> [--top N]`: reconstructs the span tree
+/// of each distributed trace in a telemetry JSONL document and prints its
+/// timeline — wall time, queue-wait vs run-time, critical path, and the
+/// top-N slowest jobs.
+pub fn cmd_trace_report(rest: &[String]) -> Result<(), CliError> {
+    let path = rest
+        .first()
+        .filter(|p| !p.starts_with('-'))
+        .ok_or_else(|| CliError::usage("need a telemetry JSONL file"))?
+        .clone();
+    let args = Args::parse(&rest[1..]).map_err(|e| CliError::usage(e.to_string()))?;
+    let top = args.get_u64("top")?.unwrap_or(10).max(1) as usize;
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| CliError::runtime(format!("read {path}: {e}"), &Probe::disabled()))?;
+    let spans: Vec<SpanEvent> = text.lines().filter_map(SpanEvent::parse_json).collect();
+    if spans.is_empty() {
+        return Err(CliError::runtime(
+            format!(
+                "{path} contains no span records; produce them with \
+                 `shm sweep ... --telemetry --trace-out {path}`"
+            ),
+            &Probe::disabled(),
+        ));
+    }
+    let mut broken = false;
+    for report in TraceReport::from_spans(spans) {
+        for problem in report.check_invariants() {
+            broken = true;
+            eprintln!("warning: trace {:#x}: {problem}", report.trace_id);
+        }
+        print!("{}", report.render(top));
+    }
+    if broken {
+        return Err(CliError::runtime(
+            "span tree violated trace invariants (see warnings above)",
+            &Probe::disabled(),
+        ));
+    }
+    Ok(())
+}
+
+/// One worker's live gauges, keyed off the coordinator's per-worker series.
+#[derive(Default)]
+struct WorkerRow {
+    in_flight: f64,
+    queued: f64,
+    completed: f64,
+    heartbeat_age_ms: f64,
+}
+
+fn scalar(samples: &[Sample], name: &str) -> Option<f64> {
+    samples
+        .iter()
+        .find(|s| s.name == name && s.labels.is_empty())
+        .map(|s| s.value)
+}
+
+fn worker_rows(samples: &[Sample]) -> BTreeMap<String, WorkerRow> {
+    let mut rows: BTreeMap<String, WorkerRow> = BTreeMap::new();
+    for s in samples {
+        let Some(worker) = s
+            .labels
+            .iter()
+            .find(|(k, _)| k == "worker")
+            .map(|(_, v)| v.clone())
+        else {
+            continue;
+        };
+        let row = rows.entry(worker).or_default();
+        match s.name.as_str() {
+            "shm_worker_in_flight" => row.in_flight = s.value,
+            "shm_worker_queued" => row.queued = s.value,
+            "shm_worker_completed" => row.completed = s.value,
+            "shm_worker_heartbeat_age_ms" => row.heartbeat_age_ms = s.value,
+            _ => {}
+        }
+    }
+    rows
+}
+
+fn render_top(samples: &[Sample], throughput: Option<f64>) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let completed = scalar(samples, "shm_jobs_completed_total").unwrap_or(0.0);
+    let total = scalar(samples, "shm_dist_jobs_total").unwrap_or(0.0);
+    let reassigned = scalar(samples, "shm_dist_reassignments_total").unwrap_or(0.0);
+    let retries = scalar(samples, "shm_dist_retries_total").unwrap_or(0.0);
+    let tx = scalar(samples, "shm_frame_tx_bytes_total").unwrap_or(0.0);
+    let rx = scalar(samples, "shm_frame_rx_bytes_total").unwrap_or(0.0);
+    let _ = writeln!(
+        out,
+        "sweep: {completed:.0}/{total:.0} jobs done  reassigned {reassigned:.0}  retries {retries:.0}"
+    );
+    let _ = writeln!(out, "wire:  {tx:.0} B out  {rx:.0} B in");
+    match throughput {
+        Some(jps) => {
+            let _ = writeln!(out, "rate:  {jps:.2} jobs/s");
+        }
+        None => {
+            let _ = writeln!(out, "rate:  (sampling)");
+        }
+    }
+    let rows = worker_rows(samples);
+    if !rows.is_empty() {
+        let _ = writeln!(
+            out,
+            "{:<16} {:>9} {:>7} {:>10} {:>9}",
+            "worker", "in-flight", "queued", "completed", "hb-age ms"
+        );
+        for (id, r) in &rows {
+            let _ = writeln!(
+                out,
+                "{:<16} {:>9.0} {:>7.0} {:>10.0} {:>9.0}",
+                id, r.in_flight, r.queued, r.completed, r.heartbeat_age_ms
+            );
+        }
+    }
+    out
+}
+
+/// `shm top --connect HOST:PORT`: a plain-text polling monitor over the
+/// coordinator's `/metrics` endpoint — job progress, wire traffic, job
+/// throughput and per-worker queue depth, redrawn every `--interval-ms`.
+pub fn cmd_top(args: &Args) -> Result<(), CliError> {
+    let addr = args
+        .get("connect")
+        .ok_or_else(|| CliError::usage("need --connect HOST:PORT"))?;
+    let interval = Duration::from_millis(args.get_u64("interval-ms")?.unwrap_or(1000).max(50));
+    let once = args.flag("once");
+    let iterations = args.get_u64("iterations")?;
+    let mut prev: Option<(f64, Instant)> = None;
+    let mut shown = 0u64;
+    loop {
+        let body = fetch_metrics(addr)
+            .map_err(|e| CliError::runtime(format!("fetch {addr}: {e}"), &Probe::disabled()))?;
+        let samples = parse_exposition(&body);
+        let now = Instant::now();
+        let completed = scalar(&samples, "shm_jobs_completed_total").unwrap_or(0.0);
+        let throughput = prev.map(|(last, at)| {
+            let dt = now.duration_since(at).as_secs_f64();
+            if dt > 0.0 {
+                (completed - last).max(0.0) / dt
+            } else {
+                0.0
+            }
+        });
+        prev = Some((completed, now));
+        let frame = render_top(&samples, throughput);
+        if !once {
+            // ANSI clear + home; plain prints compose with `watch`-less
+            // terminals and logs.
+            print!("\x1b[2J\x1b[H");
+        }
+        print!("{frame}");
+        let _ = std::io::stdout().flush();
+        shown += 1;
+        if once || iterations.is_some_and(|n| shown >= n) {
+            return Ok(());
+        }
+        std::thread::sleep(interval);
+    }
+}
+
+/// `shm env`: every `SHM_*` environment knob the toolchain reads, with its
+/// current value.  The same table lives in README.md — keep them in sync.
+pub fn cmd_env() {
+    let knobs: &[(&str, &str, &str)] = &[
+        (
+            sim_exec::JOBS_ENV,
+            "auto",
+            "worker-pool width for local sweeps (1 = serial)",
+        ),
+        (
+            sim_exec::JOB_TIMEOUT_ENV,
+            "0",
+            "per-job wall-clock budget in ms for robust sweeps (0 = off)",
+        ),
+        (
+            sim_exec::JOB_RETRIES_ENV,
+            "derived",
+            "sweep-wide retry budget for robust sweeps",
+        ),
+        (
+            sim_dist::DIST_WORKERS_ENV,
+            "0",
+            "loopback workers a --dist sweep spawns in-process",
+        ),
+        (
+            sim_dist::HEARTBEAT_INTERVAL_ENV,
+            "500",
+            "worker liveness beacon period in ms",
+        ),
+        (
+            sim_dist::HEARTBEAT_TIMEOUT_ENV,
+            "5000",
+            "coordinator heartbeat miss window in ms",
+        ),
+        (
+            METRICS_ADDR_ENV,
+            "unset",
+            "HOST:PORT for the /metrics endpoint (same as --metrics-addr)",
+        ),
+    ];
+    println!("{:<26} {:<12} meaning", "variable", "value");
+    for (name, default, meaning) in knobs {
+        let value = std::env::var(name).unwrap_or_else(|_| format!("(default {default})"));
+        println!("{name:<26} {value:<12} {meaning}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_top_reads_worker_series() {
+        let body = "shm_jobs_completed_total 7\nshm_dist_jobs_total 12\n\
+                    shm_worker_in_flight{worker=\"w1\"} 2\n\
+                    shm_worker_queued{worker=\"w1\"} 3\n\
+                    shm_worker_completed{worker=\"w1\"} 7\n\
+                    shm_worker_heartbeat_age_ms{worker=\"w1\"} 41\n";
+        let samples = parse_exposition(body);
+        let frame = render_top(&samples, Some(3.5));
+        assert!(frame.contains("7/12 jobs done"), "frame:\n{frame}");
+        assert!(frame.contains("3.50 jobs/s"), "frame:\n{frame}");
+        assert!(frame.contains("w1"), "frame:\n{frame}");
+        assert!(frame.contains("41"), "frame:\n{frame}");
+    }
+
+    #[test]
+    fn metrics_guard_without_request_is_inert() {
+        let args = Args::parse(&[]).expect("parse");
+        std::env::remove_var(METRICS_ADDR_ENV);
+        let Ok(guard) = MetricsGuard::from_args(&args) else {
+            panic!("no server requested must not fail");
+        };
+        assert!(guard.server.is_none());
+        guard.finish();
+    }
+}

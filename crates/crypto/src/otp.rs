@@ -27,6 +27,7 @@ pub fn seed(address: u64, cid: u8, major: u64, minor: u16) -> [u8; 16] {
 
 /// Generates the 128-byte one-time pad for a full cache line.
 pub fn block_pad(aes: &Aes128, address: u64, major: u64, minor: u16) -> [u8; 128] {
+    let _aes_phase = shm_metrics::phase::guard(shm_metrics::phase::Phase::Aes);
     let mut pad = [0u8; 128];
     for cid in 0..PADS_PER_BLOCK {
         let block = aes.encrypt_block(seed(address, cid as u8, major, minor));

@@ -116,6 +116,10 @@ impl Simulator {
     }
 
     fn run_with_engine(&self, trace: &ContextTrace) -> (SimStats, Engine, DramFabric) {
+        // Outermost phase: engine setup (including the SHM oracle pre-pass)
+        // and warp scheduling charge here; nested L2/fabric/metadata/AES
+        // guards carve their own shares out of it.
+        let _issue_phase = shm_metrics::phase::guard(shm_metrics::phase::Phase::AccessIssue);
         let map = self.cfg.partition_map();
         let mut engine = self.build_engine(trace);
         let mut fabric = DramFabric::new(&self.cfg);
@@ -306,6 +310,7 @@ impl Simulator {
         banks: &mut [Vec<L2Bank>],
         stats: &mut SimStats,
     ) -> u64 {
+        let _issue_phase = shm_metrics::phase::guard(shm_metrics::phase::Phase::AccessIssue);
         let map = self.cfg.partition_map();
         let local = map.to_local(ev.addr);
         let p = local.partition;
@@ -319,16 +324,21 @@ impl Simulator {
         }
 
         self.probe.on_access(t);
+        shm_metrics::counter!("shm_accesses_total", "Warp-level memory accesses issued").inc();
         let stalls_before = banks[p.index()][bank_idx].mshr_stalls();
-        let outcome = if ev.kind.is_write() {
-            banks[p.index()][bank_idx].write(local.offset)
-        } else {
-            banks[p.index()][bank_idx].read(t, local.offset)
+        let outcome = {
+            let _l2_phase = shm_metrics::phase::guard(shm_metrics::phase::Phase::L2);
+            if ev.kind.is_write() {
+                banks[p.index()][bank_idx].write(local.offset)
+            } else {
+                banks[p.index()][bank_idx].read(t, local.offset)
+            }
         };
         if banks[p.index()][bank_idx].mshr_stalls() > stalls_before {
             self.probe.emit(t, Event::MshrStall { bank: bank_idx });
         }
 
+        let (hits_before, misses_before) = (stats.l2_hits, stats.l2_misses);
         let completion = match outcome {
             L2Outcome::Hit => {
                 stats.l2_hits += 1;
@@ -381,6 +391,14 @@ impl Simulator {
                 done
             }
         };
+
+        shm_metrics::counter!("shm_l2_hits_total", "L2 hits (merged misses included)")
+            .add(stats.l2_hits - hits_before);
+        shm_metrics::counter!(
+            "shm_l2_misses_total",
+            "L2 misses (write allocations included)"
+        )
+        .add(stats.l2_misses - misses_before);
 
         // Drain write-backs generated by this access (data evictions from
         // write allocation, and victim-cache displacements).

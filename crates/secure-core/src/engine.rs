@@ -98,6 +98,9 @@ impl SecureMemorySystem {
         if !self.scheme.protected {
             return data_done;
         }
+        // Everything below is security-metadata work (counters, MACs, BMT);
+        // nested Fabric/Aes guards carve their own share out of this phase.
+        let _meta_phase = shm_metrics::phase::guard(shm_metrics::phase::Phase::MetadataWalk);
 
         let sectored = self.scheme.sectored_metadata;
         let mee = &mut self.mees[p.index()];
@@ -122,6 +125,8 @@ impl SecureMemorySystem {
                 mee.update_counter(now, req.local, req.phys, sectored, fabric, victim, stats);
             }
             // MAC is recomputed and stored for every write-back.
+            shm_metrics::counter!("shm_mac_verifies_total", "Block MACs computed or verified")
+                .inc();
             mee.update_block_mac(now, req.local, req.phys, sectored, fabric, victim, stats);
             data_done
         } else {
@@ -137,6 +142,8 @@ impl SecureMemorySystem {
                 mee.fetch_counter(now, req.local, req.phys, sectored, fabric, victim, stats)
             };
             // MAC fetch + verification are off the critical path.
+            shm_metrics::counter!("shm_mac_verifies_total", "Block MACs computed or verified")
+                .inc();
             mee.fetch_block_mac(now, req.local, req.phys, sectored, fabric, victim, stats);
             data_done.max(ctr_ready) + mee.aes_latency()
         }

@@ -63,6 +63,7 @@ impl DramFabric {
         is_write: bool,
         class: TrafficClass,
     ) -> u64 {
+        let _fabric_phase = shm_metrics::phase::guard(shm_metrics::phase::Phase::Fabric);
         self.traffic.record(class, bytes, is_write);
         self.requests += 1;
         let chan = &mut self.partitions[partition.index()];

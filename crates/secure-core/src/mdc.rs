@@ -376,6 +376,16 @@ impl MeeCore {
                 break; // cached ⇒ verified ⇒ stop the walk
             }
         }
+        shm_metrics::counter!(
+            "shm_bmt_walks_total",
+            "BMT freshness walks after counter misses"
+        )
+        .inc();
+        shm_metrics::counter!(
+            "shm_bmt_levels_total",
+            "BMT levels visited across all walks"
+        )
+        .add(u64::from(walked));
         if self.probe.is_enabled() {
             self.probe.emit(
                 now,

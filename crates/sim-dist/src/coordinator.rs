@@ -62,6 +62,34 @@ impl Default for DistOptions {
     }
 }
 
+impl DistOptions {
+    /// Defaults with environment overrides applied
+    /// (`SHM_HEARTBEAT_TIMEOUT_MS` for the heartbeat miss-threshold).
+    pub fn from_env() -> Self {
+        let mut opts = Self::default();
+        if let Some(ms) = crate::env_u64(crate::HEARTBEAT_TIMEOUT_ENV) {
+            opts.heartbeat_timeout_ms = ms.max(1);
+        }
+        opts
+    }
+}
+
+/// Observed timing of one resolved job, for span reconstruction.
+#[derive(Clone, Debug)]
+pub struct JobTiming {
+    /// Submission index.
+    pub index: usize,
+    /// Worker that delivered the (final) result.
+    pub worker: String,
+    /// Last dispatch time, ms since the sweep started (= queue wait, since
+    /// every job is submitted at sweep start).
+    pub dispatch_ms: u64,
+    /// Resolution time, ms since the sweep started.
+    pub end_ms: u64,
+    /// Pure execution time measured on the worker (0 for failed jobs).
+    pub run_ns: u64,
+}
+
 /// What a finished distributed sweep looked like.
 #[derive(Debug)]
 pub struct DistReport {
@@ -76,6 +104,10 @@ pub struct DistReport {
     pub retries_used: u32,
     /// True when the sweep stopped early on a tripped [`CancelToken`].
     pub interrupted: bool,
+    /// Distributed-trace id minted for this sweep.
+    pub trace_id: u64,
+    /// Per-job timings in submission order (resolved jobs only).
+    pub timings: Vec<JobTiming>,
 }
 
 impl DistReport {
@@ -96,6 +128,10 @@ struct Completion {
 
 struct Inner {
     pending: VecDeque<Pending>,
+    /// Latest dispatch time per job, ms since sweep start.
+    dispatch_ms: HashMap<usize, u64>,
+    /// Timing of each resolved job, recorded once at resolution.
+    timings: HashMap<usize, JobTiming>,
     resolved: Vec<bool>,
     resolved_count: usize,
     in_flight_total: usize,
@@ -119,6 +155,10 @@ struct Shared {
     jobs: Vec<DistJob>,
     opts: DistOptions,
     config_hash: u64,
+    /// Sweep start; all job timings are relative to this.
+    started: Instant,
+    /// Trace id minted for this sweep, carried in every dispatch.
+    trace_id: u64,
 }
 
 /// TCP sweep coordinator; see the module docs for the protocol.
@@ -169,9 +209,25 @@ impl Coordinator {
         F: FnMut(usize, &str, &JobResult<String>),
     {
         let n = jobs.len();
+        // Trace id: wall-clock derived, unique enough to tell sweeps apart
+        // in merged JSONL documents.
+        let trace_id = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(1)
+            | 1;
+        shm_metrics::gauge!(
+            "shm_heartbeat_timeout_ms",
+            "Effective coordinator heartbeat miss-threshold"
+        )
+        .set(self.opts.heartbeat_timeout_ms as i64);
+        shm_metrics::gauge!("shm_dist_jobs_total", "Jobs submitted to the current sweep")
+            .set(n as i64);
         let shared = Arc::new(Shared {
             inner: Mutex::new(Inner {
                 pending: (0..n).map(|i| (i, 1)).collect(),
+                dispatch_ms: HashMap::new(),
+                timings: HashMap::new(),
                 resolved: vec![false; n],
                 resolved_count: 0,
                 in_flight_total: 0,
@@ -190,6 +246,8 @@ impl Coordinator {
             jobs,
             opts: self.opts.clone(),
             config_hash: self.config_hash,
+            started: Instant::now(),
+            trace_id,
         });
 
         let stop_accept = Arc::new(AtomicBool::new(false));
@@ -291,6 +349,8 @@ impl Coordinator {
             results[c.index] = Some(c.outcome);
             inner = shared.inner.lock().unwrap_or_else(|e| e.into_inner());
         }
+        let mut timings: Vec<JobTiming> = inner.timings.values().cloned().collect();
+        timings.sort_by_key(|t| t.index);
         drop(inner);
 
         if no_workers {
@@ -302,6 +362,8 @@ impl Coordinator {
             reassignments,
             retries_used,
             interrupted,
+            trace_id,
+            timings,
         })
     }
 }
@@ -419,6 +481,35 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) {
     let mut cancel_sent = false;
     let mut lost = false;
 
+    // Live per-worker gauges, aggregated at the coordinator for /metrics
+    // and `shm top`.  Registered eagerly so a scrape shows the worker even
+    // before its first stats reply.
+    let worker_labels: &[(&str, &str)] = &[("worker", worker_id.as_str())];
+    let g_in_flight = shm_metrics::labeled_gauge(
+        "shm_worker_in_flight",
+        "Jobs executing on the worker right now",
+        worker_labels,
+    );
+    let g_queued = shm_metrics::labeled_gauge(
+        "shm_worker_queued",
+        "Jobs dispatched to the worker but not yet started",
+        worker_labels,
+    );
+    let g_completed = shm_metrics::labeled_gauge(
+        "shm_worker_completed",
+        "Jobs the worker has completed since connecting",
+        worker_labels,
+    );
+    let g_heartbeat_age = shm_metrics::labeled_gauge(
+        "shm_worker_heartbeat_age_ms",
+        "Milliseconds since the worker was last heard from",
+        worker_labels,
+    );
+    let stats_poll_every = Duration::from_millis(500);
+    // Backdate the first poll so even a sweep shorter than the poll period
+    // exports one stats sample per worker.
+    let mut last_stats_poll = Instant::now() - stats_poll_every;
+
     'conn: loop {
         // Keep the dispatch window full.
         loop {
@@ -447,12 +538,18 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) {
                         index: index as u64,
                         label: job.label.clone(),
                         payload: job.payload.clone(),
+                        trace_id: shared.trace_id,
+                        // Span ids are deterministic: root = 1, job i = i+2
+                        // (matching telemetry's span-tree convention).
+                        span_id: index as u64 + 2,
                     };
                     match write_frame(&mut writer, &frame) {
                         Ok(bytes) => {
                             in_flight.insert(index, attempt);
+                            let dispatched_at = shared.started.elapsed().as_millis() as u64;
                             let mut inner = shared.inner.lock().unwrap_or_else(|e| e.into_inner());
                             inner.workers[wslot].bytes_sent += bytes as u64;
+                            inner.dispatch_ms.insert(index, dispatched_at);
                         }
                         Err(_) => {
                             // Send failed: hand the job straight back (no
@@ -485,13 +582,53 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) {
             }
         }
 
+        // Poll worker stats for the live gauges (only while someone is
+        // actually collecting metrics — the wire stays quiet otherwise).
+        if shm_metrics::enabled() && last_stats_poll.elapsed() >= stats_poll_every {
+            last_stats_poll = Instant::now();
+            if write_frame(&mut writer, &Frame::StatsRequest).is_err() {
+                lost = true;
+                break 'conn;
+            }
+        }
+        shm_metrics::enabled().then(|| g_heartbeat_age.set(last_seen.elapsed().as_millis() as i64));
+
         // Collect one frame (bounded timeout doubles as the liveness tick).
         match reader.read_frame() {
-            Ok(Frame::Heartbeat { .. }) => last_seen = Instant::now(),
-            Ok(Frame::JobResult { index, payload }) => {
+            Ok(Frame::Heartbeat { .. }) => {
+                last_seen = Instant::now();
+                shm_metrics::counter!(
+                    "shm_dist_heartbeats_total",
+                    "Heartbeat frames received from workers"
+                )
+                .inc();
+            }
+            Ok(Frame::StatsReply {
+                in_flight: wf,
+                queued,
+                completed,
+            }) => {
+                last_seen = Instant::now();
+                g_in_flight.set(wf as i64);
+                g_queued.set(queued as i64);
+                g_completed.set(completed as i64);
+            }
+            Ok(Frame::JobResult {
+                index,
+                payload,
+                run_ns,
+            }) => {
                 last_seen = Instant::now();
                 let index = index as usize;
                 if in_flight.remove(&index).is_some() {
+                    let end_ms = shared.started.elapsed().as_millis() as u64;
+                    shm_metrics::counter!(
+                        "shm_jobs_completed_total",
+                        "Sweep jobs resolved by the coordinator"
+                    )
+                    .inc();
+                    shm_metrics::histogram!("shm_job_run_ms", "Worker-measured job run time (ms)")
+                        .observe(run_ns / 1_000_000);
                     let mut inner = shared.inner.lock().unwrap_or_else(|e| e.into_inner());
                     inner.in_flight_total -= 1;
                     inner.workers[wslot].jobs_done += 1;
@@ -499,6 +636,17 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) {
                     if !inner.resolved[index] {
                         inner.resolved[index] = true;
                         inner.resolved_count += 1;
+                        let dispatch_ms = inner.dispatch_ms.get(&index).copied().unwrap_or(0);
+                        inner.timings.insert(
+                            index,
+                            JobTiming {
+                                index,
+                                worker: worker_id.clone(),
+                                dispatch_ms,
+                                end_ms,
+                                run_ns,
+                            },
+                        );
                         inner.completions.push_back(Completion {
                             index,
                             worker: worker_id.clone(),
@@ -519,11 +667,27 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) {
                     if attempt == 1 && inner.retry_left > 0 && !inner.cancelled {
                         inner.retry_left -= 1;
                         inner.retries_used += 1;
+                        shm_metrics::counter!(
+                            "shm_dist_retries_total",
+                            "Retry budget spent on panicked or lost jobs"
+                        )
+                        .inc();
                         inner.pending.push_back((index, attempt + 1));
                     } else if !inner.resolved[index] {
                         let label = shared.jobs[index].label.clone();
                         inner.resolved[index] = true;
                         inner.resolved_count += 1;
+                        let dispatch_ms = inner.dispatch_ms.get(&index).copied().unwrap_or(0);
+                        inner.timings.insert(
+                            index,
+                            JobTiming {
+                                index,
+                                worker: worker_id.clone(),
+                                dispatch_ms,
+                                end_ms: shared.started.elapsed().as_millis() as u64,
+                                run_ns: 0,
+                            },
+                        );
                         inner.completions.push_back(Completion {
                             index,
                             worker: worker_id.clone(),
@@ -570,9 +734,19 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) {
             inner.in_flight_total -= 1;
             inner.workers[wslot].reassigned += 1;
             inner.reassignments += 1;
+            shm_metrics::counter!(
+                "shm_dist_reassignments_total",
+                "Jobs re-queued because their worker died mid-flight"
+            )
+            .inc();
             if inner.retry_left > 0 && !inner.cancelled {
                 inner.retry_left -= 1;
                 inner.retries_used += 1;
+                shm_metrics::counter!(
+                    "shm_dist_retries_total",
+                    "Retry budget spent on panicked or lost jobs"
+                )
+                .inc();
                 inner.pending.push_front((index, attempt));
             } else if !inner.resolved[index] {
                 let label = shared.jobs[index].label.clone();

@@ -27,12 +27,34 @@ mod coordinator;
 pub mod protocol;
 mod worker;
 
-pub use coordinator::{Coordinator, DistJob, DistOptions, DistReport};
+pub use coordinator::{Coordinator, DistJob, DistOptions, DistReport, JobTiming};
 pub use worker::{run_worker, WorkerOptions, WorkerSummary};
 
 /// Environment variable: number of loopback workers a `--dist` sweep
 /// spawns in-process (handy for single-machine clusters and CI smoke).
 pub const DIST_WORKERS_ENV: &str = "SHM_DIST_WORKERS";
+
+/// Environment variable: coordinator-side heartbeat miss window in
+/// milliseconds — a worker silent for longer is declared dead and its
+/// in-flight jobs reassigned.
+pub const HEARTBEAT_TIMEOUT_ENV: &str = "SHM_HEARTBEAT_TIMEOUT_MS";
+
+/// Environment variable: worker-side heartbeat send interval in
+/// milliseconds.  Must comfortably undercut the coordinator's miss
+/// window (the defaults keep a 10x margin).
+pub const HEARTBEAT_INTERVAL_ENV: &str = "SHM_HEARTBEAT_MS";
+
+/// Parse a positive integer from the environment, ignoring unset,
+/// empty, or malformed values (observability knobs must never turn a
+/// typo into a sweep failure).
+pub fn env_u64(name: &str) -> Option<u64> {
+    let raw = std::env::var(name).ok()?;
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return None;
+    }
+    trimmed.parse::<u64>().ok().filter(|&v| v > 0)
+}
 
 /// Per-worker accounting reported by the coordinator (and mirrored into
 /// the flight recorder as `dist_worker` telemetry events).

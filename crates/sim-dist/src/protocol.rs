@@ -24,7 +24,12 @@ use std::io::{self, Read, Write};
 
 /// Protocol version carried in the [`Frame::Hello`] handshake.  Bumped on
 /// any wire-incompatible change; mismatches are rejected at hello time.
-pub const PROTOCOL_VERSION: u32 = 1;
+///
+/// v2: [`Frame::JobDispatch`] carries trace/span ids, [`Frame::JobResult`]
+/// carries the worker-measured run time, and the
+/// [`Frame::StatsRequest`]/[`Frame::StatsReply`] pair lets the coordinator
+/// aggregate live per-worker gauges.
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Frame magic: `"SHMD"`.
 pub const FRAME_MAGIC: u32 = 0x4448_4D53; // b"SHMD" little-endian
@@ -92,9 +97,18 @@ pub enum Frame {
         index: u64,
         label: String,
         payload: String,
+        /// Distributed-trace id of the sweep this job belongs to.
+        trace_id: u64,
+        /// Span id minted for this job at submission.
+        span_id: u64,
     },
-    /// Worker → coordinator: a job finished cleanly.
-    JobResult { index: u64, payload: String },
+    /// Worker → coordinator: a job finished cleanly.  `run_ns` is the pure
+    /// execution time measured around the job body on the worker.
+    JobResult {
+        index: u64,
+        payload: String,
+        run_ns: u64,
+    },
     /// Worker → coordinator: the job body panicked; `message` carries the
     /// captured panic payload.
     JobError { index: u64, message: String },
@@ -106,6 +120,17 @@ pub enum Frame {
     Cancel,
     /// Coordinator → worker: sweep complete, disconnect cleanly.
     Shutdown,
+    /// Coordinator → worker: ask for a live stats snapshot.
+    StatsRequest,
+    /// Worker → coordinator: live gauges answering a [`Frame::StatsRequest`].
+    StatsReply {
+        /// Jobs currently executing in the worker's pool.
+        in_flight: u32,
+        /// Jobs received but not yet started.
+        queued: u32,
+        /// Jobs completed since the worker connected.
+        completed: u64,
+    },
 }
 
 impl Frame {
@@ -119,6 +144,8 @@ impl Frame {
             Frame::Heartbeat { .. } => 6,
             Frame::Cancel => 7,
             Frame::Shutdown => 8,
+            Frame::StatsRequest => 9,
+            Frame::StatsReply { .. } => 10,
         }
     }
 }
@@ -240,24 +267,39 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
             index,
             label,
             payload: job,
+            trace_id,
+            span_id,
         } => {
             put_u64(&mut payload, *index);
             put_str(&mut payload, label);
             put_str(&mut payload, job);
+            put_u64(&mut payload, *trace_id);
+            put_u64(&mut payload, *span_id);
         }
         Frame::JobResult {
             index,
             payload: result,
+            run_ns,
         } => {
             put_u64(&mut payload, *index);
             put_str(&mut payload, result);
+            put_u64(&mut payload, *run_ns);
         }
         Frame::JobError { index, message } => {
             put_u64(&mut payload, *index);
             put_str(&mut payload, message);
         }
         Frame::Heartbeat { jobs_done } => put_u64(&mut payload, *jobs_done),
-        Frame::Cancel | Frame::Shutdown => {}
+        Frame::StatsReply {
+            in_flight,
+            queued,
+            completed,
+        } => {
+            put_u32(&mut payload, *in_flight);
+            put_u32(&mut payload, *queued);
+            put_u64(&mut payload, *completed);
+        }
+        Frame::Cancel | Frame::Shutdown | Frame::StatsRequest => {}
     }
 
     let mut buf = Vec::with_capacity(HEADER_LEN + payload.len() + TRAILER_LEN);
@@ -276,6 +318,11 @@ pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> io::Result<usize> {
     let buf = encode_frame(frame);
     w.write_all(&buf)?;
     w.flush()?;
+    shm_metrics::counter!(
+        "shm_frame_tx_bytes_total",
+        "Wire bytes sent as protocol frames"
+    )
+    .add(buf.len() as u64);
     Ok(buf.len())
 }
 
@@ -296,10 +343,13 @@ fn decode_payload(type_byte: u8, payload: &[u8]) -> Result<Frame, FrameError> {
             index: c.u64()?,
             label: c.str()?,
             payload: c.str()?,
+            trace_id: c.u64()?,
+            span_id: c.u64()?,
         },
         4 => Frame::JobResult {
             index: c.u64()?,
             payload: c.str()?,
+            run_ns: c.u64()?,
         },
         5 => Frame::JobError {
             index: c.u64()?,
@@ -310,6 +360,12 @@ fn decode_payload(type_byte: u8, payload: &[u8]) -> Result<Frame, FrameError> {
         },
         7 => Frame::Cancel,
         8 => Frame::Shutdown,
+        9 => Frame::StatsRequest,
+        10 => Frame::StatsReply {
+            in_flight: c.u32()?,
+            queued: c.u32()?,
+            completed: c.u64()?,
+        },
         other => return Err(FrameError::Corrupt(format!("unknown frame type {other}"))),
     };
     c.finish()?;
@@ -344,6 +400,11 @@ impl<R: Read> FrameReader<R> {
                 let frame = self.parse_one(frame_len)?;
                 self.buf.drain(..frame_len);
                 self.bytes_read += frame_len as u64;
+                shm_metrics::counter!(
+                    "shm_frame_rx_bytes_total",
+                    "Wire bytes received as protocol frames"
+                )
+                .add(frame_len as u64);
                 return Ok(frame);
             }
             let mut chunk = [0u8; 4096];
@@ -395,6 +456,11 @@ impl<R: Read> FrameReader<R> {
         let wire_crc = u32::from_le_bytes(self.buf[total - TRAILER_LEN..total].try_into().unwrap());
         let want = crc32(&self.buf[4..total - TRAILER_LEN]);
         if wire_crc != want {
+            shm_metrics::counter!(
+                "shm_frame_crc_errors_total",
+                "Frames rejected for CRC mismatch"
+            )
+            .inc();
             return Err(FrameError::Corrupt(format!(
                 "crc mismatch: wire {wire_crc:#010x}, computed {want:#010x}"
             )));
@@ -423,10 +489,13 @@ mod tests {
                 index: 7,
                 label: "kmeans under SHM".into(),
                 payload: "{\"bench\":\"kmeans\"}".into(),
+                trace_id: 0x1234_5678_9ABC_DEF0,
+                span_id: 9,
             },
             Frame::JobResult {
                 index: 7,
                 payload: "{\"cycles\":123}".into(),
+                run_ns: 4_200_000,
             },
             Frame::JobError {
                 index: 3,
@@ -435,6 +504,12 @@ mod tests {
             Frame::Heartbeat { jobs_done: 42 },
             Frame::Cancel,
             Frame::Shutdown,
+            Frame::StatsRequest,
+            Frame::StatsReply {
+                in_flight: 3,
+                queued: 5,
+                completed: 77,
+            },
         ]
     }
 
@@ -467,6 +542,8 @@ mod tests {
             index: 9,
             label: "bfs under PSSM".into(),
             payload: "payload".into(),
+            trace_id: 11,
+            span_id: 12,
         };
         let clean = encode_frame(&frame);
         for bit in 0..clean.len() * 8 {
@@ -528,6 +605,7 @@ mod tests {
         let frame = Frame::JobResult {
             index: 5,
             payload: "stats".into(),
+            run_ns: 99,
         };
         let wire = encode_frame(&frame);
         let mut r = FrameReader::new(Drip {

@@ -60,6 +60,18 @@ impl Default for WorkerOptions {
     }
 }
 
+impl WorkerOptions {
+    /// Defaults with the heartbeat interval overridable via
+    /// [`crate::HEARTBEAT_INTERVAL_ENV`] (`SHM_HEARTBEAT_MS`).
+    pub fn from_env() -> Self {
+        let mut opts = Self::default();
+        if let Some(ms) = crate::env_u64(crate::HEARTBEAT_INTERVAL_ENV) {
+            opts.heartbeat_interval_ms = ms;
+        }
+        opts
+    }
+}
+
 /// What one worker did over its lifetime.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct WorkerSummary {
@@ -156,6 +168,11 @@ where
     stream
         .set_read_timeout(Some(Duration::from_millis(opts.read_timeout_ms.max(10))))
         .map_err(DistError::Io)?;
+    shm_metrics::gauge!(
+        "shm_heartbeat_interval_ms",
+        "Worker liveness beacon period in milliseconds"
+    )
+    .set(opts.heartbeat_interval_ms as i64);
     let pool_width = effective_jobs(opts.jobs).max(1);
     let writer = Arc::new(Mutex::new(stream.try_clone().map_err(DistError::Io)?));
     let mut reader = FrameReader::new(stream.try_clone().map_err(DistError::Io)?);
@@ -255,11 +272,14 @@ where
                 let Some((index, label, payload)) = job else {
                     break;
                 };
+                let run_started = Instant::now();
                 let outcome = catch_unwind(AssertUnwindSafe(|| handler(&label, &payload)));
+                let run_ns = run_started.elapsed().as_nanos() as u64;
                 let frame = match outcome {
                     Ok(result) => Frame::JobResult {
                         index,
                         payload: result,
+                        run_ns,
                     },
                     Err(panic) => Frame::JobError {
                         index,
@@ -320,11 +340,28 @@ where
                     index,
                     label,
                     payload,
+                    trace_id: _,
+                    span_id: _,
                 }) => {
                     in_flight.fetch_add(1, Ordering::SeqCst);
                     let mut q = queue.lock().unwrap_or_else(|e| e.into_inner());
                     q.jobs.push_back((index, label, payload));
                     queue_cond.notify_one();
+                }
+                Ok(Frame::StatsRequest) => {
+                    let queued = {
+                        let q = queue.lock().unwrap_or_else(|e| e.into_inner());
+                        q.jobs.len() as u32
+                    };
+                    let reply = Frame::StatsReply {
+                        in_flight: in_flight.load(Ordering::SeqCst) as u32,
+                        queued,
+                        completed: jobs_done.load(Ordering::SeqCst),
+                    };
+                    let mut w = writer.lock().unwrap_or_else(|e| e.into_inner());
+                    if let Ok(n) = write_frame(&mut *w, &reply) {
+                        bytes_sent.fetch_add(n as u64, Ordering::SeqCst);
+                    }
                 }
                 Ok(Frame::Cancel) => {
                     // Stop expecting new work; in-flight jobs drain and the

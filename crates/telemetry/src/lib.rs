@@ -22,10 +22,20 @@ pub mod epoch;
 pub mod event;
 pub mod hist;
 pub mod sink;
+pub mod span;
 
 pub use epoch::{EpochSnapshot, EpochTracker, PartitionEpoch};
 pub use event::{Event, NUM_KINDS};
 pub use hist::Histogram;
+pub use span::SpanEvent;
+
+/// Current wall-clock time as milliseconds since the Unix epoch.
+pub fn wall_ms() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
 
 use gpu_types::TrafficClass;
 use std::collections::VecDeque;
@@ -59,6 +69,15 @@ impl Default for TelemetryConfig {
 pub struct Telemetry {
     cfg: TelemetryConfig,
     events: Vec<(u64, Event)>,
+    /// `(seq, ts_ms)` tags parallel to `events` (same emission index).
+    events_meta: Vec<(u64, u64)>,
+    /// Completed trace spans (written to the document at finalize).
+    spans: Vec<SpanEvent>,
+    /// `(seq, ts_ms)` tags parallel to `spans`, assigned at emission.
+    spans_meta: Vec<(u64, u64)>,
+    /// Next document-wide monotonic sequence number; shared by event and
+    /// span lines so interleaved multi-worker streams merge deterministically.
+    next_seq: u64,
     ring: VecDeque<(u64, Event)>,
     kind_totals: [u64; NUM_KINDS],
     sampled_out: u64,
@@ -96,6 +115,10 @@ impl Telemetry {
         Self {
             cfg,
             events: Vec::new(),
+            events_meta: Vec::new(),
+            spans: Vec::new(),
+            spans_meta: Vec::new(),
+            next_seq: 0,
             ring: VecDeque::new(),
             kind_totals: [0; NUM_KINDS],
             sampled_out: 0,
@@ -187,17 +210,33 @@ impl Telemetry {
             || self.kind_totals[idx] % self.cfg.sample_stride.max(1) == 1
             || self.cfg.sample_stride <= 1;
         if logged {
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            let ts_ms = wall_ms();
             if self.stream.is_some() {
                 let mut line = String::new();
-                event.write_json(cycle, &mut line);
+                sink::event_json_tagged(&event, cycle, seq, ts_ms, &mut line);
                 line.push('\n');
                 self.stream_write(&line);
             } else {
                 self.events.push((cycle, event));
+                self.events_meta.push((seq, ts_ms));
             }
         } else {
             self.sampled_out += 1;
         }
+    }
+
+    /// Records one completed trace span.  Spans are buffered (even in
+    /// streaming mode they are few and arrive at end of run) and written
+    /// into the JSONL document at [`finalize`].
+    ///
+    /// [`finalize`]: Telemetry::finalize
+    pub fn emit_span(&mut self, span: SpanEvent) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.spans.push(span);
+        self.spans_meta.push((seq, wall_ms()));
     }
 
     /// Attributes DRAM traffic through `partition` to the current epoch,
@@ -295,6 +334,10 @@ impl Telemetry {
             self.stream_done = true;
             self.stream_completed_epochs();
             let mut tail = String::new();
+            for (span, (seq, ts_ms)) in self.spans.iter().zip(&self.spans_meta) {
+                span.write_json(*seq, *ts_ms, &mut tail);
+                tail.push('\n');
+            }
             for (name, hist) in sink::named_histograms(self) {
                 sink::hist_json(name, hist, &mut tail);
                 tail.push('\n');
@@ -314,6 +357,27 @@ impl Telemetry {
     /// Sampled event log, in emission order.
     pub fn events(&self) -> &[(u64, Event)] {
         &self.events
+    }
+
+    /// `(seq, ts_ms)` tags for the in-memory event log, parallel to
+    /// [`Telemetry::events`].
+    pub fn events_meta(&self) -> &[(u64, u64)] {
+        &self.events_meta
+    }
+
+    /// Buffered trace spans, in emission order.
+    pub fn spans(&self) -> &[SpanEvent] {
+        &self.spans
+    }
+
+    /// `(seq, ts_ms)` tags parallel to [`Telemetry::spans`].
+    pub fn spans_meta(&self) -> &[(u64, u64)] {
+        &self.spans_meta
+    }
+
+    /// Next unassigned document sequence number.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
     }
 
     /// Most recent events (bounded ring), oldest first.
@@ -526,6 +590,25 @@ impl Probe {
     pub fn on_bmt_walk(&self, cycle: u64, depth: u64) {
         if self.inner.is_some() {
             self.with(|t| t.on_bmt_walk(cycle, depth));
+        }
+    }
+
+    /// See [`Telemetry::emit_span`].
+    pub fn emit_span(&self, span: SpanEvent) {
+        if self.inner.is_some() {
+            self.with(|t| t.emit_span(span));
+        }
+    }
+
+    /// Records one span per job plus the trace root (see
+    /// [`span::build_job_spans`]); no-op when disabled.
+    pub fn emit_job_spans(&self, trace_id: u64, sweep: &str, jobs: &[span::JobSpanInput]) {
+        if self.inner.is_some() {
+            self.with(|t| {
+                for s in span::build_job_spans(trace_id, sweep, jobs) {
+                    t.emit_span(s);
+                }
+            });
         }
     }
 

@@ -33,10 +33,20 @@ pub fn drops_json(t: &Telemetry, out: &mut String) {
     out.push_str("}}");
 }
 
+/// Appends one event as a JSONL object line tagged with the document-wide
+/// monotonic `seq` and wall-clock `ts_ms` (no trailing newline).  The tags
+/// let interleaved multi-worker streams be ordered and merged
+/// deterministically by `shm trace-report`.
+pub fn event_json_tagged(event: &Event, cycle: u64, seq: u64, ts_ms: u64, out: &mut String) {
+    event.write_json(cycle, out);
+    out.pop(); // reopen the object to append the tags
+    let _ = write!(out, ",\"seq\":{seq},\"ts_ms\":{ts_ms}}}");
+}
+
 /// Serializes the whole collection as a JSONL document:
-/// one `meta` line, sampled `event` lines, `epoch` snapshot lines,
-/// `hist` lines for each histogram, and a trailing `drops` line making any
-/// sampling loss explicit.
+/// one `meta` line, sampled `event` lines, `epoch` snapshot lines, `span`
+/// lines, `hist` lines for each histogram, and a trailing `drops` line
+/// making any sampling loss explicit.
 pub fn to_jsonl(t: &Telemetry) -> String {
     let mut out = Vec::new();
     write_jsonl_to(t, &mut out).expect("writing to a Vec cannot fail");
@@ -54,15 +64,21 @@ pub fn write_jsonl_to<W: std::io::Write>(t: &Telemetry, w: &mut W) -> std::io::R
     meta_json(t.config(), &mut line);
     line.push('\n');
     w.write_all(line.as_bytes())?;
-    for (cycle, event) in t.events() {
+    for ((cycle, event), (seq, ts_ms)) in t.events().iter().zip(t.events_meta()) {
         line.clear();
-        event.write_json(*cycle, &mut line);
+        event_json_tagged(event, *cycle, *seq, *ts_ms, &mut line);
         line.push('\n');
         w.write_all(line.as_bytes())?;
     }
     for snap in t.snapshots() {
         line.clear();
         snap.write_json(&mut line);
+        line.push('\n');
+        w.write_all(line.as_bytes())?;
+    }
+    for (span, (seq, ts_ms)) in t.spans().iter().zip(t.spans_meta()) {
+        line.clear();
+        span.write_json(*seq, *ts_ms, &mut line);
         line.push('\n');
         w.write_all(line.as_bytes())?;
     }
@@ -274,6 +290,23 @@ mod tests {
         p
     }
 
+    /// Replaces the wall-clock `"ts_ms":<n>` tag with a fixed value so
+    /// documents produced at different instants compare equal.
+    fn normalize_ts(line: &str) -> String {
+        let pat = "\"ts_ms\":";
+        match line.find(pat) {
+            None => line.to_string(),
+            Some(at) => {
+                let digits_start = at + pat.len();
+                let digits_end = line[digits_start..]
+                    .find(|c: char| !c.is_ascii_digit())
+                    .map(|i| digits_start + i)
+                    .unwrap_or(line.len());
+                format!("{}{pat}0{}", &line[..at], &line[digits_end..])
+            }
+        }
+    }
+
     #[test]
     fn jsonl_contains_all_record_types() {
         let doc = populated().with(|t| to_jsonl(t)).unwrap();
@@ -333,9 +366,11 @@ mod tests {
 
         // Streaming writes events and epoch snapshots in production order,
         // so line ORDER differs from the grouped in-memory document — but
-        // the set of lines must match exactly.
-        let mut a: Vec<&str> = streamed.lines().collect();
-        let mut b: Vec<&str> = in_memory.lines().collect();
+        // the set of lines must match exactly.  The two probes were
+        // populated at different wall-clock instants, so the `ts_ms` tag is
+        // normalised before comparing.
+        let mut a: Vec<String> = streamed.lines().map(normalize_ts).collect();
+        let mut b: Vec<String> = in_memory.lines().map(normalize_ts).collect();
         a.sort_unstable();
         b.sort_unstable();
         assert_eq!(a, b, "streamed:\n{streamed}\nin-memory:\n{in_memory}");
@@ -347,6 +382,69 @@ mod tests {
             .last()
             .unwrap()
             .starts_with("{\"type\":\"drops\""));
+    }
+
+    #[test]
+    fn events_carry_monotonic_seq_and_ts_tags() {
+        let doc = populated().with(|t| to_jsonl(t)).unwrap();
+        let mut last_seq: Option<u64> = None;
+        let mut tagged = 0;
+        for line in doc.lines() {
+            if !line.contains("\"type\":\"event\"") {
+                continue;
+            }
+            let seq_at = line.find("\"seq\":").expect("event line has seq") + 6;
+            let seq: u64 = line[seq_at..]
+                .chars()
+                .take_while(|c| c.is_ascii_digit())
+                .collect::<String>()
+                .parse()
+                .unwrap();
+            assert!(line.contains("\"ts_ms\":"), "event line has ts_ms: {line}");
+            if let Some(prev) = last_seq {
+                assert!(seq > prev, "seq must be monotonic: {prev} then {seq}");
+            }
+            last_seq = Some(seq);
+            tagged += 1;
+        }
+        assert_eq!(tagged, 3);
+    }
+
+    #[test]
+    fn spans_land_in_both_document_paths() {
+        use crate::span::{JobSpanInput, SpanEvent};
+        let job = JobSpanInput {
+            index: 0,
+            label: "fdtd2d/SHM".into(),
+            worker: "local".into(),
+            dispatch_ms: 1,
+            end_ms: 9,
+            run_ns: 7_000_000,
+            cycles: 123,
+        };
+
+        // In-memory document.
+        let p = Probe::enabled(cfg());
+        populate(&p);
+        p.emit_job_spans(0xabc, "fig16", std::slice::from_ref(&job));
+        let doc = p.with(|t| to_jsonl(t)).unwrap();
+        let mem_spans: Vec<SpanEvent> = doc.lines().filter_map(SpanEvent::parse_json).collect();
+        assert_eq!(mem_spans.len(), 2, "root + one job span in {doc}");
+
+        // Streaming document.
+        let path =
+            std::env::temp_dir().join(format!("shm-telemetry-span-{}.jsonl", std::process::id()));
+        let p = Probe::enabled_streaming(cfg(), &path).unwrap();
+        p.emit_job_spans(0xabc, "fig16", std::slice::from_ref(&job));
+        populate(&p); // populate() finalizes, flushing the spans
+        drop(p);
+        let streamed = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        let stream_spans: Vec<SpanEvent> =
+            streamed.lines().filter_map(SpanEvent::parse_json).collect();
+        assert_eq!(mem_spans, stream_spans);
+        assert_eq!(stream_spans[0].parent, None);
+        assert_eq!(stream_spans[1].cycles, 123);
     }
 
     #[test]

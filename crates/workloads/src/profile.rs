@@ -238,6 +238,7 @@ impl BenchmarkProfile {
 
     /// Generates the context trace for this profile.
     pub fn generate(&self, seed: u64) -> ContextTrace {
+        let _gen_phase = shm_metrics::phase::guard(shm_metrics::phase::Phase::TraceGen);
         Synthesizer::new(self, seed).build()
     }
 }

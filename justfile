@@ -50,6 +50,13 @@ recovery-smoke scale="0.25":
     diff /tmp/shm_recovery_golden.txt /tmp/shm_recovery_resumed.txt
     rm -rf /tmp/shm_recovery_j /tmp/shm_recovery_golden.txt /tmp/shm_recovery_resumed.txt
 
+# Observability smoke: live /metrics during a loopback dist sweep must serve
+# the key series (per-worker gauges included), the sweep table must stay
+# byte-identical to a metrics-off serial run, and trace-report + the phase
+# profiler must render (see docs/OBSERVABILITY.md).
+obs-smoke:
+    bash scripts/obs_smoke.sh
+
 # Distributed-sweep smoke: a loopback coordinator + 2 worker cluster must
 # render fig16 byte-identical to the serial run (see docs/DISTRIBUTED.md).
 dist-smoke scale="0.25":
