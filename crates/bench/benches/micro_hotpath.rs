@@ -1,0 +1,97 @@
+//! Hot-path microbenches for the profile-guided optimizations: single-block
+//! AES-128 across all three implementations (per-byte reference, T-tables,
+//! AES-NI) and the simulator issue loop with batching on vs off.
+//!
+//! The AES-NI group is skipped with a notice when the host CPU lacks the
+//! AES extension; the batched/unbatched pair must stay byte-identical in
+//! results — only the wall time may differ.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpu_mem_sim::{set_batch_issue, ContextTrace, DesignPoint, Simulator};
+use gpu_types::GpuConfig;
+use shm_crypto::aes::{aesni_available, reference, Aes128};
+
+fn bench_aes_single_block(c: &mut Criterion) {
+    let key = [0x42u8; 16];
+    let pt = [0x5au8; 16];
+    let aes = Aes128::new(key);
+    let rk = reference::expand(key);
+
+    let mut group = c.benchmark_group("aes_single_block");
+    group.bench_function(BenchmarkId::from_parameter("reference"), |b| {
+        b.iter(|| std::hint::black_box(reference::encrypt_block(&rk, pt)))
+    });
+    group.bench_function(BenchmarkId::from_parameter("ttable"), |b| {
+        b.iter(|| std::hint::black_box(aes.encrypt_block_ttable(pt)))
+    });
+    if aesni_available() {
+        group.bench_function(BenchmarkId::from_parameter("aesni"), |b| {
+            b.iter(|| std::hint::black_box(aes.encrypt_block_aesni(pt).expect("aesni available")))
+        });
+    } else {
+        println!("aes_single_block/aesni: skipped (host CPU lacks AES-NI)");
+    }
+    group.finish();
+
+    // Sanity alongside the timings: all available paths agree.
+    let want = reference::encrypt_block(&rk, pt);
+    assert_eq!(aes.encrypt_block_ttable(pt), want);
+    if let Some(hw) = aes.encrypt_block_aesni(pt) {
+        assert_eq!(hw, want);
+    }
+}
+
+/// A streaming-read kernel confined to one warp: the scheduler's next pick
+/// is always the same SM, so the batched loop amortizes every heap
+/// push/pop while the unbatched loop pays one per event.
+fn single_warp_trace(n: u64) -> ContextTrace {
+    use gpu_types::{AccessKind, MemEvent, PhysAddr};
+    let events: Vec<MemEvent> = (0..n)
+        .map(|i| MemEvent::global(PhysAddr::new(i * 32), AccessKind::Read))
+        .collect();
+    let mut trace = ContextTrace::new("single-warp-stream");
+    trace
+        .kernels
+        .push(gpu_mem_sim::KernelTrace::new("stream", events));
+    trace
+}
+
+fn bench_issue_loop(c: &mut Criterion) {
+    let cfg = GpuConfig::default();
+    let sim = Simulator::new(&cfg, DesignPoint::Shm);
+    // Two scheduling extremes: 60 interleaved warps (runs degenerate to one
+    // event, batching must not cost anything) and a single warp (maximal
+    // run length, batching skips nearly every heap operation).
+    let traces = [
+        ("interleaved", ContextTrace::streaming_read_demo(16_384)),
+        ("single_warp", single_warp_trace(16_384)),
+    ];
+
+    let mut group = c.benchmark_group("issue_loop");
+    group.sample_size(10);
+    for (shape, trace) in &traces {
+        for (mode, batched) in [("unbatched", false), ("batched", true)] {
+            group.bench_function(
+                BenchmarkId::from_parameter(format!("{shape}/{mode}")),
+                |b| {
+                    set_batch_issue(batched);
+                    b.iter(|| std::hint::black_box(sim.run(trace).cycles));
+                    set_batch_issue(true);
+                },
+            );
+        }
+    }
+    group.finish();
+
+    // The two paths must agree exactly, not just statistically.
+    for (shape, trace) in &traces {
+        set_batch_issue(false);
+        let unbatched = sim.run(trace);
+        set_batch_issue(true);
+        let batched = sim.run(trace);
+        assert_eq!(unbatched, batched, "batched issue loop diverged on {shape}");
+    }
+}
+
+criterion_group!(benches, bench_aes_single_block, bench_issue_loop);
+criterion_main!(benches);

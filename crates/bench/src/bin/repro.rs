@@ -15,9 +15,11 @@
 //! are reassembled in submission order, so the printed tables are
 //! byte-identical at any worker count.
 //!
-//! The `bench` target renders every figure twice — serial then parallel —
-//! times both passes, verifies the outputs match byte-for-byte, and writes
-//! the measurements to `BENCH_throughput.json` (see `--bench-out`).
+//! The `bench` target renders every figure across a (scale × jobs) grid —
+//! scales {0.05, 0.25} plus any explicit `--scale`, serial plus the
+//! resolved worker count — timing each point, verifying every parallel
+//! rendering matches its serial reference byte-for-byte, and writing the
+//! whole trajectory to `BENCH_throughput.json` (see `--bench-out`).
 //!
 //! With `--telemetry-dir DIR`, every figure target additionally captures a
 //! representative telemetry trace (first suite benchmark under SHM) as
@@ -211,6 +213,7 @@ fn suite_rows(
 fn run(args: &[String]) -> Result<(), ReproError> {
     let mut what = "all".to_string();
     let mut scale = 0.5f64;
+    let mut scale_explicit = false;
     let mut jobs: Option<usize> = None;
     let mut telemetry_dir: Option<String> = None;
     let mut bench_out = "BENCH_throughput.json".to_string();
@@ -252,6 +255,7 @@ fn run(args: &[String]) -> Result<(), ReproError> {
                     .get(i + 1)
                     .and_then(|s| s.parse().ok())
                     .ok_or_else(|| ReproError::usage("--scale needs a number"))?;
+                scale_explicit = true;
                 i += 2;
             }
             "--jobs" => {
@@ -312,7 +316,7 @@ fn run(args: &[String]) -> Result<(), ReproError> {
     };
 
     if what == "bench" {
-        bench_mode(scale, jobs, &bench_out)?;
+        bench_mode(scale_explicit.then_some(scale), jobs, &bench_out)?;
     } else {
         match render_target(&what, scale, jobs, &sctx) {
             Ok(Some(text)) => print!("{text}"),
@@ -395,11 +399,36 @@ fn render_target(
     }))
 }
 
-/// `bench` target: renders every figure serially and in parallel, times
-/// both, verifies byte-identity, and records the result as JSON.
-fn bench_mode(scale: f64, jobs: Option<usize>, out_path: &str) -> Result<(), ReproError> {
+/// Trace-scale grid every `bench` run covers (an explicit `--scale` adds a
+/// third point).  Small scale exposes fixed per-job overhead; the larger
+/// one is dominated by the simulation hot loop.
+const BENCH_SCALES: [f64; 2] = [0.05, 0.25];
+
+/// `bench` target: renders every figure across a (scale × jobs) grid,
+/// timing each point and verifying that every parallel rendering is
+/// byte-identical to the serial reference at the same scale.  The whole
+/// trajectory is recorded as JSON (see `--bench-out`).
+fn bench_mode(
+    explicit_scale: Option<f64>,
+    jobs: Option<usize>,
+    out_path: &str,
+) -> Result<(), ReproError> {
     let workers = Executor::from_request(jobs).jobs();
-    let render_all = |jobs: usize| -> Result<String, ReproError> {
+    let mut scales: Vec<f64> = BENCH_SCALES.to_vec();
+    if let Some(s) = explicit_scale {
+        if !scales.iter().any(|&x| (x - s).abs() < 1e-12) {
+            scales.push(s);
+        }
+    }
+    scales.sort_by(f64::total_cmp);
+    // The jobs axis: the serial reference, plus the resolved worker count
+    // when it actually is parallel.
+    let mut jobs_axis = vec![1usize];
+    if workers > 1 {
+        jobs_axis.push(workers);
+    }
+
+    let render_all = |scale: f64, jobs: usize| -> Result<String, ReproError> {
         render_target("all", scale, Some(jobs), &SweepCtx::default())
             .map_err(|e| match e {
                 FigError::Interrupted { journal, .. } => {
@@ -410,45 +439,75 @@ fn bench_mode(scale: f64, jobs: Option<usize>, out_path: &str) -> Result<(), Rep
             .ok_or_else(|| ReproError::usage("render target \"all\" is unknown"))
     };
 
-    let t0 = Instant::now();
-    let serial = render_all(1)?;
-    let serial_wall = t0.elapsed().as_secs_f64();
-
-    let t1 = Instant::now();
-    let parallel = render_all(workers)?;
-    let parallel_wall = t1.elapsed().as_secs_f64();
-
-    let identical = serial == parallel;
-    let speedup = if parallel_wall > 0.0 {
-        serial_wall / parallel_wall
-    } else {
-        0.0
-    };
+    let mut point_lines: Vec<String> = Vec::new();
+    let mut all_identical = true;
+    let mut first_divergence: Option<String> = None;
+    for &scale in &scales {
+        let t0 = Instant::now();
+        let reference = render_all(scale, 1)?;
+        let serial_wall = t0.elapsed().as_secs_f64();
+        for &j in &jobs_axis {
+            let (wall, identical) = if j == 1 {
+                // The serial rendering IS the reference for this scale.
+                (serial_wall, true)
+            } else {
+                let t1 = Instant::now();
+                let parallel = render_all(scale, j)?;
+                let wall = t1.elapsed().as_secs_f64();
+                let identical = parallel == reference;
+                if !identical && first_divergence.is_none() {
+                    first_divergence = Some(
+                        reference
+                            .lines()
+                            .zip(parallel.lines())
+                            .enumerate()
+                            .find(|(_, (a, b))| a != b)
+                            .map(|(n, (a, b))| {
+                                format!(
+                                    "scale={scale} jobs={j}: first divergence at line {}: \
+                                     {a:?} vs {b:?}",
+                                    n + 1
+                                )
+                            })
+                            .unwrap_or_else(|| {
+                                format!("scale={scale} jobs={j}: outputs differ in length")
+                            }),
+                    );
+                }
+                (wall, identical)
+            };
+            all_identical &= identical;
+            let speedup = if wall > 0.0 { serial_wall / wall } else { 0.0 };
+            point_lines.push(format!(
+                "    {{\"scale\": {scale}, \"jobs\": {j}, \"wall_s\": {wall:.3}, \
+                 \"serial_wall_s\": {serial_wall:.3}, \"speedup\": {speedup:.3}, \
+                 \"identical\": {identical}}}"
+            ));
+            println!(
+                "repro bench: scale={scale} jobs={j} wall={wall:.3}s \
+                 speedup={speedup:.2}x identical={identical}"
+            );
+        }
+    }
 
     let json = format!(
-        "{{\n  \"scale\": {scale},\n  \"jobs\": {workers},\n  \"serial_wall_s\": {serial_wall:.3},\n  \"parallel_wall_s\": {parallel_wall:.3},\n  \"speedup\": {speedup:.3},\n  \"identical\": {identical}\n}}\n"
+        "{{\n  \"schema\": \"shm-bench-trajectory/v1\",\n  \"host_parallelism\": {},\n  \
+         \"points\": [\n{}\n  ]\n}}\n",
+        std::thread::available_parallelism().map_or(1, |n| n.get()),
+        point_lines.join(",\n"),
     );
     std::fs::write(out_path, &json)
         .map_err(|e| ReproError::usage(format!("write {out_path}: {e}")))?;
+    println!("throughput trajectory written to {out_path}");
 
-    println!(
-        "repro bench: scale={scale} jobs={workers} serial={serial_wall:.3}s parallel={parallel_wall:.3}s speedup={speedup:.2}x identical={identical}"
-    );
-    println!("throughput record written to {out_path}");
-
-    if identical {
+    if all_identical {
         Ok(())
     } else {
-        // Find the first divergent line to make the failure actionable.
-        let diff = serial
-            .lines()
-            .zip(parallel.lines())
-            .enumerate()
-            .find(|(_, (a, b))| a != b)
-            .map(|(n, (a, b))| format!("first divergence at line {}: {a:?} vs {b:?}", n + 1))
-            .unwrap_or_else(|| "outputs differ in length".to_string());
         Err(ReproError::runtime(
-            format!("parallel output diverges from serial ({diff})"),
+            format!(
+                "parallel output diverges from serial ({})",
+                first_divergence.unwrap_or_else(|| "divergence detail unavailable".to_string())
+            ),
             &Probe::disabled(),
         ))
     }

@@ -110,6 +110,19 @@ impl SectoredCache {
         }
     }
 
+    /// Invalidates every line and zeroes the counters, keeping the allocated
+    /// set storage so a pooled cache can be reused without reallocating.
+    pub fn reset(&mut self) {
+        for set in &mut self.sets {
+            for way in set.iter_mut() {
+                *way = Way::default();
+            }
+        }
+        self.tick = 0;
+        self.hits = 0;
+        self.misses = 0;
+    }
+
     /// Line-aligned address for `addr`.
     pub fn line_base(&self, addr: u64) -> u64 {
         addr & !(self.line_bytes - 1)

@@ -362,9 +362,8 @@ fn cmd_run(args: Args) -> Result<(), CliError> {
     if profiling {
         // Phase timers are process-global, so profiled runs are serial —
         // concurrent jobs would double-charge wall time to the phases.
-        if args.get("jobs").is_some() {
-            eprintln!("note: --profile forces --jobs 1 (phase timers are process-global)");
-        }
+        // Always say so: an SHM_JOBS setting is silently overridden too.
+        eprintln!("note: --profile forces --jobs 1 (phase timers are process-global)");
         shm_metrics::phase::enable_profiling();
         shm_metrics::phase::reset_phases();
     }

@@ -268,12 +268,26 @@ pub fn cmd_env() {
             "unset",
             "HOST:PORT for the /metrics endpoint (same as --metrics-addr)",
         ),
+        (
+            shm_crypto::AES_BACKEND_ENV,
+            "auto",
+            "AES backend: auto|aesni|ttable (auto = AES-NI when the CPU has it)",
+        ),
     ];
     println!("{:<26} {:<12} meaning", "variable", "value");
     for (name, default, meaning) in knobs {
         let value = std::env::var(name).unwrap_or_else(|_| format!("(default {default})"));
         println!("{name:<26} {value:<12} {meaning}");
     }
+    println!(
+        "\naes backend selected by this build/host: {}",
+        shm_crypto::selected_backend().name()
+    );
+    println!(
+        "note: `shm run --profile` always forces {}=1 semantics (phase timers \
+         are process-global); any --jobs or SHM_JOBS setting is overridden",
+        sim_exec::JOBS_ENV
+    );
 }
 
 #[cfg(test)]

@@ -3,11 +3,21 @@
 //! Implemented directly from the specification and checked against the
 //! FIPS-197 Appendix B/C test vectors.  The cipher is the innermost hot
 //! loop of the functional secure-memory model (eight invocations per
-//! 128 B line for counter-mode pads), so rounds use the classic 32-bit
-//! T-table formulation — one 256-entry table of premixed
-//! `MixColumns ∘ SubBytes` columns, rotated for the other three rows —
-//! instead of per-byte GF(2^8) arithmetic.  Simulation-grade only — table
-//! lookups are not constant time.
+//! 128 B line for counter-mode pads).  Two interchangeable backends are
+//! provided and selected once per process:
+//!
+//! * **AES-NI** (`x86_64` only): one `AESENC` per round via `std::arch`,
+//!   used when `is_x86_feature_detected!("aes")` reports hardware support.
+//! * **T-tables**: the classic 32-bit formulation — one 256-entry table of
+//!   premixed `MixColumns ∘ SubBytes` columns, rotated for the other three
+//!   rows — as the portable fallback.  Table lookups are not constant time;
+//!   simulation-grade only.
+//!
+//! The environment knob `SHM_AES=auto|aesni|ttable` overrides the choice
+//! (requesting `aesni` on a CPU without it falls back to T-tables).  Both
+//! backends are cross-checked against the per-byte [`reference`] cipher.
+
+use std::sync::OnceLock;
 
 /// The AES S-box.
 const SBOX: [u8; 256] = build_sbox();
@@ -95,14 +105,73 @@ fn sub_word(w: u32) -> u32 {
     ])
 }
 
+/// Environment variable selecting the AES backend
+/// (`auto`/`aesni`/`ttable`; `soft` is an alias for `ttable`).
+pub const AES_BACKEND_ENV: &str = "SHM_AES";
+
+/// Which block-encrypt implementation a process uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AesBackend {
+    /// Portable 32-bit T-table rounds.
+    TTable,
+    /// Hardware `AESENC` rounds via `std::arch` (x86_64 with AES-NI).
+    AesNi,
+}
+
+impl AesBackend {
+    /// Stable label used in `shm env` and bench output.
+    pub fn name(self) -> &'static str {
+        match self {
+            AesBackend::TTable => "ttable",
+            AesBackend::AesNi => "aesni",
+        }
+    }
+}
+
+/// True when the CPU supports the AES-NI path.
+pub fn aesni_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("aes")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// The backend every `Aes128` built in this process will use: AES-NI when
+/// the CPU has it, unless `SHM_AES=ttable` (or an unsupported `aesni`
+/// request forces the fallback).  Decided once and cached.
+pub fn selected_backend() -> AesBackend {
+    static CHOICE: OnceLock<AesBackend> = OnceLock::new();
+    *CHOICE.get_or_init(|| {
+        let want = std::env::var(AES_BACKEND_ENV).unwrap_or_default();
+        match want.as_str() {
+            "ttable" | "soft" => AesBackend::TTable,
+            // "aesni", "auto", unset, or anything else: hardware when present.
+            _ => {
+                if aesni_available() {
+                    AesBackend::AesNi
+                } else {
+                    AesBackend::TTable
+                }
+            }
+        }
+    })
+}
+
 /// An expanded AES-128 key ready for encryption.
 ///
 /// The simulator only ever encrypts (counter mode needs no block decryption),
-/// so no inverse cipher is provided.  Round keys are kept as the 44
-/// big-endian words the T-table rounds consume directly.
+/// so no inverse cipher is provided.  Round keys are kept both as the 44
+/// big-endian words the T-table rounds consume directly and as the eleven
+/// 16-byte round keys the AES-NI rounds load.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Aes128 {
     round_keys: [u32; 44],
+    round_key_bytes: [[u8; 16]; 11],
+    backend: AesBackend,
 }
 
 impl Aes128 {
@@ -119,11 +188,50 @@ impl Aes128 {
             }
             w[i] = w[i - 4] ^ t;
         }
-        Self { round_keys: w }
+        let mut round_key_bytes = [[0u8; 16]; 11];
+        for (r, rk) in round_key_bytes.iter_mut().enumerate() {
+            for i in 0..4 {
+                rk[i * 4..i * 4 + 4].copy_from_slice(&w[4 * r + i].to_be_bytes());
+            }
+        }
+        Self {
+            round_keys: w,
+            round_key_bytes,
+            backend: selected_backend(),
+        }
     }
 
-    /// Encrypts one 16-byte block.
+    /// The backend this key will encrypt with.
+    pub fn backend(&self) -> AesBackend {
+        self.backend
+    }
+
+    /// Encrypts one 16-byte block with the process-selected backend.
+    #[inline]
     pub fn encrypt_block(&self, block: [u8; 16]) -> [u8; 16] {
+        #[cfg(target_arch = "x86_64")]
+        if self.backend == AesBackend::AesNi {
+            // SAFETY: AesNi is only selected when the `aes` feature was
+            // detected at runtime.
+            return unsafe { aesni::encrypt_block(&self.round_key_bytes, block) };
+        }
+        self.encrypt_block_ttable(block)
+    }
+
+    /// Encrypts one block on the hardware path, or `None` without AES-NI.
+    /// Exposed for cross-check tests and microbenches.
+    pub fn encrypt_block_aesni(&self, block: [u8; 16]) -> Option<[u8; 16]> {
+        #[cfg(target_arch = "x86_64")]
+        if aesni_available() {
+            // SAFETY: feature detection passed above.
+            return Some(unsafe { aesni::encrypt_block(&self.round_key_bytes, block) });
+        }
+        let _ = block;
+        None
+    }
+
+    /// Encrypts one 16-byte block with the portable T-table rounds.
+    pub fn encrypt_block_ttable(&self, block: [u8; 16]) -> [u8; 16] {
         let rk = &self.round_keys;
         // Columns of the state as big-endian words (row 0 in the MSB).
         let mut c0 = u32::from_be_bytes([block[0], block[1], block[2], block[3]]) ^ rk[0];
@@ -174,88 +282,119 @@ impl Aes128 {
     }
 }
 
+/// Hardware rounds: `AESENC` consumes the state and a round key per round.
+/// Round keys are the big-endian word bytes in memory order, exactly what
+/// `round_key_bytes` stores.
+#[cfg(target_arch = "x86_64")]
+mod aesni {
+    use core::arch::x86_64::{
+        __m128i, _mm_aesenc_si128, _mm_aesenclast_si128, _mm_loadu_si128, _mm_storeu_si128,
+        _mm_xor_si128,
+    };
+
+    /// # Safety
+    /// Caller must ensure the CPU supports the `aes` target feature.
+    #[target_feature(enable = "aes")]
+    pub unsafe fn encrypt_block(rk: &[[u8; 16]; 11], block: [u8; 16]) -> [u8; 16] {
+        let key = |r: usize| -> __m128i { _mm_loadu_si128(rk[r].as_ptr().cast()) };
+        let mut s = _mm_loadu_si128(block.as_ptr().cast());
+        s = _mm_xor_si128(s, key(0));
+        for r in 1..10 {
+            s = _mm_aesenc_si128(s, key(r));
+        }
+        s = _mm_aesenclast_si128(s, key(10));
+        let mut out = [0u8; 16];
+        _mm_storeu_si128(out.as_mut_ptr().cast(), s);
+        out
+    }
+}
+
+/// Straightforward per-byte reference cipher (the pre-T-table
+/// implementation), kept to cross-check both optimized backends.  Public so
+/// microbenches and integration tests can compare against it; never used on
+/// the simulation hot path.
+pub mod reference {
+    use super::{gf_mul, RCON, SBOX};
+
+    /// Expands `key` into the eleven per-round 16-byte keys.
+    pub fn expand(key: [u8; 16]) -> [[u8; 16]; 11] {
+        let mut rk = [[0u8; 16]; 11];
+        rk[0] = key;
+        for round in 1..11 {
+            let prev = rk[round - 1];
+            let mut w = [prev[12], prev[13], prev[14], prev[15]];
+            w.rotate_left(1);
+            for b in w.iter_mut() {
+                *b = SBOX[*b as usize];
+            }
+            w[0] ^= RCON[round - 1];
+            for i in 0..4 {
+                rk[round][i] = prev[i] ^ w[i];
+            }
+            for i in 4..16 {
+                rk[round][i] = prev[i] ^ rk[round][i - 4];
+            }
+        }
+        rk
+    }
+
+    fn add_round_key(state: &mut [u8; 16], rk: &[u8; 16]) {
+        for (s, k) in state.iter_mut().zip(rk.iter()) {
+            *s ^= k;
+        }
+    }
+
+    fn sub_bytes(state: &mut [u8; 16]) {
+        for b in state.iter_mut() {
+            *b = SBOX[*b as usize];
+        }
+    }
+
+    /// State is column-major: byte `state[c*4 + r]` is row r, column c.
+    fn shift_rows(state: &mut [u8; 16]) {
+        let orig = *state;
+        for r in 1..4 {
+            for c in 0..4 {
+                state[c * 4 + r] = orig[((c + r) % 4) * 4 + r];
+            }
+        }
+    }
+
+    fn mix_columns(state: &mut [u8; 16]) {
+        for c in 0..4 {
+            let col = [
+                state[c * 4],
+                state[c * 4 + 1],
+                state[c * 4 + 2],
+                state[c * 4 + 3],
+            ];
+            state[c * 4] = gf_mul(col[0], 2) ^ gf_mul(col[1], 3) ^ col[2] ^ col[3];
+            state[c * 4 + 1] = col[0] ^ gf_mul(col[1], 2) ^ gf_mul(col[2], 3) ^ col[3];
+            state[c * 4 + 2] = col[0] ^ col[1] ^ gf_mul(col[2], 2) ^ gf_mul(col[3], 3);
+            state[c * 4 + 3] = gf_mul(col[0], 3) ^ col[1] ^ col[2] ^ gf_mul(col[3], 2);
+        }
+    }
+
+    /// Encrypts one block with the pre-expanded round keys from [`expand`].
+    pub fn encrypt_block(rk: &[[u8; 16]; 11], block: [u8; 16]) -> [u8; 16] {
+        let mut s = block;
+        add_round_key(&mut s, &rk[0]);
+        for round_key in rk.iter().take(10).skip(1) {
+            sub_bytes(&mut s);
+            shift_rows(&mut s);
+            mix_columns(&mut s);
+            add_round_key(&mut s, round_key);
+        }
+        sub_bytes(&mut s);
+        shift_rows(&mut s);
+        add_round_key(&mut s, &rk[10]);
+        s
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    /// Straightforward per-byte reference cipher (the pre-T-table
-    /// implementation), kept to cross-check the table formulation.
-    mod reference {
-        use super::{gf_mul, RCON, SBOX};
-
-        pub fn expand(key: [u8; 16]) -> [[u8; 16]; 11] {
-            let mut rk = [[0u8; 16]; 11];
-            rk[0] = key;
-            for round in 1..11 {
-                let prev = rk[round - 1];
-                let mut w = [prev[12], prev[13], prev[14], prev[15]];
-                w.rotate_left(1);
-                for b in w.iter_mut() {
-                    *b = SBOX[*b as usize];
-                }
-                w[0] ^= RCON[round - 1];
-                for i in 0..4 {
-                    rk[round][i] = prev[i] ^ w[i];
-                }
-                for i in 4..16 {
-                    rk[round][i] = prev[i] ^ rk[round][i - 4];
-                }
-            }
-            rk
-        }
-
-        fn add_round_key(state: &mut [u8; 16], rk: &[u8; 16]) {
-            for (s, k) in state.iter_mut().zip(rk.iter()) {
-                *s ^= k;
-            }
-        }
-
-        fn sub_bytes(state: &mut [u8; 16]) {
-            for b in state.iter_mut() {
-                *b = SBOX[*b as usize];
-            }
-        }
-
-        /// State is column-major: byte `state[c*4 + r]` is row r, column c.
-        fn shift_rows(state: &mut [u8; 16]) {
-            let orig = *state;
-            for r in 1..4 {
-                for c in 0..4 {
-                    state[c * 4 + r] = orig[((c + r) % 4) * 4 + r];
-                }
-            }
-        }
-
-        fn mix_columns(state: &mut [u8; 16]) {
-            for c in 0..4 {
-                let col = [
-                    state[c * 4],
-                    state[c * 4 + 1],
-                    state[c * 4 + 2],
-                    state[c * 4 + 3],
-                ];
-                state[c * 4] = gf_mul(col[0], 2) ^ gf_mul(col[1], 3) ^ col[2] ^ col[3];
-                state[c * 4 + 1] = col[0] ^ gf_mul(col[1], 2) ^ gf_mul(col[2], 3) ^ col[3];
-                state[c * 4 + 2] = col[0] ^ col[1] ^ gf_mul(col[2], 2) ^ gf_mul(col[3], 3);
-                state[c * 4 + 3] = gf_mul(col[0], 3) ^ col[1] ^ col[2] ^ gf_mul(col[3], 2);
-            }
-        }
-
-        pub fn encrypt_block(rk: &[[u8; 16]; 11], block: [u8; 16]) -> [u8; 16] {
-            let mut s = block;
-            add_round_key(&mut s, &rk[0]);
-            for round_key in rk.iter().take(10).skip(1) {
-                sub_bytes(&mut s);
-                shift_rows(&mut s);
-                mix_columns(&mut s);
-                add_round_key(&mut s, round_key);
-            }
-            sub_bytes(&mut s);
-            shift_rows(&mut s);
-            add_round_key(&mut s, &rk[10]);
-            s
-        }
-    }
 
     #[test]
     fn fips197_appendix_b_vector() {
@@ -316,10 +455,51 @@ mod tests {
             key[8..16].copy_from_slice(&next().to_le_bytes());
             pt[0..8].copy_from_slice(&next().to_le_bytes());
             pt[8..16].copy_from_slice(&next().to_le_bytes());
-            let fast = Aes128::new(key).encrypt_block(pt);
+            let fast = Aes128::new(key).encrypt_block_ttable(pt);
             let slow = reference::encrypt_block(&reference::expand(key), pt);
             assert_eq!(fast, slow, "divergence for key {key:02x?} pt {pt:02x?}");
         }
+    }
+
+    #[test]
+    fn aesni_matches_ttable_when_available() {
+        if !aesni_available() {
+            eprintln!("skipping: CPU lacks AES-NI");
+            return;
+        }
+        let mut x = 0x9E37_79B9_7F4A_7C15u64;
+        let mut next = move || {
+            x = x.wrapping_add(0x243F_6A88_85A3_08D3);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        for _ in 0..64 {
+            let mut key = [0u8; 16];
+            let mut pt = [0u8; 16];
+            key[0..8].copy_from_slice(&next().to_le_bytes());
+            key[8..16].copy_from_slice(&next().to_le_bytes());
+            pt[0..8].copy_from_slice(&next().to_le_bytes());
+            pt[8..16].copy_from_slice(&next().to_le_bytes());
+            let aes = Aes128::new(key);
+            let hw = aes.encrypt_block_aesni(pt).expect("AES-NI detected");
+            assert_eq!(
+                hw,
+                aes.encrypt_block_ttable(pt),
+                "backend divergence for key {key:02x?} pt {pt:02x?}"
+            );
+        }
+    }
+
+    #[test]
+    fn selected_backend_is_consistent() {
+        let aes = Aes128::new([5u8; 16]);
+        assert_eq!(aes.backend(), selected_backend());
+        if selected_backend() == AesBackend::AesNi {
+            assert!(aesni_available());
+        }
+        assert!(matches!(selected_backend().name(), "ttable" | "aesni"));
     }
 
     #[test]

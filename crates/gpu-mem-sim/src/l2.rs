@@ -161,11 +161,25 @@ impl L2Bank {
         self.completions.push(Reverse((ready_at, sector)));
     }
 
+    /// Earliest outstanding fill completion, if any — lets the caller skip
+    /// [`Self::drain_completed_into`] entirely with one heap peek.
+    #[inline]
+    pub fn next_completion_at(&self) -> Option<u64> {
+        self.completions.peek().map(|&Reverse((ready, _))| ready)
+    }
+
     /// Retires every outstanding fill whose completion time has passed,
     /// freeing its MSHR entry and filling its sector.  Returns the dirty
     /// lines those fills evicted (to be written back through the MEE).
     pub fn drain_completed(&mut self, now: u64) -> Vec<Eviction> {
         let mut evicted = Vec::new();
+        self.drain_completed_into(now, &mut evicted);
+        evicted
+    }
+
+    /// Like [`Self::drain_completed`] but appends into a caller-owned scratch
+    /// vector, so the per-access hot path never allocates.
+    pub fn drain_completed_into(&mut self, now: u64, evicted: &mut Vec<Eviction>) {
         while let Some(&Reverse((ready, sector))) = self.completions.peek() {
             if ready > now {
                 break;
@@ -178,7 +192,6 @@ impl L2Bank {
                 }
             }
         }
-        evicted
     }
 
     /// Completion time of the outstanding fill covering `addr`, if any.
@@ -191,9 +204,45 @@ impl L2Bank {
         std::mem::take(&mut self.data_evictions)
     }
 
+    /// True when a data fill/write queued a dirty eviction.
+    #[inline]
+    pub fn has_data_evictions(&self) -> bool {
+        !self.data_evictions.is_empty()
+    }
+
+    /// Moves queued data evictions into `out`, keeping the bank's capacity.
+    pub fn drain_data_evictions_into(&mut self, out: &mut Vec<Eviction>) {
+        out.append(&mut self.data_evictions);
+    }
+
     /// Drains deferred write-backs produced by victim-cache activity.
     pub fn take_deferred_writebacks(&mut self) -> Vec<Eviction> {
         std::mem::take(&mut self.deferred_writebacks)
+    }
+
+    /// True when victim-cache activity queued a deferred write-back.
+    #[inline]
+    pub fn has_deferred_writebacks(&self) -> bool {
+        !self.deferred_writebacks.is_empty()
+    }
+
+    /// Moves queued deferred write-backs into `out`, keeping capacity.
+    pub fn drain_deferred_writebacks_into(&mut self, out: &mut Vec<Eviction>) {
+        out.append(&mut self.deferred_writebacks);
+    }
+
+    /// Returns the bank to its just-built state while keeping every
+    /// allocation (cache sets, MSHR map, heaps), so a pooled bank can be
+    /// reused across jobs without reallocating.
+    pub fn reset(&mut self) {
+        self.cache.reset();
+        self.mshr.clear();
+        self.pending.clear();
+        self.completions.clear();
+        self.sampler.reset();
+        self.deferred_writebacks.clear();
+        self.data_evictions.clear();
+        self.mshr_stalls = 0;
     }
 
     /// Flushes the bank (kernel boundary), returning dirty lines.

@@ -22,6 +22,47 @@ enum Engine {
     Shm(ShmSystem),
 }
 
+/// Gate for the batched issue loop (on by default).  Turning it off makes
+/// [`Simulator`] process one event per scheduler pick, exactly the
+/// pre-batching loop — kept so tests and microbenches can check that both
+/// paths produce byte-identical results.
+static BATCH_ISSUE: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(true);
+
+/// Enables/disables the batched issue loop process-wide.
+pub fn set_batch_issue(on: bool) {
+    BATCH_ISSUE.store(on, std::sync::atomic::Ordering::Relaxed);
+}
+
+/// True when the batched issue loop is active.
+pub fn batch_issue_enabled() -> bool {
+    BATCH_ISSUE.load(std::sync::atomic::Ordering::Relaxed)
+}
+
+/// Geometry fields that determine an [`L2Bank`]'s construction; two configs
+/// with the same key produce interchangeable bank matrices.
+type BankPoolKey = (u16, u32, u64, u32, u32, u32);
+
+/// Process-wide pool of retired L2 bank matrices, keyed by geometry.  A
+/// sweep runs thousands of jobs over a handful of geometries, so reusing a
+/// reset matrix skips rebuilding every set, way and MSHR table per job.
+static BANK_POOL: std::sync::OnceLock<sim_exec::arena::ScratchPool<BankPoolKey, Vec<Vec<L2Bank>>>> =
+    std::sync::OnceLock::new();
+
+fn bank_pool() -> &'static sim_exec::arena::ScratchPool<BankPoolKey, Vec<Vec<L2Bank>>> {
+    BANK_POOL.get_or_init(sim_exec::arena::ScratchPool::new)
+}
+
+fn bank_pool_key(cfg: &GpuConfig) -> BankPoolKey {
+    (
+        cfg.num_partitions,
+        cfg.l2_banks_per_partition,
+        cfg.l2_bank_bytes,
+        cfg.l2_assoc,
+        cfg.l2_mshr_entries,
+        cfg.l2_mshr_merges,
+    )
+}
+
 /// A trace-driven simulation of one design point on the Table-V GPU.
 pub struct Simulator {
     cfg: GpuConfig,
@@ -123,19 +164,33 @@ impl Simulator {
         let map = self.cfg.partition_map();
         let mut engine = self.build_engine(trace);
         let mut fabric = DramFabric::new(&self.cfg);
-        fabric.set_probe(self.probe.clone());
+        // All layers of this run share one buffered probe, so hooks append
+        // to a preallocated block buffer (drained in emission order) instead
+        // of locking and updating the telemetry state per event.
+        let probe = self.probe.buffered();
+        fabric.set_probe(probe.clone());
         match &mut engine {
-            Engine::Baseline(sys) => sys.set_probe(&self.probe),
-            Engine::Shm(sys) => sys.set_probe(&self.probe),
+            Engine::Baseline(sys) => sys.set_probe(&probe),
+            Engine::Shm(sys) => sys.set_probe(&probe),
         }
         let mut stats = SimStats::default();
-        let mut banks: Vec<Vec<L2Bank>> = (0..self.cfg.num_partitions)
-            .map(|_| {
-                (0..self.cfg.l2_banks_per_partition)
-                    .map(|_| L2Bank::new(&self.cfg))
-                    .collect()
-            })
-            .collect();
+        // Check the bank matrix out of the geometry-keyed pool; a recycled
+        // matrix still holds the previous job's cache state, so reset it
+        // back to the just-built state (allocations are kept).
+        let mut banks = bank_pool().take(bank_pool_key(&self.cfg), || {
+            (0..self.cfg.num_partitions)
+                .map(|_| {
+                    (0..self.cfg.l2_banks_per_partition)
+                        .map(|_| L2Bank::new(&self.cfg))
+                        .collect()
+                })
+                .collect::<Vec<Vec<L2Bank>>>()
+        });
+        if banks.is_recycled() {
+            for bank in banks.iter_mut().flatten() {
+                bank.reset();
+            }
+        }
 
         let mut clock = 0u64;
         for kernel in &trace.kernels {
@@ -152,8 +207,8 @@ impl Simulator {
                 }
             }
 
-            if self.probe.is_enabled() {
-                self.probe.emit(
+            if probe.is_enabled() {
+                probe.emit(
                     clock,
                     Event::KernelStart {
                         kernel: kernel.name.clone(),
@@ -163,13 +218,15 @@ impl Simulator {
             let kernel_end = self.run_kernel(
                 clock,
                 &kernel.events,
+                map,
+                &probe,
                 &mut engine,
                 &mut fabric,
                 &mut banks,
                 &mut stats,
             );
-            if self.probe.is_enabled() {
-                self.probe.emit(
+            if probe.is_enabled() {
+                probe.emit(
                     kernel_end,
                     Event::KernelEnd {
                         kernel: kernel.name.clone(),
@@ -199,7 +256,7 @@ impl Simulator {
                 }
             }
             stats.instructions += kernel.instructions();
-            self.probe.on_instructions(clock, kernel.instructions());
+            probe.on_instructions(clock, kernel.instructions());
         }
 
         // End of context: metadata caches drain.
@@ -216,16 +273,26 @@ impl Simulator {
         stats.cycles = clock.max(drain).max(1);
         stats.traffic = fabric.traffic();
         stats.dram_requests = fabric.requests();
-        self.probe.finalize(stats.cycles);
+        probe.finalize(stats.cycles);
         (stats, engine, fabric)
     }
 
     /// Simulates one kernel starting at `start_cycle`; returns its end cycle.
+    ///
+    /// The issue loop is batched: after an SM completes an event it keeps
+    /// issuing its following events as one *run* for as long as it provably
+    /// remains the scheduler's next pick, skipping a heap push/pop per event.
+    /// The continuation test replicates the priority-queue order exactly
+    /// (including the `(time, sm)` tie-break and the lazy-requeue rule), so
+    /// issue order — and therefore every statistic and telemetry byte — is
+    /// identical to the one-event-per-pick loop.
     #[allow(clippy::too_many_arguments)]
     fn run_kernel(
         &self,
         start_cycle: u64,
         events: &[MemEvent],
+        map: gpu_types::PartitionMap,
+        probe: &Probe,
         engine: &mut Engine,
         fabric: &mut DramFabric,
         banks: &mut [Vec<L2Bank>],
@@ -233,6 +300,12 @@ impl Simulator {
     ) -> u64 {
         let num_sms = self.cfg.num_sms as usize;
         let max_outstanding = self.cfg.sm_max_outstanding as usize;
+        let span = self.cfg.protected_bytes_per_partition();
+        let batch = batch_issue_enabled();
+        let (hits_before, misses_before) = (stats.l2_hits, stats.l2_misses);
+        // Scratch for drained evictions, reused across every access in the
+        // kernel so the hot path never allocates.
+        let mut scratch: Vec<Eviction> = Vec::new();
 
         // Distribute events to SMs by warp id, preserving per-warp order.
         let mut queues: Vec<Vec<&MemEvent>> = vec![Vec::new(); num_sms];
@@ -252,114 +325,163 @@ impl Simulator {
         let mut end = start_cycle;
         let mut accesses_since_policy = 0u64;
 
-        while let Some(Reverse((est, sm))) = pq.pop() {
+        while let Some(Reverse((first_est, sm))) = pq.pop() {
             if cursors[sm] >= queues[sm].len() {
                 continue;
             }
-            // Compute the actual issue time for this SM's next event.
-            let ev = queues[sm][cursors[sm]];
-            let mut t = ready[sm] + ev.think_cycles as u64;
-            while outstanding[sm].len() >= max_outstanding {
-                let Reverse(done) = outstanding[sm].pop().expect("non-empty at limit");
-                t = t.max(done);
-            }
-            // If another SM became strictly earlier, requeue lazily.
-            if let Some(Reverse((other_est, _))) = pq.peek() {
-                if t > *other_est && t > est {
-                    pq.push(Reverse((t, sm)));
-                    ready[sm] = ready[sm].max(t - ev.think_cycles as u64);
-                    continue;
+            let mut est = first_est;
+            loop {
+                // Compute the actual issue time for this SM's next event.
+                let ev = queues[sm][cursors[sm]];
+                let think = ev.think_cycles as u64;
+                let mut t = ready[sm] + think;
+                while outstanding[sm].len() >= max_outstanding {
+                    let Reverse(done) = outstanding[sm].pop().expect("non-empty at limit");
+                    t = t.max(done);
                 }
-            }
+                // If another SM became strictly earlier, requeue lazily.
+                if let Some(Reverse((other_est, _))) = pq.peek() {
+                    if t > *other_est && t > est {
+                        pq.push(Reverse((t, sm)));
+                        ready[sm] = ready[sm].max(t - think);
+                        break;
+                    }
+                }
 
-            let completion = self.access_memory(t, ev, engine, fabric, banks, stats);
-            stats.lat_sum += completion.saturating_sub(t);
-            stats.lat_max = stats.lat_max.max(completion.saturating_sub(t));
-            outstanding[sm].push(Reverse(completion));
-            ready[sm] = t + 1;
-            end = end.max(completion).max(t + 1);
-            cursors[sm] += 1;
-            if cursors[sm] < queues[sm].len() {
-                pq.push(Reverse((ready[sm], sm)));
-            }
+                let completion = self.access_memory(
+                    t,
+                    ev,
+                    map,
+                    span,
+                    probe,
+                    &mut scratch,
+                    engine,
+                    fabric,
+                    banks,
+                    stats,
+                );
+                stats.lat_sum += completion.saturating_sub(t);
+                stats.lat_max = stats.lat_max.max(completion.saturating_sub(t));
+                outstanding[sm].push(Reverse(completion));
+                ready[sm] = t + 1;
+                end = end.max(completion).max(t + 1);
+                cursors[sm] += 1;
 
-            // Periodically refresh the victim-cache policy from sampled L2
-            // miss rates (Section IV-D).
-            accesses_since_policy += 1;
-            if accesses_since_policy >= 4096 {
-                accesses_since_policy = 0;
-                if let Engine::Shm(sys) = engine {
-                    for (p, pbanks) in banks.iter().enumerate() {
-                        let rate = pbanks[0].sampled_miss_rate();
-                        sys.update_victim_policy(PartitionId(p as u16), rate);
+                // Periodically refresh the victim-cache policy from sampled
+                // L2 miss rates (Section IV-D).
+                accesses_since_policy += 1;
+                if accesses_since_policy >= 4096 {
+                    accesses_since_policy = 0;
+                    if let Engine::Shm(sys) = engine {
+                        for (p, pbanks) in banks.iter().enumerate() {
+                            let rate = pbanks[0].sampled_miss_rate();
+                            sys.update_victim_policy(PartitionId(p as u16), rate);
+                        }
+                    }
+                }
+
+                if cursors[sm] >= queues[sm].len() {
+                    break;
+                }
+                est = ready[sm];
+                // Continue the run only if popping the entry we would push,
+                // `(ready[sm], sm)`, beats every other queued SM.
+                if !batch {
+                    pq.push(Reverse((est, sm)));
+                    break;
+                }
+                if let Some(&Reverse((other_est, other_sm))) = pq.peek() {
+                    if (other_est, other_sm) < (est, sm) {
+                        pq.push(Reverse((est, sm)));
+                        break;
                     }
                 }
             }
         }
+
+        shm_metrics::counter!("shm_accesses_total", "Warp-level memory accesses issued")
+            .add(events.len() as u64);
+        shm_metrics::counter!("shm_l2_hits_total", "L2 hits (merged misses included)")
+            .add(stats.l2_hits - hits_before);
+        shm_metrics::counter!(
+            "shm_l2_misses_total",
+            "L2 misses (write allocations included)"
+        )
+        .add(stats.l2_misses - misses_before);
         end
     }
 
     /// Sends one warp-level access through L2 → MEE → DRAM; returns the
-    /// completion cycle.
+    /// completion cycle.  `map`, `span`, and the eviction scratch vector are
+    /// hoisted out to [`Self::run_kernel`] so this path does no per-access
+    /// setup and no allocation.
+    #[allow(clippy::too_many_arguments)]
     fn access_memory(
         &self,
         t: u64,
         ev: &MemEvent,
+        map: gpu_types::PartitionMap,
+        span: u64,
+        probe: &Probe,
+        scratch: &mut Vec<Eviction>,
         engine: &mut Engine,
         fabric: &mut DramFabric,
         banks: &mut [Vec<L2Bank>],
         stats: &mut SimStats,
     ) -> u64 {
-        let _issue_phase = shm_metrics::phase::guard(shm_metrics::phase::Phase::AccessIssue);
-        let map = self.cfg.partition_map();
         let local = map.to_local(ev.addr);
         let p = local.partition;
         let bank_idx = ((local.offset / 128) % self.cfg.l2_banks_per_partition as u64) as usize;
 
         // Retire every fill that has landed by now, freeing MSHR entries.
-        let span = self.cfg.protected_bytes_per_partition();
-        let landed = banks[p.index()][bank_idx].drain_completed(t);
-        for evicted in landed {
-            Self::writeback_eviction(&evicted, p, map, span, t, engine, fabric, stats);
+        // A single heap peek skips the drain when nothing is due.
+        if banks[p.index()][bank_idx]
+            .next_completion_at()
+            .is_some_and(|ready| ready <= t)
+        {
+            scratch.clear();
+            banks[p.index()][bank_idx].drain_completed_into(t, scratch);
+            for evicted in scratch.iter() {
+                Self::writeback_eviction(evicted, p, map, span, t, engine, fabric, stats);
+            }
         }
 
-        self.probe.on_access(t);
-        shm_metrics::counter!("shm_accesses_total", "Warp-level memory accesses issued").inc();
-        let stalls_before = banks[p.index()][bank_idx].mshr_stalls();
+        probe.on_access(t);
+        let bank = &mut banks[p.index()][bank_idx];
+        let stalls_before = bank.mshr_stalls();
         let outcome = {
             let _l2_phase = shm_metrics::phase::guard(shm_metrics::phase::Phase::L2);
             if ev.kind.is_write() {
-                banks[p.index()][bank_idx].write(local.offset)
+                bank.write(local.offset)
             } else {
-                banks[p.index()][bank_idx].read(t, local.offset)
+                bank.read(t, local.offset)
             }
         };
-        if banks[p.index()][bank_idx].mshr_stalls() > stalls_before {
-            self.probe.emit(t, Event::MshrStall { bank: bank_idx });
+        if bank.mshr_stalls() > stalls_before {
+            probe.emit(t, Event::MshrStall { bank: bank_idx });
         }
 
-        let (hits_before, misses_before) = (stats.l2_hits, stats.l2_misses);
         let completion = match outcome {
             L2Outcome::Hit => {
                 stats.l2_hits += 1;
-                self.probe.on_l2_hit(t, p.index());
+                probe.on_l2_hit(t, p.index());
                 t + L2_HIT_LATENCY
             }
             L2Outcome::WriteAllocated => {
                 stats.l2_misses += 1;
-                self.probe.on_l2_miss(t, p.index());
+                probe.on_l2_miss(t, p.index());
                 t + L2_HIT_LATENCY
             }
             L2Outcome::MergedMiss { ready_at } => {
                 stats.l2_hits += 1; // merged: no extra DRAM traffic
-                self.probe.on_l2_hit(t, p.index());
+                probe.on_l2_hit(t, p.index());
                 ready_at.max(t) + L2_HIT_LATENCY
             }
             L2Outcome::Miss => {
                 stats.l2_misses += 1;
-                self.probe.on_l2_miss(t, p.index());
-                if self.probe.is_enabled() {
-                    self.probe.emit(
+                probe.on_l2_miss(t, p.index());
+                if probe.is_enabled() {
+                    probe.emit(
                         t,
                         Event::L2Miss {
                             bank: bank_idx,
@@ -387,28 +509,26 @@ impl Simulator {
                 banks[p.index()][bank_idx].note_pending(local.offset, done);
                 // MSHR residency: the entry lives from allocation until the
                 // fill lands and is retired by a later drain.
-                self.probe.on_mshr_residency(done.saturating_sub(t));
+                probe.on_mshr_residency(done.saturating_sub(t));
                 done
             }
         };
 
-        shm_metrics::counter!("shm_l2_hits_total", "L2 hits (merged misses included)")
-            .add(stats.l2_hits - hits_before);
-        shm_metrics::counter!(
-            "shm_l2_misses_total",
-            "L2 misses (write allocations included)"
-        )
-        .add(stats.l2_misses - misses_before);
-
         // Drain write-backs generated by this access (data evictions from
         // write allocation, and victim-cache displacements).
-        let data_evs = banks[p.index()][bank_idx].take_data_evictions();
-        for evd in data_evs {
-            Self::writeback_eviction(&evd, p, map, span, t, engine, fabric, stats);
+        if banks[p.index()][bank_idx].has_data_evictions() {
+            scratch.clear();
+            banks[p.index()][bank_idx].drain_data_evictions_into(scratch);
+            for evd in scratch.iter() {
+                Self::writeback_eviction(evd, p, map, span, t, engine, fabric, stats);
+            }
         }
-        let deferred = banks[p.index()][bank_idx].take_deferred_writebacks();
-        for evd in deferred {
-            Self::writeback_metadata(&evd, p, t, engine, fabric);
+        if banks[p.index()][bank_idx].has_deferred_writebacks() {
+            scratch.clear();
+            banks[p.index()][bank_idx].drain_deferred_writebacks_into(scratch);
+            for evd in scratch.iter() {
+                Self::writeback_metadata(evd, p, t, engine, fabric);
+            }
         }
 
         completion
@@ -631,6 +751,25 @@ mod tests {
         assert!(ro.total() > 0);
         assert!(st.total() > 0);
         assert!(ro.accuracy() > 0.5, "ro accuracy {}", ro.accuracy());
+    }
+
+    #[test]
+    fn batched_issue_matches_unbatched() {
+        // The batched run loop must be invisible: same stats, access for
+        // access, as the one-event-per-pick scheduler.
+        let t = demo(8192);
+        for design in [
+            DesignPoint::Unprotected,
+            DesignPoint::Naive,
+            DesignPoint::Pssm,
+            DesignPoint::Shm,
+        ] {
+            set_batch_issue(false);
+            let slow = run(design, &t);
+            set_batch_issue(true);
+            let fast = run(design, &t);
+            assert_eq!(slow, fast, "divergence for {design:?}");
+        }
     }
 
     #[test]

@@ -19,6 +19,9 @@ pub struct SecureMemorySystem {
     scheme: SchemeConfig,
     mees: Vec<MeeCore>,
     common: Vec<CommonCounterTable>,
+    /// Hoisted metric handle: incrementing an owned `Arc<Counter>` skips the
+    /// per-call-site registry lookup on the per-access path.
+    mac_verifies: std::sync::Arc<shm_metrics::Counter>,
 }
 
 impl SecureMemorySystem {
@@ -36,6 +39,10 @@ impl SecureMemorySystem {
             common: (0..cfg.num_partitions)
                 .map(|_| CommonCounterTable::new())
                 .collect(),
+            mac_verifies: shm_metrics::register_counter(
+                "shm_mac_verifies_total",
+                "Block MACs computed or verified",
+            ),
         }
     }
 
@@ -125,8 +132,7 @@ impl SecureMemorySystem {
                 mee.update_counter(now, req.local, req.phys, sectored, fabric, victim, stats);
             }
             // MAC is recomputed and stored for every write-back.
-            shm_metrics::counter!("shm_mac_verifies_total", "Block MACs computed or verified")
-                .inc();
+            self.mac_verifies.inc();
             mee.update_block_mac(now, req.local, req.phys, sectored, fabric, victim, stats);
             data_done
         } else {
@@ -142,8 +148,7 @@ impl SecureMemorySystem {
                 mee.fetch_counter(now, req.local, req.phys, sectored, fabric, victim, stats)
             };
             // MAC fetch + verification are off the critical path.
-            shm_metrics::counter!("shm_mac_verifies_total", "Block MACs computed or verified")
-                .inc();
+            self.mac_verifies.inc();
             mee.fetch_block_mac(now, req.local, req.phys, sectored, fabric, victim, stats);
             data_done.max(ctr_ready) + mee.aes_latency()
         }

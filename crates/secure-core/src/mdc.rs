@@ -77,6 +77,10 @@ pub struct MeeCore {
     bmt_cache: SectoredCache,
     cfg: MdcConfig,
     probe: Probe,
+    /// Hoisted metric handles: owned `Arc<Counter>`s skip the per-call-site
+    /// registry lookup on the counter-miss path.
+    bmt_walks: std::sync::Arc<shm_metrics::Counter>,
+    bmt_levels: std::sync::Arc<shm_metrics::Counter>,
 }
 
 impl MeeCore {
@@ -99,6 +103,14 @@ impl MeeCore {
             bmt_cache: mk(cfg),
             cfg: cfg.clone(),
             probe: Probe::disabled(),
+            bmt_walks: shm_metrics::register_counter(
+                "shm_bmt_walks_total",
+                "BMT freshness walks after counter misses",
+            ),
+            bmt_levels: shm_metrics::register_counter(
+                "shm_bmt_levels_total",
+                "BMT levels visited across all walks",
+            ),
         }
     }
 
@@ -376,16 +388,8 @@ impl MeeCore {
                 break; // cached ⇒ verified ⇒ stop the walk
             }
         }
-        shm_metrics::counter!(
-            "shm_bmt_walks_total",
-            "BMT freshness walks after counter misses"
-        )
-        .inc();
-        shm_metrics::counter!(
-            "shm_bmt_levels_total",
-            "BMT levels visited across all walks"
-        )
-        .add(u64::from(walked));
+        self.bmt_walks.inc();
+        self.bmt_levels.add(u64::from(walked));
         if self.probe.is_enabled() {
             self.probe.emit(
                 now,

@@ -23,6 +23,12 @@
 //!   explicit `--jobs N` style request, the `SHM_JOBS` environment
 //!   variable, then [`std::thread::available_parallelism`].  `SHM_JOBS=1`
 //!   forces fully serial execution on the calling thread.
+//!
+//! The [`arena`] module complements the executor: keyed scratch pools let
+//! repeated jobs reuse their per-job working state (bank matrices, event
+//! buffers) instead of rebuilding it from the allocator every time.
+
+pub mod arena;
 
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};

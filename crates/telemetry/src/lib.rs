@@ -428,12 +428,74 @@ impl Drop for Telemetry {
     }
 }
 
+/// Number of buffered hook records drained into [`Telemetry`] per block.
+const HOOK_BLOCK: usize = 1024;
+
+/// One recorded probe hook, queued by a buffered probe and replayed into
+/// [`Telemetry`] in emission order at block drains.
+#[derive(Clone, Debug)]
+enum HookRecord {
+    Emit {
+        cycle: u64,
+        event: Event,
+    },
+    Traffic {
+        cycle: u64,
+        partition: usize,
+        class: TrafficClass,
+        bytes: u64,
+        is_write: bool,
+    },
+    DramRequest {
+        cycle: u64,
+        latency: u64,
+    },
+    MshrResidency {
+        cycles: u64,
+    },
+    EngineDepth {
+        depth: u64,
+    },
+    Instructions {
+        cycle: u64,
+        n: u64,
+    },
+    Access {
+        cycle: u64,
+    },
+    L2Hit {
+        cycle: u64,
+        partition: usize,
+    },
+    L2Miss {
+        cycle: u64,
+        partition: usize,
+    },
+    CtrVictim {
+        cycle: u64,
+        uses: u64,
+    },
+    BmtWalk {
+        cycle: u64,
+        depth: u64,
+    },
+}
+
 /// Cheap cloneable telemetry handle threaded through the simulator.
 ///
 /// `Probe::default()` is disabled: every hook reduces to one `Option` check.
+///
+/// A probe made with [`Probe::buffered`] additionally carries a preallocated
+/// hook buffer shared by all of its clones: hooks append one record and the
+/// buffer drains into [`Telemetry`] a block at a time, so the per-hook cost
+/// on the simulation hot path is a vector push instead of epoch accounting,
+/// ring rotation, and (when streaming) per-event JSON formatting.  Replay
+/// happens strictly in emission order, so collected state — including JSONL
+/// sequence numbers — is identical to the unbuffered probe's.
 #[derive(Clone, Default)]
 pub struct Probe {
     inner: Option<Arc<Mutex<Telemetry>>>,
+    buf: Option<Arc<Mutex<Vec<HookRecord>>>>,
 }
 
 impl std::fmt::Debug for Probe {
@@ -454,6 +516,84 @@ impl Probe {
     pub fn enabled(cfg: TelemetryConfig) -> Self {
         Self {
             inner: Some(Arc::new(Mutex::new(Telemetry::new(cfg)))),
+            buf: None,
+        }
+    }
+
+    /// A handle over the same telemetry state whose hooks append to a
+    /// preallocated block buffer instead of updating [`Telemetry`] directly.
+    /// All clones of the returned probe share one buffer, so records from
+    /// every simulator layer drain in global emission order.  Draining
+    /// happens when a block fills and before any read through
+    /// [`Probe::with`] (summaries, sinks, `finalize`), so readers never see
+    /// stale state.  Disabled probes return a plain clone.
+    pub fn buffered(&self) -> Self {
+        if self.inner.is_none() {
+            return self.clone();
+        }
+        Self {
+            inner: self.inner.clone(),
+            buf: Some(Arc::new(Mutex::new(Vec::with_capacity(HOOK_BLOCK)))),
+        }
+    }
+
+    /// Locks a poisoned-tolerant mutex (telemetry must survive panics in
+    /// instrumented code).
+    fn lock_any<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+        match m.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Applies one record to `t`.
+    fn replay_one(t: &mut Telemetry, rec: HookRecord) {
+        match rec {
+            HookRecord::Emit { cycle, event } => t.emit(cycle, event),
+            HookRecord::Traffic {
+                cycle,
+                partition,
+                class,
+                bytes,
+                is_write,
+            } => t.on_traffic(cycle, partition, class, bytes, is_write),
+            HookRecord::DramRequest { cycle, latency } => t.on_dram_request(cycle, latency),
+            HookRecord::MshrResidency { cycles } => t.on_mshr_residency(cycles),
+            HookRecord::EngineDepth { depth } => t.on_engine_depth(depth),
+            HookRecord::Instructions { cycle, n } => t.on_instructions(cycle, n),
+            HookRecord::Access { cycle } => t.on_access(cycle),
+            HookRecord::L2Hit { cycle, partition } => t.on_l2_hit(cycle, partition),
+            HookRecord::L2Miss { cycle, partition } => t.on_l2_miss(cycle, partition),
+            HookRecord::CtrVictim { cycle, uses } => t.on_ctr_victim(cycle, uses),
+            HookRecord::BmtWalk { cycle, depth } => t.on_bmt_walk(cycle, depth),
+        }
+    }
+
+    /// Replays queued records into `t` in order, keeping the buffer's
+    /// capacity for reuse.
+    fn replay(t: &mut Telemetry, buf: &mut Vec<HookRecord>) {
+        for rec in buf.drain(..) {
+            Self::replay_one(t, rec);
+        }
+    }
+
+    /// Queues `rec` (buffered mode) or applies it immediately.  Callers
+    /// have already checked that the probe is enabled.  Lock order is
+    /// always buffer → telemetry.
+    #[inline]
+    fn record(&self, rec: HookRecord) {
+        if let Some(buf) = &self.buf {
+            let mut b = Self::lock_any(buf);
+            b.push(rec);
+            if b.len() >= HOOK_BLOCK {
+                if let Some(inner) = &self.inner {
+                    let mut t = Self::lock_any(inner);
+                    Self::replay(&mut t, &mut b);
+                }
+            }
+        } else if let Some(inner) = &self.inner {
+            let mut t = Self::lock_any(inner);
+            Self::replay_one(&mut t, rec);
         }
     }
 
@@ -487,14 +627,18 @@ impl Probe {
         self.inner.is_some()
     }
 
-    /// Runs `f` on the telemetry state when enabled.
+    /// Runs `f` on the telemetry state when enabled.  A buffered probe first
+    /// drains its pending hook records, so `f` always sees up-to-date state.
     #[inline]
     pub fn with<R>(&self, f: impl FnOnce(&mut Telemetry) -> R) -> Option<R> {
         let inner = self.inner.as_ref()?;
-        let mut guard = match inner.lock() {
-            Ok(g) => g,
-            Err(poisoned) => poisoned.into_inner(),
-        };
+        if let Some(buf) = &self.buf {
+            let mut b = Self::lock_any(buf);
+            let mut guard = Self::lock_any(inner);
+            Self::replay(&mut guard, &mut b);
+            return Some(f(&mut guard));
+        }
+        let mut guard = Self::lock_any(inner);
         Some(f(&mut guard))
     }
 
@@ -502,7 +646,7 @@ impl Probe {
     #[inline]
     pub fn emit(&self, cycle: u64, event: Event) {
         if self.inner.is_some() {
-            self.with(|t| t.emit(cycle, event));
+            self.record(HookRecord::Emit { cycle, event });
         }
     }
 
@@ -517,7 +661,13 @@ impl Probe {
         is_write: bool,
     ) {
         if self.inner.is_some() {
-            self.with(|t| t.on_traffic(cycle, partition, class, bytes, is_write));
+            self.record(HookRecord::Traffic {
+                cycle,
+                partition,
+                class,
+                bytes,
+                is_write,
+            });
         }
     }
 
@@ -525,7 +675,7 @@ impl Probe {
     #[inline]
     pub fn on_dram_request(&self, cycle: u64, latency: u64) {
         if self.inner.is_some() {
-            self.with(|t| t.on_dram_request(cycle, latency));
+            self.record(HookRecord::DramRequest { cycle, latency });
         }
     }
 
@@ -533,7 +683,7 @@ impl Probe {
     #[inline]
     pub fn on_mshr_residency(&self, cycles: u64) {
         if self.inner.is_some() {
-            self.with(|t| t.on_mshr_residency(cycles));
+            self.record(HookRecord::MshrResidency { cycles });
         }
     }
 
@@ -541,7 +691,7 @@ impl Probe {
     #[inline]
     pub fn on_engine_depth(&self, depth: u64) {
         if self.inner.is_some() {
-            self.with(|t| t.on_engine_depth(depth));
+            self.record(HookRecord::EngineDepth { depth });
         }
     }
 
@@ -549,7 +699,7 @@ impl Probe {
     #[inline]
     pub fn on_instructions(&self, cycle: u64, n: u64) {
         if self.inner.is_some() {
-            self.with(|t| t.on_instructions(cycle, n));
+            self.record(HookRecord::Instructions { cycle, n });
         }
     }
 
@@ -557,7 +707,7 @@ impl Probe {
     #[inline]
     pub fn on_access(&self, cycle: u64) {
         if self.inner.is_some() {
-            self.with(|t| t.on_access(cycle));
+            self.record(HookRecord::Access { cycle });
         }
     }
 
@@ -565,7 +715,7 @@ impl Probe {
     #[inline]
     pub fn on_l2_hit(&self, cycle: u64, partition: usize) {
         if self.inner.is_some() {
-            self.with(|t| t.on_l2_hit(cycle, partition));
+            self.record(HookRecord::L2Hit { cycle, partition });
         }
     }
 
@@ -573,7 +723,7 @@ impl Probe {
     #[inline]
     pub fn on_l2_miss(&self, cycle: u64, partition: usize) {
         if self.inner.is_some() {
-            self.with(|t| t.on_l2_miss(cycle, partition));
+            self.record(HookRecord::L2Miss { cycle, partition });
         }
     }
 
@@ -581,7 +731,7 @@ impl Probe {
     #[inline]
     pub fn on_ctr_victim(&self, cycle: u64, uses: u64) {
         if self.inner.is_some() {
-            self.with(|t| t.on_ctr_victim(cycle, uses));
+            self.record(HookRecord::CtrVictim { cycle, uses });
         }
     }
 
@@ -589,7 +739,7 @@ impl Probe {
     #[inline]
     pub fn on_bmt_walk(&self, cycle: u64, depth: u64) {
         if self.inner.is_some() {
-            self.with(|t| t.on_bmt_walk(cycle, depth));
+            self.record(HookRecord::BmtWalk { cycle, depth });
         }
     }
 
@@ -658,7 +808,9 @@ impl Probe {
     }
 
     /// Installs a process-wide panic hook that dumps the flight recorder to
-    /// stderr before the previous hook runs. No-op when disabled.
+    /// stderr before the previous hook runs. No-op when disabled.  Records
+    /// still queued in a buffered probe's block are not part of the dump
+    /// (the hook cannot safely take the buffer lock mid-panic).
     pub fn install_panic_hook(&self) {
         let Some(inner) = &self.inner else { return };
         let inner = Arc::clone(inner);
@@ -803,6 +955,75 @@ mod tests {
             assert_eq!(snaps[1].bmt_walks, 1);
             assert_eq!(snaps[1].bmt_depth_sum, 3);
             assert_eq!(snaps[1].bmt_depth_max, 3);
+        });
+    }
+
+    #[test]
+    fn buffered_probe_replays_identically() {
+        // The same hook sequence through a buffered and an unbuffered probe
+        // must produce identical collected state (events, seq tags, epochs,
+        // histograms) — block draining only changes *when* records land.
+        let direct = Probe::enabled(TelemetryConfig::default());
+        let buffered = Probe::enabled(TelemetryConfig::default()).buffered();
+        for p in [&direct, &buffered] {
+            for i in 0..3000u64 {
+                // Enough volume to cross several HOOK_BLOCK boundaries.
+                p.on_access(i * 5);
+                p.on_l2_hit(i * 5, (i % 4) as usize);
+                p.on_traffic(i * 5, 1, TrafficClass::Data, 32, i % 3 == 0);
+                p.on_dram_request(i * 5, 100 + i % 50);
+                if i % 7 == 0 {
+                    p.emit(i * 5, Event::L2Miss { bank: 0, addr: i });
+                }
+            }
+            p.finalize(15_000);
+        }
+        let collect = |p: &Probe| {
+            p.with(|t| {
+                (
+                    t.events().to_vec(),
+                    t.events_meta()
+                        .iter()
+                        .map(|&(seq, _)| seq)
+                        .collect::<Vec<_>>(),
+                    *t.kind_totals(),
+                    t.snapshots().to_vec(),
+                    t.dram_latency.count(),
+                    t.next_seq(),
+                )
+            })
+            .expect("enabled")
+        };
+        let a = collect(&direct);
+        let b = collect(&buffered);
+        assert_eq!(a.1, b.1, "seq tags diverged");
+        assert_eq!(a.2, b.2, "kind totals diverged");
+        assert_eq!(a.4, b.4, "histogram counts diverged");
+        assert_eq!(a.5, b.5, "next_seq diverged");
+        assert_eq!(a.0.len(), b.0.len(), "logged event counts diverged");
+        assert_eq!(a.3.len(), b.3.len(), "epoch counts diverged");
+        for (x, y) in a.3.iter().zip(&b.3) {
+            assert_eq!(x.accesses, y.accesses);
+            assert_eq!(x.l2_hits, y.l2_hits);
+            assert_eq!(x.dram_requests, y.dram_requests);
+            assert_eq!(x.total_bytes(), y.total_bytes());
+        }
+    }
+
+    #[test]
+    fn buffered_clones_share_one_queue() {
+        let base = Probe::enabled(TelemetryConfig::default());
+        let a = base.buffered();
+        let b = a.clone();
+        // Interleave below the block size; order must survive the drain.
+        a.emit(1, Event::MshrStall { bank: 1 });
+        b.emit(2, Event::MshrStall { bank: 2 });
+        a.emit(3, Event::MshrStall { bank: 3 });
+        a.with(|t| {
+            // The flight-recorder ring sees every emission (no sampling), so
+            // it reflects the replayed global order.
+            let cycles: Vec<u64> = t.flight_recorder().map(|&(c, _)| c).collect();
+            assert_eq!(cycles, vec![1, 2, 3]);
         });
     }
 
