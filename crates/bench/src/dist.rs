@@ -19,12 +19,14 @@ use std::path::Path;
 
 use gpu_mem_sim::{DesignPoint, Simulator};
 use gpu_types::{GpuConfig, SimStats};
-use shm_recovery::{config_hash, JobJournal, JournalCodec, RecoveryError};
+use shm_recovery::{
+    config_hash, CkptOutcome, CoordinatorCheckpoint, JobJournal, JournalCodec, RecoveryError,
+};
 use shm_workloads::BenchmarkProfile;
 use sim_dist::protocol::PROTOCOL_VERSION;
 use sim_dist::{
-    run_worker, Coordinator, DistError, DistJob, DistOptions, DistReport, JobTiming, WorkerOptions,
-    WorkerStats, WorkerSummary, DIST_WORKERS_ENV,
+    run_worker, Coordinator, DistError, DistEvent, DistJob, DistOptions, DistReport, JobTiming,
+    WorkerOptions, WorkerStats, WorkerSummary, DIST_WORKERS_ENV,
 };
 use sim_exec::{effective_jobs, CancelToken, JobPanic, LabelledPanic, SweepError};
 
@@ -290,7 +292,50 @@ where
     result
 }
 
-fn suite_dist_jobs(
+/// [`run_dist_jobs`] with the full coordinator event stream (dispatches,
+/// resolutions, worker losses, quarantines) instead of just completions.
+/// The checkpointed sweep and the chaos campaign build on this.
+///
+/// # Errors
+///
+/// Same contract as [`run_dist_jobs`].
+pub fn run_dist_jobs_events<F>(
+    jobs: Vec<DistJob>,
+    cfg: &DistSweepConfig,
+    token: &CancelToken,
+    on_event: F,
+) -> Result<DistReport, DistError>
+where
+    F: FnMut(&DistEvent),
+{
+    let hash = dist_config_hash();
+    let coord = Coordinator::bind(&cfg.bind, hash, cfg.opts.clone())?;
+    let addr = coord.local_addr().to_string();
+
+    let mut self_workers = Vec::new();
+    if let Some(per_worker) = effective_jobs(None).checked_div(cfg.self_workers) {
+        let per_worker = per_worker.max(1);
+        for i in 0..cfg.self_workers {
+            let addr = addr.clone();
+            let opts = WorkerOptions {
+                worker_id: format!("local-{i}"),
+                jobs: Some(per_worker),
+                ..WorkerOptions::from_env()
+            };
+            self_workers.push(std::thread::spawn(move || {
+                run_worker(&addr, hash, opts, dist_worker_handler)
+            }));
+        }
+    }
+
+    let result = coord.run_with_events(jobs, token, on_event);
+    for h in self_workers {
+        let _ = h.join();
+    }
+    result
+}
+
+pub(crate) fn suite_dist_jobs(
     designs: &[DesignPoint],
     scale: f64,
 ) -> (
@@ -316,7 +361,7 @@ fn suite_dist_jobs(
     (profiles, pairs, jobs)
 }
 
-fn assemble_rows(
+pub(crate) fn assemble_rows(
     profiles: &[BenchmarkProfile],
     pairs: &[(usize, DesignPoint)],
     stats: Vec<SimStats>,
@@ -572,6 +617,209 @@ pub fn try_run_suite_dist_journaled(
         },
         summary,
     ))
+}
+
+/// What a checkpoint-backed distributed sweep produced.
+#[derive(Clone, Debug)]
+pub struct CheckpointedSuite {
+    /// Merged rows, `None` when the coordinator "crashed" (was cancelled)
+    /// before every job resolved — resume by calling again with the same
+    /// checkpoint path.
+    pub rows: Option<Vec<BenchRow>>,
+    /// Jobs replayed from the checkpoint instead of re-run.
+    pub reused: usize,
+    /// Jobs resolved by the cluster in this invocation.
+    pub executed: usize,
+}
+
+/// The crash-resumable distributed sweep: every dispatch, resolution and
+/// quarantine is appended to a [`CoordinatorCheckpoint`] as it happens,
+/// group-committed every `flush_every` records.  A coordinator killed
+/// mid-sweep (simulated here by `crash_after_resolves` tripping the
+/// cancel token) restarts with the same checkpoint path, replays resolved
+/// jobs byte-for-byte, re-dispatches only the rest, and renders merged
+/// tables identical to an uninterrupted run.
+///
+/// # Errors
+///
+/// [`DistSweepError`] on checkpoint, cluster, or job failures.  An
+/// interrupted sweep is *not* an error: [`CheckpointedSuite::rows`] comes
+/// back `None` with progress durably checkpointed.
+pub fn try_run_suite_dist_checkpointed(
+    designs: &[DesignPoint],
+    scale: f64,
+    cfg: &DistSweepConfig,
+    ckpt_path: &Path,
+    flush_every: usize,
+    crash_after_resolves: Option<usize>,
+) -> Result<(CheckpointedSuite, DistSummary), DistSweepError> {
+    let (profiles, pairs, all_jobs) = suite_dist_jobs(designs, scale);
+
+    // The checkpoint guard hashes the exact job list (labels + payloads),
+    // so indexes in the file can never be replayed against a different
+    // sweep shape or scale.
+    let mut parts: Vec<String> = vec!["dist-checkpoint".to_string()];
+    for job in &all_jobs {
+        parts.push(format!("{}={}", job.label, job.payload));
+    }
+    let part_refs: Vec<&str> = parts.iter().map(String::as_str).collect();
+    let mut ckpt = CoordinatorCheckpoint::open(ckpt_path, config_hash(&part_refs), flush_every)
+        .map_err(DistSweepError::from)?;
+
+    let mut results: Vec<Option<JobPanicOrStats>> = Vec::with_capacity(all_jobs.len());
+    let mut missing: Vec<usize> = Vec::new();
+    let mut reused = 0usize;
+    let mut failed: Vec<LabelledPanic> = Vec::new();
+    for (i, job) in all_jobs.iter().enumerate() {
+        match ckpt.resolved().get(&(i as u64)) {
+            Some(CkptOutcome::Ok { payload, .. }) => {
+                match decode_or_fail(&job.label, i, payload) {
+                    Ok(s) => results.push(Some(JobPanicOrStats::Stats(Box::new(s)))),
+                    Err(lp) => {
+                        failed.push(lp);
+                        results.push(None);
+                    }
+                }
+                reused += 1;
+            }
+            Some(CkptOutcome::Failed { label }) => {
+                results.push(Some(JobPanicOrStats::Panic(label.clone())));
+                reused += 1;
+            }
+            None => {
+                missing.push(i);
+                results.push(None);
+            }
+        }
+    }
+
+    let mut summary = DistSummary::default();
+    let mut executed = 0usize;
+    let mut interrupted = false;
+    if !missing.is_empty() {
+        let jobs: Vec<DistJob> = missing.iter().map(|&i| all_jobs[i].clone()).collect();
+        let labels: Vec<String> = jobs.iter().map(|j| j.label.clone()).collect();
+        let token = CancelToken::new();
+        let mut resolves = 0usize;
+        let mut io_error: Option<std::io::Error> = None;
+
+        let run = run_dist_jobs_events(jobs, cfg, &token, |ev| {
+            if io_error.is_some() {
+                return;
+            }
+            let io = match ev {
+                DistEvent::Dispatched { index, worker, .. } => {
+                    ckpt.record_assign(missing[*index] as u64, worker)
+                }
+                DistEvent::Resolved { index, outcome, .. } => {
+                    let rec = match outcome {
+                        Ok(payload) => CkptOutcome::Ok {
+                            payload: payload.clone(),
+                            run_ns: 0,
+                        },
+                        Err(p) => CkptOutcome::Failed {
+                            label: p.message.clone(),
+                        },
+                    };
+                    let r = ckpt.record_resolve(missing[*index] as u64, &rec);
+                    resolves += 1;
+                    if crash_after_resolves == Some(resolves) {
+                        // Simulated coordinator death: force the durable
+                        // state down and stop taking results.
+                        let _ = ckpt.flush();
+                        token.cancel();
+                    }
+                    r
+                }
+                DistEvent::Quarantined { worker, reason, .. } => {
+                    ckpt.record_quarantine(worker, reason)
+                }
+                DistEvent::WorkerLost { .. } => Ok(()),
+            };
+            if let Err(e) = io {
+                io_error = Some(e);
+                token.cancel();
+            }
+        });
+
+        match run {
+            Ok(report) => {
+                if let Some(e) = io_error {
+                    return Err(DistSweepError::Recovery(RecoveryError::Io(e)));
+                }
+                summary.workers = report.workers;
+                summary.reassignments = report.reassignments;
+                summary.trace_id = report.trace_id;
+                summary.timings = report.timings;
+                interrupted = report.interrupted;
+                for (j, outcome) in report.results.into_iter().enumerate() {
+                    match outcome {
+                        None => {} // cancelled before dispatch: stays missing
+                        Some(Ok(payload)) => {
+                            match decode_or_fail(&labels[j], missing[j], &payload) {
+                                Ok(s) => {
+                                    executed += 1;
+                                    results[missing[j]] = Some(JobPanicOrStats::Stats(Box::new(s)));
+                                }
+                                Err(lp) => failed.push(lp),
+                            }
+                        }
+                        Some(Err(p)) => {
+                            executed += 1;
+                            results[missing[j]] = Some(JobPanicOrStats::Panic(p.message.clone()));
+                        }
+                    }
+                }
+            }
+            Err(e) => return Err(DistSweepError::Cluster(e)),
+        }
+    }
+    ckpt.flush().map_err(RecoveryError::Io)?;
+
+    // Checkpointed failures (from this run or a replayed one) surface as
+    // labelled sweep errors once the sweep is otherwise complete.
+    for (i, r) in results.iter().enumerate() {
+        if let Some(JobPanicOrStats::Panic(message)) = r {
+            failed.push(LabelledPanic {
+                label: all_jobs[i].label.clone(),
+                panic: JobPanic {
+                    index: i,
+                    label: Some(all_jobs[i].label.clone()),
+                    message: message.clone(),
+                },
+            });
+        }
+    }
+    if !failed.is_empty() {
+        return Err(SweepError { failed }.into());
+    }
+
+    let rows = if interrupted || results.iter().any(Option::is_none) {
+        None
+    } else {
+        let stats: Vec<SimStats> = results
+            .into_iter()
+            .map(|r| match r {
+                Some(JobPanicOrStats::Stats(s)) => *s,
+                _ => unreachable!("failures already surfaced"),
+            })
+            .collect();
+        Some(assemble_rows(&profiles, &pairs, stats))
+    };
+    Ok((
+        CheckpointedSuite {
+            rows,
+            reused,
+            executed,
+        },
+        summary,
+    ))
+}
+
+/// Internal: a checkpointed job is either stats or a recorded failure.
+enum JobPanicOrStats {
+    Stats(Box<SimStats>),
+    Panic(String),
 }
 
 #[cfg(test)]

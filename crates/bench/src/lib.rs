@@ -17,6 +17,7 @@ use shm_recovery::{config_hash, map_journaled, JobJournal, SweepOptions};
 use shm_workloads::BenchmarkProfile;
 pub use sim_exec::{CancelToken, Executor, SweepError};
 
+pub mod chaos;
 pub mod dist;
 
 /// Scale factor for event counts: 1.0 = full runs (repro binary),

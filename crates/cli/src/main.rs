@@ -7,12 +7,14 @@
 //! shm sweep -b kmeans [--events N] [--csv]      all designs on one benchmark
 //! shm sweep -b kmeans --journal s.jsonl --resume   checkpointed sweep
 //! shm crash --seed 7 --sweep                    power-cut recovery matrix
+//! shm chaos --schedule smoke --seed 7           cluster fault gauntlet
 //! shm trace gen -b lbm -o lbm.trace [--events N]
 //! shm trace info lbm.trace
 //! ```
 //!
 //! Exit codes: 0 success, 1 runtime failure, 2 usage, 3 broken integrity
-//! claim, 130 interrupted (SIGINT/SIGTERM; journaled sweeps stay resumable).
+//! claim, 4 silent divergence in a chaos campaign, 130 interrupted
+//! (SIGINT/SIGTERM; journaled sweeps stay resumable).
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
@@ -73,6 +75,18 @@ impl CliError {
         Self {
             message: message.into(),
             code: 3,
+            probe: probe.clone(),
+        }
+    }
+
+    /// Chaos-campaign failure: at least one fault-injection scenario ended
+    /// in silent divergence — the cluster said "success" with wrong bytes
+    /// (exit code 4, distinct from integrity so scripts can tell a broken
+    /// distributed-robustness claim from a missed tamper).
+    fn chaos(message: impl Into<String>, probe: &Probe) -> Self {
+        Self {
+            message: message.into(),
+            code: 4,
             probe: probe.clone(),
         }
     }
@@ -161,6 +175,7 @@ fn dispatch(argv: &[String]) -> Result<(), CliError> {
         "crash" => cmd_crash(Args::parse(rest).map_err(stringify)?),
         "sweep" => cmd_sweep(Args::parse(rest).map_err(stringify)?),
         "worker" => cmd_worker(Args::parse(rest).map_err(stringify)?),
+        "chaos" => cmd_chaos(Args::parse(rest).map_err(stringify)?),
         "trace-report" => obs::cmd_trace_report(rest),
         "top" => obs::cmd_top(&Args::parse(rest).map_err(stringify)?),
         "env" => {
@@ -227,7 +242,9 @@ fn print_help() {
          \x20 sweep ... --metrics-addr HOST:PORT [--metrics-hold-ms N]   live /metrics\n\
          \x20        endpoint (Prometheus text); --dist adds [--heartbeat-timeout-ms N]\n\
          \x20 worker --connect HOST:PORT [--jobs N] [--id NAME] [--heartbeat-ms N]\n\
-         \x20        [--metrics-addr HOST:PORT]    serve sweep jobs\n\
+         \x20        [--reconnect-attempts N] [--metrics-addr HOST:PORT]   serve sweep jobs\n\
+         \x20 chaos [--schedule smoke|full] [--seed S] [--scale X] [--dir D]   fault-\n\
+         \x20        injection campaign on the cluster; exit 4 on silent divergence\n\
          \x20 trace-report <file.jsonl> [--top N]  span timeline from a telemetry trace\n\
          \x20 top --connect HOST:PORT [--interval-ms N] [--iterations N] [--once]\n\
          \x20        live cluster monitor over a /metrics endpoint\n\
@@ -1049,6 +1066,57 @@ fn sweep_dist(args: &Args, bind: &str) -> Result<Vec<SimStats>, CliError> {
 /// Each dispatched job regenerates its trace locally and runs on this
 /// host's executor pool; the process keeps reconnecting (with backoff)
 /// until the coordinator shuts the cluster down.
+/// `shm chaos`: run the distributed sweep through the deterministic fault
+/// gauntlet (chaos proxy, byzantine workers, coordinator crash-resume) and
+/// verify every scenario ends in byte-identical merged tables or a clean
+/// labelled failure.  Any silent divergence exits with code 4.
+fn cmd_chaos(args: Args) -> Result<(), CliError> {
+    let schedule = args.get("schedule").unwrap_or("smoke").to_string();
+    if schedule != "smoke" && schedule != "full" {
+        return Err(CliError::usage(format!(
+            "unknown schedule {schedule:?} (want smoke|full)"
+        )));
+    }
+    let seed = args.get_u64("seed")?.unwrap_or(7);
+    let scale = match args.get("scale") {
+        Some(raw) => raw
+            .parse::<f64>()
+            .ok()
+            .filter(|s| *s > 0.0)
+            .ok_or_else(|| CliError::usage(format!("bad --scale {raw:?}")))?,
+        None => 0.02,
+    };
+    let dir = args
+        .get("dir")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::env::temp_dir().join(format!("shm-chaos-{}", std::process::id())));
+    let probe = telemetry_probe(&args)?;
+    let metrics = obs::MetricsGuard::from_args(&args)?;
+
+    eprintln!("chaos campaign: schedule={schedule} seed={seed} scale={scale}");
+    let report = shm_bench::chaos::run_chaos_campaign(&schedule, seed, scale, &dir)
+        .map_err(|e| CliError::runtime(format!("chaos campaign: {e}"), &probe))?;
+    metrics.finish();
+    print!("{}", report.render());
+    eprintln!(
+        "flight recorder: {}",
+        dir.join(format!("chaos_flight_{schedule}_{seed}.jsonl"))
+            .display()
+    );
+    let silent = report.silent_divergences();
+    if silent > 0 {
+        return Err(CliError::chaos(
+            format!(
+                "chaos campaign {schedule} (seed {seed}) found {silent} silent divergence(s) \
+                 across {} scenario(s)",
+                report.scenarios.len()
+            ),
+            &probe,
+        ));
+    }
+    Ok(())
+}
+
 fn cmd_worker(args: Args) -> Result<(), CliError> {
     let addr = args
         .get("connect")
@@ -1063,6 +1131,11 @@ fn cmd_worker(args: Args) -> Result<(), CliError> {
     }
     if let Some(id) = args.get("id") {
         opts.worker_id = id.to_string();
+    }
+    // Reconnect persistence: flag beats SHM_RECONNECT_ATTEMPTS beats the
+    // default.
+    if let Some(n) = args.get_u64("reconnect-attempts")? {
+        opts.max_reconnect_attempts = n.min(u64::from(u32::MAX)) as u32;
     }
     eprintln!("worker {} connecting to {addr}", opts.worker_id);
     let served = shm_bench::dist::serve_worker(&addr, opts);

@@ -264,6 +264,11 @@ pub fn cmd_env() {
             "coordinator heartbeat miss window in ms",
         ),
         (
+            sim_dist::RECONNECT_ATTEMPTS_ENV,
+            "5",
+            "worker reconnect attempts before giving up (same as --reconnect-attempts)",
+        ),
+        (
             METRICS_ADDR_ENV,
             "unset",
             "HOST:PORT for the /metrics endpoint (same as --metrics-addr)",

@@ -54,7 +54,7 @@ pub trait JournalCodec: Sized {
 }
 
 /// Extracts `"key":<u64>` from a flat JSON object.
-fn json_u64(s: &str, key: &str) -> Option<u64> {
+pub(crate) fn json_u64(s: &str, key: &str) -> Option<u64> {
     let pat = format!("\"{key}\":");
     let rest = &s[s.find(&pat)? + pat.len()..];
     let end = rest
@@ -165,7 +165,7 @@ impl JournalCodec for String {
     }
 }
 
-fn escape_into(s: &str, out: &mut String) {
+pub(crate) fn escape_into(s: &str, out: &mut String) {
     for c in s.chars() {
         match c {
             '"' => out.push_str("\\\""),
@@ -176,7 +176,7 @@ fn escape_into(s: &str, out: &mut String) {
     }
 }
 
-fn unescape(s: &str) -> Option<String> {
+pub(crate) fn unescape(s: &str) -> Option<String> {
     let mut out = String::with_capacity(s.len());
     let mut chars = s.chars();
     while let Some(c) = chars.next() {

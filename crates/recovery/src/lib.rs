@@ -23,11 +23,19 @@
 //! or a kill re-runs only what is missing and reproduces byte-identical
 //! final tables.  The JSONL journal format is deliberately the seam a
 //! future distributed backend can speak.
+//!
+//! [`checkpoint`] extends layer 2 to the cluster: the distributed
+//! coordinator periodically checkpoints assignment/result state in the
+//! same JSONL-with-config-guard discipline, so a coordinator killed
+//! mid-sweep restarts, replays the checkpoint, re-dispatches only the
+//! unresolved jobs, and renders byte-identical merged tables.
 
+pub mod checkpoint;
 pub mod crash;
 pub mod journal;
 pub mod wal;
 
+pub use checkpoint::{CkptOutcome, CoordinatorCheckpoint, CHECKPOINT_VERSION};
 pub use crash::{
     crash_sweep, run_crash, CrashConfig, CrashOutcome, CrashReport, CrashSweepReport,
     RegionOutcome, MICRO_OPS_PER_WRITE,

@@ -12,6 +12,30 @@
 //! which it resolves as a [`JobPanic`] naming its label.  Completed
 //! results are merged back into **submission order**, so a distributed
 //! sweep is byte-identical to `--jobs 1`.
+//!
+//! # Byzantine worker defense
+//!
+//! Transport CRCs only catch accidental corruption; a worker can return
+//! wrong-but-well-formed results with perfectly valid frames.  Two layers
+//! defend against that (see `docs/DISTRIBUTED.md`):
+//!
+//! * **End-to-end digests** — every [`Frame::JobResult`] carries an
+//!   FNV-1a digest of its payload, recomputed by the coordinator.  A
+//!   mismatch quarantines the sender immediately: the result is
+//!   discarded, the worker's unconfirmed past results are invalidated
+//!   and re-run, and the worker is shut down and refused on reconnect.
+//! * **Redundant dispatch (audit)** — a seeded sample of jobs
+//!   ([`DistOptions::audit_per_mille`]) is dispatched to two *different*
+//!   workers.  A job settles only when two copies agree (from distinct
+//!   workers, or from the sole live worker when nobody else is
+//!   available).  Disagreement triggers targeted re-asks of each
+//!   producer: an honest worker reproduces its answer, a liar that
+//!   contradicts itself is quarantined, and a deadlocked tie resolves as
+//!   a *labelled* [`JobPanic`] — detected, never silent.
+//!
+//! Quarantine invalidations flow through the normal resolution events, so
+//! journal/checkpoint layers simply overwrite the poisoned entry (last
+//! record wins on replay).
 
 use std::collections::{HashMap, VecDeque};
 use std::io;
@@ -22,8 +46,10 @@ use std::time::{Duration, Instant};
 
 use sim_exec::{CancelToken, JobPanic, JobResult};
 
-use crate::protocol::{write_frame, Frame, FrameError, FrameReader, PROTOCOL_VERSION};
-use crate::{DistError, WorkerStats};
+use crate::protocol::{
+    payload_digest, write_frame, Frame, FrameError, FrameReader, PROTOCOL_VERSION,
+};
+use crate::{splitmix64, DistError, WorkerStats};
 
 /// One unit of work shipped to a worker: a human-readable label (the
 /// `"{benchmark} under {design}"` pair used everywhere for panic capture)
@@ -33,6 +59,10 @@ pub struct DistJob {
     pub label: String,
     pub payload: String,
 }
+
+/// Extra arbitration rounds an audited job may spend resolving a
+/// disagreement before it fails as a labelled [`JobPanic`].
+const MAX_AUDIT_ROUNDS: u32 = 2;
 
 /// Tunables for a coordinator run.
 #[derive(Clone, Debug)]
@@ -46,9 +76,19 @@ pub struct DistOptions {
     /// Bounded per-read socket timeout; also the coordinator's bookkeeping
     /// tick.
     pub read_timeout_ms: u64,
-    /// Sweep-wide budget of job re-dispatches (worker loss or job panic),
-    /// mirroring `run_robust`'s retry budget.
+    /// Sweep-wide budget of job re-dispatches (worker loss, job panic, or
+    /// quarantine invalidation), mirroring `run_robust`'s retry budget.
     pub retry_budget: u32,
+    /// Per-mille of jobs redundantly dispatched to two workers for the
+    /// byzantine audit (0 = off, 1000 = every job).
+    pub audit_per_mille: u32,
+    /// Seed selecting *which* jobs are audited — same seed, same sample.
+    pub audit_seed: u64,
+    /// A dispatched job unanswered for longer than this declares the
+    /// connection lost and requeues the worker's jobs (0 = off).  Rescues
+    /// sweeps from silently dropped dispatch/result frames; must exceed
+    /// the worst-case job run time when enabled.
+    pub dispatch_timeout_ms: u64,
 }
 
 impl Default for DistOptions {
@@ -58,6 +98,9 @@ impl Default for DistOptions {
             heartbeat_timeout_ms: 5_000,
             read_timeout_ms: 100,
             retry_budget: 64,
+            audit_per_mille: 0,
+            audit_seed: 0,
+            dispatch_timeout_ms: 0,
         }
     }
 }
@@ -90,6 +133,36 @@ pub struct JobTiming {
     pub run_ns: u64,
 }
 
+/// Lifecycle notifications delivered to [`Coordinator::run_with_events`]'
+/// callback — on the calling thread, in occurrence order.  A job may
+/// resolve *twice*: a quarantine invalidates the first resolution and a
+/// later [`DistEvent::Resolved`] overwrites it (journals keep the last
+/// record per label, so replay stays correct).
+#[derive(Debug)]
+pub enum DistEvent {
+    /// A job copy was written to a worker.
+    Dispatched {
+        index: usize,
+        worker: String,
+        attempt: u32,
+    },
+    /// A job settled (possibly re-settled after invalidation).
+    Resolved {
+        index: usize,
+        worker: String,
+        outcome: JobResult<String>,
+    },
+    /// A worker died; its in-flight jobs were requeued.
+    WorkerLost { worker: String, requeued: usize },
+    /// A worker was quarantined for byzantine behaviour; `invalidated`
+    /// of its previously accepted results were discarded and re-run.
+    Quarantined {
+        worker: String,
+        invalidated: usize,
+        reason: String,
+    },
+}
+
 /// What a finished distributed sweep looked like.
 #[derive(Debug)]
 pub struct DistReport {
@@ -100,7 +173,8 @@ pub struct DistReport {
     pub workers: Vec<WorkerStats>,
     /// Jobs re-queued because their worker died mid-flight.
     pub reassignments: u64,
-    /// Retry budget consumed (reassignments + panic retries).
+    /// Retry budget consumed (reassignments + panic retries + audit
+    /// re-asks + quarantine invalidations).
     pub retries_used: u32,
     /// True when the sweep stopped early on a tripped [`CancelToken`].
     pub interrupted: bool,
@@ -108,6 +182,15 @@ pub struct DistReport {
     pub trace_id: u64,
     /// Per-job timings in submission order (resolved jobs only).
     pub timings: Vec<JobTiming>,
+    /// Workers quarantined for byzantine behaviour.
+    pub quarantines: u64,
+    /// Disagreements observed between redundant copies of audited jobs.
+    pub audit_mismatches: u64,
+    /// Results rejected because their end-to-end digest did not match.
+    pub digest_mismatches: u64,
+    /// Connections declared lost because a dispatched job went
+    /// unanswered past [`DistOptions::dispatch_timeout_ms`].
+    pub dispatch_timeouts: u64,
 }
 
 impl DistReport {
@@ -117,17 +200,31 @@ impl DistReport {
     }
 }
 
-/// (submission index, attempt) — attempt 1 is the first dispatch.
-type Pending = (usize, u32);
-
-struct Completion {
+/// A queued copy of a job: submission index, attempt number (1 is the
+/// first dispatch), and an optional target worker slot (audit re-asks are
+/// targeted so each producer re-answers its own disputed job).
+#[derive(Clone, Debug)]
+struct PendingJob {
     index: usize,
-    worker: String,
-    outcome: JobResult<String>,
+    attempt: u32,
+    target: Option<usize>,
+}
+
+/// Audit bookkeeping for one redundantly dispatched job.
+#[derive(Default)]
+struct AuditState {
+    /// Worker slots ever assigned a copy (steers copies apart).
+    holders: Vec<usize>,
+    /// Delivered copies: (worker slot, payload, run_ns).
+    produced: Vec<(usize, String, u64)>,
+    /// Arbitration rounds spent on a disagreement.
+    rounds: u32,
+    /// The settled payload, once two copies agree.
+    winner: Option<String>,
 }
 
 struct Inner {
-    pending: VecDeque<Pending>,
+    pending: VecDeque<PendingJob>,
     /// Latest dispatch time per job, ms since sweep start.
     dispatch_ms: HashMap<usize, u64>,
     /// Timing of each resolved job, recorded once at resolution.
@@ -135,11 +232,15 @@ struct Inner {
     resolved: Vec<bool>,
     resolved_count: usize,
     in_flight_total: usize,
-    completions: VecDeque<Completion>,
+    /// Copies of each job currently on workers (dispatch-counted).
+    dispatched_out: HashMap<usize, u32>,
+    events: VecDeque<DistEvent>,
     retry_left: u32,
     retries_used: u32,
     reassignments: u64,
     workers: Vec<WorkerStats>,
+    /// Liveness per worker slot (parallel to `workers`).
+    live: Vec<bool>,
     live_workers: usize,
     ever_connected: bool,
     /// When the last live worker disappeared (cleared on reconnect); the
@@ -147,6 +248,15 @@ struct Inner {
     workerless_since: Option<Instant>,
     cancelled: bool,
     done: bool,
+    /// Audit state per audited job index.
+    audit: HashMap<usize, AuditState>,
+    /// Resolved-but-unconfirmed results: job index → delivering worker
+    /// slot.  Quarantining that slot invalidates and re-runs these.
+    delivered_by: HashMap<usize, usize>,
+    quarantines: u64,
+    audit_mismatches: u64,
+    digest_mismatches: u64,
+    dispatch_timeouts: u64,
 }
 
 struct Shared {
@@ -167,6 +277,13 @@ pub struct Coordinator {
     local_addr: SocketAddr,
     config_hash: u64,
     opts: DistOptions,
+}
+
+/// Whether job `index` is in the audit sample for this seed/per-mille.
+fn audit_selected(per_mille: u32, seed: u64, index: usize) -> bool {
+    per_mille > 0
+        && splitmix64(seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)) % 1000
+            < u64::from(per_mille)
 }
 
 impl Coordinator {
@@ -208,6 +325,30 @@ impl Coordinator {
     where
         F: FnMut(usize, &str, &JobResult<String>),
     {
+        self.run_with_events(jobs, token, move |ev| {
+            if let DistEvent::Resolved {
+                index,
+                worker,
+                outcome,
+            } = ev
+            {
+                on_complete(*index, worker, outcome);
+            }
+        })
+    }
+
+    /// Runs the sweep, streaming every [`DistEvent`] (dispatches,
+    /// resolutions, worker losses, quarantines) to `on_event` on the
+    /// calling thread — the checkpoint layer journals these.
+    pub fn run_with_events<F>(
+        self,
+        jobs: Vec<DistJob>,
+        token: &CancelToken,
+        mut on_event: F,
+    ) -> Result<DistReport, DistError>
+    where
+        F: FnMut(&DistEvent),
+    {
         let n = jobs.len();
         // Trace id: wall-clock derived, unique enough to tell sweeps apart
         // in merged JSONL documents.
@@ -223,24 +364,54 @@ impl Coordinator {
         .set(self.opts.heartbeat_timeout_ms as i64);
         shm_metrics::gauge!("shm_dist_jobs_total", "Jobs submitted to the current sweep")
             .set(n as i64);
+
+        let audit: HashMap<usize, AuditState> = (0..n)
+            .filter(|&i| audit_selected(self.opts.audit_per_mille, self.opts.audit_seed, i))
+            .map(|i| (i, AuditState::default()))
+            .collect();
+        let mut pending: VecDeque<PendingJob> = VecDeque::with_capacity(n + audit.len());
+        for i in 0..n {
+            pending.push_back(PendingJob {
+                index: i,
+                attempt: 1,
+                target: None,
+            });
+            if audit.contains_key(&i) {
+                // Redundant copy for the byzantine audit.
+                pending.push_back(PendingJob {
+                    index: i,
+                    attempt: 1,
+                    target: None,
+                });
+            }
+        }
+
         let shared = Arc::new(Shared {
             inner: Mutex::new(Inner {
-                pending: (0..n).map(|i| (i, 1)).collect(),
+                pending,
                 dispatch_ms: HashMap::new(),
                 timings: HashMap::new(),
                 resolved: vec![false; n],
                 resolved_count: 0,
                 in_flight_total: 0,
-                completions: VecDeque::new(),
+                dispatched_out: HashMap::new(),
+                events: VecDeque::new(),
                 retry_left: self.opts.retry_budget,
                 retries_used: 0,
                 reassignments: 0,
                 workers: Vec::new(),
+                live: Vec::new(),
                 live_workers: 0,
                 ever_connected: false,
                 workerless_since: None,
                 cancelled: false,
                 done: false,
+                audit,
+                delivered_by: HashMap::new(),
+                quarantines: 0,
+                audit_mismatches: 0,
+                digest_mismatches: 0,
+                dispatch_timeouts: 0,
             }),
             cond: Condvar::new(),
             jobs,
@@ -267,12 +438,14 @@ impl Coordinator {
 
         let mut inner = shared.inner.lock().unwrap_or_else(|e| e.into_inner());
         loop {
-            // Drain completions on this thread so `on_complete` (journal
-            // appends) never runs under a connection thread.
-            while let Some(c) = inner.completions.pop_front() {
+            // Drain events on this thread so `on_event` (journal appends)
+            // never runs under a connection thread.
+            while let Some(ev) = inner.events.pop_front() {
                 drop(inner);
-                on_complete(c.index, &c.worker, &c.outcome);
-                results[c.index] = Some(c.outcome);
+                on_event(&ev);
+                if let DistEvent::Resolved { index, outcome, .. } = ev {
+                    results[index] = Some(outcome);
+                }
                 inner = shared.inner.lock().unwrap_or_else(|e| e.into_inner());
             }
 
@@ -282,13 +455,14 @@ impl Coordinator {
             if token.is_cancelled() && !inner.cancelled {
                 inner.cancelled = true;
                 // Jobs never dispatched stay unresolved (None), exactly
-                // like `map_cancellable`; in-flight jobs drain.
-                let undispatched = inner.pending.len();
+                // like `map_cancellable`; in-flight jobs drain.  (No
+                // resolved-count arithmetic here: audited jobs hold
+                // duplicate pending copies, so queue length is not a job
+                // count — the break below keys on in-flight + events.)
                 inner.pending.clear();
-                inner.resolved_count += undispatched;
                 shared.cond.notify_all();
             }
-            if inner.cancelled && inner.in_flight_total == 0 && inner.completions.is_empty() {
+            if inner.cancelled && inner.in_flight_total == 0 && inner.events.is_empty() {
                 break;
             }
             if !inner.ever_connected && started.elapsed() >= connect_wait {
@@ -301,22 +475,20 @@ impl Coordinator {
             if inner.ever_connected && inner.live_workers == 0 && !inner.cancelled {
                 let silent_for = inner.workerless_since.map(|t| t.elapsed());
                 if silent_for.is_some_and(|d| d >= connect_wait) {
-                    while let Some((index, _)) = inner.pending.pop_front() {
-                        let label = shared.jobs[index].label.clone();
-                        inner.resolved[index] = true;
-                        inner.resolved_count += 1;
-                        inner.completions.push_back(Completion {
-                            index,
-                            worker: String::new(),
-                            outcome: Err(JobPanic {
-                                index,
-                                label: Some(label),
-                                message: "no live workers and reconnect window expired".into(),
-                            }),
-                        });
-                    }
+                    inner.pending.clear();
                     if inner.in_flight_total == 0 {
-                        continue; // completions drain next iteration
+                        let unresolved: Vec<usize> =
+                            (0..n).filter(|&i| !inner.resolved[i]).collect();
+                        for index in unresolved {
+                            resolve_panic(
+                                &mut inner,
+                                &shared,
+                                index,
+                                "",
+                                "no live workers and reconnect window expired".into(),
+                            );
+                        }
+                        continue; // events drain next iteration
                     }
                 }
             }
@@ -339,14 +511,20 @@ impl Coordinator {
             let _ = h.join();
         }
 
-        // Workers may have pushed final completions between the last drain
-        // and `done`; collect them so no resolved job is lost.
+        // Workers may have pushed final events between the last drain and
+        // `done`; collect them so no resolved job is lost.
         let mut inner = shared.inner.lock().unwrap_or_else(|e| e.into_inner());
         let workers = inner.workers.clone();
-        while let Some(c) = inner.completions.pop_front() {
+        let quarantines = inner.quarantines;
+        let audit_mismatches = inner.audit_mismatches;
+        let digest_mismatches = inner.digest_mismatches;
+        let dispatch_timeouts = inner.dispatch_timeouts;
+        while let Some(ev) = inner.events.pop_front() {
             drop(inner);
-            on_complete(c.index, &c.worker, &c.outcome);
-            results[c.index] = Some(c.outcome);
+            on_event(&ev);
+            if let DistEvent::Resolved { index, outcome, .. } = ev {
+                results[index] = Some(outcome);
+            }
             inner = shared.inner.lock().unwrap_or_else(|e| e.into_inner());
         }
         let mut timings: Vec<JobTiming> = inner.timings.values().cloned().collect();
@@ -364,7 +542,353 @@ impl Coordinator {
             interrupted,
             trace_id,
             timings,
+            quarantines,
+            audit_mismatches,
+            digest_mismatches,
+            dispatch_timeouts,
         })
+    }
+}
+
+/// Live, non-quarantined worker count.
+fn live_nonquarantined(inner: &Inner) -> usize {
+    inner
+        .live
+        .iter()
+        .enumerate()
+        .filter(|&(w, &l)| l && !inner.workers[w].quarantined)
+        .count()
+}
+
+/// Resolve `index` as a labelled [`JobPanic`] — the detected-failure
+/// terminal state; never silent.
+fn resolve_panic(inner: &mut Inner, shared: &Shared, index: usize, worker: &str, message: String) {
+    if inner.resolved[index] {
+        return;
+    }
+    inner.resolved[index] = true;
+    inner.resolved_count += 1;
+    let end_ms = shared.started.elapsed().as_millis() as u64;
+    let dispatch_ms = inner.dispatch_ms.get(&index).copied().unwrap_or(0);
+    inner.timings.insert(
+        index,
+        JobTiming {
+            index,
+            worker: worker.to_string(),
+            dispatch_ms,
+            end_ms,
+            run_ns: 0,
+        },
+    );
+    let label = shared.jobs[index].label.clone();
+    inner.events.push_back(DistEvent::Resolved {
+        index,
+        worker: worker.to_string(),
+        outcome: Err(JobPanic {
+            index,
+            label: Some(label),
+            message,
+        }),
+    });
+}
+
+/// Keep an unresolved job live: if no copy is pending or on a worker,
+/// queue one (no budget charge — this restores liveness after scrubs).
+fn ensure_copy(inner: &mut Inner, index: usize) {
+    if inner.resolved[index] {
+        return;
+    }
+    let outstanding = inner.dispatched_out.get(&index).copied().unwrap_or(0);
+    if outstanding == 0 && !inner.pending.iter().any(|p| p.index == index) {
+        inner.pending.push_back(PendingJob {
+            index,
+            attempt: 2,
+            target: None,
+        });
+    }
+}
+
+/// Try to settle an audited job: two agreeing copies from distinct
+/// workers win (or from anyone, when at most one non-quarantined worker
+/// is live — degraded audit beats deadlock).  Losing producers are
+/// quarantined.
+fn settle_audit(inner: &mut Inner, shared: &Shared, index: usize) {
+    if inner.resolved[index] {
+        return;
+    }
+    let lone = live_nonquarantined(inner) <= 1;
+    let winner: Option<(String, usize, u64)> = {
+        let Some(st) = inner.audit.get(&index) else {
+            return;
+        };
+        if st.winner.is_some() {
+            return;
+        }
+        // Group copies by payload: (payload, distinct slots, copies, run_ns).
+        let mut groups: Vec<(&String, Vec<usize>, u32, u64)> = Vec::new();
+        for (w, p, r) in &st.produced {
+            if let Some(g) = groups.iter_mut().find(|g| g.0 == p) {
+                if !g.1.contains(w) {
+                    g.1.push(*w);
+                }
+                g.2 += 1;
+            } else {
+                groups.push((p, vec![*w], 1, *r));
+            }
+        }
+        groups
+            .iter()
+            .find(|g| g.1.len() >= 2 || (lone && g.2 >= 2))
+            .map(|g| (g.0.clone(), g.1[0], g.3))
+    };
+    let Some((payload, first_w, run_ns)) = winner else {
+        return;
+    };
+    let losers: Vec<usize> = {
+        let st = inner.audit.get_mut(&index).unwrap();
+        st.winner = Some(payload.clone());
+        let mut losers = Vec::new();
+        for (w, p, _) in &st.produced {
+            if *p != payload && !losers.contains(w) {
+                losers.push(*w);
+            }
+        }
+        losers
+    };
+    let worker_name = inner.workers[first_w].id.clone();
+    let end_ms = shared.started.elapsed().as_millis() as u64;
+    let dispatch_ms = inner.dispatch_ms.get(&index).copied().unwrap_or(0);
+    inner.resolved[index] = true;
+    inner.resolved_count += 1;
+    inner.timings.insert(
+        index,
+        JobTiming {
+            index,
+            worker: worker_name.clone(),
+            dispatch_ms,
+            end_ms,
+            run_ns,
+        },
+    );
+    inner.events.push_back(DistEvent::Resolved {
+        index,
+        worker: worker_name,
+        outcome: Ok(payload),
+    });
+    if !losers.is_empty() {
+        inner.audit_mismatches += losers.len() as u64;
+        shm_metrics::counter!(
+            "shm_audit_mismatches_total",
+            "Disagreements between redundant copies of audited jobs"
+        )
+        .add(losers.len() as u64);
+        for w in losers {
+            quarantine_worker(
+                inner,
+                shared,
+                w,
+                "audited result out-voted by agreeing copies",
+            );
+        }
+    }
+}
+
+/// An audited job's copies disagree with no majority yet: spend retry
+/// budget on targeted re-asks (each producer re-answers its own disputed
+/// job — honest workers reproduce, liars self-contradict), bounded by
+/// [`MAX_AUDIT_ROUNDS`]; past that the job fails *labelled*.
+fn arbitrate(inner: &mut Inner, shared: &Shared, index: usize) {
+    if inner.resolved[index] {
+        return;
+    }
+    let (mismatch, rounds, producers) = {
+        let Some(st) = inner.audit.get(&index) else {
+            return;
+        };
+        if st.winner.is_some() {
+            return;
+        }
+        let mut payloads: Vec<&String> = Vec::new();
+        let mut producers: Vec<usize> = Vec::new();
+        for (w, p, _) in &st.produced {
+            if !payloads.contains(&p) {
+                payloads.push(p);
+            }
+            if !producers.contains(w) {
+                producers.push(*w);
+            }
+        }
+        (payloads.len() >= 2, st.rounds, producers)
+    };
+    if !mismatch {
+        return;
+    }
+    inner.audit_mismatches += 1;
+    shm_metrics::counter!(
+        "shm_audit_mismatches_total",
+        "Disagreements between redundant copies of audited jobs"
+    )
+    .inc();
+    if rounds >= MAX_AUDIT_ROUNDS {
+        resolve_panic(
+            inner,
+            shared,
+            index,
+            "",
+            "byzantine audit unresolved: redundant copies disagree after arbitration".into(),
+        );
+        return;
+    }
+    for w in producers {
+        if !inner.live.get(w).copied().unwrap_or(false) || inner.workers[w].quarantined {
+            continue;
+        }
+        if inner.retry_left == 0 || inner.cancelled {
+            resolve_panic(
+                inner,
+                shared,
+                index,
+                "",
+                "byzantine audit unresolved: retry budget exhausted".into(),
+            );
+            return;
+        }
+        inner.retry_left -= 1;
+        inner.retries_used += 1;
+        shm_metrics::counter!(
+            "shm_dist_retries_total",
+            "Retry budget spent on panicked or lost jobs"
+        )
+        .inc();
+        inner.pending.push_back(PendingJob {
+            index,
+            attempt: 2,
+            target: Some(w),
+        });
+    }
+    if let Some(st) = inner.audit.get_mut(&index) {
+        st.rounds = rounds + 1;
+    }
+}
+
+/// Quarantine a byzantine worker: scrub its audit contributions,
+/// invalidate and re-run its unconfirmed results, retarget its pending
+/// re-asks, and emit [`DistEvent::Quarantined`].  Its connection thread
+/// notices the flag, sends [`Frame::Shutdown`], and severs; reconnects
+/// under the same worker id are refused at hello.
+fn quarantine_worker(inner: &mut Inner, shared: &Shared, wslot: usize, reason: &str) {
+    if inner.workers[wslot].quarantined {
+        return;
+    }
+    inner.workers[wslot].quarantined = true;
+    inner.quarantines += 1;
+    shm_metrics::counter!(
+        "shm_byzantine_quarantines_total",
+        "Workers quarantined for byzantine behaviour"
+    )
+    .inc();
+    let audited: Vec<usize> = inner.audit.keys().copied().collect();
+    for &i in &audited {
+        let st = inner.audit.get_mut(&i).unwrap();
+        if st.winner.is_none() {
+            st.produced.retain(|(w, _, _)| *w != wslot);
+            st.holders.retain(|w| *w != wslot);
+        }
+    }
+    for p in inner.pending.iter_mut() {
+        if p.target == Some(wslot) {
+            p.target = None;
+        }
+    }
+    let suspect: Vec<usize> = inner
+        .delivered_by
+        .iter()
+        .filter(|&(_, &w)| w == wslot)
+        .map(|(&i, _)| i)
+        .collect();
+    let mut invalidated = 0usize;
+    for index in suspect {
+        inner.delivered_by.remove(&index);
+        if inner.done || !inner.resolved[index] {
+            continue;
+        }
+        inner.resolved[index] = false;
+        inner.resolved_count -= 1;
+        inner.timings.remove(&index);
+        invalidated += 1;
+        if inner.retry_left > 0 && !inner.cancelled {
+            inner.retry_left -= 1;
+            inner.retries_used += 1;
+            shm_metrics::counter!(
+                "shm_dist_retries_total",
+                "Retry budget spent on panicked or lost jobs"
+            )
+            .inc();
+            inner.pending.push_back(PendingJob {
+                index,
+                attempt: 2,
+                target: None,
+            });
+        } else {
+            let id = inner.workers[wslot].id.clone();
+            resolve_panic(
+                inner,
+                shared,
+                index,
+                &id,
+                format!(
+                    "result from quarantined worker '{id}' discarded and retry budget exhausted"
+                ),
+            );
+        }
+    }
+    let id = inner.workers[wslot].id.clone();
+    inner.events.push_back(DistEvent::Quarantined {
+        worker: id,
+        invalidated,
+        reason: reason.to_string(),
+    });
+    // The scrub may have completed — or starved — audited jobs.
+    for i in audited {
+        settle_audit(inner, shared, i);
+        ensure_copy(inner, i);
+    }
+}
+
+/// Whether worker `wslot` may take pending copy `p`.  Targeted re-asks go
+/// to their target (or anyone once the target is gone); audit copies
+/// avoid workers already holding a copy while an unexposed live worker
+/// exists, so redundant copies land on distinct workers whenever
+/// possible.
+fn eligible(inner: &Inner, p: &PendingJob, wslot: usize) -> bool {
+    match p.target {
+        Some(t) if t == wslot => true,
+        Some(t) => {
+            // Target gone or quarantined: anyone may pick the copy up.
+            !inner.live.get(t).copied().unwrap_or(false) || inner.workers[t].quarantined
+        }
+        None => {
+            if let Some(st) = inner.audit.get(&p.index) {
+                if st.winner.is_none() && st.holders.contains(&wslot) {
+                    !inner.live.iter().enumerate().any(|(w, &l)| {
+                        l && w != wslot && !inner.workers[w].quarantined && !st.holders.contains(&w)
+                    })
+                } else {
+                    true
+                }
+            } else {
+                true
+            }
+        }
+    }
+}
+
+fn dec_dispatched(inner: &mut Inner, index: usize) {
+    if let Some(c) = inner.dispatched_out.get_mut(&index) {
+        *c = c.saturating_sub(1);
+        if *c == 0 {
+            inner.dispatched_out.remove(&index);
+        }
     }
 }
 
@@ -451,6 +975,27 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) {
         );
         return;
     }
+    // A quarantined worker reconnecting (e.g. its Shutdown got lost in
+    // transit) is refused permanently — byzantine peers don't get a
+    // second identity under the same name.
+    {
+        let inner = shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let refused = inner
+            .workers
+            .iter()
+            .any(|w| w.id == worker_id && w.quarantined);
+        drop(inner);
+        if refused {
+            let _ = write_frame(
+                &mut writer,
+                &Frame::HelloAck {
+                    accepted: false,
+                    reason: format!("worker '{worker_id}' is quarantined"),
+                },
+            );
+            return;
+        }
+    }
     if write_frame(
         &mut writer,
         &Frame::HelloAck {
@@ -468,6 +1013,7 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) {
     let wslot = {
         let mut inner = shared.inner.lock().unwrap_or_else(|e| e.into_inner());
         inner.workers.push(WorkerStats::new(&worker_id));
+        inner.live.push(true);
         inner.live_workers += 1;
         inner.ever_connected = true;
         inner.workerless_since = None;
@@ -476,7 +1022,11 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) {
     };
 
     let heartbeat_timeout = Duration::from_millis(shared.opts.heartbeat_timeout_ms);
-    let mut in_flight: HashMap<usize, u32> = HashMap::new();
+    // Copies of each job on this worker: index → attempt per copy (an
+    // audited job may run twice here when no other worker is live).
+    let mut in_flight: HashMap<usize, Vec<u32>> = HashMap::new();
+    let mut in_flight_count: usize = 0;
+    let mut dispatched_at: HashMap<usize, Instant> = HashMap::new();
     let mut last_seen = Instant::now();
     let mut cancel_sent = false;
     let mut lost = false;
@@ -511,6 +1061,19 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) {
     let mut last_stats_poll = Instant::now() - stats_poll_every;
 
     'conn: loop {
+        // Quarantined by another thread's verdict: shut the worker down
+        // and sever; the dereg path requeues whatever it still held.
+        {
+            let inner = shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+            let q = inner.workers[wslot].quarantined;
+            drop(inner);
+            if q {
+                let _ = write_frame(&mut writer, &Frame::Shutdown);
+                lost = true;
+                break 'conn;
+            }
+        }
+
         // Keep the dispatch window full.
         loop {
             let dispatch = {
@@ -519,43 +1082,71 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) {
                     let _ = write_frame(&mut writer, &Frame::Shutdown);
                     break 'conn;
                 }
-                if inner.cancelled {
+                if inner.cancelled || in_flight_count >= window {
                     None
-                } else if in_flight.len() < window {
-                    let next = inner.pending.pop_front();
-                    if next.is_some() {
+                } else {
+                    let mut picked: Option<PendingJob> = None;
+                    let mut scanned = 0;
+                    let max_scan = inner.pending.len();
+                    while scanned < max_scan {
+                        let Some(p) = inner.pending.pop_front() else {
+                            break;
+                        };
+                        scanned += 1;
+                        if inner.resolved[p.index] {
+                            continue; // stale copy of a settled job
+                        }
+                        if eligible(&inner, &p, wslot) {
+                            picked = Some(p);
+                            break;
+                        }
+                        inner.pending.push_back(p);
+                    }
+                    if picked.is_some() {
                         inner.in_flight_total += 1;
                     }
-                    next
-                } else {
-                    None
+                    picked
                 }
             };
             match dispatch {
-                Some((index, attempt)) => {
-                    let job = &shared.jobs[index];
+                Some(p) => {
+                    let job = &shared.jobs[p.index];
                     let frame = Frame::JobDispatch {
-                        index: index as u64,
+                        index: p.index as u64,
                         label: job.label.clone(),
                         payload: job.payload.clone(),
                         trace_id: shared.trace_id,
                         // Span ids are deterministic: root = 1, job i = i+2
                         // (matching telemetry's span-tree convention).
-                        span_id: index as u64 + 2,
+                        span_id: p.index as u64 + 2,
                     };
                     match write_frame(&mut writer, &frame) {
                         Ok(bytes) => {
-                            in_flight.insert(index, attempt);
-                            let dispatched_at = shared.started.elapsed().as_millis() as u64;
+                            in_flight.entry(p.index).or_default().push(p.attempt);
+                            in_flight_count += 1;
+                            dispatched_at.insert(p.index, Instant::now());
+                            let dispatched_ms = shared.started.elapsed().as_millis() as u64;
                             let mut inner = shared.inner.lock().unwrap_or_else(|e| e.into_inner());
                             inner.workers[wslot].bytes_sent += bytes as u64;
-                            inner.dispatch_ms.insert(index, dispatched_at);
+                            inner.dispatch_ms.insert(p.index, dispatched_ms);
+                            *inner.dispatched_out.entry(p.index).or_insert(0) += 1;
+                            if let Some(st) = inner.audit.get_mut(&p.index) {
+                                if !st.holders.contains(&wslot) {
+                                    st.holders.push(wslot);
+                                }
+                            }
+                            inner.events.push_back(DistEvent::Dispatched {
+                                index: p.index,
+                                worker: worker_id.clone(),
+                                attempt: p.attempt,
+                            });
+                            shared.cond.notify_all();
                         }
                         Err(_) => {
                             // Send failed: hand the job straight back (no
                             // budget charge — it never reached the worker).
                             let mut inner = shared.inner.lock().unwrap_or_else(|e| e.into_inner());
-                            inner.pending.push_front((index, attempt));
+                            inner.pending.push_front(p);
                             inner.in_flight_total -= 1;
                             inner.reassignments += 1;
                             inner.workers[wslot].reassigned += 1;
@@ -617,11 +1208,43 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) {
                 index,
                 payload,
                 run_ns,
+                digest,
             }) => {
                 last_seen = Instant::now();
                 let index = index as usize;
-                if in_flight.remove(&index).is_some() {
-                    let end_ms = shared.started.elapsed().as_millis() as u64;
+                let popped = match in_flight.get_mut(&index) {
+                    Some(copies) => {
+                        let a = copies.pop();
+                        if copies.is_empty() {
+                            in_flight.remove(&index);
+                            dispatched_at.remove(&index);
+                        }
+                        a
+                    }
+                    None => None, // duplicate or stale frame — ignore
+                };
+                if popped.is_some() {
+                    in_flight_count -= 1;
+                    // End-to-end digest check, independent of the frame
+                    // CRC: a mismatch is byzantine, not line noise.
+                    if payload_digest(payload.as_bytes()) != digest {
+                        shm_metrics::counter!(
+                            "shm_digest_mismatches_total",
+                            "Job results rejected for an end-to-end digest mismatch"
+                        )
+                        .inc();
+                        let mut inner = shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+                        inner.digest_mismatches += 1;
+                        inner.in_flight_total -= 1;
+                        dec_dispatched(&mut inner, index);
+                        quarantine_worker(&mut inner, &shared, wslot, "result digest mismatch");
+                        ensure_copy(&mut inner, index);
+                        shared.cond.notify_all();
+                        drop(inner);
+                        let _ = write_frame(&mut writer, &Frame::Shutdown);
+                        lost = true;
+                        break 'conn;
+                    }
                     shm_metrics::counter!(
                         "shm_jobs_completed_total",
                         "Sweep jobs resolved by the coordinator"
@@ -631,9 +1254,70 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) {
                         .observe(run_ns / 1_000_000);
                     let mut inner = shared.inner.lock().unwrap_or_else(|e| e.into_inner());
                     inner.in_flight_total -= 1;
+                    dec_dispatched(&mut inner, index);
                     inner.workers[wslot].jobs_done += 1;
                     inner.workers[wslot].bytes_received += payload.len() as u64;
-                    if !inner.resolved[index] {
+                    if inner.workers[wslot].quarantined {
+                        // Verdict landed while this result was in transit:
+                        // never accept it.
+                        ensure_copy(&mut inner, index);
+                    } else if inner.audit.contains_key(&index) {
+                        let action = {
+                            let st = inner.audit.get_mut(&index).unwrap();
+                            if let Some(w) = st.winner.clone() {
+                                if w != payload {
+                                    1 // post-settle contradiction
+                                } else {
+                                    0 // late agreeing copy: stats only
+                                }
+                            } else if st
+                                .produced
+                                .iter()
+                                .any(|(pw, pp, _)| *pw == wslot && *pp != payload)
+                            {
+                                st.produced.push((wslot, payload.clone(), run_ns));
+                                2 // contradicted its own earlier copy
+                            } else {
+                                st.produced.push((wslot, payload.clone(), run_ns));
+                                3 // recorded; try to settle
+                            }
+                        };
+                        if action == 1 || action == 2 {
+                            // A contradiction is an observed audit
+                            // mismatch even when it never reaches a vote.
+                            inner.audit_mismatches += 1;
+                            shm_metrics::counter!(
+                                "shm_audit_mismatches_total",
+                                "Disagreements between redundant copies of audited jobs"
+                            )
+                            .inc();
+                        }
+                        match action {
+                            1 => quarantine_worker(
+                                &mut inner,
+                                &shared,
+                                wslot,
+                                "result contradicts settled audit winner",
+                            ),
+                            2 => quarantine_worker(
+                                &mut inner,
+                                &shared,
+                                wslot,
+                                "self-contradiction on audited job",
+                            ),
+                            3 => {
+                                settle_audit(&mut inner, &shared, index);
+                                arbitrate(&mut inner, &shared, index);
+                                // Same-worker copies can't settle while a
+                                // second worker is live (independence
+                                // rule): keep one copy outstanding so it
+                                // lands on a distinct worker.
+                                ensure_copy(&mut inner, index);
+                            }
+                            _ => {}
+                        }
+                    } else if !inner.resolved[index] {
+                        let end_ms = shared.started.elapsed().as_millis() as u64;
                         inner.resolved[index] = true;
                         inner.resolved_count += 1;
                         let dispatch_ms = inner.dispatch_ms.get(&index).copied().unwrap_or(0);
@@ -647,7 +1331,10 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) {
                                 run_ns,
                             },
                         );
-                        inner.completions.push_back(Completion {
+                        // Unaudited single: provisionally confirmed — a
+                        // later quarantine of this worker re-runs it.
+                        inner.delivered_by.insert(index, wslot);
+                        inner.events.push_back(DistEvent::Resolved {
                             index,
                             worker: worker_id.clone(),
                             outcome: Ok(payload),
@@ -659,9 +1346,22 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) {
             Ok(Frame::JobError { index, message }) => {
                 last_seen = Instant::now();
                 let index = index as usize;
-                if let Some(attempt) = in_flight.remove(&index) {
+                let popped = match in_flight.get_mut(&index) {
+                    Some(copies) => {
+                        let a = copies.pop();
+                        if copies.is_empty() {
+                            in_flight.remove(&index);
+                            dispatched_at.remove(&index);
+                        }
+                        a
+                    }
+                    None => None,
+                };
+                if let Some(attempt) = popped {
+                    in_flight_count -= 1;
                     let mut inner = shared.inner.lock().unwrap_or_else(|e| e.into_inner());
                     inner.in_flight_total -= 1;
+                    dec_dispatched(&mut inner, index);
                     // `run_robust` semantics: retry a panicked job exactly
                     // once while the sweep-wide budget lasts.
                     if attempt == 1 && inner.retry_left > 0 && !inner.cancelled {
@@ -672,31 +1372,13 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) {
                             "Retry budget spent on panicked or lost jobs"
                         )
                         .inc();
-                        inner.pending.push_back((index, attempt + 1));
-                    } else if !inner.resolved[index] {
-                        let label = shared.jobs[index].label.clone();
-                        inner.resolved[index] = true;
-                        inner.resolved_count += 1;
-                        let dispatch_ms = inner.dispatch_ms.get(&index).copied().unwrap_or(0);
-                        inner.timings.insert(
+                        inner.pending.push_back(PendingJob {
                             index,
-                            JobTiming {
-                                index,
-                                worker: worker_id.clone(),
-                                dispatch_ms,
-                                end_ms: shared.started.elapsed().as_millis() as u64,
-                                run_ns: 0,
-                            },
-                        );
-                        inner.completions.push_back(Completion {
-                            index,
-                            worker: worker_id.clone(),
-                            outcome: Err(JobPanic {
-                                index,
-                                label: Some(label),
-                                message,
-                            }),
+                            attempt: attempt + 1,
+                            target: None,
                         });
+                    } else {
+                        resolve_panic(&mut inner, &shared, index, &worker_id, message);
                     }
                     shared.cond.notify_all();
                 }
@@ -715,6 +1397,24 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) {
                     lost = true; // missed heartbeats → dead worker
                     break 'conn;
                 }
+                if shared.opts.dispatch_timeout_ms > 0 {
+                    let limit = Duration::from_millis(shared.opts.dispatch_timeout_ms);
+                    if dispatched_at.values().any(|t| t.elapsed() >= limit) {
+                        // A dispatched job went unanswered too long —
+                        // likely a dropped dispatch or result frame.
+                        // Declare the link lost so everything requeues.
+                        shm_metrics::counter!(
+                            "shm_dist_dispatch_timeouts_total",
+                            "Connections dropped because a dispatched job went unanswered"
+                        )
+                        .inc();
+                        let mut inner = shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+                        inner.dispatch_timeouts += 1;
+                        drop(inner);
+                        lost = true;
+                        break 'conn;
+                    }
+                }
             }
             Err(_) => {
                 lost = true; // EOF / reset / corrupt stream
@@ -726,43 +1426,58 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) {
     // --- Deregister; reassign anything this worker still held ---
     let mut inner = shared.inner.lock().unwrap_or_else(|e| e.into_inner());
     if lost {
+        inner.live[wslot] = false;
         inner.live_workers -= 1;
         if inner.live_workers == 0 {
             inner.workerless_since = Some(Instant::now());
         }
-        for (index, attempt) in in_flight.drain() {
-            inner.in_flight_total -= 1;
-            inner.workers[wslot].reassigned += 1;
-            inner.reassignments += 1;
-            shm_metrics::counter!(
-                "shm_dist_reassignments_total",
-                "Jobs re-queued because their worker died mid-flight"
-            )
-            .inc();
-            if inner.retry_left > 0 && !inner.cancelled {
-                inner.retry_left -= 1;
-                inner.retries_used += 1;
+        let mut requeued = 0usize;
+        for (index, attempts) in in_flight.drain() {
+            for attempt in attempts {
+                inner.in_flight_total -= 1;
+                dec_dispatched(&mut inner, index);
+                if inner.resolved[index] {
+                    continue; // stale copy of a settled job
+                }
+                inner.workers[wslot].reassigned += 1;
+                inner.reassignments += 1;
                 shm_metrics::counter!(
-                    "shm_dist_retries_total",
-                    "Retry budget spent on panicked or lost jobs"
+                    "shm_dist_reassignments_total",
+                    "Jobs re-queued because their worker died mid-flight"
                 )
                 .inc();
-                inner.pending.push_front((index, attempt));
-            } else if !inner.resolved[index] {
-                let label = shared.jobs[index].label.clone();
-                inner.resolved[index] = true;
-                inner.resolved_count += 1;
-                inner.completions.push_back(Completion {
-                    index,
-                    worker: worker_id.clone(),
-                    outcome: Err(JobPanic {
+                if inner.retry_left > 0 && !inner.cancelled {
+                    inner.retry_left -= 1;
+                    inner.retries_used += 1;
+                    shm_metrics::counter!(
+                        "shm_dist_retries_total",
+                        "Retry budget spent on panicked or lost jobs"
+                    )
+                    .inc();
+                    inner.pending.push_front(PendingJob {
                         index,
-                        label: Some(label),
-                        message: format!("worker '{worker_id}' lost with job in flight and retry budget exhausted"),
-                    }),
-                });
+                        attempt,
+                        target: None,
+                    });
+                    requeued += 1;
+                } else {
+                    let msg = format!(
+                        "worker '{worker_id}' lost with job in flight and retry budget exhausted"
+                    );
+                    resolve_panic(&mut inner, &shared, index, &worker_id, msg);
+                }
             }
         }
+        // Re-asks targeted at this worker can go to anyone now.
+        for p in inner.pending.iter_mut() {
+            if p.target == Some(wslot) {
+                p.target = None;
+            }
+        }
+        inner.events.push_back(DistEvent::WorkerLost {
+            worker: worker_id.clone(),
+            requeued,
+        });
     }
     shared.cond.notify_all();
 }

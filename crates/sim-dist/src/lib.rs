@@ -23,11 +23,13 @@
 //! generic.  See `docs/DISTRIBUTED.md` for the wire format and failure
 //! semantics.
 
+pub mod chaos;
 mod coordinator;
 pub mod protocol;
 mod worker;
 
-pub use coordinator::{Coordinator, DistJob, DistOptions, DistReport, JobTiming};
+pub use chaos::{ChaosConfig, ChaosProxy, ChaosStats, PartitionWindow};
+pub use coordinator::{Coordinator, DistEvent, DistJob, DistOptions, DistReport, JobTiming};
 pub use worker::{run_worker, WorkerOptions, WorkerSummary};
 
 /// Environment variable: number of loopback workers a `--dist` sweep
@@ -43,6 +45,21 @@ pub const HEARTBEAT_TIMEOUT_ENV: &str = "SHM_HEARTBEAT_TIMEOUT_MS";
 /// milliseconds.  Must comfortably undercut the coordinator's miss
 /// window (the defaults keep a 10x margin).
 pub const HEARTBEAT_INTERVAL_ENV: &str = "SHM_HEARTBEAT_MS";
+
+/// Environment variable: consecutive failed (re)connect attempts a worker
+/// tolerates before giving up.  Raise it when workers must outlive a
+/// coordinator restart (checkpoint resume).
+pub const RECONNECT_ATTEMPTS_ENV: &str = "SHM_RECONNECT_ATTEMPTS";
+
+/// SplitMix64 mix — the crate's seeded randomness source (reconnect
+/// jitter, audit sampling, chaos fault rolls).  Pure, so every consumer
+/// is reproducible from its seed.
+pub(crate) fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
 /// Parse a positive integer from the environment, ignoring unset,
 /// empty, or malformed values (observability knobs must never turn a
@@ -70,6 +87,9 @@ pub struct WorkerStats {
     pub bytes_received: u64,
     /// In-flight jobs taken back from this worker when it died.
     pub reassigned: u64,
+    /// True when the coordinator quarantined this worker for byzantine
+    /// behaviour (digest mismatch or audit contradiction).
+    pub quarantined: bool,
 }
 
 impl WorkerStats {
@@ -157,6 +177,7 @@ mod tests {
             heartbeat_timeout_ms: 2_000,
             read_timeout_ms: 20,
             retry_budget: 16,
+            ..DistOptions::default()
         }
     }
 
@@ -169,7 +190,7 @@ mod tests {
             reconnect_base_ms: 20,
             reconnect_max_ms: 100,
             max_reconnect_attempts: 5,
-            disconnect_after_jobs: None,
+            ..WorkerOptions::default()
         }
     }
 
@@ -332,6 +353,112 @@ mod tests {
             assert!(r.is_ok(), "drained in-flight jobs resolve cleanly: {r:?}");
         }
         assert!(w.join().unwrap().is_ok());
+    }
+
+    #[test]
+    fn bad_digest_worker_is_quarantined_and_jobs_rerun() {
+        let mut opts = quick_opts();
+        opts.retry_budget = 64;
+        let coord = Coordinator::bind("127.0.0.1:0", 0xD16E, opts).unwrap();
+        let addr = coord.local_addr().to_string();
+        let mut liar = worker_opts("bad-digest");
+        liar.byzantine_bad_digest_every = Some(2);
+        let honest = worker_opts("honest");
+        let (a1, a2) = (addr.clone(), addr);
+        let echo = |label: &str, payload: &str| format!("{label}:{payload}:ok");
+        let w1 = std::thread::spawn(move || run_worker(&a1, 0xD16E, liar, echo));
+        let w2 = std::thread::spawn(move || run_worker(&a2, 0xD16E, honest, echo));
+
+        let report = coord.run(echo_jobs(16), &CancelToken::new()).unwrap();
+        assert!(
+            report.is_clean(),
+            "all jobs must re-run cleanly: {report:?}"
+        );
+        for (i, r) in report.results.iter().enumerate() {
+            assert_eq!(
+                r.as_ref().unwrap().as_ref().unwrap(),
+                &format!("job-{i}:payload-{i}:ok")
+            );
+        }
+        assert!(report.digest_mismatches >= 1, "{report:?}");
+        assert_eq!(report.quarantines, 1, "{report:?}");
+        assert!(
+            report
+                .workers
+                .iter()
+                .any(|w| w.id == "bad-digest" && w.quarantined),
+            "{report:?}"
+        );
+        let _ = w1.join().unwrap();
+        assert!(w2.join().unwrap().is_ok());
+    }
+
+    #[test]
+    fn lying_worker_is_caught_by_full_audit() {
+        let mut opts = quick_opts();
+        opts.retry_budget = 128;
+        opts.audit_per_mille = 1000;
+        opts.audit_seed = 7;
+        let coord = Coordinator::bind("127.0.0.1:0", 0x11E5, opts).unwrap();
+        let addr = coord.local_addr().to_string();
+        // Lies on every job, with valid frames and valid digests — only
+        // the redundant-dispatch audit can catch it.
+        let mut liar = worker_opts("liar");
+        liar.byzantine_lie_every = Some(1);
+        let honest = worker_opts("honest");
+        let (a1, a2) = (addr.clone(), addr);
+        let echo = |label: &str, payload: &str| format!("{label}:{payload}:7");
+        let w1 = std::thread::spawn(move || run_worker(&a1, 0x11E5, liar, echo));
+        let w2 = std::thread::spawn(move || run_worker(&a2, 0x11E5, honest, echo));
+
+        let report = coord.run(echo_jobs(12), &CancelToken::new()).unwrap();
+        assert!(
+            report.is_clean(),
+            "every job must settle on the honest answer: {report:?}"
+        );
+        for (i, r) in report.results.iter().enumerate() {
+            assert_eq!(
+                r.as_ref().unwrap().as_ref().unwrap(),
+                &format!("job-{i}:payload-{i}:7"),
+                "tampered result must never win"
+            );
+        }
+        assert_eq!(report.digest_mismatches, 0, "the liar's digests are valid");
+        assert!(report.audit_mismatches >= 1, "{report:?}");
+        assert!(
+            report
+                .workers
+                .iter()
+                .any(|w| w.id == "liar" && w.quarantined),
+            "{report:?}"
+        );
+        let _ = w1.join().unwrap();
+        assert!(w2.join().unwrap().is_ok());
+    }
+
+    #[test]
+    fn honest_cluster_settles_audited_jobs_without_quarantines() {
+        let mut opts = quick_opts();
+        opts.audit_per_mille = 500;
+        opts.audit_seed = 42;
+        let coord = Coordinator::bind("127.0.0.1:0", 0xA0D1, opts).unwrap();
+        let addr = coord.local_addr().to_string();
+        let w1 = spawn_worker(addr.clone(), 0xA0D1, worker_opts("w1"));
+        let w2 = spawn_worker(addr, 0xA0D1, worker_opts("w2"));
+
+        let report = coord.run(echo_jobs(20), &CancelToken::new()).unwrap();
+        assert!(report.is_clean(), "{report:?}");
+        for (i, r) in report.results.iter().enumerate() {
+            assert_eq!(
+                r.as_ref().unwrap().as_ref().unwrap(),
+                &format!("job-{i}:payload-{i}:ok")
+            );
+        }
+        assert_eq!(report.quarantines, 0);
+        assert_eq!(report.audit_mismatches, 0);
+        assert_eq!(report.digest_mismatches, 0);
+        assert!(w1.join().unwrap().is_ok());
+        assert!(w2.join().unwrap().is_ok());
     }
 
     #[test]

@@ -29,7 +29,15 @@ use std::io::{self, Read, Write};
 /// carries the worker-measured run time, and the
 /// [`Frame::StatsRequest`]/[`Frame::StatsReply`] pair lets the coordinator
 /// aggregate live per-worker gauges.
-pub const PROTOCOL_VERSION: u32 = 2;
+///
+/// v3: [`Frame::JobResult`] carries an end-to-end [`payload_digest`] of the
+/// result payload, computed by the worker *before* framing and re-checked
+/// by the coordinator *after* deframing.  It is deliberately independent of
+/// the per-frame CRC (different algorithm, different scope): the CRC guards
+/// one hop of transport, the digest guards the result from the worker's
+/// job handler all the way into the merged table, so a worker shipping
+/// corrupt or forged bytes is caught even when every frame checksums clean.
+pub const PROTOCOL_VERSION: u32 = 3;
 
 /// Frame magic: `"SHMD"`.
 pub const FRAME_MAGIC: u32 = 0x4448_4D53; // b"SHMD" little-endian
@@ -72,6 +80,42 @@ pub fn crc32(data: &[u8]) -> u32 {
     !c
 }
 
+/// End-to-end FNV-1a digest of a job-result payload (the v3
+/// [`Frame::JobResult`] `digest` field).  Intentionally a different
+/// algorithm with a different scope than the per-frame [`crc32`]: the CRC
+/// protects one transport hop, this digest travels with the result from
+/// the worker's job handler to the coordinator's merge, so byzantine or
+/// corrupt workers cannot hide behind clean framing.
+pub fn payload_digest(data: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Total wire length of the frame starting at `buf[0]`, once enough header
+/// bytes have arrived (`Ok(None)` before that).  Rejects bad magic and
+/// oversized lengths without touching the payload — shared by
+/// [`FrameReader`] and the chaos proxy's frame-boundary scanner.
+pub fn frame_wire_len(buf: &[u8]) -> Result<Option<usize>, FrameError> {
+    if buf.len() < HEADER_LEN {
+        return Ok(None);
+    }
+    let magic = u32::from_le_bytes(buf[0..4].try_into().unwrap());
+    if magic != FRAME_MAGIC {
+        return Err(FrameError::Corrupt(format!("bad magic {magic:#010x}")));
+    }
+    let len = u32::from_le_bytes(buf[5..9].try_into().unwrap()) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(FrameError::Corrupt(format!(
+            "payload length {len} too large"
+        )));
+    }
+    Ok(Some(HEADER_LEN + len + TRAILER_LEN))
+}
+
 /// Everything the coordinator and workers say to each other.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Frame {
@@ -103,11 +147,15 @@ pub enum Frame {
         span_id: u64,
     },
     /// Worker → coordinator: a job finished cleanly.  `run_ns` is the pure
-    /// execution time measured around the job body on the worker.
+    /// execution time measured around the job body on the worker;
+    /// `digest` is [`payload_digest`] of `payload`, computed end-to-end on
+    /// the worker and re-verified by the coordinator (independent of the
+    /// per-frame CRC).
     JobResult {
         index: u64,
         payload: String,
         run_ns: u64,
+        digest: u64,
     },
     /// Worker → coordinator: the job body panicked; `message` carries the
     /// captured panic payload.
@@ -280,10 +328,12 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
             index,
             payload: result,
             run_ns,
+            digest,
         } => {
             put_u64(&mut payload, *index);
             put_str(&mut payload, result);
             put_u64(&mut payload, *run_ns);
+            put_u64(&mut payload, *digest);
         }
         Frame::JobError { index, message } => {
             put_u64(&mut payload, *index);
@@ -350,6 +400,7 @@ fn decode_payload(type_byte: u8, payload: &[u8]) -> Result<Frame, FrameError> {
             index: c.u64()?,
             payload: c.str()?,
             run_ns: c.u64()?,
+            digest: c.u64()?,
         },
         5 => Frame::JobError {
             index: c.u64()?,
@@ -377,9 +428,19 @@ fn decode_payload(type_byte: u8, payload: &[u8]) -> Result<Frame, FrameError> {
 /// Owns a growable buffer of bytes received so far; [`FrameReader::read_frame`]
 /// returns [`FrameError::Timeout`] when the socket timeout fires before a
 /// complete frame arrived, keeping the partial prefix for the next call.
+///
+/// Corruption handling is **fail-closed**: once any frame fails its magic,
+/// length-bound, CRC, or payload-structure check the reader poisons itself
+/// and every subsequent call returns [`FrameError::Corrupt`].  A scrambled
+/// stream can never be resynchronised mid-flight (the byte after a corrupt
+/// frame has no trustworthy framing), so callers must drop the connection
+/// and start a fresh stream — retrying the same socket would re-read the
+/// same poisoned bytes.
 pub struct FrameReader<R: Read> {
     inner: R,
     buf: Vec<u8>,
+    /// Set on the first corrupt frame; all later reads fail with it.
+    poisoned: bool,
     /// Total payload bytes successfully received (telemetry).
     pub bytes_read: u64,
 }
@@ -389,12 +450,34 @@ impl<R: Read> FrameReader<R> {
         Self {
             inner,
             buf: Vec::new(),
+            poisoned: false,
             bytes_read: 0,
         }
     }
 
+    /// True once a corrupt frame has been observed; the stream is dead and
+    /// only a new connection (new reader) can carry further traffic.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
     /// Tries to parse one complete frame, reading more bytes as needed.
     pub fn read_frame(&mut self) -> Result<Frame, FrameError> {
+        if self.poisoned {
+            return Err(FrameError::Corrupt(
+                "stream poisoned by an earlier corrupt frame; drop the connection".into(),
+            ));
+        }
+        match self.read_frame_inner() {
+            Err(FrameError::Corrupt(why)) => {
+                self.poisoned = true;
+                Err(FrameError::Corrupt(why))
+            }
+            other => other,
+        }
+    }
+
+    fn read_frame_inner(&mut self) -> Result<Frame, FrameError> {
         loop {
             if let Some(frame_len) = self.complete_frame_len()? {
                 let frame = self.parse_one(frame_len)?;
@@ -433,21 +516,10 @@ impl<R: Read> FrameReader<R> {
     /// bytes have arrived.  Validates magic and the length bound early so
     /// garbage fails fast instead of stalling on a huge phantom length.
     fn complete_frame_len(&self) -> Result<Option<usize>, FrameError> {
-        if self.buf.len() < HEADER_LEN {
-            return Ok(None);
+        match frame_wire_len(&self.buf)? {
+            None => Ok(None),
+            Some(total) => Ok((self.buf.len() >= total).then_some(total)),
         }
-        let magic = u32::from_le_bytes(self.buf[0..4].try_into().unwrap());
-        if magic != FRAME_MAGIC {
-            return Err(FrameError::Corrupt(format!("bad magic {magic:#010x}")));
-        }
-        let len = u32::from_le_bytes(self.buf[5..9].try_into().unwrap()) as usize;
-        if len > MAX_FRAME_LEN {
-            return Err(FrameError::Corrupt(format!(
-                "payload length {len} too large"
-            )));
-        }
-        let total = HEADER_LEN + len + TRAILER_LEN;
-        Ok((self.buf.len() >= total).then_some(total))
     }
 
     fn parse_one(&self, total: usize) -> Result<Frame, FrameError> {
@@ -496,6 +568,7 @@ mod tests {
                 index: 7,
                 payload: "{\"cycles\":123}".into(),
                 run_ns: 4_200_000,
+                digest: payload_digest(b"{\"cycles\":123}"),
             },
             Frame::JobError {
                 index: 3,
@@ -606,6 +679,7 @@ mod tests {
             index: 5,
             payload: "stats".into(),
             run_ns: 99,
+            digest: payload_digest(b"stats"),
         };
         let wire = encode_frame(&frame);
         let mut r = FrameReader::new(Drip {
@@ -631,5 +705,67 @@ mod tests {
     fn crc32_matches_reference_vector() {
         // IEEE CRC-32 of "123456789" is the classic check value.
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn payload_digest_matches_fnv1a_reference_vectors() {
+        // Standard FNV-1a 64 test vectors.
+        assert_eq!(payload_digest(b""), 0xCBF2_9CE4_8422_2325);
+        assert_eq!(payload_digest(b"a"), 0xAF63_DC4C_8601_EC8C);
+        assert_eq!(payload_digest(b"foobar"), 0x85944171F73967E8);
+    }
+
+    #[test]
+    fn crc_flip_poisons_reader_and_counts_fail_closed() {
+        // A flipped payload bit passes the magic/length checks and dies on
+        // the CRC; the reader must (a) bump `shm_frame_crc_errors_total`,
+        // (b) refuse every subsequent read on the same stream — fail
+        // closed — even though clean frames follow in the buffer.
+        shm_metrics::set_enabled(true);
+        let crc_errors = shm_metrics::register_counter(
+            "shm_frame_crc_errors_total",
+            "Frames rejected for CRC mismatch",
+        );
+        let before = crc_errors.get();
+
+        let frame = Frame::JobResult {
+            index: 1,
+            payload: "{\"cycles\":99}".into(),
+            run_ns: 1,
+            digest: payload_digest(b"{\"cycles\":99}"),
+        };
+        let mut dirty = encode_frame(&frame);
+        let flip_at = HEADER_LEN + 2; // inside the payload: CRC-detected
+        dirty[flip_at] ^= 0x10;
+        // A clean frame right behind the corrupt one must NOT be served.
+        dirty.extend_from_slice(&encode_frame(&Frame::Heartbeat { jobs_done: 3 }));
+
+        let mut r = FrameReader::new(&dirty[..]);
+        let first = r.read_frame();
+        assert!(
+            matches!(first, Err(FrameError::Corrupt(ref why)) if why.contains("crc mismatch")),
+            "flip must die on CRC: {first:?}"
+        );
+        assert!(r.is_poisoned());
+        for _ in 0..3 {
+            assert!(
+                matches!(r.read_frame(), Err(FrameError::Corrupt(_))),
+                "poisoned reader must never serve another frame"
+            );
+        }
+        assert!(
+            crc_errors.get() > before,
+            "CRC rejection must increment shm_frame_crc_errors_total"
+        );
+    }
+
+    #[test]
+    fn frame_wire_len_scans_boundaries() {
+        let wire = encode_frame(&Frame::Heartbeat { jobs_done: 5 });
+        assert_eq!(frame_wire_len(&wire).unwrap(), Some(wire.len()));
+        assert_eq!(frame_wire_len(&wire[..HEADER_LEN - 1]).unwrap(), None);
+        let mut bad = wire.clone();
+        bad[1] ^= 0xFF;
+        assert!(frame_wire_len(&bad).is_err());
     }
 }

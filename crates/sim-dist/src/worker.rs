@@ -17,8 +17,10 @@ use std::time::{Duration, Instant};
 
 use sim_exec::effective_jobs;
 
-use crate::protocol::{write_frame, Frame, FrameError, FrameReader, PROTOCOL_VERSION};
-use crate::DistError;
+use crate::protocol::{
+    payload_digest, write_frame, Frame, FrameError, FrameReader, PROTOCOL_VERSION,
+};
+use crate::{splitmix64, DistError};
 
 /// Tunables for [`run_worker`].
 #[derive(Clone, Debug)]
@@ -32,17 +34,28 @@ pub struct WorkerOptions {
     pub heartbeat_interval_ms: u64,
     /// Bounded per-read socket timeout.
     pub read_timeout_ms: u64,
-    /// First reconnect delay; doubles per attempt up to
+    /// First reconnect delay; doubles per attempt (plus deterministic
+    /// per-worker jitter — see [`backoff_ms`]) up to
     /// [`WorkerOptions::reconnect_max_ms`].
     pub reconnect_base_ms: u64,
     /// Backoff ceiling.
     pub reconnect_max_ms: u64,
-    /// Consecutive failed connect attempts tolerated before giving up.
+    /// Consecutive failed connect attempts tolerated before giving up
+    /// (`SHM_RECONNECT_ATTEMPTS` / `shm worker --reconnect-attempts`).
     pub max_reconnect_attempts: u32,
     /// Test knob: abruptly drop the connection (no reconnect, no goodbye)
     /// after this many results have been sent — the deterministic
     /// "worker killed mid-sweep" used by the reassignment tests.
     pub disconnect_after_jobs: Option<u64>,
+    /// Byzantine test knob: every Nth result is *tampered before* its
+    /// end-to-end digest is computed — a consistent liar whose frames and
+    /// digests all verify.  Only redundant dispatch (coordinator audit)
+    /// can catch it.
+    pub byzantine_lie_every: Option<u64>,
+    /// Byzantine test knob: every Nth result ships a correct payload with
+    /// a *wrong* end-to-end digest — caught immediately by the
+    /// coordinator's digest re-check, independent of the frame CRC.
+    pub byzantine_bad_digest_every: Option<u64>,
 }
 
 impl Default for WorkerOptions {
@@ -56,17 +69,24 @@ impl Default for WorkerOptions {
             reconnect_max_ms: 5_000,
             max_reconnect_attempts: 5,
             disconnect_after_jobs: None,
+            byzantine_lie_every: None,
+            byzantine_bad_digest_every: None,
         }
     }
 }
 
 impl WorkerOptions {
     /// Defaults with the heartbeat interval overridable via
-    /// [`crate::HEARTBEAT_INTERVAL_ENV`] (`SHM_HEARTBEAT_MS`).
+    /// [`crate::HEARTBEAT_INTERVAL_ENV`] (`SHM_HEARTBEAT_MS`) and the
+    /// reconnect budget via [`crate::RECONNECT_ATTEMPTS_ENV`]
+    /// (`SHM_RECONNECT_ATTEMPTS`).
     pub fn from_env() -> Self {
         let mut opts = Self::default();
         if let Some(ms) = crate::env_u64(crate::HEARTBEAT_INTERVAL_ENV) {
             opts.heartbeat_interval_ms = ms;
+        }
+        if let Some(n) = crate::env_u64(crate::RECONNECT_ATTEMPTS_ENV) {
+            opts.max_reconnect_attempts = n.min(u32::MAX as u64) as u32;
         }
         opts
     }
@@ -84,8 +104,13 @@ pub struct WorkerSummary {
 enum ServeEnd {
     /// Coordinator said [`Frame::Shutdown`]: sweep complete.
     Done,
-    /// Connection dropped; try to reconnect.
+    /// Connection dropped after a completed handshake; reconnect with a
+    /// fresh attempt budget (the link was demonstrably healthy).
     Lost,
+    /// Connection failed *before* the hello/ack completed (I/O error,
+    /// corrupt ack, ack timeout).  Reconnect, but keep counting attempts —
+    /// a link that never handshakes must exhaust the budget, not spin.
+    HandshakeLost,
     /// `disconnect_after_jobs` fired: simulate a killed worker.
     SelfKilled,
 }
@@ -121,18 +146,31 @@ where
                 continue;
             }
         };
-        attempt = 0;
 
         match serve(stream, config_hash, &opts, &handler, &mut summary) {
             Ok(ServeEnd::Done) | Ok(ServeEnd::SelfKilled) => return Ok(summary),
             Ok(ServeEnd::Lost) => {
+                // The handshake had completed, so the outage is fresh:
+                // restart the attempt budget at 1.
+                summary.reconnects += 1;
+                attempt = 1;
+                if attempt > opts.max_reconnect_attempts {
+                    return Err(DistError::Unreachable {
+                        addr: addr.to_string(),
+                        attempts: attempt - 1,
+                        last_error: "connection lost and retries exhausted".into(),
+                    });
+                }
+                std::thread::sleep(backoff(&opts, attempt));
+            }
+            Ok(ServeEnd::HandshakeLost) => {
                 summary.reconnects += 1;
                 attempt += 1;
                 if attempt > opts.max_reconnect_attempts {
                     return Err(DistError::Unreachable {
                         addr: addr.to_string(),
                         attempts: attempt - 1,
-                        last_error: "connection lost and retries exhausted".into(),
+                        last_error: "handshake kept failing and retries exhausted".into(),
                     });
                 }
                 std::thread::sleep(backoff(&opts, attempt));
@@ -143,10 +181,25 @@ where
 }
 
 fn backoff(opts: &WorkerOptions, attempt: u32) -> Duration {
+    Duration::from_millis(backoff_ms(opts, attempt))
+}
+
+/// Reconnect delay for the `attempt`-th consecutive failure: exponential
+/// base doubling, plus a deterministic per-worker jitter in `[0, exp/2]`
+/// keyed on (worker id, attempt), the whole thing capped at
+/// [`WorkerOptions::reconnect_max_ms`].
+pub(crate) fn backoff_ms(opts: &WorkerOptions, attempt: u32) -> u64 {
     let exp = opts
         .reconnect_base_ms
-        .saturating_mul(1u64 << attempt.min(16).saturating_sub(1));
-    Duration::from_millis(exp.min(opts.reconnect_max_ms))
+        .saturating_mul(1u64 << attempt.min(16).saturating_sub(1))
+        .min(opts.reconnect_max_ms);
+    let key = payload_digest(opts.worker_id.as_bytes()) ^ u64::from(attempt);
+    let jitter = if exp >= 2 {
+        splitmix64(key) % (exp / 2 + 1)
+    } else {
+        0
+    };
+    exp.saturating_add(jitter).min(opts.reconnect_max_ms)
 }
 
 struct LocalQueue {
@@ -178,9 +231,13 @@ where
     let mut reader = FrameReader::new(stream.try_clone().map_err(DistError::Io)?);
 
     // --- Handshake ---
+    // Connection-scoped failures here (I/O, corrupt ack, timeout) come
+    // back as [`ServeEnd::HandshakeLost`] so the caller retries on a
+    // *fresh* stream; only a policy rejection from the coordinator is
+    // fatal.  A poisoned/corrupt stream is never read again (fail-closed).
     {
         let mut w = writer.lock().unwrap_or_else(|e| e.into_inner());
-        let sent = write_frame(
+        let sent = match write_frame(
             &mut *w,
             &Frame::Hello {
                 version: PROTOCOL_VERSION,
@@ -188,8 +245,10 @@ where
                 worker_id: opts.worker_id.clone(),
                 window: pool_width as u32,
             },
-        )
-        .map_err(DistError::Io)?;
+        ) {
+            Ok(n) => n,
+            Err(_) => return Ok(ServeEnd::HandshakeLost),
+        };
         summary.bytes_sent += sent as u64;
     }
     let ack_deadline = Instant::now() + Duration::from_secs(10);
@@ -206,11 +265,8 @@ where
                 )))
             }
             Err(FrameError::Timeout) if Instant::now() < ack_deadline => continue,
-            Err(FrameError::Timeout) => {
-                return Err(DistError::Protocol("hello ack timed out".into()))
-            }
-            Err(FrameError::Io(e)) => return Err(DistError::Io(e)),
-            Err(e) => return Err(DistError::Protocol(e.to_string())),
+            Err(FrameError::Timeout) => return Ok(ServeEnd::HandshakeLost),
+            Err(_) => return Ok(ServeEnd::HandshakeLost),
         }
     }
 
@@ -225,6 +281,9 @@ where
     });
     let queue_cond = Condvar::new();
     let in_flight = AtomicU64::new(0);
+    // Counts results built on this connection — drives the byzantine
+    // "every Nth result" test knobs.
+    let result_seq = AtomicU64::new(0);
 
     let end = std::thread::scope(|scope| {
         // Heartbeat beacon, independent of job execution.
@@ -276,11 +335,30 @@ where
                 let outcome = catch_unwind(AssertUnwindSafe(|| handler(&label, &payload)));
                 let run_ns = run_started.elapsed().as_nanos() as u64;
                 let frame = match outcome {
-                    Ok(result) => Frame::JobResult {
-                        index,
-                        payload: result,
-                        run_ns,
-                    },
+                    Ok(mut result) => {
+                        let seq = result_seq.fetch_add(1, Ordering::SeqCst) + 1;
+                        if let Some(n) = opts.byzantine_lie_every {
+                            if n > 0 && seq.is_multiple_of(n) {
+                                // Consistent liar: tamper *before* digesting,
+                                // and salt by seq so repeated lies differ —
+                                // two identical lies must never out-vote the
+                                // truth in a majority audit.
+                                result = tamper_first_digit(&result, seq);
+                            }
+                        }
+                        let mut digest = payload_digest(result.as_bytes());
+                        if let Some(n) = opts.byzantine_bad_digest_every {
+                            if n > 0 && seq.is_multiple_of(n) {
+                                digest ^= 0xDEAD_BEEF_DEAD_BEEF;
+                            }
+                        }
+                        Frame::JobResult {
+                            index,
+                            payload: result,
+                            run_ns,
+                            digest,
+                        }
+                    }
                     Err(panic) => Frame::JobError {
                         index,
                         message: panic_text(panic),
@@ -409,5 +487,77 @@ fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
         s.clone()
     } else {
         "non-string panic payload".to_string()
+    }
+}
+
+/// Byzantine lie: bump the first ASCII digit of the payload by a
+/// salt-dependent non-zero amount, so the result stays well-formed but
+/// wrong, and repeated lies produce *different* wrong values.
+fn tamper_first_digit(payload: &str, salt: u64) -> String {
+    let mut bytes = payload.as_bytes().to_vec();
+    if let Some(pos) = bytes.iter().position(|b| b.is_ascii_digit()) {
+        let d = bytes[pos] - b'0';
+        bytes[pos] = b'0' + ((d + 1 + (salt % 8) as u8) % 10);
+    }
+    String::from_utf8(bytes).unwrap_or_else(|_| payload.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts_for(id: &str) -> WorkerOptions {
+        WorkerOptions {
+            worker_id: id.to_string(),
+            reconnect_base_ms: 100,
+            reconnect_max_ms: 5_000,
+            ..WorkerOptions::default()
+        }
+    }
+
+    #[test]
+    fn backoff_is_deterministic_per_worker_and_attempt() {
+        let a = opts_for("alpha");
+        let first: Vec<u64> = (1..=8).map(|n| backoff_ms(&a, n)).collect();
+        let second: Vec<u64> = (1..=8).map(|n| backoff_ms(&a, n)).collect();
+        assert_eq!(first, second, "same worker+attempt must yield same delay");
+    }
+
+    #[test]
+    fn backoff_jitter_differs_across_workers() {
+        let a = opts_for("alpha");
+        let b = opts_for("bravo");
+        let sa: Vec<u64> = (1..=8).map(|n| backoff_ms(&a, n)).collect();
+        let sb: Vec<u64> = (1..=8).map(|n| backoff_ms(&b, n)).collect();
+        assert_ne!(sa, sb, "distinct workers must not share a backoff schedule");
+    }
+
+    #[test]
+    fn backoff_stays_within_envelope() {
+        let a = opts_for("alpha");
+        for attempt in 1..=20u32 {
+            let exp = a
+                .reconnect_base_ms
+                .saturating_mul(1u64 << attempt.min(16).saturating_sub(1))
+                .min(a.reconnect_max_ms);
+            let got = backoff_ms(&a, attempt);
+            assert!(got >= exp, "attempt {attempt}: {got} below base {exp}");
+            assert!(
+                got <= (exp + exp / 2).min(a.reconnect_max_ms),
+                "attempt {attempt}: {got} above exp+exp/2 cap"
+            );
+            assert!(got <= a.reconnect_max_ms);
+        }
+    }
+
+    #[test]
+    fn tamper_changes_value_and_varies_by_salt() {
+        let honest = "ipc: 1.234";
+        let lie1 = tamper_first_digit(honest, 1);
+        let lie2 = tamper_first_digit(honest, 2);
+        assert_ne!(lie1, honest);
+        assert_ne!(lie2, honest);
+        assert_ne!(lie1, lie2, "repeated lies must differ (majority defense)");
+        assert_eq!(lie1.len(), honest.len());
     }
 }

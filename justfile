@@ -70,6 +70,14 @@ recovery-smoke scale="0.25":
 obs-smoke:
     bash scripts/obs_smoke.sh
 
+# Chaos smoke: the seeded cluster fault gauntlet (network faults, byzantine
+# workers, coordinator crash-resume) must end every scenario byte-identical
+# or loudly labelled — never silent (exit 4 — docs/ROBUSTNESS.md).
+chaos-smoke seed="7" scale="0.02":
+    cargo run --release -p shm-cli -- chaos --schedule smoke --seed {{seed}} --scale {{scale}} | tee /tmp/shm_chaos_smoke.txt
+    ! grep -q 'silent:true' /tmp/shm_chaos_smoke.txt
+    rm -f /tmp/shm_chaos_smoke.txt
+
 # Distributed-sweep smoke: a loopback coordinator + 2 worker cluster must
 # render fig16 byte-identical to the serial run (see docs/DISTRIBUTED.md).
 dist-smoke scale="0.25":

@@ -1,0 +1,124 @@
+//! Chaos-campaign regression: the fault gauntlet must be deterministic
+//! (same seed + schedule, same classification, same tables), must never
+//! report a silent divergence, and the coordinator crash-resume path must
+//! replay its checkpoint to byte-identical rows.
+
+use std::path::PathBuf;
+
+use gpu_mem_sim::DesignPoint;
+use shm_bench::chaos::{render_rows, run_chaos_campaign, CHAOS_DESIGNS};
+use shm_bench::dist::{try_run_suite_dist_checkpointed, DistSweepConfig};
+use shm_bench::try_run_suite_jobs;
+use sim_dist::DistOptions;
+
+const SCALE: f64 = 0.01;
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("shm_chaos_campaign_{}_{tag}", std::process::id()))
+}
+
+#[test]
+fn smoke_campaign_has_zero_silent_divergence() {
+    let dir = scratch_dir("smoke");
+    let _ = std::fs::remove_dir_all(&dir);
+    let report = run_chaos_campaign("smoke", 7, SCALE, &dir).expect("campaign runs");
+    assert_eq!(report.scenarios.len(), 8, "smoke schedule is 8 scenarios");
+    assert_eq!(
+        report.silent_divergences(),
+        0,
+        "silent divergence:\n{}",
+        report.render()
+    );
+    // The render must be greppable: every scenario line carries the
+    // CI-checked silent marker and none may be true.
+    let rendered = report.render();
+    assert_eq!(rendered.matches("silent:false").count(), 8, "{rendered}");
+    assert!(!rendered.contains("silent:true"), "{rendered}");
+    // The flight recorder landed next to the campaign.
+    let flight = dir.join("chaos_flight_smoke_7.jsonl");
+    let dump = std::fs::read_to_string(&flight).expect("flight recorder written");
+    assert_eq!(dump.lines().count(), 8, "one JSON line per scenario");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn same_seed_and_schedule_classify_identically_twice() {
+    let dir_a = scratch_dir("det-a");
+    let dir_b = scratch_dir("det-b");
+    let _ = std::fs::remove_dir_all(&dir_a);
+    let _ = std::fs::remove_dir_all(&dir_b);
+
+    let a = run_chaos_campaign("smoke", 11, SCALE, &dir_a).expect("first run");
+    let b = run_chaos_campaign("smoke", 11, SCALE, &dir_b).expect("second run");
+
+    assert_eq!(a.golden_table, b.golden_table, "golden tables must agree");
+    assert_eq!(a.scenarios.len(), b.scenarios.len());
+    for (sa, sb) in a.scenarios.iter().zip(&b.scenarios) {
+        assert_eq!(sa.name, sb.name, "scenario order is fixed");
+        assert_eq!(
+            sa.verdict, sb.verdict,
+            "scenario {} classified differently across runs",
+            sa.name
+        );
+    }
+    assert_eq!(a.silent_divergences(), 0, "{}", a.render());
+    assert_eq!(b.silent_divergences(), 0, "{}", b.render());
+    let _ = std::fs::remove_dir_all(&dir_a);
+    let _ = std::fs::remove_dir_all(&dir_b);
+}
+
+#[test]
+fn coordinator_crash_resume_is_byte_identical() {
+    let dir = scratch_dir("ckpt");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let ckpt = dir.join("coord.jsonl");
+
+    let golden = try_run_suite_jobs(CHAOS_DESIGNS, SCALE, Some(1)).expect("golden sweep");
+    let golden_text = render_rows(&golden);
+
+    let cfg = DistSweepConfig {
+        bind: "127.0.0.1:0".into(),
+        self_workers: 2,
+        opts: DistOptions {
+            connect_wait_ms: 10_000,
+            heartbeat_timeout_ms: 2_000,
+            read_timeout_ms: 25,
+            retry_budget: 64,
+            dispatch_timeout_ms: 3_000,
+            ..DistOptions::default()
+        },
+    };
+
+    // Phase 1: the coordinator dies (cancel) after 3 resolves.
+    let (crashed, _) =
+        try_run_suite_dist_checkpointed(CHAOS_DESIGNS, SCALE, &cfg, &ckpt, 2, Some(3))
+            .expect("crash phase");
+    if let Some(rows) = crashed.rows {
+        // Sweep outran the crash budget: it must still match golden.
+        assert_eq!(render_rows(&rows), golden_text);
+    } else {
+        assert!(crashed.executed >= 3, "crash budget resolved first");
+
+        // Phase 2: a fresh coordinator resumes from the checkpoint.
+        let (resumed, _) =
+            try_run_suite_dist_checkpointed(CHAOS_DESIGNS, SCALE, &cfg, &ckpt, 2, None)
+                .expect("resume phase");
+        assert!(resumed.reused >= 3, "checkpointed jobs replay, not re-run");
+        let rows = resumed.rows.expect("resume completes");
+        assert_eq!(
+            render_rows(&rows),
+            golden_text,
+            "resumed tables must be byte-identical to the golden run"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn chaos_designs_match_dist_determinism_designs() {
+    // The campaign compares against the same design pair the determinism
+    // suite locks down; drifting one without the other would silently
+    // weaken the golden comparison.
+    assert_eq!(CHAOS_DESIGNS, &[DesignPoint::Pssm, DesignPoint::Shm]);
+}

@@ -35,6 +35,7 @@ fn quick_opts() -> DistOptions {
         heartbeat_timeout_ms: 2_000,
         read_timeout_ms: 20,
         retry_budget: 16,
+        ..DistOptions::default()
     }
 }
 
@@ -47,7 +48,7 @@ fn worker_opts(id: &str) -> WorkerOptions {
         reconnect_base_ms: 20,
         reconnect_max_ms: 100,
         max_reconnect_attempts: 5,
-        disconnect_after_jobs: None,
+        ..WorkerOptions::default()
     }
 }
 

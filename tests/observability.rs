@@ -29,6 +29,7 @@ fn loopback_cfg(self_workers: usize) -> DistSweepConfig {
             heartbeat_timeout_ms: 2_000,
             read_timeout_ms: 20,
             retry_budget: 16,
+            ..DistOptions::default()
         },
     }
 }
