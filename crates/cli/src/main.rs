@@ -35,6 +35,7 @@ use sim_exec::{CancelToken, Executor};
 mod args;
 mod obs;
 mod report;
+mod serve_cmd;
 
 use args::{ArgError, Args};
 
@@ -175,6 +176,8 @@ fn dispatch(argv: &[String]) -> Result<(), CliError> {
         "crash" => cmd_crash(Args::parse(rest).map_err(stringify)?),
         "sweep" => cmd_sweep(Args::parse(rest).map_err(stringify)?),
         "worker" => cmd_worker(Args::parse(rest).map_err(stringify)?),
+        "serve" => serve_cmd::cmd_serve(Args::parse(rest).map_err(stringify)?),
+        "loadgen" => serve_cmd::cmd_loadgen(Args::parse(rest).map_err(stringify)?),
         "chaos" => cmd_chaos(Args::parse(rest).map_err(stringify)?),
         "trace-report" => obs::cmd_trace_report(rest),
         "top" => obs::cmd_top(&Args::parse(rest).map_err(stringify)?),
@@ -243,6 +246,14 @@ fn print_help() {
          \x20        endpoint (Prometheus text); --dist adds [--heartbeat-timeout-ms N]\n\
          \x20 worker --connect HOST:PORT [--jobs N] [--id NAME] [--heartbeat-ms N]\n\
          \x20        [--reconnect-attempts N] [--metrics-addr HOST:PORT]   serve sweep jobs\n\
+         \x20 serve --listen HOST:PORT [--queue-depth N] [--deadline-ms N] [--drain-ms N]\n\
+         \x20        [--idle-ms N] [--max-tenants N] [--jobs N] [--journal-dir D]\n\
+         \x20        [--metrics-addr HOST:PORT]     multi-tenant sweep daemon; SIGTERM\n\
+         \x20        drains gracefully (finish or cancel in-flight, flush journals, exit 0)\n\
+         \x20 loadgen --connect HOST:PORT [--tenants N] [--rps R] [--duration S]\n\
+         \x20        [--chaos-seed K] [-b BENCH] [--events N] [--deadline-ms N]\n\
+         \x20        [--table-out FILE]             drive a serve daemon and verify no\n\
+         \x20        silent divergence from the serial reference; exit 4 on wrong bytes\n\
          \x20 chaos [--schedule smoke|full] [--seed S] [--scale X] [--dir D]   fault-\n\
          \x20        injection campaign on the cluster; exit 4 on silent divergence\n\
          \x20 trace-report <file.jsonl> [--top N]  span timeline from a telemetry trace\n\
@@ -744,14 +755,27 @@ fn finish_sweep_telemetry(args: &Args, probe: &Probe) -> Result<(), CliError> {
 /// Prints the design table for one sweep; both the local and the
 /// distributed path end here so their stdout is byte-identical.
 fn print_sweep_table(stats: &[SimStats], csv: bool) {
+    print!("{}", format_sweep_table(stats, csv));
+}
+
+/// Renders the design table for one sweep.  Every consumer — local sweep,
+/// `--dist` sweep, and `shm loadgen --table-out` — goes through this one
+/// formatter so their tables are byte-identical by construction.
+fn format_sweep_table(stats: &[SimStats], csv: bool) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
     let all = DesignPoint::ALL;
     let energy = EnergyModel::default();
     // ALL[0] is the unprotected baseline every row normalizes against.
     let base = stats[0].clone();
     if csv {
-        println!("design,norm_ipc,cycles,metadata_bytes,overhead,energy_per_instr");
+        let _ = writeln!(
+            out,
+            "design,norm_ipc,cycles,metadata_bytes,overhead,energy_per_instr"
+        );
     } else {
-        println!(
+        let _ = writeln!(
+            out,
             "{:<16} {:>9} {:>11} {:>13} {:>9} {:>8}",
             "design", "norm IPC", "cycles", "metadata B", "overhead", "epi"
         );
@@ -759,7 +783,8 @@ fn print_sweep_table(stats: &[SimStats], csv: bool) {
     for (d, s) in all.iter().zip(stats) {
         let norm = base.cycles as f64 / s.cycles as f64;
         if csv {
-            println!(
+            let _ = writeln!(
+                out,
                 "{},{:.4},{},{},{:.4},{:.4}",
                 d.name(),
                 norm,
@@ -769,7 +794,8 @@ fn print_sweep_table(stats: &[SimStats], csv: bool) {
                 energy.normalized_epi(s, &base)
             );
         } else {
-            println!(
+            let _ = writeln!(
+                out,
                 "{:<16} {:>9.4} {:>11} {:>13} {:>8.2}% {:>8.3}",
                 d.name(),
                 norm,
@@ -780,6 +806,7 @@ fn print_sweep_table(stats: &[SimStats], csv: bool) {
             );
         }
     }
+    out
 }
 
 /// `shm sweep --dist HOST:PORT`: runs the design sweep on a sim-dist worker

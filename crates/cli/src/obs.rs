@@ -231,8 +231,28 @@ pub fn cmd_top(args: &Args) -> Result<(), CliError> {
 
 /// `shm env`: every `SHM_*` environment knob the toolchain reads, with its
 /// current value.  The same table lives in README.md — keep them in sync.
+/// The `SHM_SERVE_*` rows come straight from `sim_serve::ENV_KNOBS`, so
+/// the daemon cannot grow a knob this table misses.
 pub fn cmd_env() {
-    let knobs: &[(&str, &str, &str)] = &[
+    println!("{:<26} {:<12} meaning", "variable", "value");
+    for (name, default, meaning) in env_knob_table() {
+        let value = std::env::var(name).unwrap_or_else(|_| format!("(default {default})"));
+        println!("{name:<26} {value:<12} {meaning}");
+    }
+    println!(
+        "\naes backend selected by this build/host: {}",
+        shm_crypto::selected_backend().name()
+    );
+    println!(
+        "note: `shm run --profile` always forces {}=1 semantics (phase timers \
+         are process-global); any --jobs or SHM_JOBS setting is overridden",
+        sim_exec::JOBS_ENV
+    );
+}
+
+/// The full knob table (name, default, meaning), header row included.
+fn env_knob_table() -> Vec<(&'static str, &'static str, &'static str)> {
+    let mut knobs: Vec<(&'static str, &'static str, &'static str)> = vec![
         (
             sim_exec::JOBS_ENV,
             "auto",
@@ -279,20 +299,8 @@ pub fn cmd_env() {
             "AES backend: auto|aesni|ttable (auto = AES-NI when the CPU has it)",
         ),
     ];
-    println!("{:<26} {:<12} meaning", "variable", "value");
-    for (name, default, meaning) in knobs {
-        let value = std::env::var(name).unwrap_or_else(|_| format!("(default {default})"));
-        println!("{name:<26} {value:<12} {meaning}");
-    }
-    println!(
-        "\naes backend selected by this build/host: {}",
-        shm_crypto::selected_backend().name()
-    );
-    println!(
-        "note: `shm run --profile` always forces {}=1 semantics (phase timers \
-         are process-global); any --jobs or SHM_JOBS setting is overridden",
-        sim_exec::JOBS_ENV
-    );
+    knobs.extend(sim_serve::ENV_KNOBS.iter().copied());
+    knobs
 }
 
 #[cfg(test)]
@@ -312,6 +320,57 @@ mod tests {
         assert!(frame.contains("3.50 jobs/s"), "frame:\n{frame}");
         assert!(frame.contains("w1"), "frame:\n{frame}");
         assert!(frame.contains("41"), "frame:\n{frame}");
+    }
+
+    /// Every `SHM_SERVE_*` literal anywhere in the cli or sim-serve
+    /// sources must have a row in the `shm env` table — a daemon knob the
+    /// operator cannot discover is a support incident waiting to happen.
+    #[test]
+    fn every_serve_knob_is_in_the_env_table() {
+        fn scan_literals(src: &str, found: &mut std::collections::BTreeSet<String>) {
+            let bytes = src.as_bytes();
+            let pat = b"SHM_SERVE_";
+            for i in 0..bytes.len().saturating_sub(pat.len()) {
+                if &bytes[i..i + pat.len()] == pat {
+                    let mut end = i + pat.len();
+                    while end < bytes.len()
+                        && (bytes[end].is_ascii_uppercase() || bytes[end] == b'_')
+                    {
+                        end += 1;
+                    }
+                    // A bare prefix (doc prose like "SHM_SERVE_*", or this
+                    // test's own pattern) is not a knob name.
+                    if end > i + pat.len() {
+                        found.insert(src[i..end].to_string());
+                    }
+                }
+            }
+        }
+        let cli_dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("src");
+        let serve_dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../sim-serve/src");
+        let mut found = std::collections::BTreeSet::new();
+        for dir in [cli_dir, serve_dir] {
+            for entry in std::fs::read_dir(&dir).expect("source dir readable") {
+                let path = entry.expect("dir entry").path();
+                if path.extension().is_some_and(|e| e == "rs") {
+                    scan_literals(
+                        &std::fs::read_to_string(&path).expect("source readable"),
+                        &mut found,
+                    );
+                }
+            }
+        }
+        assert!(
+            !found.is_empty(),
+            "scanner found no SHM_SERVE_* knobs at all — is it broken?"
+        );
+        let table: Vec<&str> = env_knob_table().iter().map(|(n, _, _)| *n).collect();
+        for knob in &found {
+            assert!(
+                table.contains(&knob.as_str()),
+                "knob {knob} is parsed in the sources but missing from the `shm env` table"
+            );
+        }
     }
 
     #[test]

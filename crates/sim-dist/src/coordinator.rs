@@ -645,7 +645,12 @@ fn settle_audit(inner: &mut Inner, shared: &Shared, index: usize) {
         return;
     };
     let losers: Vec<usize> = {
-        let st = inner.audit.get_mut(&index).unwrap();
+        // Defensive re-lookup: the winner was computed from this same entry
+        // under the same lock, but a missing state must degrade to a no-op,
+        // never crash the coordinator (see the stray-result quarantine path).
+        let Some(st) = inner.audit.get_mut(&index) else {
+            return;
+        };
         st.winner = Some(payload.clone());
         let mut losers = Vec::new();
         for (w, p, _) in &st.produced {
@@ -789,7 +794,11 @@ fn quarantine_worker(inner: &mut Inner, shared: &Shared, wslot: usize, reason: &
     .inc();
     let audited: Vec<usize> = inner.audit.keys().copied().collect();
     for &i in &audited {
-        let st = inner.audit.get_mut(&i).unwrap();
+        // Keys were collected under this lock, but stay panic-free on a
+        // vanished entry — quarantine must never take the coordinator down.
+        let Some(st) = inner.audit.get_mut(&i) else {
+            continue;
+        };
         if st.winner.is_none() {
             st.produced.retain(|(w, _, _)| *w != wslot);
             st.holders.retain(|w| *w != wslot);
@@ -1030,6 +1039,9 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) {
     let mut last_seen = Instant::now();
     let mut cancel_sent = false;
     let mut lost = false;
+    // Set when the worker announces a graceful drain ([`Frame::Drain`]):
+    // no new dispatches, and its eventual departure is free of charge.
+    let mut draining = false;
 
     // Live per-worker gauges, aggregated at the coordinator for /metrics
     // and `shm top`.  Registered eagerly so a scrape shows the worker even
@@ -1082,7 +1094,7 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) {
                     let _ = write_frame(&mut writer, &Frame::Shutdown);
                     break 'conn;
                 }
-                if inner.cancelled || in_flight_count >= window {
+                if inner.cancelled || draining || in_flight_count >= window {
                     None
                 } else {
                     let mut picked: Option<PendingJob> = None;
@@ -1212,6 +1224,24 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) {
             }) => {
                 last_seen = Instant::now();
                 let index = index as usize;
+                if index >= shared.jobs.len() {
+                    // A result for a job that cannot exist is byzantine,
+                    // not line noise: quarantine the sender and sever.
+                    // (In-range duplicates stay ignored below — the chaos
+                    // proxy duplicates frames from honest workers.)
+                    let mut inner = shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+                    quarantine_worker(
+                        &mut inner,
+                        &shared,
+                        wslot,
+                        "result for an unknown job index",
+                    );
+                    shared.cond.notify_all();
+                    drop(inner);
+                    let _ = write_frame(&mut writer, &Frame::Shutdown);
+                    lost = true;
+                    break 'conn;
+                }
                 let popped = match in_flight.get_mut(&index) {
                     Some(copies) => {
                         let a = copies.pop();
@@ -1262,25 +1292,30 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) {
                         // never accept it.
                         ensure_copy(&mut inner, index);
                     } else if inner.audit.contains_key(&index) {
-                        let action = {
-                            let st = inner.audit.get_mut(&index).unwrap();
-                            if let Some(w) = st.winner.clone() {
-                                if w != payload {
-                                    1 // post-settle contradiction
+                        let action = match inner.audit.get_mut(&index) {
+                            Some(st) => {
+                                if let Some(w) = st.winner.clone() {
+                                    if w != payload {
+                                        1 // post-settle contradiction
+                                    } else {
+                                        0 // late agreeing copy: stats only
+                                    }
+                                } else if st
+                                    .produced
+                                    .iter()
+                                    .any(|(pw, pp, _)| *pw == wslot && *pp != payload)
+                                {
+                                    st.produced.push((wslot, payload.clone(), run_ns));
+                                    2 // contradicted its own earlier copy
                                 } else {
-                                    0 // late agreeing copy: stats only
+                                    st.produced.push((wslot, payload.clone(), run_ns));
+                                    3 // recorded; try to settle
                                 }
-                            } else if st
-                                .produced
-                                .iter()
-                                .any(|(pw, pp, _)| *pw == wslot && *pp != payload)
-                            {
-                                st.produced.push((wslot, payload.clone(), run_ns));
-                                2 // contradicted its own earlier copy
-                            } else {
-                                st.produced.push((wslot, payload.clone(), run_ns));
-                                3 // recorded; try to settle
                             }
+                            // Unreachable by the guard above (same lock),
+                            // but an unknown audit state must quarantine
+                            // the sender, never panic the coordinator.
+                            None => 4,
                         };
                         if action == 1 || action == 2 {
                             // A contradiction is an observed audit
@@ -1314,6 +1349,12 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) {
                                 // lands on a distinct worker.
                                 ensure_copy(&mut inner, index);
                             }
+                            4 => quarantine_worker(
+                                &mut inner,
+                                &shared,
+                                wslot,
+                                "result for an unknown audit state",
+                            ),
                             _ => {}
                         }
                     } else if !inner.resolved[index] {
@@ -1346,6 +1387,20 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) {
             Ok(Frame::JobError { index, message }) => {
                 last_seen = Instant::now();
                 let index = index as usize;
+                if index >= shared.jobs.len() {
+                    let mut inner = shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+                    quarantine_worker(
+                        &mut inner,
+                        &shared,
+                        wslot,
+                        "error report for an unknown job index",
+                    );
+                    shared.cond.notify_all();
+                    drop(inner);
+                    let _ = write_frame(&mut writer, &Frame::Shutdown);
+                    lost = true;
+                    break 'conn;
+                }
                 let popped = match in_flight.get_mut(&index) {
                     Some(copies) => {
                         let a = copies.pop();
@@ -1382,6 +1437,14 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) {
                     }
                     shared.cond.notify_all();
                 }
+            }
+            Ok(Frame::Drain { .. }) => {
+                // Graceful goodbye (rolling restart): stop dispatching to
+                // this worker but keep reading — it is still flushing
+                // results for everything it already accepted.  When it
+                // closes, in-flight stragglers requeue free of charge.
+                last_seen = Instant::now();
+                draining = true;
             }
             Ok(Frame::Shutdown) | Ok(Frame::Cancel) => {
                 // A worker announcing departure: treat like a clean loss.
@@ -1438,6 +1501,19 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) {
                 dec_dispatched(&mut inner, index);
                 if inner.resolved[index] {
                     continue; // stale copy of a settled job
+                }
+                if draining {
+                    // Announced departure (rolling restart): the worker
+                    // drained what it could; stragglers that were still in
+                    // transit requeue without burning a reassignment or a
+                    // retry-budget slot.
+                    inner.pending.push_front(PendingJob {
+                        index,
+                        attempt,
+                        target: None,
+                    });
+                    requeued += 1;
+                    continue;
                 }
                 inner.workers[wslot].reassigned += 1;
                 inner.reassignments += 1;

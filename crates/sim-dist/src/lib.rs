@@ -462,6 +462,127 @@ mod tests {
     }
 
     #[test]
+    fn stray_job_result_quarantines_sender_instead_of_crashing() {
+        use protocol::{payload_digest, write_frame, Frame, FrameReader, PROTOCOL_VERSION};
+        let mut opts = quick_opts();
+        opts.retry_budget = 64;
+        let coord = Coordinator::bind("127.0.0.1:0", 0x57A1, opts).unwrap();
+        let addr = coord.local_addr().to_string();
+        let run = {
+            let token = CancelToken::new();
+            std::thread::spawn(move || coord.run(echo_jobs(6), &token))
+        };
+
+        // A byzantine client completes a valid handshake, then reports a
+        // result for a job index that cannot exist.  The coordinator must
+        // quarantine it — not index-panic, not silently accept.
+        let stray = std::net::TcpStream::connect(&addr).unwrap();
+        stray
+            .set_read_timeout(Some(Duration::from_millis(100)))
+            .unwrap();
+        let mut w = stray.try_clone().unwrap();
+        write_frame(
+            &mut w,
+            &Frame::Hello {
+                version: PROTOCOL_VERSION,
+                config_hash: 0x57A1,
+                worker_id: "stray".into(),
+                window: 1,
+            },
+        )
+        .unwrap();
+        let mut reader = FrameReader::new(stray.try_clone().unwrap());
+        loop {
+            match reader.read_frame() {
+                Ok(Frame::HelloAck { accepted, .. }) => {
+                    assert!(accepted, "valid handshake must be accepted");
+                    break;
+                }
+                Ok(other) => panic!("expected hello ack, got {other:?}"),
+                Err(protocol::FrameError::Timeout) => continue,
+                Err(e) => panic!("handshake failed: {e}"),
+            }
+        }
+        write_frame(
+            &mut w,
+            &Frame::JobResult {
+                index: 999_999,
+                payload: "forged".into(),
+                run_ns: 1,
+                digest: payload_digest(b"forged"),
+            },
+        )
+        .unwrap();
+        // The verdict comes back as a Shutdown before the link severs.
+        let mut shut_down = false;
+        for _ in 0..100 {
+            match reader.read_frame() {
+                Ok(Frame::Shutdown) => {
+                    shut_down = true;
+                    break;
+                }
+                Ok(_) => continue,
+                Err(protocol::FrameError::Timeout) => continue,
+                Err(_) => break,
+            }
+        }
+        assert!(shut_down, "quarantined sender must be told to shut down");
+
+        // An honest worker still completes the whole sweep.
+        let honest = spawn_worker(addr, 0x57A1, worker_opts("honest"));
+        let report = run.join().unwrap().unwrap();
+        assert!(report.is_clean(), "{report:?}");
+        assert!(report.quarantines >= 1, "{report:?}");
+        assert!(
+            report
+                .workers
+                .iter()
+                .any(|w| w.id == "stray" && w.quarantined),
+            "{report:?}"
+        );
+        assert!(honest.join().unwrap().is_ok());
+    }
+
+    #[test]
+    fn graceful_drain_departure_costs_no_retry_budget() {
+        let mut opts = quick_opts();
+        opts.retry_budget = 64;
+        let coord = Coordinator::bind("127.0.0.1:0", 0xD8A1, opts).unwrap();
+        let addr = coord.local_addr().to_string();
+        let mut leaver = worker_opts("leaver");
+        // Announce a graceful drain after two results — the rolling-restart
+        // path a SIGTERM takes — instead of dropping the socket.
+        leaver.drain_after_jobs = Some(2);
+        let slow = |label: &str, payload: &str| {
+            std::thread::sleep(Duration::from_millis(15));
+            format!("{label}:{payload}:ok")
+        };
+        let (a1, a2) = (addr.clone(), addr);
+        let w1 = std::thread::spawn(move || run_worker(&a1, 0xD8A1, leaver, slow));
+        let w2 = std::thread::spawn(move || run_worker(&a2, 0xD8A1, worker_opts("stayer"), slow));
+
+        let report = coord.run(echo_jobs(16), &CancelToken::new()).unwrap();
+        assert!(report.is_clean(), "{report:?}");
+        for (i, r) in report.results.iter().enumerate() {
+            assert_eq!(
+                r.as_ref().unwrap().as_ref().unwrap(),
+                &format!("job-{i}:payload-{i}:ok")
+            );
+        }
+        assert_eq!(
+            report.retries_used, 0,
+            "an announced departure must not burn retry budget: {report:?}"
+        );
+        assert_eq!(
+            report.reassignments, 0,
+            "an announced departure is not a reassignment: {report:?}"
+        );
+        let leaver_summary = w1.join().unwrap().expect("drain is a clean exit");
+        assert!(leaver_summary.jobs_done >= 2);
+        assert!(w2.join().unwrap().is_ok());
+    }
+
+    #[test]
     fn unreachable_coordinator_exhausts_backoff() {
         // Bind then drop a listener so the port is (very likely) closed.
         let port = {

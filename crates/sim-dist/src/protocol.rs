@@ -37,7 +37,47 @@ use std::io::{self, Read, Write};
 /// one hop of transport, the digest guards the result from the worker's
 /// job handler all the way into the merged table, so a worker shipping
 /// corrupt or forged bytes is caught even when every frame checksums clean.
-pub const PROTOCOL_VERSION: u32 = 3;
+///
+/// v4: the service plane.  [`Frame::SubmitSweep`] / [`Frame::JobProgress`] /
+/// [`Frame::SweepResult`] / [`Frame::Reject`] / [`Frame::Drain`] carry
+/// multi-tenant sweep requests to a long-running `shm serve` daemon, with
+/// streamed seq/ts_ms-tagged progress, structured admission-control
+/// rejects, and a drain notice for rolling restarts.  `Drain` doubles as
+/// the worker→coordinator graceful-goodbye frame: a departing worker that
+/// announces itself no longer burns a reassignment or retry-budget slot.
+pub const PROTOCOL_VERSION: u32 = 4;
+
+/// `SweepResult` per-job status: the job ran and its payload is valid.
+pub const JOB_OK: u8 = 0;
+/// `SweepResult` per-job status: the job handler panicked; the payload
+/// carries the captured panic message instead of a result.
+pub const JOB_FAILED: u8 = 1;
+/// `SweepResult` per-job status: the job never ran (deadline cancel or
+/// drain); the payload is empty.  Presence of any skipped entry implies
+/// `partial == true`.
+pub const JOB_SKIPPED: u8 = 2;
+
+/// End-to-end digest over a `SweepResult` body (status bytes + payloads),
+/// the v4 analogue of the per-job [`payload_digest`]: computed by the
+/// daemon before framing, re-checked by the client after deframing, so a
+/// response that was corrupted anywhere past the frame CRC's single hop is
+/// still caught.
+pub fn sweep_result_digest(partial: bool, results: &[(u8, String)]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    let mut mix = |b: u8| {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    };
+    mix(u8::from(partial));
+    for (status, payload) in results {
+        mix(*status);
+        for &b in payload.as_bytes() {
+            mix(b);
+        }
+        mix(0xFF); // entry separator so ("a","") != ("","a")
+    }
+    h
+}
 
 /// Frame magic: `"SHMD"`.
 pub const FRAME_MAGIC: u32 = 0x4448_4D53; // b"SHMD" little-endian
@@ -179,6 +219,58 @@ pub enum Frame {
         /// Jobs completed since the worker connected.
         completed: u64,
     },
+    /// Client → daemon (v4): one sweep request.  `req_id` is chosen by the
+    /// client and echoed on every response frame so a tenant can pipeline
+    /// requests on one connection; `deadline_ms` of 0 defers to the
+    /// daemon-side default.  Each job is an opaque `(label, payload)` pair
+    /// owned by the submitting layer, exactly like [`Frame::JobDispatch`].
+    SubmitSweep {
+        tenant: String,
+        req_id: u64,
+        deadline_ms: u64,
+        jobs: Vec<(String, String)>,
+    },
+    /// Daemon → client (v4): streamed telemetry, one frame per finished
+    /// job.  `seq` increases by one per frame within a request and `ts_ms`
+    /// is milliseconds since the daemon accepted the request, so a client
+    /// can both order and gap-check the stream.
+    JobProgress {
+        req_id: u64,
+        seq: u64,
+        ts_ms: u64,
+        index: u32,
+        label: String,
+        status: u8,
+    },
+    /// Daemon → client (v4): terminal response for a request.  `results`
+    /// is indexed by submission order; each entry is a
+    /// ([`JOB_OK`]/[`JOB_FAILED`]/[`JOB_SKIPPED`], payload) pair and
+    /// `partial` is set when any job was skipped (deadline cancel or
+    /// drain).  `digest` is [`sweep_result_digest`] over the body,
+    /// re-checked end-to-end by the client.
+    SweepResult {
+        req_id: u64,
+        seq: u64,
+        ts_ms: u64,
+        partial: bool,
+        results: Vec<(u8, String)>,
+        digest: u64,
+    },
+    /// Daemon → client (v4): admission control shed this request without
+    /// queueing it.  `retry_after_ms` is the daemon's backoff hint; zero
+    /// means "never" (quarantined tenant or a draining daemon that is
+    /// about to exit).
+    Reject {
+        req_id: u64,
+        retry_after_ms: u64,
+        reason: String,
+    },
+    /// Bidirectional (v4) drain notice.  Daemon → client: a rolling
+    /// restart is in progress — stop submitting, already-accepted requests
+    /// will still terminate.  Worker → coordinator: graceful goodbye — the
+    /// worker drained its local queue and is exiting on purpose, so the
+    /// coordinator must not charge its retry budget for the departure.
+    Drain { reason: String },
 }
 
 impl Frame {
@@ -194,6 +286,11 @@ impl Frame {
             Frame::Shutdown => 8,
             Frame::StatsRequest => 9,
             Frame::StatsReply { .. } => 10,
+            Frame::SubmitSweep { .. } => 11,
+            Frame::JobProgress { .. } => 12,
+            Frame::SweepResult { .. } => 13,
+            Frame::Reject { .. } => 14,
+            Frame::Drain { .. } => 15,
         }
     }
 }
@@ -349,6 +446,65 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
             put_u32(&mut payload, *queued);
             put_u64(&mut payload, *completed);
         }
+        Frame::SubmitSweep {
+            tenant,
+            req_id,
+            deadline_ms,
+            jobs,
+        } => {
+            put_str(&mut payload, tenant);
+            put_u64(&mut payload, *req_id);
+            put_u64(&mut payload, *deadline_ms);
+            put_u32(&mut payload, jobs.len() as u32);
+            for (label, job) in jobs {
+                put_str(&mut payload, label);
+                put_str(&mut payload, job);
+            }
+        }
+        Frame::JobProgress {
+            req_id,
+            seq,
+            ts_ms,
+            index,
+            label,
+            status,
+        } => {
+            put_u64(&mut payload, *req_id);
+            put_u64(&mut payload, *seq);
+            put_u64(&mut payload, *ts_ms);
+            put_u32(&mut payload, *index);
+            put_str(&mut payload, label);
+            payload.push(*status);
+        }
+        Frame::SweepResult {
+            req_id,
+            seq,
+            ts_ms,
+            partial,
+            results,
+            digest,
+        } => {
+            put_u64(&mut payload, *req_id);
+            put_u64(&mut payload, *seq);
+            put_u64(&mut payload, *ts_ms);
+            payload.push(u8::from(*partial));
+            put_u32(&mut payload, results.len() as u32);
+            for (status, body) in results {
+                payload.push(*status);
+                put_str(&mut payload, body);
+            }
+            put_u64(&mut payload, *digest);
+        }
+        Frame::Reject {
+            req_id,
+            retry_after_ms,
+            reason,
+        } => {
+            put_u64(&mut payload, *req_id);
+            put_u64(&mut payload, *retry_after_ms);
+            put_str(&mut payload, reason);
+        }
+        Frame::Drain { reason } => put_str(&mut payload, reason),
         Frame::Cancel | Frame::Shutdown | Frame::StatsRequest => {}
     }
 
@@ -417,6 +573,58 @@ fn decode_payload(type_byte: u8, payload: &[u8]) -> Result<Frame, FrameError> {
             queued: c.u32()?,
             completed: c.u64()?,
         },
+        11 => {
+            let tenant = c.str()?;
+            let req_id = c.u64()?;
+            let deadline_ms = c.u64()?;
+            let count = c.u32()? as usize;
+            // No `with_capacity(count)`: a forged count must not reserve
+            // memory before `take` proves the bytes exist.
+            let mut jobs = Vec::new();
+            for _ in 0..count {
+                jobs.push((c.str()?, c.str()?));
+            }
+            Frame::SubmitSweep {
+                tenant,
+                req_id,
+                deadline_ms,
+                jobs,
+            }
+        }
+        12 => Frame::JobProgress {
+            req_id: c.u64()?,
+            seq: c.u64()?,
+            ts_ms: c.u64()?,
+            index: c.u32()?,
+            label: c.str()?,
+            status: c.take(1)?[0],
+        },
+        13 => {
+            let req_id = c.u64()?;
+            let seq = c.u64()?;
+            let ts_ms = c.u64()?;
+            let partial = c.take(1)?[0] != 0;
+            let count = c.u32()? as usize;
+            let mut results = Vec::new();
+            for _ in 0..count {
+                results.push((c.take(1)?[0], c.str()?));
+            }
+            let digest = c.u64()?;
+            Frame::SweepResult {
+                req_id,
+                seq,
+                ts_ms,
+                partial,
+                results,
+                digest,
+            }
+        }
+        14 => Frame::Reject {
+            req_id: c.u64()?,
+            retry_after_ms: c.u64()?,
+            reason: c.str()?,
+        },
+        15 => Frame::Drain { reason: c.str()? },
         other => return Err(FrameError::Corrupt(format!("unknown frame type {other}"))),
     };
     c.finish()?;
@@ -583,7 +791,70 @@ mod tests {
                 queued: 5,
                 completed: 77,
             },
+            Frame::SubmitSweep {
+                tenant: "tenant-a".into(),
+                req_id: 17,
+                deadline_ms: 2_500,
+                jobs: vec![
+                    ("kmeans/base".into(), "{\"bench\":\"kmeans\"}".into()),
+                    ("kmeans/shm".into(), "{\"bench\":\"kmeans\",\"d\":1}".into()),
+                ],
+            },
+            Frame::JobProgress {
+                req_id: 17,
+                seq: 0,
+                ts_ms: 41,
+                index: 1,
+                label: "kmeans/shm".into(),
+                status: JOB_OK,
+            },
+            Frame::SweepResult {
+                req_id: 17,
+                seq: 2,
+                ts_ms: 99,
+                partial: true,
+                results: vec![
+                    (JOB_OK, "{\"cycles\":123}".into()),
+                    (JOB_SKIPPED, String::new()),
+                ],
+                digest: sweep_result_digest(
+                    true,
+                    &[
+                        (JOB_OK, "{\"cycles\":123}".into()),
+                        (JOB_SKIPPED, String::new()),
+                    ],
+                ),
+            },
+            Frame::Reject {
+                req_id: 18,
+                retry_after_ms: 250,
+                reason: "tenant queue full".into(),
+            },
+            Frame::Drain {
+                reason: "rolling restart".into(),
+            },
         ]
+    }
+
+    #[test]
+    fn sample_frames_cover_every_type_byte() {
+        let mut seen: Vec<u8> = sample_frames().iter().map(|f| f.type_byte()).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(
+            seen,
+            (1..=15).collect::<Vec<u8>>(),
+            "every frame type must appear in sample_frames()"
+        );
+    }
+
+    #[test]
+    fn sweep_result_digest_separates_entries() {
+        let a = sweep_result_digest(false, &[(JOB_OK, "ab".into()), (JOB_OK, String::new())]);
+        let b = sweep_result_digest(false, &[(JOB_OK, "a".into()), (JOB_OK, "b".into())]);
+        assert_ne!(a, b, "entry boundaries must be part of the digest");
+        let c = sweep_result_digest(true, &[(JOB_OK, "ab".into()), (JOB_OK, String::new())]);
+        assert_ne!(a, c, "the partial flag must be part of the digest");
     }
 
     #[test]

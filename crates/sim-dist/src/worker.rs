@@ -47,6 +47,10 @@ pub struct WorkerOptions {
     /// after this many results have been sent — the deterministic
     /// "worker killed mid-sweep" used by the reassignment tests.
     pub disconnect_after_jobs: Option<u64>,
+    /// Test knob: initiate a *graceful* drain (same path as SIGTERM —
+    /// announce [`Frame::Drain`], finish accepted work, final heartbeat,
+    /// clean exit) after this many results have been sent.
+    pub drain_after_jobs: Option<u64>,
     /// Byzantine test knob: every Nth result is *tampered before* its
     /// end-to-end digest is computed — a consistent liar whose frames and
     /// digests all verify.  Only redundant dispatch (coordinator audit)
@@ -69,6 +73,7 @@ impl Default for WorkerOptions {
             reconnect_max_ms: 5_000,
             max_reconnect_attempts: 5,
             disconnect_after_jobs: None,
+            drain_after_jobs: None,
             byzantine_lie_every: None,
             byzantine_bad_digest_every: None,
         }
@@ -399,9 +404,54 @@ where
 
         // Reader / dispatcher (this thread).
         let mut draining = false;
+        // Graceful SIGTERM/rolling-restart drain: announced once, then the
+        // worker finishes everything it already accepted and leaves with a
+        // final heartbeat instead of dropping the socket (which would cost
+        // the coordinator a reassignment + retry-budget slot).
+        let mut sig_drain = false;
         let end = loop {
             if killed.load(Ordering::SeqCst) {
                 break ServeEnd::SelfKilled;
+            }
+            let drain_wanted = sim_exec::cancel_requested()
+                || opts
+                    .drain_after_jobs
+                    .is_some_and(|k| jobs_done.load(Ordering::SeqCst) >= k);
+            if drain_wanted && !sig_drain {
+                sig_drain = true;
+                let mut w = writer.lock().unwrap_or_else(|e| e.into_inner());
+                match write_frame(
+                    &mut *w,
+                    &Frame::Drain {
+                        reason: "worker draining (rolling restart)".into(),
+                    },
+                ) {
+                    Ok(n) => {
+                        bytes_sent.fetch_add(n as u64, Ordering::SeqCst);
+                    }
+                    Err(_) => break ServeEnd::Lost,
+                }
+            }
+            if sig_drain
+                && in_flight.load(Ordering::SeqCst) == 0
+                && queue
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .jobs
+                    .is_empty()
+            {
+                // Everything accepted has been finished and flushed: one
+                // last liveness beacon, then a clean exit-0 departure.
+                let mut w = writer.lock().unwrap_or_else(|e| e.into_inner());
+                if let Ok(n) = write_frame(
+                    &mut *w,
+                    &Frame::Heartbeat {
+                        jobs_done: jobs_done.load(Ordering::SeqCst),
+                    },
+                ) {
+                    bytes_sent.fetch_add(n as u64, Ordering::SeqCst);
+                }
+                break ServeEnd::Done;
             }
             if draining
                 && in_flight.load(Ordering::SeqCst) == 0

@@ -78,6 +78,13 @@ chaos-smoke seed="7" scale="0.02":
     ! grep -q 'silent:true' /tmp/shm_chaos_smoke.txt
     rm -f /tmp/shm_chaos_smoke.txt
 
+# Service smoke: `shm serve` must survive a chaos-seeded multi-tenant loadgen
+# run with zero silent divergence, reproduce the one-shot sweep table
+# byte-for-byte through the service path, and drain cleanly on SIGTERM
+# (exit 0 — docs/SERVICE.md).
+serve-smoke:
+    bash scripts/serve_smoke.sh
+
 # Distributed-sweep smoke: a loopback coordinator + 2 worker cluster must
 # render fig16 byte-identical to the serial run (see docs/DISTRIBUTED.md).
 dist-smoke scale="0.25":

@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Service smoke (docs/SERVICE.md):
+#   1. `shm serve` accepts a multi-tenant chaos-seeded loadgen run with zero
+#      silent divergence (loadgen exits 4 and prints silent:true otherwise)
+#   2. the table decoded from the service path is byte-identical to the
+#      one-shot `shm sweep` table for the same benchmark/events/seed
+#   3. SIGTERM drains the daemon gracefully: it must exit 0, and its log
+#      must show the drain summary and no panic
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SHM=target/release/shm
+PORT="${SERVE_SMOKE_PORT:-7733}"
+ADDR="127.0.0.1:$PORT"
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+cargo build --release -p shm-cli
+
+# --- 1: daemon up, chaos-seeded loadgen against it.
+"$SHM" serve --listen "$ADDR" --jobs 2 --journal-dir "$tmp/journals" \
+    2> "$tmp/serve.log" &
+daemon=$!
+
+for _ in $(seq 1 100); do
+    grep -q "serve: listening" "$tmp/serve.log" 2>/dev/null && break
+    sleep 0.1
+done
+grep -q "serve: listening" "$tmp/serve.log"
+
+"$SHM" loadgen --connect "$ADDR" --tenants 3 --rps 4 --duration 3 \
+    -b fdtd2d --events 2048 --seed 7 --chaos-seed 7 \
+    --table-out "$tmp/served_table.txt" | tee "$tmp/loadgen.txt"
+! grep -q 'silent:true' "$tmp/loadgen.txt"
+
+# --- 2: the service path must reproduce the one-shot sweep bytes.
+SHM_JOBS=1 "$SHM" sweep -b fdtd2d --events 2048 --seed 7 > "$tmp/oneshot.txt"
+diff "$tmp/oneshot.txt" "$tmp/served_table.txt"
+
+# --- 3: graceful drain under SIGTERM.
+kill -TERM "$daemon"
+rc=0
+wait "$daemon" || rc=$?
+test "$rc" -eq 0
+grep -q "serve: drained" "$tmp/serve.log"
+! grep -qi 'panicked' "$tmp/serve.log"
+
+# Journals were flushed per tenant.
+ls "$tmp/journals"/tenant-*.jsonl >/dev/null
+
+echo "serve-smoke: OK"

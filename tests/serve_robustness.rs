@@ -1,0 +1,287 @@
+//! Robustness contract of the `shm serve` daemon: admission control sheds
+//! a flooding tenant with structured rejects while a well-behaved tenant's
+//! sweep completes byte-identical to the serial reference; deadlines
+//! cancel to deterministic partial results; SIGTERM-style drain finishes
+//! in-flight work and reports a clean exit.
+
+use std::time::{Duration, Instant};
+
+use gpu_mem_sim::DesignPoint;
+use shm_bench::dist::{dist_worker_handler, SimJob};
+use sim_exec::CancelToken;
+use sim_serve::{Daemon, ServeClient, ServeEvent, ServeOptions, ServeReport, SweepOutcome};
+
+const HASH: u64 = 0x5E4E;
+
+/// Test handler: `sleep:N` payloads block for N ms (deterministic queue
+/// pressure), anything else is a real simulation job.
+fn handler(label: &str, payload: &str) -> String {
+    match payload.strip_prefix("sleep:") {
+        Some(ms) => {
+            let ms: u64 = ms.parse().expect("sleep payload");
+            std::thread::sleep(Duration::from_millis(ms));
+            format!("slept:{ms}")
+        }
+        None => dist_worker_handler(label, payload),
+    }
+}
+
+fn start(opts: ServeOptions) -> (String, CancelToken, std::thread::JoinHandle<ServeReport>) {
+    let daemon = Daemon::bind("127.0.0.1:0", opts, handler).expect("bind");
+    let addr = daemon.local_addr().to_string();
+    let token = CancelToken::new();
+    let t = token.clone();
+    let h = std::thread::spawn(move || daemon.run(&t).expect("daemon run"));
+    (addr, token, h)
+}
+
+fn sleep_jobs(n: usize, ms: u64) -> Vec<(String, String)> {
+    (0..n)
+        .map(|i| (format!("sleep-{i}"), format!("sleep:{ms}")))
+        .collect()
+}
+
+fn sweep_jobs(bench: &str, events: u64) -> Vec<(String, String)> {
+    DesignPoint::ALL
+        .iter()
+        .map(|d| {
+            (
+                format!("{bench} under {}", d.name()),
+                SimJob {
+                    bench: bench.to_string(),
+                    events_per_kernel: events,
+                    seed: 0xBEEF,
+                    design: d.name().to_string(),
+                }
+                .encode(),
+            )
+        })
+        .collect()
+}
+
+/// Waits for the terminal result of `req`, collecting any rejects seen
+/// along the way into `rejects`.
+fn await_done(c: &mut ServeClient, req: u64, rejects: &mut Vec<u64>) -> Option<SweepOutcome> {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while Instant::now() < deadline {
+        match c
+            .next_event(Duration::from_millis(250))
+            .expect("client event")
+        {
+            Some(ServeEvent::Done(o)) if o.req_id == req => return Some(o),
+            Some(ServeEvent::Rejected {
+                req_id,
+                retry_after_ms,
+                ..
+            }) if req_id == req => {
+                rejects.push(retry_after_ms);
+                return None;
+            }
+            Some(_) | None => {}
+        }
+    }
+    panic!("no terminal event for request {req} within 60s");
+}
+
+/// One tenant floods the daemon past its bounded queue and is shed with
+/// structured `Reject{retry_after_ms}` frames; a well-behaved tenant's
+/// sweep, submitted into the same storm, completes with results
+/// byte-identical to the serial in-process reference.
+#[test]
+fn flooder_is_shed_while_honest_tenant_gets_exact_bytes() {
+    let mut opts = ServeOptions::new(HASH);
+    opts.pool = Some(1); // one lane: fairness must come from DRR, not width
+    // DesignPoint::ALL is 10 jobs: the honest sweep must fit the queue in
+    // one piece, while two flooder batches must overflow it.
+    opts.queue_depth = 12;
+    opts.quantum = 2;
+    opts.drain_ms = 10_000;
+    let (addr, token, daemon) = start(opts);
+
+    // The flooder: bursts of three 8-job requests with no flow control
+    // between them — the second and third of each burst land on a queue
+    // already holding the first and must be shed.  Repeats until it has
+    // been rejected at least three times.
+    let flood_addr = addr.clone();
+    let flooder = std::thread::spawn(move || {
+        let mut c = ServeClient::connect(&flood_addr, "flooder", HASH).expect("flooder connect");
+        let mut rejects: Vec<u64> = Vec::new();
+        let mut completed = 0u32;
+        let give_up = Instant::now() + Duration::from_secs(60);
+        while rejects.len() < 3 && Instant::now() < give_up {
+            let mut pending: Vec<u64> = (0..3)
+                .map(|_| c.submit(0, &sleep_jobs(8, 20)).expect("flooder submit"))
+                .collect();
+            let burst_deadline = Instant::now() + Duration::from_secs(30);
+            while !pending.is_empty() && Instant::now() < burst_deadline {
+                match c
+                    .next_event(Duration::from_millis(250))
+                    .expect("flooder event")
+                {
+                    Some(ServeEvent::Done(o)) => {
+                        if let Some(p) = pending.iter().position(|&r| r == o.req_id) {
+                            pending.remove(p);
+                            assert!(o.digest_ok, "flooder result digest");
+                            completed += 1;
+                        }
+                    }
+                    Some(ServeEvent::Rejected {
+                        req_id,
+                        retry_after_ms,
+                        ..
+                    }) => {
+                        if let Some(p) = pending.iter().position(|&r| r == req_id) {
+                            pending.remove(p);
+                            rejects.push(retry_after_ms);
+                        }
+                    }
+                    Some(_) | None => {}
+                }
+            }
+            assert!(pending.is_empty(), "flooder burst never terminated");
+        }
+        c.goodbye();
+        (rejects, completed)
+    });
+
+    // The honest tenant: one real sweep, expected byte-identical.
+    let bench = "fdtd2d";
+    let events = 128;
+    let jobs = sweep_jobs(bench, events);
+    let reference: Vec<String> = jobs
+        .iter()
+        .map(|(label, payload)| dist_worker_handler(label, payload))
+        .collect();
+    let mut c = ServeClient::connect(&addr, "honest", HASH).expect("honest connect");
+    let mut honest_rejects = Vec::new();
+    let outcome = loop {
+        let req = c.submit(0, &jobs).expect("honest submit");
+        match await_done(&mut c, req, &mut honest_rejects) {
+            Some(o) => break o,
+            None => std::thread::sleep(Duration::from_millis(50)),
+        }
+    };
+    assert!(outcome.digest_ok, "sweep digest must verify");
+    assert!(!outcome.partial, "honest sweep must not be partial");
+    let payloads: Vec<&String> = outcome.results.iter().map(|(_, p)| p).collect();
+    for (i, payload) in payloads.iter().enumerate() {
+        assert_eq!(
+            **payload, reference[i],
+            "result {i} diverged from the serial reference"
+        );
+    }
+    c.goodbye();
+
+    let (flood_rejects, _flood_completed) = flooder.join().expect("flooder thread");
+    assert!(
+        flood_rejects.len() >= 3,
+        "flooder was shed only {} time(s)",
+        flood_rejects.len()
+    );
+    assert!(
+        flood_rejects.iter().all(|&retry| retry > 0),
+        "queue-full rejects must carry a retry-after hint: {flood_rejects:?}"
+    );
+
+    token.cancel();
+    let report = daemon.join().expect("daemon thread");
+    assert!(report.rejected >= 3, "report counts the sheds");
+    assert_eq!(
+        report.quarantines, 0,
+        "nobody misbehaved at the protocol level"
+    );
+}
+
+/// A deadline that fires while jobs sit queued cancels them to a partial
+/// result with a deterministic shape: the running job finishes (ok), the
+/// queued jobs are skipped — same bytes on every run.
+#[test]
+fn deadline_cancel_reports_deterministic_partial_results() {
+    let run_once = || {
+        let mut opts = ServeOptions::new(HASH);
+        opts.pool = Some(1);
+        opts.drain_ms = 10_000;
+        let (addr, token, daemon) = start(opts);
+        let mut c = ServeClient::connect(&addr, "deadliner", HASH).expect("connect");
+        // Job 0 runs 200ms; the 150ms deadline fires mid-run, so jobs 1-3
+        // never leave the queue.  Job 0 still lands: running jobs finish.
+        let req = c.submit(150, &sleep_jobs(4, 200)).expect("submit");
+        let mut rejects = Vec::new();
+        let outcome = await_done(&mut c, req, &mut rejects).expect("deadline yields a result");
+        c.goodbye();
+        token.cancel();
+        let report = daemon.join().expect("daemon");
+        (outcome, report)
+    };
+
+    let (first, report) = run_once();
+    assert!(first.digest_ok);
+    assert!(
+        first.partial,
+        "deadline expiry must mark the result partial"
+    );
+    let statuses: Vec<u8> = first.results.iter().map(|(s, _)| *s).collect();
+    assert_eq!(
+        statuses,
+        vec![
+            sim_dist::protocol::JOB_OK,
+            sim_dist::protocol::JOB_SKIPPED,
+            sim_dist::protocol::JOB_SKIPPED,
+            sim_dist::protocol::JOB_SKIPPED,
+        ],
+        "running job finishes, queued jobs skip"
+    );
+    assert_eq!(first.results[0].1, "slept:200");
+    assert_eq!(report.deadline_cancels, 1);
+
+    let (second, _) = run_once();
+    assert_eq!(
+        first.results, second.results,
+        "deadline partials must be deterministic run-to-run"
+    );
+}
+
+/// Token cancellation (the CLI's SIGTERM path) drains gracefully: the
+/// client is told via a Drain frame, the in-flight sweep still completes
+/// with full results, and the daemon reports a clean drain.
+#[test]
+fn drain_finishes_in_flight_work_and_reports_clean() {
+    let mut opts = ServeOptions::new(HASH);
+    opts.pool = Some(1);
+    opts.drain_ms = 10_000;
+    let (addr, token, daemon) = start(opts);
+    let mut c = ServeClient::connect(&addr, "drainee", HASH).expect("connect");
+    let req = c.submit(0, &sleep_jobs(3, 100)).expect("submit");
+    // Let the first job start, then pull the plug.
+    std::thread::sleep(Duration::from_millis(50));
+    token.cancel();
+
+    let mut saw_drain = false;
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let outcome = loop {
+        assert!(Instant::now() < deadline, "no terminal result during drain");
+        match c.next_event(Duration::from_millis(250)).expect("event") {
+            Some(ServeEvent::Draining { .. }) => saw_drain = true,
+            Some(ServeEvent::Done(o)) if o.req_id == req => break o,
+            Some(_) | None => {}
+        }
+    };
+    assert!(saw_drain, "client must be told the daemon is draining");
+    assert!(outcome.digest_ok);
+    assert!(
+        !outcome.partial,
+        "a drain with headroom finishes in-flight work completely"
+    );
+    assert!(outcome
+        .results
+        .iter()
+        .all(|(s, _)| *s == sim_dist::protocol::JOB_OK));
+
+    let report = daemon.join().expect("daemon");
+    assert!(
+        report.drained_clean,
+        "drain must finish within the grace period"
+    );
+    assert_eq!(report.completed, 1);
+    assert_eq!(report.partial, 0);
+}
