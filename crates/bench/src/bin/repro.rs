@@ -1,6 +1,10 @@
 //! `repro` — regenerates every table and figure of the SHM evaluation.
 //!
-//! Usage: `repro [fig5|fig10|fig11|fig12|fig13|fig14|fig15|fig16|table1|table3_4|table7|table9|micro|sensitivity|bench|all] [--scale X] [--jobs N] [--telemetry-dir DIR] [--bench-out PATH] [--journal DIR [--resume] [--crash-after-jobs N]]`
+//! Usage: `repro [fig5|fig10|fig11|fig12|fig13|fig14|fig15|fig16|table1|table3_4|table7|table9|micro|sensitivity|hetero|bench|all] [--scale X] [--jobs N] [--telemetry-dir DIR] [--bench-out PATH] [--journal DIR [--resume] [--crash-after-jobs N]]`
+//!
+//! The `hetero` target renders the heterogeneous-pool placement sweep; it
+//! is deliberately *not* part of `all`, which stays byte-identical to a
+//! pool-free build.
 //!
 //! With `--journal DIR`, the suite-based figures (fig12–fig16) checkpoint
 //! every completed (benchmark, design) job to `DIR/<figure>.jsonl` as it
@@ -379,6 +383,7 @@ fn render_target(
         "fig16" => fig16(scale, jobs, sctx)?,
         "micro" => micro_diag(),
         "sensitivity" => sensitivity(scale),
+        "hetero" => hetero(scale, jobs)?,
         "all" => {
             let mut out = String::new();
             out.push_str(&table1());
@@ -631,6 +636,15 @@ fn sensitivity(scale: f64) -> String {
         let _ = writeln!(out);
     }
     out
+}
+
+/// Heterogeneous-pool placement sweep: the confidential-AI profiles under
+/// every placement policy.  `SHM_POOL_*` / `SHM_LINK_*` knobs shape the
+/// pool geometry; not part of `all` (the paper tables stay single-pool).
+fn hetero(scale: f64, jobs: Option<usize>) -> Result<String, String> {
+    let rows = shm_bench::pool::try_run_pool_sweep(&shm_pool::PlacementPolicy::ALL, scale, jobs)
+        .map_err(|e| format!("hetero sweep failed: {e}"))?;
+    Ok(shm_bench::pool::format_pool_table(&rows))
 }
 
 /// Calibration diagnostics: per-class overheads on pure access patterns.

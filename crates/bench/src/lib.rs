@@ -19,6 +19,7 @@ pub use sim_exec::{CancelToken, Executor, SweepError};
 
 pub mod chaos;
 pub mod dist;
+pub mod pool;
 
 /// Scale factor for event counts: 1.0 = full runs (repro binary),
 /// smaller for quick tests/benches.

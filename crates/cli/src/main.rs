@@ -237,7 +237,11 @@ fn print_help() {
          \x20 run   --custom ro=0.9,stream=0.95,write=0.05 -d SHM\n\
          \x20 run   ... --telemetry [--epoch-cycles N] [--trace-out t.jsonl] [--epoch-csv e.csv]\n\
          \x20 run   ... --profile                  phase self-profiler (forces --jobs 1)\n\
+         \x20 run   ... --pools gpu-only|static-split|hot-page-migrate   heterogeneous\n\
+         \x20        CPU+GPU pools (SHM_POOL_*/SHM_LINK_* shape them; default single-pool)\n\
          \x20 sweep -b <bench> [--events N] [--csv] [--jobs N]\n\
+         \x20 sweep -b <bench> --pools <policy|all>   placement-policy sweep: design\n\
+         \x20        rows per policy plus migration/spill/link counters\n\
          \x20 sweep ... --journal <file> [--resume]  checkpoint results; SIGINT/SIGTERM\n\
          \x20        stops gracefully (exit 130) and --resume skips completed jobs\n\
          \x20 sweep -b <bench> --dist HOST:PORT    run the sweep on a worker cluster\n\
@@ -248,11 +252,12 @@ fn print_help() {
          \x20        [--reconnect-attempts N] [--metrics-addr HOST:PORT]   serve sweep jobs\n\
          \x20 serve --listen HOST:PORT [--queue-depth N] [--deadline-ms N] [--drain-ms N]\n\
          \x20        [--idle-ms N] [--max-tenants N] [--jobs N] [--journal-dir D]\n\
-         \x20        [--metrics-addr HOST:PORT]     multi-tenant sweep daemon; SIGTERM\n\
+         \x20        [--tokens FILE] [--metrics-addr HOST:PORT]   multi-tenant sweep\n\
+         \x20        daemon; --tokens gates hellos on a tenant:token table; SIGTERM\n\
          \x20        drains gracefully (finish or cancel in-flight, flush journals, exit 0)\n\
          \x20 loadgen --connect HOST:PORT [--tenants N] [--rps R] [--duration S]\n\
          \x20        [--chaos-seed K] [-b BENCH] [--events N] [--deadline-ms N]\n\
-         \x20        [--table-out FILE]             drive a serve daemon and verify no\n\
+         \x20        [--token T] [--table-out FILE]  drive a serve daemon and verify no\n\
          \x20        silent divergence from the serial reference; exit 4 on wrong bytes\n\
          \x20 chaos [--schedule smoke|full] [--seed S] [--scale X] [--dir D]   fault-\n\
          \x20        injection campaign on the cluster; exit 4 on silent divergence\n\
@@ -360,6 +365,33 @@ fn load_trace(args: &Args) -> Result<ContextTrace, String> {
     Ok(profile.generate(seed))
 }
 
+/// `--pools <policy>` → heterogeneous-pool configuration (env knobs
+/// applied); `None` when the flag is absent (single-pool default).
+fn parse_pools(args: &Args) -> Result<Option<shm_pool::PoolsConfig>, String> {
+    let Some(raw) = args.get("pools") else {
+        return Ok(None);
+    };
+    let policy = shm_pool::PlacementPolicy::parse(raw).ok_or_else(|| {
+        format!("unknown --pools {raw:?} (want gpu-only|static-split|hot-page-migrate)")
+    })?;
+    Ok(Some(shm_pool::PoolsConfig::from_env(policy)))
+}
+
+/// `--pools <policy|all>` → the policy list a sweep covers.
+fn parse_pools_list(args: &Args) -> Result<Option<Vec<shm_pool::PlacementPolicy>>, String> {
+    let Some(raw) = args.get("pools") else {
+        return Ok(None);
+    };
+    if raw == "all" {
+        return Ok(Some(shm_pool::PlacementPolicy::ALL.to_vec()));
+    }
+    shm_pool::PlacementPolicy::parse(raw)
+        .map(|p| Some(vec![p]))
+        .ok_or_else(|| {
+            format!("unknown --pools {raw:?} (want gpu-only|static-split|hot-page-migrate|all)")
+        })
+}
+
 fn parse_design(args: &Args) -> Result<DesignPoint, String> {
     let name = args
         .get("d")
@@ -404,6 +436,7 @@ fn cmd_run(args: Args) -> Result<(), CliError> {
     } else {
         parse_jobs(&args)?
     };
+    let pools = parse_pools(&args)?;
     let cfg = GpuConfig::default();
     // The baseline and the protected design are independent runs — two jobs
     // on the shared pool.  Only the design run carries the probe.
@@ -413,7 +446,12 @@ fn cmd_run(args: Args) -> Result<(), CliError> {
             &designs,
             |_, d| format!("{} under {}", trace.name, d.name()),
             |i, &d| {
-                let sim = Simulator::new(&cfg, d);
+                let mut sim = Simulator::new(&cfg, d);
+                // Both runs see the same pool geometry, so the normalized
+                // IPC compares designs, not memory systems.
+                if let Some(p) = pools {
+                    sim = sim.with_pools(p);
+                }
                 let sim = if i == 1 {
                     sim.with_probe(probe.clone())
                 } else {
@@ -432,6 +470,19 @@ fn cmd_run(args: Args) -> Result<(), CliError> {
     let stats = take()?;
     let base = take()?;
     report::print_run(&trace, design, &stats, &base, &EnergyModel::default());
+    if let Some(p) = pools {
+        println!(
+            "pools ({}): migrations {}  spills {}  cpu accesses {}  capacity events {}  \
+             link to-gpu {} B  to-cpu {} B",
+            p.policy.label(),
+            stats.pool_migrations,
+            stats.pool_spills,
+            stats.pool_cpu_accesses,
+            stats.pool_capacity_events,
+            stats.link_bytes_to_gpu,
+            stats.link_bytes_to_cpu,
+        );
+    }
     if probe.is_enabled() {
         if let Some(s) = probe.summary() {
             println!("{s}");
@@ -643,6 +694,14 @@ fn cmd_sweep(args: Args) -> Result<(), CliError> {
 }
 
 fn cmd_sweep_inner(args: &Args) -> Result<(), CliError> {
+    if let Some(policies) = parse_pools_list(args)? {
+        if args.get("dist").is_some() || args.get("journal").is_some() {
+            return Err(CliError::usage(
+                "--pools does not compose with --dist/--journal yet",
+            ));
+        }
+        return cmd_sweep_pools(args, &policies);
+    }
     if let Some(bind) = args.get("dist") {
         let bind = bind.to_string();
         let stats = sweep_dist(args, &bind)?;
@@ -697,6 +756,77 @@ fn cmd_sweep_inner(args: &Args) -> Result<(), CliError> {
     print_sweep_table(&stats, args.flag("csv"));
     finish_sweep_telemetry(args, &probe)?;
     Ok(())
+}
+
+/// `shm sweep --pools <policy|all>`: every design under every requested
+/// placement policy.  The `(policy × design)` grid is one submission-order
+/// `try_map`, so the rendered tables are identical at any `--jobs` count.
+/// This path uses its own formatter; the default single-pool sweep table is
+/// untouched.
+fn cmd_sweep_pools(args: &Args, policies: &[shm_pool::PlacementPolicy]) -> Result<(), CliError> {
+    let trace = load_trace(args)?;
+    let probe = telemetry_probe(args)?;
+    let jobs = parse_jobs(args)?;
+    let cfg = GpuConfig::default();
+    let all = DesignPoint::ALL;
+    let pairs: Vec<(shm_pool::PlacementPolicy, DesignPoint)> = policies
+        .iter()
+        .flat_map(|&p| all.iter().map(move |&d| (p, d)))
+        .collect();
+    let stats = Executor::from_request(jobs)
+        .try_map(
+            &pairs,
+            |_, &(p, d)| format!("{} under {} [{}]", trace.name, d.name(), p.label()),
+            |_, &(p, d)| {
+                Simulator::new(&cfg, d)
+                    .with_pools(shm_pool::PoolsConfig::from_env(p))
+                    .run(&trace)
+            },
+        )
+        .map_err(|e| CliError::runtime(format!("pool sweep failed: {e}"), &probe))?;
+    print!(
+        "{}",
+        format_pool_sweep_tables(policies, &stats, args.flag("csv"))
+    );
+    finish_sweep_telemetry(args, &probe)?;
+    Ok(())
+}
+
+/// Renders the `--pools` sweep: one design table per policy, each followed
+/// by that policy's migration/spill/link counter line.
+fn format_pool_sweep_tables(
+    policies: &[shm_pool::PlacementPolicy],
+    stats: &[SimStats],
+    csv: bool,
+) -> String {
+    use std::fmt::Write as _;
+    let per = DesignPoint::ALL.len();
+    let mut out = String::new();
+    for (i, &policy) in policies.iter().enumerate() {
+        let slice = &stats[i * per..(i + 1) * per];
+        let _ = writeln!(out, "== pools: {} ==", policy.label());
+        out.push_str(&format_sweep_table(slice, csv));
+        // Pool counters are policy-shaped but design-independent in intent;
+        // report the SHM design's row (the paper's scheme).
+        let shm = slice
+            .iter()
+            .zip(DesignPoint::ALL)
+            .find(|(_, d)| *d == DesignPoint::Shm)
+            .map(|(s, _)| s)
+            .unwrap_or(&slice[0]);
+        let _ = writeln!(
+            out,
+            "pool counters (SHM row): migrations {}  spills {}  cpu accesses {}  \
+             capacity events {}  link to-gpu {} B  to-cpu {} B\n",
+            shm.pool_migrations,
+            shm.pool_spills,
+            shm.pool_cpu_accesses,
+            shm.pool_capacity_events,
+            shm.link_bytes_to_gpu,
+            shm.link_bytes_to_cpu,
+        );
+    }
+    out
 }
 
 /// Converts the local executor's per-job timings into the canonical span

@@ -300,6 +300,7 @@ fn env_knob_table() -> Vec<(&'static str, &'static str, &'static str)> {
         ),
     ];
     knobs.extend(sim_serve::ENV_KNOBS.iter().copied());
+    knobs.extend(shm_pool::ENV_KNOBS.iter().copied());
     knobs
 }
 
@@ -322,14 +323,11 @@ mod tests {
         assert!(frame.contains("41"), "frame:\n{frame}");
     }
 
-    /// Every `SHM_SERVE_*` literal anywhere in the cli or sim-serve
-    /// sources must have a row in the `shm env` table — a daemon knob the
-    /// operator cannot discover is a support incident waiting to happen.
-    #[test]
-    fn every_serve_knob_is_in_the_env_table() {
-        fn scan_literals(src: &str, found: &mut std::collections::BTreeSet<String>) {
+    /// Collects every `<pat>SUFFIX` environment-knob literal from the `.rs`
+    /// files under `dirs` (paths relative to this crate's manifest dir).
+    fn scan_knob_literals(pat: &str, dirs: &[&str]) -> std::collections::BTreeSet<String> {
+        fn scan_literals(src: &str, pat: &[u8], found: &mut std::collections::BTreeSet<String>) {
             let bytes = src.as_bytes();
-            let pat = b"SHM_SERVE_";
             for i in 0..bytes.len().saturating_sub(pat.len()) {
                 if &bytes[i..i + pat.len()] == pat {
                     let mut end = i + pat.len();
@@ -346,30 +344,54 @@ mod tests {
                 }
             }
         }
-        let cli_dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("src");
-        let serve_dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../sim-serve/src");
         let mut found = std::collections::BTreeSet::new();
-        for dir in [cli_dir, serve_dir] {
+        for dir in dirs {
+            let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(dir);
             for entry in std::fs::read_dir(&dir).expect("source dir readable") {
                 let path = entry.expect("dir entry").path();
                 if path.extension().is_some_and(|e| e == "rs") {
                     scan_literals(
                         &std::fs::read_to_string(&path).expect("source readable"),
+                        pat.as_bytes(),
                         &mut found,
                     );
                 }
             }
         }
+        found
+    }
+
+    fn assert_knobs_in_table(found: &std::collections::BTreeSet<String>, pat: &str) {
         assert!(
             !found.is_empty(),
-            "scanner found no SHM_SERVE_* knobs at all — is it broken?"
+            "scanner found no {pat}* knobs at all — is it broken?"
         );
         let table: Vec<&str> = env_knob_table().iter().map(|(n, _, _)| *n).collect();
-        for knob in &found {
+        for knob in found {
             assert!(
                 table.contains(&knob.as_str()),
                 "knob {knob} is parsed in the sources but missing from the `shm env` table"
             );
+        }
+    }
+
+    /// Every `SHM_SERVE_*` literal anywhere in the cli or sim-serve
+    /// sources must have a row in the `shm env` table — a daemon knob the
+    /// operator cannot discover is a support incident waiting to happen.
+    #[test]
+    fn every_serve_knob_is_in_the_env_table() {
+        let found = scan_knob_literals("SHM_SERVE_", &["src", "../sim-serve/src"]);
+        assert_knobs_in_table(&found, "SHM_SERVE_");
+    }
+
+    /// Same contract for the heterogeneous-pool knobs: every `SHM_POOL_*` /
+    /// `SHM_LINK_*` literal in the cli or shm-pool sources needs an `shm
+    /// env` row.
+    #[test]
+    fn every_pool_knob_is_in_the_env_table() {
+        for pat in ["SHM_POOL_", "SHM_LINK_"] {
+            let found = scan_knob_literals(pat, &["src", "../pool/src"]);
+            assert_knobs_in_table(&found, pat);
         }
     }
 

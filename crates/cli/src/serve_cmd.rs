@@ -52,6 +52,11 @@ pub fn cmd_serve(args: Args) -> Result<(), CliError> {
         opts.max_tenants = n.max(1) as usize;
     }
     opts.pool = parse_jobs(&args)?;
+    if let Some(path) = args.get("tokens") {
+        let table = sim_serve::load_token_table(path)
+            .map_err(|e| CliError::runtime(format!("--tokens: {e}"), &Probe::disabled()))?;
+        opts.tokens = Some(table);
+    }
     if let Some(dir) = args.get("journal-dir") {
         std::fs::create_dir_all(dir)
             .map_err(|e| CliError::runtime(format!("create {dir}: {e}"), &Probe::disabled()))?;
@@ -188,16 +193,25 @@ pub fn cmd_loadgen(args: Args) -> Result<(), CliError> {
         .map_or_else(|| connect.clone(), |p| p.local_addr().to_string());
 
     let hash = dist_config_hash();
+    // Token-gated daemons: every loadgen tenant presents the same token,
+    // from --token or the client-side env knob.
+    let auth_token = args
+        .get("token")
+        .map(str::to_string)
+        .or_else(|| std::env::var(sim_serve::TOKEN_ENV).ok())
+        .unwrap_or_default();
     let handles: Vec<_> = (0..tenants)
         .map(|i| {
             let target = target.clone();
             let jobs = Arc::clone(&jobs);
             let reference = Arc::clone(&reference);
+            let auth_token = auth_token.clone();
             std::thread::spawn(move || {
                 run_tenant(
                     &format!("tenant-{i}"),
                     &target,
                     hash,
+                    &auth_token,
                     &jobs,
                     &reference,
                     deadline_ms,
@@ -293,6 +307,7 @@ fn run_tenant(
     tenant: &str,
     addr: &str,
     hash: u64,
+    auth_token: &str,
     jobs: &[(String, String)],
     reference: &[String],
     deadline_ms: u64,
@@ -307,7 +322,7 @@ fn run_tenant(
         // (Re)connect; chaos can kill the handshake, so retry until the
         // window closes.  A refused hello (quarantine, drain) ends the run.
         if client.is_none() {
-            match ServeClient::connect(addr, tenant, hash) {
+            match ServeClient::connect(addr, tenant, hash, auth_token) {
                 Ok(c) => client = Some(c),
                 Err(sim_dist::DistError::Rejected { .. }) => break,
                 Err(_) => {

@@ -67,10 +67,14 @@ pub enum TamperKind {
     /// full cut-and-recover flow; here the campaign asserts the torn state
     /// itself can never be served silently).
     TornWrite,
+    /// Man-in-the-middle on the CPU↔GPU coherent link: flip wire bytes of a
+    /// page mid-migration between the pools.  The link MAC must reject the
+    /// page before anything commits at the destination.
+    InterPoolTamper,
 }
 
 /// Every attack class, in matrix order.
-pub const ALL_KINDS: [TamperKind; 12] = [
+pub const ALL_KINDS: [TamperKind; 13] = [
     TamperKind::CiphertextBitFlip,
     TamperKind::MacCorruption,
     TamperKind::BlockSplice,
@@ -83,6 +87,7 @@ pub const ALL_KINDS: [TamperKind; 12] = [
     TamperKind::ChunkTamper,
     TamperKind::TransientBitFlip,
     TamperKind::TornWrite,
+    TamperKind::InterPoolTamper,
 ];
 
 impl TamperKind {
@@ -101,6 +106,7 @@ impl TamperKind {
             TamperKind::ChunkTamper => "chunk_tamper",
             TamperKind::TransientBitFlip => "transient_bit_flip",
             TamperKind::TornWrite => "torn_write",
+            TamperKind::InterPoolTamper => "inter_pool_tamper",
         }
     }
 
@@ -115,7 +121,8 @@ impl TamperKind {
             | TamperKind::BlockReplay
             | TamperKind::RowhammerNeighborFlips
             | TamperKind::TransientBitFlip
-            | TamperKind::TornWrite => VerifyError::BlockMacMismatch,
+            | TamperKind::TornWrite
+            | TamperKind::InterPoolTamper => VerifyError::BlockMacMismatch,
             TamperKind::FullReplay | TamperKind::CounterReset | TamperKind::BmtNodeTamper => {
                 VerifyError::FreshnessViolation
             }
@@ -182,9 +189,12 @@ pub fn build_campaign(name: &str, seed: u64) -> Option<CampaignSpec> {
         for kind in ALL_KINDS {
             let addrs = match kind {
                 TamperKind::RowhammerNeighborFlips => vec![pick_aggressor(&mut rng)],
-                // Replay sequences and chunk tampers probe one victim per
-                // step; everything else bursts.
-                TamperKind::BlockReplay | TamperKind::FullReplay | TamperKind::ChunkTamper => {
+                // Replay sequences, chunk tampers and migration tampers
+                // probe one victim per step; everything else bursts.
+                TamperKind::BlockReplay
+                | TamperKind::FullReplay
+                | TamperKind::ChunkTamper
+                | TamperKind::InterPoolTamper => {
                     vec![pick_block(&mut rng)]
                 }
                 _ => {
@@ -452,13 +462,38 @@ fn inject(
             mem.restore_counter(addr, old_ctr);
             vec![addr]
         }
+        TamperKind::InterPoolTamper => {
+            // The attack hits the inter-pool link, not resident state; the
+            // probe drives the tampered migration itself (`probe_migration`).
+            vec![addr]
+        }
     }
+}
+
+/// Drives one page migration through the secure inter-pool channel with a
+/// wire tamper whose parameters derive deterministically from `seed ^ addr`
+/// (mask forced non-zero, so the fault is never a no-op).  Returns what the
+/// receiver's link-MAC check observed.
+fn probe_migration(seed: u64, addr: u64) -> Option<VerifyError> {
+    let page_bytes = 2048u64;
+    let mut r = SplitMix64::new(seed ^ addr.rotate_left(29));
+    let mut channel = shm_pool::MigrationChannel::new(seed ^ addr, page_bytes);
+    let tamper = shm_pool::LinkTamper {
+        block: r.next_below(page_bytes / BLOCK_BYTES),
+        byte: r.next_below(BLOCK_BYTES) as usize,
+        mask: (r.next_below(255) + 1) as u8,
+    };
+    channel
+        .transfer_page(addr, Some(tamper))
+        .err()
+        .map(|v| v.error)
 }
 
 /// Probes one victim after injection and classifies the outcome.
 fn probe(mem: &mut SecureMemory, seed: u64, kind: TamperKind, addr: u64) -> Incident {
     let observed = match kind {
         TamperKind::ChunkTamper => mem.verify_chunk(addr).err(),
+        TamperKind::InterPoolTamper => probe_migration(seed, addr),
         _ => mem.read_block(addr).err(),
     };
     let recovered = match kind {
@@ -618,6 +653,22 @@ mod tests {
         for t in transients {
             assert!(t.detected(), "transient must trip the MAC once");
             assert!(t.recovered, "re-fetch must return clean data");
+        }
+    }
+
+    #[test]
+    fn inter_pool_tamper_never_silent() {
+        for (name, seed) in [("smoke", 7u64), ("smoke", 31), ("full", 7)] {
+            let report = run_campaign(name, seed).expect("run");
+            let entry = report
+                .matrix
+                .iter()
+                .find(|(k, _)| *k == TamperKind::InterPoolTamper)
+                .expect("inter_pool_tamper row")
+                .1;
+            assert!(entry.injected > 0);
+            assert_eq!(entry.detected, entry.injected, "\n{}", report.render());
+            assert_eq!(entry.silent, 0, "\n{}", report.render());
         }
     }
 

@@ -69,6 +69,7 @@ pub struct Simulator {
     shm_cfg: ShmConfig,
     design: DesignPoint,
     probe: Probe,
+    pools: Option<shm_pool::PoolsConfig>,
 }
 
 impl Simulator {
@@ -79,12 +80,21 @@ impl Simulator {
             shm_cfg: ShmConfig::default(),
             design,
             probe: Probe::disabled(),
+            pools: None,
         }
     }
 
     /// Overrides the SHM mechanism configuration.
     pub fn with_shm_config(mut self, shm_cfg: ShmConfig) -> Self {
         self.shm_cfg = shm_cfg;
+        self
+    }
+
+    /// Attaches a heterogeneous-pool model (CPU-side DRAM pool behind a
+    /// coherent link). Without this call the simulator is single-pool and
+    /// its output is byte-identical to the pre-pool code path.
+    pub fn with_pools(mut self, pools: shm_pool::PoolsConfig) -> Self {
+        self.pools = Some(pools);
         self
     }
 
@@ -192,6 +202,10 @@ impl Simulator {
             }
         }
 
+        // Heterogeneous pools ride alongside the fabric; `None` keeps the
+        // single-pool hot path untouched (and its output byte-identical).
+        let mut pool = self.pools.map(shm_pool::PoolSim::new);
+
         let mut clock = 0u64;
         for kernel in &trace.kernels {
             for action in &kernel.pre_actions {
@@ -223,6 +237,7 @@ impl Simulator {
                 &mut engine,
                 &mut fabric,
                 &mut banks,
+                &mut pool,
                 &mut stats,
             );
             if probe.is_enabled() {
@@ -270,6 +285,42 @@ impl Simulator {
             .map(|i| fabric.partition(PartitionId(i as u16)).bus_free_at())
             .max()
             .unwrap_or(0);
+        if let Some(pool) = &pool {
+            let c = pool.counters();
+            stats.pool_migrations = c.migrations;
+            stats.pool_spills = c.spills;
+            stats.pool_cpu_accesses = c.cpu_accesses;
+            stats.pool_capacity_events = c.capacity_events;
+            let (to_gpu, to_cpu) = pool.link_bytes();
+            stats.link_bytes_to_gpu = to_gpu;
+            stats.link_bytes_to_cpu = to_cpu;
+            shm_metrics::counter!(
+                "shm_pool_migrations_total",
+                "Pages migrated CPU->GPU through the secure channel"
+            )
+            .add(c.migrations);
+            shm_metrics::counter!("shm_pool_spills_total", "Pages spilled GPU->CPU").add(c.spills);
+            shm_metrics::counter!(
+                "shm_pool_cpu_accesses_total",
+                "Data accesses served by the CPU-side pool"
+            )
+            .add(c.cpu_accesses);
+            shm_metrics::counter!(
+                "shm_pool_capacity_events_total",
+                "Accesses under gpu-only capacity pressure"
+            )
+            .add(c.capacity_events);
+            shm_metrics::counter!(
+                "shm_link_to_gpu_bytes_total",
+                "Bytes the coherent link carried toward the GPU pool"
+            )
+            .add(to_gpu);
+            shm_metrics::counter!(
+                "shm_link_to_cpu_bytes_total",
+                "Bytes the coherent link carried toward the CPU pool"
+            )
+            .add(to_cpu);
+        }
         stats.cycles = clock.max(drain).max(1);
         stats.traffic = fabric.traffic();
         stats.dram_requests = fabric.requests();
@@ -296,6 +347,7 @@ impl Simulator {
         engine: &mut Engine,
         fabric: &mut DramFabric,
         banks: &mut [Vec<L2Bank>],
+        pool: &mut Option<shm_pool::PoolSim>,
         stats: &mut SimStats,
     ) -> u64 {
         let num_sms = self.cfg.num_sms as usize;
@@ -358,6 +410,7 @@ impl Simulator {
                     engine,
                     fabric,
                     banks,
+                    pool,
                     stats,
                 );
                 stats.lat_sum += completion.saturating_sub(t);
@@ -427,6 +480,7 @@ impl Simulator {
         engine: &mut Engine,
         fabric: &mut DramFabric,
         banks: &mut [Vec<L2Bank>],
+        pool: &mut Option<shm_pool::PoolSim>,
         stats: &mut SimStats,
     ) -> u64 {
         let local = map.to_local(ev.addr);
@@ -496,7 +550,7 @@ impl Simulator {
                     space: ev.space,
                     bytes: SECTOR_BYTES,
                 };
-                let done = Self::process_request(
+                let mut done = Self::process_request(
                     t + L2_HIT_LATENCY,
                     &req,
                     p,
@@ -506,6 +560,32 @@ impl Simulator {
                     banks,
                     stats,
                 );
+                // Heterogeneous pools: offer the miss to the pool model.  A
+                // CPU-resident page pays the remote path (LPDDR + link) on
+                // top of the native pipeline — completion is whichever is
+                // later — and may trigger a secure page migration.
+                if let Some(pool) = pool.as_mut() {
+                    let is_write = ev.kind.is_write();
+                    let out = pool.on_dram_access(
+                        t + L2_HIT_LATENCY,
+                        ev.addr.raw(),
+                        SECTOR_BYTES,
+                        is_write,
+                    );
+                    if let Some(remote_done) = out.remote_done {
+                        done = done.max(remote_done);
+                    }
+                    if probe.is_enabled() {
+                        if out.remote {
+                            probe.on_pool_remote_access(t, SECTOR_BYTES, is_write);
+                        }
+                        if out.migrated {
+                            let page = pool.config().page_bytes;
+                            let spilled = if out.spilled { page } else { 0 };
+                            probe.on_pool_migration(t, page, spilled);
+                        }
+                    }
+                }
                 banks[p.index()][bank_idx].note_pending(local.offset, done);
                 // MSHR residency: the entry lives from allocation until the
                 // fill lands and is retired by a later drain.

@@ -145,6 +145,19 @@ pub struct SimStats {
     pub lat_max: u64,
     /// DRAM requests completed by the fabric (all traffic classes).
     pub dram_requests: u64,
+    /// Pages migrated CPU→GPU through the secure inter-pool channel
+    /// (heterogeneous-pool runs only; zero in single-pool mode).
+    pub pool_migrations: u64,
+    /// Pages spilled GPU→CPU to make room for a hot page.
+    pub pool_spills: u64,
+    /// Data accesses served by the CPU-side pool.
+    pub pool_cpu_accesses: u64,
+    /// Accesses that hit GPU-pool capacity pressure (gpu-only policy).
+    pub pool_capacity_events: u64,
+    /// Bytes the coherent link carried toward the GPU pool.
+    pub link_bytes_to_gpu: u64,
+    /// Bytes the coherent link carried toward the CPU pool.
+    pub link_bytes_to_cpu: u64,
 }
 
 impl SimStats {

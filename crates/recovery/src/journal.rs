@@ -111,7 +111,9 @@ impl JournalCodec for SimStats {
         let _ = write!(
             out,
             "\"readonly_fast_path\":{},\"chunk_mac_accesses\":{},\"stream_mispredictions\":{},\
-             \"readonly_mispredictions\":{},\"lat_sum\":{},\"lat_max\":{},\"dram_requests\":{}}}",
+             \"readonly_mispredictions\":{},\"lat_sum\":{},\"lat_max\":{},\"dram_requests\":{},\
+             \"pool_migrations\":{},\"pool_spills\":{},\"pool_cpu_accesses\":{},\
+             \"pool_capacity_events\":{},\"link_bytes_to_gpu\":{},\"link_bytes_to_cpu\":{}}}",
             self.readonly_fast_path,
             self.chunk_mac_accesses,
             self.stream_mispredictions,
@@ -119,6 +121,12 @@ impl JournalCodec for SimStats {
             self.lat_sum,
             self.lat_max,
             self.dram_requests,
+            self.pool_migrations,
+            self.pool_spills,
+            self.pool_cpu_accesses,
+            self.pool_capacity_events,
+            self.link_bytes_to_gpu,
+            self.link_bytes_to_cpu,
         );
     }
 
@@ -148,6 +156,12 @@ impl JournalCodec for SimStats {
             lat_sum: json_u64(payload, "lat_sum")?,
             lat_max: json_u64(payload, "lat_max")?,
             dram_requests: json_u64(payload, "dram_requests")?,
+            pool_migrations: json_u64(payload, "pool_migrations")?,
+            pool_spills: json_u64(payload, "pool_spills")?,
+            pool_cpu_accesses: json_u64(payload, "pool_cpu_accesses")?,
+            pool_capacity_events: json_u64(payload, "pool_capacity_events")?,
+            link_bytes_to_gpu: json_u64(payload, "link_bytes_to_gpu")?,
+            link_bytes_to_cpu: json_u64(payload, "link_bytes_to_cpu")?,
         })
     }
 }
@@ -665,6 +679,12 @@ mod tests {
             lat_sum: 15 + k,
             lat_max: 16 + k,
             dram_requests: 17 + k,
+            pool_migrations: 18 + k,
+            pool_spills: 19 + k,
+            pool_cpu_accesses: 20 + k,
+            pool_capacity_events: 21 + k,
+            link_bytes_to_gpu: 22 + k,
+            link_bytes_to_cpu: 23 + k,
         }
     }
 

@@ -943,6 +943,10 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) {
                 config_hash,
                 worker_id,
                 window,
+                // The coordinator↔worker link is config-hash gated, not
+                // token gated; tenant tokens guard the serve daemon's
+                // client handshake instead.
+                token: _,
             }) => break (version, config_hash, worker_id, window),
             Ok(_) => {
                 let _ = write_frame(

@@ -488,6 +488,7 @@ mod tests {
                 config_hash: 0x57A1,
                 worker_id: "stray".into(),
                 window: 1,
+                token: String::new(),
             },
         )
         .unwrap();

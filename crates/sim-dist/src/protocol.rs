@@ -169,6 +169,10 @@ pub enum Frame {
         worker_id: String,
         /// How many jobs the worker wants in flight (its local pool width).
         window: u32,
+        /// Per-tenant auth token presented at the hello.  Empty when the
+        /// receiving end has no token table configured; compared in
+        /// constant time against the table when it does.
+        token: String,
     },
     /// Coordinator → worker: handshake verdict.  `reason` is empty on
     /// acceptance.
@@ -398,11 +402,13 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
             config_hash,
             worker_id,
             window,
+            token,
         } => {
             put_u32(&mut payload, *version);
             put_u64(&mut payload, *config_hash);
             put_str(&mut payload, worker_id);
             put_u32(&mut payload, *window);
+            put_str(&mut payload, token);
         }
         Frame::HelloAck { accepted, reason } => {
             payload.push(u8::from(*accepted));
@@ -540,6 +546,7 @@ fn decode_payload(type_byte: u8, payload: &[u8]) -> Result<Frame, FrameError> {
             config_hash: c.u64()?,
             worker_id: c.str()?,
             window: c.u32()?,
+            token: c.str()?,
         },
         2 => Frame::HelloAck {
             accepted: c.take(1)?[0] != 0,
@@ -760,6 +767,7 @@ mod tests {
                 config_hash: 0xDEAD_BEEF_CAFE_F00D,
                 worker_id: "worker-1".into(),
                 window: 4,
+                token: "s3cret".into(),
             },
             Frame::HelloAck {
                 accepted: false,

@@ -249,6 +249,7 @@ where
                 config_hash,
                 worker_id: opts.worker_id.clone(),
                 window: pool_width as u32,
+                token: String::new(),
             },
         ) {
             Ok(n) => n,

@@ -79,6 +79,16 @@ pub const MAX_TENANTS_ENV: &str = "SHM_SERVE_MAX_TENANTS";
 /// one tenant may run before the scheduler moves to the next tenant.
 pub const QUANTUM_ENV: &str = "SHM_SERVE_QUANTUM";
 
+/// Environment variable (daemon side): path to a `tenant:token` table.
+/// When set, every hello must present the matching token for its tenant
+/// id — compared in constant time — or it is refused at the handshake.
+/// Unset = open admission (today's behaviour).
+pub const TOKENS_ENV: &str = "SHM_SERVE_TOKENS";
+
+/// Environment variable (client side): the auth token `shm loadgen` and
+/// other [`ServeClient`] users present in their hello.
+pub const TOKEN_ENV: &str = "SHM_SERVE_TOKEN";
+
 /// Every `SHM_SERVE_*` knob: (name, default, meaning).  The `shm env`
 /// table extends itself from this list and a test asserts the list covers
 /// every knob parsed anywhere in cli/sim-serve.
@@ -113,6 +123,16 @@ pub const ENV_KNOBS: &[(&str, &str, &str)] = &[
         "4",
         "serve: deficit-round-robin quantum (jobs per tenant per scheduling turn)",
     ),
+    (
+        TOKENS_ENV,
+        "unset (open admission)",
+        "serve: path to a tenant:token table; hellos must present the matching token",
+    ),
+    (
+        TOKEN_ENV,
+        "empty",
+        "serve client: auth token presented in the hello (loadgen and ServeClient users)",
+    ),
 ];
 
 /// Daemon tunables; [`ServeOptions::from_env`] resolves every
@@ -141,6 +161,10 @@ pub struct ServeOptions {
     pub journal_dir: Option<PathBuf>,
     /// Config hash checked at hello, exactly like the dist coordinator.
     pub config_hash: u64,
+    /// Per-tenant auth tokens, keyed by tenant id.  `None` = open
+    /// admission; `Some` refuses any hello whose token does not match its
+    /// tenant's entry (unknown tenants are refused outright).
+    pub tokens: Option<HashMap<String, String>>,
 }
 
 impl ServeOptions {
@@ -156,6 +180,7 @@ impl ServeOptions {
             read_timeout_ms: 50,
             journal_dir: None,
             config_hash,
+            tokens: None,
         }
     }
 
@@ -180,7 +205,68 @@ impl ServeOptions {
         if let Some(v) = env_u64(QUANTUM_ENV) {
             o.quantum = v.min(u32::MAX as u64) as u32;
         }
+        if let Ok(path) = std::env::var(TOKENS_ENV) {
+            if !path.trim().is_empty() {
+                // Fail closed: a configured-but-unreadable table admits
+                // nobody rather than everybody.
+                o.tokens = Some(load_token_table(&path).unwrap_or_else(|e| {
+                    eprintln!("serve: {TOKENS_ENV}: {e}; refusing all tenants");
+                    HashMap::new()
+                }));
+            }
+        }
         o
+    }
+}
+
+/// Parses a `tenant:token` table (one pair per line; blank lines and
+/// `#` comments ignored; token may itself contain `:`).
+pub fn load_token_table(path: &str) -> Result<HashMap<String, String>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let mut table = HashMap::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some((tenant, token)) = line.split_once(':') else {
+            return Err(format!("{path}:{}: expected tenant:token", lineno + 1));
+        };
+        table.insert(tenant.trim().to_string(), token.trim().to_string());
+    }
+    Ok(table)
+}
+
+/// Constant-time string equality: scans `max(len)` bytes regardless of
+/// where (or whether) the inputs diverge, so a rejected hello leaks no
+/// prefix-length timing signal about the expected token.
+fn ct_str_eq(a: &str, b: &str) -> bool {
+    let (a, b) = (a.as_bytes(), b.as_bytes());
+    let mut diff = a.len() ^ b.len();
+    for i in 0..a.len().max(b.len()) {
+        let x = a.get(i).copied().unwrap_or(0);
+        let y = b.get(i).copied().unwrap_or(0);
+        diff |= usize::from(x ^ y);
+    }
+    diff == 0
+}
+
+/// Handshake verdict for a presenting tenant: open admission when no
+/// table is configured, otherwise the tenant must exist in the table and
+/// the token must match in constant time.
+fn token_ok(tokens: Option<&HashMap<String, String>>, tenant: &str, presented: &str) -> bool {
+    match tokens {
+        None => true,
+        Some(table) => match table.get(tenant) {
+            // Unknown tenant: burn a comparison anyway so "tenant not in
+            // the table" is not distinguishable by timing from "wrong
+            // token".
+            None => {
+                let _ = ct_str_eq(presented, "\u{0}absent");
+                false
+            }
+            Some(expected) => ct_str_eq(presented, expected),
+        },
     }
 }
 
@@ -796,6 +882,7 @@ fn serve_connection(shared: &Shared, conn_id: u64, stream: TcpStream) {
                 version,
                 config_hash,
                 worker_id,
+                token,
                 ..
             }) => {
                 let refusal = {
@@ -808,6 +895,13 @@ fn serve_connection(shared: &Shared, conn_id: u64, stream: TcpStream) {
                         Some("config hash mismatch".to_string())
                     } else if state.quarantined.contains(&worker_id) {
                         Some(format!("tenant '{worker_id}' is quarantined"))
+                    } else if !token_ok(shared.opts.tokens.as_ref(), &worker_id, &token) {
+                        shm_metrics::counter!(
+                            "shm_serve_auth_rejects",
+                            "Hellos refused for a missing or wrong tenant token"
+                        )
+                        .inc();
+                        Some(format!("tenant '{worker_id}': bad auth token"))
                     } else if state.draining {
                         Some("daemon is draining".to_string())
                     } else {
@@ -1090,8 +1184,14 @@ pub struct ServeClient {
 }
 
 impl ServeClient {
-    /// Connect and complete the versioned hello as tenant `tenant`.
-    pub fn connect(addr: &str, tenant: &str, config_hash: u64) -> Result<Self, DistError> {
+    /// Connect and complete the versioned hello as tenant `tenant`,
+    /// presenting `token` (empty against an open-admission daemon).
+    pub fn connect(
+        addr: &str,
+        tenant: &str,
+        config_hash: u64,
+        token: &str,
+    ) -> Result<Self, DistError> {
         let stream = TcpStream::connect(addr).map_err(DistError::Io)?;
         let _ = stream.set_nodelay(true);
         stream
@@ -1106,6 +1206,7 @@ impl ServeClient {
                 config_hash,
                 worker_id: tenant.to_string(),
                 window: 0,
+                token: token.to_string(),
             },
         )
         .map_err(DistError::Io)?;
@@ -1265,7 +1366,7 @@ mod tests {
     #[test]
     fn single_tenant_sweep_round_trips_in_order() {
         let (addr, token, daemon) = start(quick_opts(0x5E57));
-        let mut c = ServeClient::connect(&addr, "t0", 0x5E57).unwrap();
+        let mut c = ServeClient::connect(&addr, "t0", 0x5E57, "").unwrap();
         let req = c.submit(0, &echo_jobs(6)).unwrap();
         let mut seqs = Vec::new();
         let outcome = loop {
@@ -1295,11 +1396,78 @@ mod tests {
     }
 
     #[test]
+    fn token_table_gates_the_handshake() {
+        let mut opts = quick_opts(0xA07);
+        opts.tokens = Some(HashMap::from([
+            ("alice".to_string(), "open-sesame".to_string()),
+            ("bob".to_string(), "hunter2".to_string()),
+        ]));
+        let (addr, token, daemon) = start(opts);
+
+        // Wrong token, missing token, and unknown tenant are all refused
+        // at the hello with the same shape of reason.
+        for (tenant, presented) in [
+            ("alice", "hunter2"),
+            ("alice", ""),
+            ("mallory", "open-sesame"),
+        ] {
+            match ServeClient::connect(&addr, tenant, 0xA07, presented) {
+                Err(DistError::Rejected { reason }) => {
+                    assert!(reason.contains("bad auth token"), "{reason}");
+                }
+                Err(other) => panic!("expected an auth reject, got {other:?}"),
+                Ok(_) => panic!("{tenant:?} with token {presented:?} must not be admitted"),
+            }
+        }
+
+        // The right token admits and the request round-trips normally.
+        let mut c = ServeClient::connect(&addr, "alice", 0xA07, "open-sesame").unwrap();
+        c.submit(0, &echo_jobs(2)).unwrap();
+        loop {
+            match c.next_event(Duration::from_secs(10)).unwrap() {
+                Some(ServeEvent::Done(o)) => {
+                    assert!(o.digest_ok);
+                    assert_eq!(o.results.len(), 2);
+                    break;
+                }
+                Some(ServeEvent::Progress { .. }) => continue,
+                other => panic!("unexpected event: {other:?}"),
+            }
+        }
+        token.cancel();
+        daemon.join().unwrap();
+    }
+
+    #[test]
+    fn token_table_parses_and_compares_in_constant_time_shape() {
+        let dir = std::env::temp_dir().join(format!("shm-tokens-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tokens.txt");
+        std::fs::write(
+            &path,
+            "# staging tenants\nalice: open-sesame\n\nbob:with:colons\n",
+        )
+        .unwrap();
+        let table = load_token_table(path.to_str().unwrap()).unwrap();
+        assert_eq!(table["alice"], "open-sesame");
+        assert_eq!(table["bob"], "with:colons");
+        std::fs::remove_dir_all(&dir).ok();
+
+        assert!(token_ok(None, "anyone", ""));
+        assert!(token_ok(Some(&table), "alice", "open-sesame"));
+        assert!(!token_ok(Some(&table), "alice", "open-sesam"));
+        assert!(!token_ok(Some(&table), "alice", "open-sesame-and-more"));
+        assert!(!token_ok(Some(&table), "mallory", "open-sesame"));
+        assert!(ct_str_eq("", ""));
+        assert!(!ct_str_eq("", "x"));
+    }
+
+    #[test]
     fn oversized_request_is_rejected_structurally() {
         let mut opts = quick_opts(1);
         opts.queue_depth = 4;
         let (addr, token, daemon) = start(opts);
-        let mut c = ServeClient::connect(&addr, "greedy", 1).unwrap();
+        let mut c = ServeClient::connect(&addr, "greedy", 1, "").unwrap();
         let req = c.submit(0, &echo_jobs(5)).unwrap();
         match c.next_event(Duration::from_secs(5)).unwrap() {
             Some(ServeEvent::Rejected { req_id, reason, .. }) => {

@@ -58,6 +58,16 @@ pub struct EpochSnapshot {
     pub bmt_depth_sum: u64,
     /// Deepest single walk observed during the epoch.
     pub bmt_depth_max: u64,
+    /// Pages migrated CPU→GPU during the epoch (heterogeneous-pool runs).
+    pub pool_migrations: u64,
+    /// Pages spilled GPU→CPU during the epoch.
+    pub pool_spills: u64,
+    /// Data accesses served by the CPU-side pool during the epoch.
+    pub pool_cpu_accesses: u64,
+    /// Bytes the coherent link carried toward the GPU pool this epoch.
+    pub link_to_gpu_bytes: u64,
+    /// Bytes the coherent link carried toward the CPU pool this epoch.
+    pub link_to_cpu_bytes: u64,
     /// Per-partition traffic and L2 hit/miss breakdown (index = partition).
     pub partitions: Vec<PartitionEpoch>,
 }
@@ -114,6 +124,12 @@ impl EpochSnapshot {
             self.instructions, self.accesses, self.l2_hits, self.l2_misses, self.dram_requests,
             self.ctr_victims, self.ctr_victim_uses, self.bmt_walks, self.bmt_depth_sum,
             self.bmt_depth_max
+        );
+        let _ = write!(
+            out,
+            ",\"pool_migrations\":{},\"pool_spills\":{},\"pool_cpu_accesses\":{},\"link_to_gpu_bytes\":{},\"link_to_cpu_bytes\":{}",
+            self.pool_migrations, self.pool_spills, self.pool_cpu_accesses,
+            self.link_to_gpu_bytes, self.link_to_cpu_bytes
         );
         out.push_str(",\"partitions\":[");
         for (i, p) in self.partitions.iter().enumerate() {

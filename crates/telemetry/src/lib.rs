@@ -325,6 +325,33 @@ impl Telemetry {
         cur.bmt_depth_max = cur.bmt_depth_max.max(depth);
     }
 
+    /// Records one data access served by the CPU-side pool: `bytes` crossed
+    /// the coherent link (toward the CPU for writes, the GPU for reads).
+    pub fn on_pool_remote_access(&mut self, cycle: u64, bytes: u64, is_write: bool) {
+        self.advance_epochs(cycle);
+        let cur = self.epochs.current_mut();
+        cur.pool_cpu_accesses += 1;
+        if is_write {
+            cur.link_to_cpu_bytes += bytes;
+        } else {
+            cur.link_to_gpu_bytes += bytes;
+        }
+    }
+
+    /// Records one secure page migration: `to_gpu_bytes` promoted across the
+    /// link, `to_cpu_bytes` spilled the other way to make room (0 = no
+    /// eviction was needed).
+    pub fn on_pool_migration(&mut self, cycle: u64, to_gpu_bytes: u64, to_cpu_bytes: u64) {
+        self.advance_epochs(cycle);
+        let cur = self.epochs.current_mut();
+        cur.pool_migrations += 1;
+        cur.link_to_gpu_bytes += to_gpu_bytes;
+        if to_cpu_bytes > 0 {
+            cur.pool_spills += 1;
+            cur.link_to_cpu_bytes += to_cpu_bytes;
+        }
+    }
+
     /// Closes the run: flushes the trailing partial epoch and, when a
     /// stream sink is attached, its remaining snapshots plus the trailing
     /// histogram and drops lines.
@@ -479,6 +506,16 @@ enum HookRecord {
         cycle: u64,
         depth: u64,
     },
+    PoolRemoteAccess {
+        cycle: u64,
+        bytes: u64,
+        is_write: bool,
+    },
+    PoolMigration {
+        cycle: u64,
+        to_gpu_bytes: u64,
+        to_cpu_bytes: u64,
+    },
 }
 
 /// Cheap cloneable telemetry handle threaded through the simulator.
@@ -566,6 +603,16 @@ impl Probe {
             HookRecord::L2Miss { cycle, partition } => t.on_l2_miss(cycle, partition),
             HookRecord::CtrVictim { cycle, uses } => t.on_ctr_victim(cycle, uses),
             HookRecord::BmtWalk { cycle, depth } => t.on_bmt_walk(cycle, depth),
+            HookRecord::PoolRemoteAccess {
+                cycle,
+                bytes,
+                is_write,
+            } => t.on_pool_remote_access(cycle, bytes, is_write),
+            HookRecord::PoolMigration {
+                cycle,
+                to_gpu_bytes,
+                to_cpu_bytes,
+            } => t.on_pool_migration(cycle, to_gpu_bytes, to_cpu_bytes),
         }
     }
 
@@ -740,6 +787,30 @@ impl Probe {
     pub fn on_bmt_walk(&self, cycle: u64, depth: u64) {
         if self.inner.is_some() {
             self.record(HookRecord::BmtWalk { cycle, depth });
+        }
+    }
+
+    /// See [`Telemetry::on_pool_remote_access`].
+    #[inline]
+    pub fn on_pool_remote_access(&self, cycle: u64, bytes: u64, is_write: bool) {
+        if self.inner.is_some() {
+            self.record(HookRecord::PoolRemoteAccess {
+                cycle,
+                bytes,
+                is_write,
+            });
+        }
+    }
+
+    /// See [`Telemetry::on_pool_migration`].
+    #[inline]
+    pub fn on_pool_migration(&self, cycle: u64, to_gpu_bytes: u64, to_cpu_bytes: u64) {
+        if self.inner.is_some() {
+            self.record(HookRecord::PoolMigration {
+                cycle,
+                to_gpu_bytes,
+                to_cpu_bytes,
+            });
         }
     }
 

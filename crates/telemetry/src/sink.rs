@@ -110,6 +110,9 @@ pub fn epoch_csv(t: &Telemetry) -> String {
     out.push_str(
         ",instructions,accesses,l2_hits,l2_misses,dram_requests,ctr_victims,ctr_victim_uses,bmt_walks,bmt_depth_sum,bmt_depth_max",
     );
+    out.push_str(
+        ",pool_migrations,pool_spills,pool_cpu_accesses,link_to_gpu_bytes,link_to_cpu_bytes",
+    );
     let num_partitions = t
         .snapshots()
         .iter()
@@ -144,6 +147,15 @@ pub fn epoch_csv(t: &Telemetry) -> String {
             s.bmt_walks,
             s.bmt_depth_sum,
             s.bmt_depth_max
+        );
+        let _ = write!(
+            out,
+            ",{},{},{},{},{}",
+            s.pool_migrations,
+            s.pool_spills,
+            s.pool_cpu_accesses,
+            s.link_to_gpu_bytes,
+            s.link_to_cpu_bytes
         );
         for p in 0..num_partitions {
             let part = s.partitions.get(p).unwrap_or(&zero);

@@ -218,9 +218,61 @@ impl BenchmarkProfile {
         ]
     }
 
-    /// Looks up a profile by name.
+    /// Confidential-AI profiles for the heterogeneous-pool design axis.
+    /// Deliberately *not* part of [`Self::suite`] — their footprints exceed
+    /// the default GPU-pool capacity to force spill/migration, so they only
+    /// run in pool-aware sweeps and never perturb the paper tables.
+    pub fn hetero_suite() -> Vec<BenchmarkProfile> {
+        vec![Self::weight_stream(), Self::kv_cache_growth()]
+    }
+
+    /// Model-weight streaming: a large, almost entirely read-only footprint
+    /// scanned sequentially (inference reading layer weights), far bigger
+    /// than the default 8 MiB GPU pool.
+    pub fn weight_stream() -> BenchmarkProfile {
+        BenchmarkProfile {
+            name: "weight-stream",
+            bandwidth_util: 0.85,
+            readonly_frac: 0.95,
+            streaming_frac: 0.95,
+            write_frac: 0.03,
+            l2_locality: 0.05,
+            uses_texture: false,
+            kernels: 2,
+            reuses_input: false,
+            unmarked_readonly_frac: 0.05,
+            footprint_bytes: 24 << 20,
+            events_per_kernel: 60_000,
+        }
+    }
+
+    /// KV-cache growth: a read-write footprint with a hot recent-token
+    /// working set, growing past GPU-pool capacity (decode-time attention
+    /// over an ever-longer context).
+    pub fn kv_cache_growth() -> BenchmarkProfile {
+        BenchmarkProfile {
+            name: "kv-cache-growth",
+            bandwidth_util: 0.60,
+            readonly_frac: 0.25,
+            streaming_frac: 0.35,
+            write_frac: 0.35,
+            l2_locality: 0.45,
+            uses_texture: false,
+            kernels: 3,
+            reuses_input: false,
+            unmarked_readonly_frac: 0.10,
+            footprint_bytes: 32 << 20,
+            events_per_kernel: 60_000,
+        }
+    }
+
+    /// Looks up a profile by name, covering both the Table VII suite and
+    /// the heterogeneous-pool profiles.
     pub fn by_name(name: &str) -> Option<BenchmarkProfile> {
-        Self::suite().into_iter().find(|p| p.name == name)
+        Self::suite()
+            .into_iter()
+            .chain(Self::hetero_suite())
+            .find(|p| p.name == name)
     }
 
     /// Per-access think cycles that achieve roughly `bandwidth_util` on the
@@ -281,6 +333,21 @@ mod tests {
         let lbm = BenchmarkProfile::by_name("lbm").expect("in suite");
         let sad = BenchmarkProfile::by_name("sad").expect("in suite");
         assert!(lbm.think_cycles() < sad.think_cycles());
+    }
+
+    #[test]
+    fn hetero_profiles_exceed_default_gpu_pool() {
+        let hetero = BenchmarkProfile::hetero_suite();
+        assert_eq!(hetero.len(), 2);
+        for p in &hetero {
+            // The default GPU pool is 8 MiB; these must overflow it.
+            assert!(p.footprint_bytes > 8 << 20, "{}: fits in GPU pool", p.name);
+            assert!(p.readonly_frac + p.write_frac <= 1.0 + 1e-9);
+            // Not part of the Table VII suite.
+            assert!(BenchmarkProfile::suite().iter().all(|s| s.name != p.name));
+        }
+        assert!(BenchmarkProfile::by_name("weight-stream").is_some());
+        assert!(BenchmarkProfile::by_name("kv-cache-growth").is_some());
     }
 
     #[test]

@@ -85,6 +85,15 @@ chaos-smoke seed="7" scale="0.02":
 serve-smoke:
     bash scripts/serve_smoke.sh
 
+# Heterogeneous-pool smoke: a capacity-pressured sweep across all three
+# placement policies must show the policy signatures (pressure under
+# gpu-only, real migrations with non-zero inter-pool byte counters under
+# hot-page-migrate), stay byte-identical across job counts, and the
+# inter_pool_tamper campaign class must detect every migration tamper
+# (exit 3 — docs/HETERO.md).
+hetero-smoke:
+    bash scripts/hetero_smoke.sh
+
 # Distributed-sweep smoke: a loopback coordinator + 2 worker cluster must
 # render fig16 byte-identical to the serial run (see docs/DISTRIBUTED.md).
 dist-smoke scale="0.25":

@@ -16,7 +16,10 @@ use sim_exec::{Executor, JobOutcome, RobustConfig};
 /// round, Rowhammer two victims per aggressor per round.
 fn golden_injected(kind: TamperKind) -> usize {
     match kind {
-        TamperKind::BlockReplay | TamperKind::FullReplay | TamperKind::ChunkTamper => 3,
+        TamperKind::BlockReplay
+        | TamperKind::FullReplay
+        | TamperKind::ChunkTamper
+        | TamperKind::InterPoolTamper => 3,
         _ => 6,
     }
 }
@@ -41,7 +44,7 @@ fn full_campaign_seed7_matches_the_golden_detection_matrix() {
         assert_eq!(entry.wrong_variant, 0, "{}: wrong variant", kind.label());
         assert_eq!(entry.silent, 0, "{}: silent corruption", kind.label());
     }
-    assert_eq!(report.total_injected(), 63);
+    assert_eq!(report.total_injected(), 66);
     assert_eq!(report.false_alarms, 0, "clean reads must verify");
     assert!(report.clean_blocks > 0, "the false-alarm pass ran");
     assert!(report.is_clean_pass());

@@ -91,8 +91,8 @@ fn await_done(c: &mut ServeClient, req: u64, rejects: &mut Vec<u64>) -> Option<S
 fn flooder_is_shed_while_honest_tenant_gets_exact_bytes() {
     let mut opts = ServeOptions::new(HASH);
     opts.pool = Some(1); // one lane: fairness must come from DRR, not width
-    // DesignPoint::ALL is 10 jobs: the honest sweep must fit the queue in
-    // one piece, while two flooder batches must overflow it.
+                         // DesignPoint::ALL is 10 jobs: the honest sweep must fit the queue in
+                         // one piece, while two flooder batches must overflow it.
     opts.queue_depth = 12;
     opts.quantum = 2;
     opts.drain_ms = 10_000;
@@ -104,7 +104,8 @@ fn flooder_is_shed_while_honest_tenant_gets_exact_bytes() {
     // been rejected at least three times.
     let flood_addr = addr.clone();
     let flooder = std::thread::spawn(move || {
-        let mut c = ServeClient::connect(&flood_addr, "flooder", HASH).expect("flooder connect");
+        let mut c =
+            ServeClient::connect(&flood_addr, "flooder", HASH, "").expect("flooder connect");
         let mut rejects: Vec<u64> = Vec::new();
         let mut completed = 0u32;
         let give_up = Instant::now() + Duration::from_secs(60);
@@ -152,7 +153,7 @@ fn flooder_is_shed_while_honest_tenant_gets_exact_bytes() {
         .iter()
         .map(|(label, payload)| dist_worker_handler(label, payload))
         .collect();
-    let mut c = ServeClient::connect(&addr, "honest", HASH).expect("honest connect");
+    let mut c = ServeClient::connect(&addr, "honest", HASH, "").expect("honest connect");
     let mut honest_rejects = Vec::new();
     let outcome = loop {
         let req = c.submit(0, &jobs).expect("honest submit");
@@ -202,7 +203,7 @@ fn deadline_cancel_reports_deterministic_partial_results() {
         opts.pool = Some(1);
         opts.drain_ms = 10_000;
         let (addr, token, daemon) = start(opts);
-        let mut c = ServeClient::connect(&addr, "deadliner", HASH).expect("connect");
+        let mut c = ServeClient::connect(&addr, "deadliner", HASH, "").expect("connect");
         // Job 0 runs 200ms; the 150ms deadline fires mid-run, so jobs 1-3
         // never leave the queue.  Job 0 still lands: running jobs finish.
         let req = c.submit(150, &sleep_jobs(4, 200)).expect("submit");
@@ -241,6 +242,54 @@ fn deadline_cancel_reports_deterministic_partial_results() {
     );
 }
 
+/// With a token table configured, the hello is the auth boundary: a
+/// missing or wrong token never reaches admission control, while the
+/// right token gets the usual byte-identical sweep.
+#[test]
+fn auth_tokens_gate_the_hello_before_any_work_is_admitted() {
+    let mut opts = ServeOptions::new(HASH);
+    opts.pool = Some(1);
+    opts.tokens = Some(std::collections::HashMap::from([(
+        "honest".to_string(),
+        "correct-horse".to_string(),
+    )]));
+    let (addr, token, daemon) = start(opts);
+
+    for (tenant, presented) in [
+        ("honest", ""),
+        ("honest", "wrong-horse"),
+        ("intruder", "correct-horse"),
+    ] {
+        match ServeClient::connect(&addr, tenant, HASH, presented) {
+            Err(sim_dist::DistError::Rejected { reason }) => {
+                assert!(reason.contains("bad auth token"), "{reason}");
+            }
+            Err(other) => panic!("expected auth reject for {tenant:?}, got {other:?}"),
+            Ok(_) => panic!("{tenant:?} must not be admitted with token {presented:?}"),
+        }
+    }
+
+    let jobs = sweep_jobs("fdtd2d", 128);
+    let reference: Vec<String> = jobs
+        .iter()
+        .map(|(label, payload)| dist_worker_handler(label, payload))
+        .collect();
+    let mut c = ServeClient::connect(&addr, "honest", HASH, "correct-horse").expect("auth connect");
+    let req = c.submit(0, &jobs).expect("submit");
+    let outcome = await_done(&mut c, req, &mut Vec::new()).expect("authed sweep completes");
+    assert!(outcome.digest_ok);
+    assert!(!outcome.partial);
+    for (i, (_, payload)) in outcome.results.iter().enumerate() {
+        assert_eq!(payload, &reference[i], "result {i} diverged");
+    }
+    c.goodbye();
+
+    token.cancel();
+    let report = daemon.join().expect("daemon");
+    assert_eq!(report.accepted, 1, "only the authed sweep was admitted");
+    assert_eq!(report.quarantines, 0, "auth rejects are not quarantines");
+}
+
 /// Token cancellation (the CLI's SIGTERM path) drains gracefully: the
 /// client is told via a Drain frame, the in-flight sweep still completes
 /// with full results, and the daemon reports a clean drain.
@@ -250,7 +299,7 @@ fn drain_finishes_in_flight_work_and_reports_clean() {
     opts.pool = Some(1);
     opts.drain_ms = 10_000;
     let (addr, token, daemon) = start(opts);
-    let mut c = ServeClient::connect(&addr, "drainee", HASH).expect("connect");
+    let mut c = ServeClient::connect(&addr, "drainee", HASH, "").expect("connect");
     let req = c.submit(0, &sleep_jobs(3, 100)).expect("submit");
     // Let the first job start, then pull the plug.
     std::thread::sleep(Duration::from_millis(50));
